@@ -1,0 +1,121 @@
+// Command hfbench regenerates the paper's evaluation (section 5): every
+// in-text result table, Figure 4, and the ablations of the design decisions
+// the paper discusses. All timing runs on the deterministic virtual-time
+// simulator with the calibrated cost model, so output is identical across
+// hosts and runs.
+//
+// Usage:
+//
+//	hfbench                  # run everything, text report
+//	hfbench -exp E5          # one experiment
+//	hfbench -queries 100     # the paper's full query count per data point
+//	hfbench -md > EXPERIMENTS.generated.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hyperfile/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run only this experiment id (E1..E9, A1..A4)")
+	objects := flag.Int("objects", 270, "dataset size (paper: 270)")
+	queries := flag.Int("queries", 20, "randomized queries per data point (paper: 100)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	md := flag.Bool("md", false, "emit Markdown instead of text")
+	csv := flag.Bool("csv", false, "emit machine-readable CSV (experiment,key,value) instead of text")
+	svg := flag.String("svg", "", "also write Figure 4 as an SVG chart to this path (requires running E5)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Default()
+	cfg.Objects = *objects
+	cfg.Queries = *queries
+	cfg.Seed = *seed
+
+	var reports []*bench.Report
+	if *exp != "" {
+		e, ok := bench.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hfbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		r, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			os.Exit(1)
+		}
+		reports = []*bench.Report{r}
+	} else {
+		var err error
+		reports, err = bench.RunAll(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *svg != "" {
+		wrote := false
+		for _, r := range reports {
+			if r.ID != "E5" {
+				continue
+			}
+			chart, err := bench.RenderFigure4SVG(r)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hfbench:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*svg, []byte(chart), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "hfbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *svg)
+			wrote = true
+		}
+		if !wrote {
+			fmt.Fprintln(os.Stderr, "hfbench: -svg needs experiment E5 in the run")
+			os.Exit(1)
+		}
+	}
+
+	if *csv {
+		fmt.Println("experiment,key,value")
+		for _, r := range reports {
+			keys := make([]string, 0, len(r.Values))
+			for k := range r.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("%s,%s,%g\n", r.ID, k, r.Values[k])
+			}
+		}
+		return
+	}
+	if *md {
+		fmt.Printf("## HyperFile evaluation (objects=%d, queries/point=%d, seed=%d)\n\n",
+			cfg.Objects, cfg.Queries, cfg.Seed)
+		for _, r := range reports {
+			fmt.Println(r.Markdown())
+		}
+		return
+	}
+	fmt.Printf("HyperFile evaluation — objects=%d queries/point=%d seed=%d\n%s\n",
+		cfg.Objects, cfg.Queries, cfg.Seed, strings.Repeat("-", 64))
+	for _, r := range reports {
+		fmt.Println(r.String())
+	}
+}

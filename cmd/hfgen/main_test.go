@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hyperfile/internal/dump"
+)
+
+func TestGenerateAndReload(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(90, 3, 0, 7, 64, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Manifest sanity.
+	mf, err := os.Open(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	var man Manifest
+	if err := json.NewDecoder(mf).Decode(&man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Objects != 90 || man.Machines != 3 || len(man.Files) != 3 {
+		t.Errorf("manifest = %+v", man)
+	}
+	if man.Root != "s1:1" {
+		t.Errorf("root = %q", man.Root)
+	}
+	// Every site file loads and objects carry the expected tuples.
+	total := 0
+	for _, name := range man.Files {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs, err := dump.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		total += len(objs)
+		for _, o := range objs {
+			if len(o.Find("Unique")) != 1 || len(o.Find("Common")) != 1 {
+				t.Fatalf("%s: object %v missing search keys", name, o.ID)
+			}
+			if len(o.Pointers("Pointer", "Chain")) != 1 {
+				t.Fatalf("%s: object %v missing chain pointer", name, o.ID)
+			}
+			body := o.Find("Text")
+			if len(body) != 1 || len(body[0].Data.Bytes) != 64 {
+				t.Fatalf("%s: object %v payload wrong: %v", name, o.ID, body)
+			}
+		}
+	}
+	if total != 90 {
+		t.Errorf("total objects = %d", total)
+	}
+}
+
+func TestRunRejectsBadDir(t *testing.T) {
+	if err := run(10, 1, 0, 1, 0, "/dev/null/nope"); err == nil {
+		t.Error("expected error for unwritable output dir")
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/server"
+	"hyperfile/internal/site"
+	"hyperfile/internal/store"
+)
+
+// TestRunEndToEnd drives the hfquery client logic against a live in-process
+// two-site deployment, covering single queries and script mode.
+func TestRunEndToEnd(t *testing.T) {
+	stores := []*store.Store{store.New(1), store.New(2)}
+	var servers []*server.Server
+	for i, st := range stores {
+		id := object.SiteID(i + 1)
+		peer := object.SiteID(2 - i)
+		srv, err := server.New(site.Config{ID: id, Store: st, Peers: []object.SiteID{peer}},
+			"127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+	}
+	servers[0].AddPeer(2, servers[1].Addr())
+	servers[1].AddPeer(1, servers[0].Addr())
+
+	a := stores[0].NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	b := stores[1].NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	a.Add("Pointer", object.String("Ref"), object.Pointer(b.ID))
+	if err := stores[0].Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := stores[1].Put(b); err != nil {
+		t.Fatal(err)
+	}
+
+	serverSpec := fmt.Sprintf("1=%s,2=%s", servers[0].Addr(), servers[1].Addr())
+	var out strings.Builder
+	err := run(&out, serverSpec, 1, 900, "127.0.0.1:0", a.ID.String(), "",
+		10*time.Second, false, []string{`S (Pointer, "Ref", ?X) ^^X (keyword, "hot", ?) -> T`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 results") {
+		t.Errorf("output = %q", out.String())
+	}
+
+	// Script mode with per-line initial sets.
+	script := filepath.Join(t.TempDir(), "queries.hfq")
+	content := "# comment\n" +
+		a.ID.String() + ` | S (keyword, "hot", ?) -> T` + "\n" +
+		"\n" +
+		b.ID.String() + ` | S (keyword, "hot", ?) -> U` + "\n"
+	if err := os.WriteFile(script, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run(&out, serverSpec, 2, 901, "127.0.0.1:0", "", script, 10*time.Second, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "1 results"); got != 2 {
+		t.Errorf("script output = %q (want two single-result queries)", out.String())
+	}
+
+	// Administration mode: server counters.
+	out.Reset()
+	err = run(&out, serverSpec, 1, 902, "127.0.0.1:0", "", "", 10*time.Second, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "objects_processed") ||
+		strings.Count(out.String(), "site s") != 2 {
+		t.Errorf("stats output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, "", 1, 902, "127.0.0.1:0", "", "", time.Second, false, []string{"q"}); err == nil {
+		t.Error("expected no-servers error")
+	}
+	if err := run(&out, "1=127.0.0.1:1", 1, 903, "127.0.0.1:0", "bogus", "", time.Second, false, []string{"q"}); err == nil {
+		t.Error("expected bad-initial error")
+	}
+	if err := run(&out, "1=127.0.0.1:1", 1, 904, "127.0.0.1:0", "", "", time.Second, false, nil); err == nil {
+		t.Error("expected no-query error")
+	}
+}
+
+func TestExplainQuery(t *testing.T) {
+	var out strings.Builder
+	err := explainQuery(&out, []string{`S [ (p, "Ref", ?X) ^^X ]** (k, "x", ?) -> T`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "transitive closure") {
+		t.Errorf("explain output = %q", out.String())
+	}
+	if err := explainQuery(&out, nil); err == nil {
+		t.Error("expected no-query error")
+	}
+	if err := explainQuery(&out, []string{"garbage"}); err == nil {
+		t.Error("expected parse error")
+	}
+	if err := explainQuery(&out, []string{"S ^X -> T"}); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestParseServers(t *testing.T) {
+	got, err := parseServers("1=a:1,2=b:2")
+	if err != nil || len(got) != 2 || got[2] != "b:2" {
+		t.Errorf("servers = %v, err %v", got, err)
+	}
+	if _, err := parseServers("bogus"); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := parseServers("x=a:1"); err == nil {
+		t.Error("expected bad-id error")
+	}
+}
+
+func TestParseIDs(t *testing.T) {
+	ids, err := parseIDs("s1:1, s2:7")
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("ids = %v, err %v", ids, err)
+	}
+	if ids[1].Birth != 2 || ids[1].Seq != 7 {
+		t.Errorf("ids[1] = %v", ids[1])
+	}
+	none, err := parseIDs("")
+	if err != nil || none != nil {
+		t.Errorf("empty spec: %v %v", none, err)
+	}
+	if _, err := parseIDs("junk"); err == nil {
+		t.Error("expected error")
+	}
+}

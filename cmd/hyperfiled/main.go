@@ -1,0 +1,146 @@
+// Command hyperfiled runs one HyperFile server site over TCP.
+//
+// Usage:
+//
+//	hyperfiled -site 1 -listen 127.0.0.1:7001 \
+//	    -peers "2=127.0.0.1:7002,3=127.0.0.1:7003" \
+//	    -data data/site-1.jsonl
+//
+// Clients (hfquery) register themselves dynamically by including their own
+// listen address in the peer list passed to every server they talk to, or
+// statically via -peers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"hyperfile/internal/dump"
+	"hyperfile/internal/object"
+	"hyperfile/internal/server"
+	"hyperfile/internal/site"
+	"hyperfile/internal/store"
+	"hyperfile/internal/termination"
+)
+
+func main() {
+	siteID := flag.Uint("site", 1, "this server's site id")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	peerSpec := flag.String("peers", "", "comma-separated peer list: id=host:port,...")
+	dataPath := flag.String("data", "", "JSON-lines object file to load at startup")
+	savePath := flag.String("save", "", "write a snapshot of the store here on shutdown")
+	batch := flag.Int("result-batch", 0, "max result ids per message (0 = unbounded)")
+	distThreshold := flag.Int("dist-threshold", 0, "distributed-set retention threshold (0 = off)")
+	termMode := flag.String("termination", "weighted", "termination detector: weighted | dijkstra-scholten")
+	flag.Parse()
+
+	lg := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := run(*siteID, *listen, *peerSpec, *dataPath, *savePath, *batch, *distThreshold, *termMode, lg, stop, nil); err != nil {
+		lg.Error("fatal", "err", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until a signal arrives on stop. When
+// ready is non-nil it receives the bound listen address once serving.
+func run(siteID uint, listen, peerSpec, dataPath, savePath string, batch, distThreshold int, termMode string, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string) error {
+	id := object.SiteID(siteID)
+	peers, err := parsePeers(peerSpec)
+	if err != nil {
+		return err
+	}
+	var mode termination.Mode
+	switch termMode {
+	case "weighted":
+		mode = termination.Weighted
+	case "dijkstra-scholten", "ds":
+		mode = termination.DijkstraScholten
+	default:
+		return fmt.Errorf("unknown termination mode %q", termMode)
+	}
+
+	st := store.New(id)
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		objs, err := dump.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", dataPath, err)
+		}
+		for _, o := range objs {
+			if err := st.Put(o); err != nil {
+				return fmt.Errorf("loading %s: %w", dataPath, err)
+			}
+		}
+		lg.Info("loaded dataset", "file", dataPath, "objects", len(objs))
+	}
+
+	peerIDs := make([]object.SiteID, 0, len(peers))
+	for pid := range peers {
+		peerIDs = append(peerIDs, pid)
+	}
+	srv, err := server.New(site.Config{
+		ID: id, Store: st, Peers: peerIDs,
+		ResultBatch: batch, DistributedSetThreshold: distThreshold,
+		TermMode: mode,
+	}, listen, lg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	for pid, addr := range peers {
+		srv.AddPeer(pid, addr)
+	}
+	lg.Info("hyperfiled serving", "site", id.String(), "addr", srv.Addr(), "peers", len(peers))
+	if ready != nil {
+		ready <- srv.Addr()
+	}
+	<-stop
+	lg.Info("shutting down")
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if err := st.Snapshot(f); err != nil {
+			f.Close()
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		lg.Info("snapshot written", "file", savePath, "objects", st.Len())
+	}
+	return nil
+}
+
+// parsePeers parses "1=host:port,2=host:port".
+func parsePeers(spec string) (map[object.SiteID]string, error) {
+	out := make(map[object.SiteID]string)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		idStr, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		n, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", idStr, err)
+		}
+		out[object.SiteID(n)] = addr
+	}
+	return out, nil
+}

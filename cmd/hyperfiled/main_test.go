@@ -1,0 +1,116 @@
+package main
+
+import (
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hyperfile/internal/dump"
+	"hyperfile/internal/object"
+	"hyperfile/internal/server"
+	"hyperfile/internal/store"
+)
+
+// TestRunServeQueryShutdownSnapshot boots a real hyperfiled via run(),
+// queries it over TCP, shuts it down, and checks the exit snapshot.
+func TestRunServeQueryShutdownSnapshot(t *testing.T) {
+	dir := t.TempDir()
+
+	// Dataset file: one object with a keyword.
+	st := store.New(1)
+	o := st.NewObject().Add("keyword", object.Keyword("net"), object.Value{})
+	if err := st.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(dir, "data.jsonl")
+	f, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := st.Get(o.ID)
+	if err := dump.Write(f, []*object.Object{obj}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	savePath := filepath.Join(dir, "snapshot.jsonl")
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+	go func() {
+		done <- run(1, "127.0.0.1:0", "", dataPath, savePath, 0, 0, "weighted", lg, stop, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	}
+
+	cl, err := server.NewClient(500, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.AddServer(1, addr)
+	cm, err := cl.Exec(1, `S (keyword, "net", ?) -> T`, []object.ID{o.ID}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.IDs) != 1 {
+		t.Errorf("results = %v", cm.IDs)
+	}
+
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+	sf, err := os.Open(savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	objs, err := dump.Read(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || objs[0].ID != o.ID {
+		t.Errorf("snapshot = %v", objs)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+	stop := make(chan os.Signal)
+	if err := run(1, "127.0.0.1:0", "bogus-peers", "", "", 0, 0, "weighted", lg, stop, nil); err == nil {
+		t.Error("expected peer-spec error")
+	}
+	if err := run(1, "127.0.0.1:0", "", "/nonexistent/data", "", 0, 0, "weighted", lg, stop, nil); err == nil {
+		t.Error("expected data-file error")
+	}
+	if err := run(1, "127.0.0.1:0", "", "", "", 0, 0, "martian", lg, stop, nil); err == nil {
+		t.Error("expected termination-mode error")
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("1=127.0.0.1:7001, 2=host:7002,3=h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != "127.0.0.1:7001" || got[2] != "host:7002" || got[3] != "h:1" {
+		t.Errorf("peers = %v", got)
+	}
+	empty, err := parsePeers("")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty spec: %v %v", empty, err)
+	}
+	for _, bad := range []string{"nope", "x=addr", "1", "=addr", "9999999999999999999=a"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q): expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package hyperfile_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hyperfile"
+)
+
+// ExampleDB_Exec runs the paper's section-2 query: called routines written
+// by a given author, found in one request.
+func ExampleDB_Exec() {
+	db := hyperfile.Open()
+	callee := db.NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("Quicksort")).
+		Add("String", hyperfile.String("Author"), hyperfile.String("Joe Programmer"))
+	main := db.NewObject().
+		Add("String", hyperfile.String("Author"), hyperfile.String("Joe Programmer")).
+		Add("Pointer", hyperfile.String("Called Routine"), hyperfile.PointerTo(callee.ID))
+	for _, o := range []*hyperfile.Object{callee, main} {
+		if err := db.Put(o); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, _, _, err := db.Exec(
+		`S (Pointer, "Called Routine", ?X) ^^X (String, "Author", "Joe Programmer") -> T`,
+		[]hyperfile.ID{main.ID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res), "modules")
+	// Output: 2 modules
+}
+
+// ExampleDB_Prepare shows the embedded-language binding: "->title" fetches
+// flow into a Go callback, like the paper's embedded-C sketch.
+func ExampleDB_Prepare() {
+	db := hyperfile.Open()
+	doc := db.NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("HyperFile")).
+		Add("String", hyperfile.String("Author"), hyperfile.String("Chris Clifton"))
+	if err := db.Put(doc); err != nil {
+		log.Fatal(err)
+	}
+	pq, err := db.Prepare(
+		`S (String, "Author", "Chris Clifton") (String, "Title", ->title) -> T`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 1
+	pq.OnFetch("title", func(v hyperfile.Value, _ hyperfile.ID) {
+		fmt.Printf("Title %d: %s\n", n, v.Str)
+		n++
+	})
+	if _, err := pq.Run([]hyperfile.ID{doc.ID}); err != nil {
+		log.Fatal(err)
+	}
+	// Output: Title 1: HyperFile
+}
+
+// ExampleNewCluster runs a distributed query over an in-process two-site
+// service: the query follows the remote pointer, the document stays put.
+func ExampleNewCluster() {
+	c := hyperfile.NewCluster(2, hyperfile.Options{})
+	defer c.Close()
+	remote := c.Store(2).NewObject().
+		Add("keyword", hyperfile.Keyword("distributed"), hyperfile.Value{})
+	local := c.Store(1).NewObject().
+		Add("Pointer", hyperfile.String("Reference"), hyperfile.PointerTo(remote.ID))
+	if err := c.Put(2, remote); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Put(1, local); err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Exec(1,
+		`S (Pointer, "Reference", ?X) ^X (keyword, "distributed", ?) -> T`,
+		[]hyperfile.ID{local.ID}, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.IDs), "result from site", res.IDs[0].Birth)
+	// Output: 1 result from site s2
+}
+
+// ExampleParseQuery demonstrates the concrete syntax round trip.
+func ExampleParseQuery() {
+	q, err := hyperfile.ParseQuery(
+		`S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, "Distributed", ?) -> T`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.Initial, "->", q.Result)
+	// Output: S -> T
+}

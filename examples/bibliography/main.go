@@ -1,0 +1,130 @@
+// Bibliography models a citation graph — the paper's "find a book published
+// between May 1901 and February 1902" motivation — and exercises numeric
+// range patterns, substring matching, set objects, and chained queries where
+// one query's result set seeds the next.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperfile"
+)
+
+type paper struct {
+	title string
+	year  int64
+	topic string
+	cites []int // indexes into the list
+}
+
+func main() {
+	db := hyperfile.Open()
+
+	papers := []paper{
+		{"A Relational Model of Data", 1970, "databases", nil},
+		{"System R", 1976, "databases", []int{0}},
+		{"As We May Think", 1945, "hypertext", nil},
+		{"Xanadu", 1981, "hypertext", []int{2}},
+		{"HyperFile", 1990, "databases", []int{0, 1, 2, 3}},
+		{"G+ Graph Queries", 1987, "databases", []int{0}},
+		{"Massive Memory Machine", 1984, "architecture", nil},
+		{"HyperFile Indexing", 1990, "databases", []int{4, 6}},
+	}
+
+	objs := make([]*hyperfile.Object, len(papers))
+	for i, p := range papers {
+		objs[i] = db.NewObject().
+			Add("String", hyperfile.String("Title"), hyperfile.String(p.title)).
+			Add("Number", hyperfile.String("Year"), hyperfile.Int(p.year)).
+			Add("keyword", hyperfile.Keyword(p.topic), hyperfile.Value{})
+	}
+	for i, p := range papers {
+		for _, c := range p.cites {
+			objs[i].Add("Pointer", hyperfile.String("Cites"), hyperfile.PointerTo(objs[c].ID))
+		}
+	}
+	var all []hyperfile.ID
+	for _, o := range objs {
+		if err := db.Put(o); err != nil {
+			log.Fatal(err)
+		}
+		all = append(all, o.ID)
+	}
+
+	// Sets are plain objects holding pointer tuples; materialize the corpus
+	// as one so queries can start from it.
+	corpus, err := db.MakeSet("Member", all)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	titlesOf := func(ids hyperfile.IDSet) []string {
+		var out []string
+		for _, id := range ids.Sorted() {
+			o, _ := db.Get(id)
+			out = append(out, o.FindKey("String", hyperfile.String("Title"))[0].Data.Str)
+		}
+		return out
+	}
+
+	// Numeric range selection: the date-range search the introduction says
+	// a file server cannot do. (Members first, then the range test.)
+	res, _, _, err := db.Exec(
+		`Corpus (Pointer, "Member", ?X) ^X (Number, "Year", 1970..1981) -> T`,
+		[]hyperfile.ID{corpus})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("published 1970-1981:", titlesOf(res))
+
+	// Substring match on titles.
+	res, _, _, err = db.Exec(
+		`Corpus (Pointer, "Member", ?X) ^X (String, "Title", ~"Hyper") -> T`,
+		[]hyperfile.ID{corpus})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("titles containing 'Hyper':", titlesOf(res))
+
+	// Citation closure: everything HyperFile builds on, directly or not.
+	// Inside a closure the keep-both dereference (^^) is the right tool —
+	// the consuming form (^) would discard every object as soon as its
+	// pointers were followed. One honest wart of the paper's algorithm
+	// shows up here: a paper that cites nothing fails the (Pointer, "Cites",
+	// ?X) selection when it loops back through the iterator body, so leaf
+	// papers drop out of the closure's answer.
+	hf := objs[4].ID
+	res, _, _, err = db.Exec(
+		`S [ (Pointer, "Cites", ?X) ^^X ]** (?, ?, ?) -> T`,
+		[]hyperfile.ID{hf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	delete(res, hf)
+	fmt.Println("transitively cited, still citing onward:", titlesOf(res))
+
+	// The reachability index (the paper's companion indexing facility) has
+	// no such wart: it answers the full closure, leaves included.
+	rx := db.BuildReachIndex("Cites")
+	full := rx.Reachable(hf)
+	cited := hyperfile.IDSet{}
+	cited.AddAll(full)
+	delete(cited, hf)
+	fmt.Println("transitively cited (reachability index):", titlesOf(cited))
+
+	// Chained queries: bind the database papers to a set, then restrict to
+	// the pre-1980 ones — the second query starts from the first's result.
+	dbPapers, _, _, err := db.Exec(
+		`Corpus (Pointer, "Member", ?X) ^X (keyword, "databases", ?) -> DBPapers`,
+		[]hyperfile.ID{corpus})
+	if err != nil {
+		log.Fatal(err)
+	}
+	early, _, _, err := db.Exec(
+		`DBPapers (Number, "Year", 1900..1979) -> T`, dbPapers.Sorted())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("database papers before 1980:", titlesOf(early))
+}

@@ -1,0 +1,103 @@
+// Distributed runs a three-site HyperFile service in-process — an archival
+// server, a workgroup server, and a workstation, as in the paper's
+// introduction — and shows queries following remote pointers transparently:
+// the query travels along the links, the documents stay put.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hyperfile"
+)
+
+func main() {
+	c := hyperfile.NewCluster(3, hyperfile.Options{})
+	defer c.Close()
+
+	const (
+		archive     = hyperfile.SiteID(1) // old papers
+		workgroup   = hyperfile.SiteID(2) // the group's shared documents
+		workstation = hyperfile.SiteID(3) // work in progress
+	)
+
+	// Three generations of one paper, spread over the sites the way the
+	// paper's introduction describes: finished work on the archive, the
+	// current version on the workgroup server, the draft on the author's
+	// workstation.
+	v1 := c.Store(archive).NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("HyperFile v1")).
+		Add("keyword", hyperfile.Keyword("queries"), hyperfile.Value{})
+	v2 := c.Store(workgroup).NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("HyperFile v2")).
+		Add("keyword", hyperfile.Keyword("queries"), hyperfile.Value{}).
+		Add("Pointer", hyperfile.String("Previous Version"), hyperfile.PointerTo(v1.ID))
+	draft := c.Store(workstation).NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("HyperFile draft")).
+		Add("keyword", hyperfile.Keyword("distributed"), hyperfile.Value{}).
+		Add("Pointer", hyperfile.String("Previous Version"), hyperfile.PointerTo(v2.ID))
+
+	// Cross-references to related work on the archive; the old documents
+	// reference each other, so every node of the web has outgoing links.
+	related := c.Store(archive).NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("R* naming")).
+		Add("keyword", hyperfile.Keyword("distributed"), hyperfile.Value{})
+	draft.Add("Pointer", hyperfile.String("Reference"), hyperfile.PointerTo(related.ID))
+	related.Add("Pointer", hyperfile.String("Reference"), hyperfile.PointerTo(v1.ID))
+	v1.Add("Pointer", hyperfile.String("Reference"), hyperfile.PointerTo(related.ID))
+
+	for site, objs := range map[hyperfile.SiteID][]*hyperfile.Object{
+		archive:     {v1, related},
+		workgroup:   {v2},
+		workstation: {draft},
+	} {
+		for _, o := range objs {
+			if err := c.Put(site, o); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// From the workstation, chase the version chain across all three
+	// machines in a single request. Distribution is transparent: the
+	// pointers do not say where the objects live. A bounded iterator lets
+	// the chain's last version (which has no Previous Version pointer of
+	// its own) exit by count and still be keyword-checked.
+	res, err := c.Exec(workstation,
+		`S [ (Pointer, "Previous Version", ?X) ^^X ]*3 (keyword, "queries", ?) -> T`,
+		[]hyperfile.ID{draft.ID}, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("prior versions about queries:")
+	for _, id := range res.IDs {
+		fmt.Printf("  %s (stored at site %s)\n", id, id.Birth)
+	}
+
+	// Follow every pointer category transitively and fetch titles.
+	res, err = c.Exec(workstation,
+		`S [ (Pointer, ?, ?X) ^^X ]** (String, "Title", ->title) -> T`,
+		[]hyperfile.ID{draft.ID}, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("everything reachable from the draft:")
+	for _, f := range res.Fetches {
+		fmt.Printf("  %s = %s (at %s)\n", f.Var, f.Val.Str, f.From.Birth)
+	}
+
+	// Partial results: take the archive down and ask again. The query
+	// times out, aborts, and returns what the surviving sites produced —
+	// "partial results are better than none at all".
+	c.SetDown(archive, true)
+	res, err = c.Exec(workstation,
+		`S [ (Pointer, ?, ?X) ^^X ]** (keyword, "distributed", ?) -> T`,
+		[]hyperfile.ID{draft.ID}, 500*time.Millisecond)
+	if err != nil {
+		fmt.Printf("archive down: %v\n", err)
+	}
+	if res != nil {
+		fmt.Printf("partial answer (%d results): %v\n", len(res.IDs), res.IDs)
+	}
+}

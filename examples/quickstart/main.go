@@ -1,0 +1,77 @@
+// Quickstart: the smallest useful HyperFile program — an embedded
+// single-site store, a few linked documents, and filtering queries that
+// select, dereference, and retrieve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperfile"
+)
+
+func main() {
+	db := hyperfile.Open()
+
+	// A document is a set of self-describing tuples. HyperFile understands
+	// only the simple kinds (strings, numbers, keywords, pointers); bulk
+	// content is opaque bytes.
+	intro := db.NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("Introduction")).
+		Add("keyword", hyperfile.Keyword("hypertext"), hyperfile.Value{}).
+		Add("Text", hyperfile.String("body"), hyperfile.Bytes([]byte("Once upon a time...")))
+
+	design := db.NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("Design")).
+		Add("keyword", hyperfile.Keyword("architecture"), hyperfile.Value{})
+
+	eval := db.NewObject().
+		Add("String", hyperfile.String("Title"), hyperfile.String("Evaluation")).
+		Add("keyword", hyperfile.Keyword("hypertext"), hyperfile.Value{})
+
+	// Hypertext links are pointer tuples.
+	intro.Add("Pointer", hyperfile.String("Next"), hyperfile.PointerTo(design.ID))
+	design.Add("Pointer", hyperfile.String("Next"), hyperfile.PointerTo(eval.ID))
+	eval.Add("Pointer", hyperfile.String("Next"), hyperfile.PointerTo(intro.ID))
+
+	for _, o := range []*hyperfile.Object{intro, design, eval} {
+		if err := db.Put(o); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Query 1: simple selection — which documents carry the "hypertext"
+	// keyword?
+	res, _, _, err := db.Exec(
+		`S (keyword, "hypertext", ?) -> T`,
+		[]hyperfile.ID{intro.ID, design.ID, eval.ID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("documents tagged 'hypertext':", res)
+
+	// Query 2: the hypertext walk the paper motivates — follow Next links
+	// transitively from the introduction and filter by keyword, in ONE
+	// request instead of manual browsing.
+	res, _, _, err = db.Exec(
+		`S [ (Pointer, "Next", ?X) ^^X ]** (keyword, "hypertext", ?) -> T`,
+		[]hyperfile.ID{intro.ID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reachable + tagged:", res)
+
+	// Query 3: retrieval — fetch title fields into client bindings with the
+	// "->" operator.
+	_, fetches, _, err := db.Exec(
+		`S [ (Pointer, "Next", ?X) ^^X ]** (String, "Title", ->title) -> T`,
+		[]hyperfile.ID{intro.ID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 1
+	for _, f := range fetches {
+		fmt.Printf("Title %d: %s\n", n, f.Val.Str)
+		n++
+	}
+}

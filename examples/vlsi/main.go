@@ -1,0 +1,100 @@
+// Vlsi models the introduction's other motivating application: a shared
+// repository where VLSI designs and their documentation live side by side —
+// "a user running a document management system can view a VLSI design, and
+// a user running a VLSI design tool can refer to a document that describes
+// the operation of a particular circuit". Application-defined tuple types
+// (Cell, Datasheet), numeric properties (clock speed), regex selection, and
+// cross-application pointers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperfile"
+)
+
+func main() {
+	db := hyperfile.Open()
+
+	// Cells: the VLSI tool's objects. HyperFile does not understand
+	// "Cell", "MHz" or netlists — only the tuple structure.
+	alu := db.NewObject().
+		Add("Cell", hyperfile.String("Name"), hyperfile.String("ALU32")).
+		Add("Number", hyperfile.String("ClockMHz"), hyperfile.Int(25)).
+		Add("Netlist", hyperfile.String("spice"), hyperfile.Bytes([]byte("...")))
+	cache := db.NewObject().
+		Add("Cell", hyperfile.String("Name"), hyperfile.String("L1Cache")).
+		Add("Number", hyperfile.String("ClockMHz"), hyperfile.Int(33)).
+		Add("Netlist", hyperfile.String("spice"), hyperfile.Bytes([]byte("...")))
+	uart := db.NewObject().
+		Add("Cell", hyperfile.String("Name"), hyperfile.String("UART16550")).
+		Add("Number", hyperfile.String("ClockMHz"), hyperfile.Int(8)).
+		Add("Netlist", hyperfile.String("spice"), hyperfile.Bytes([]byte("...")))
+
+	// Datasheets: the documentation tool's objects, pointing at the cells
+	// they describe.
+	ds := func(title string, cells ...*hyperfile.Object) *hyperfile.Object {
+		o := db.NewObject().
+			Add("Datasheet", hyperfile.String("Title"), hyperfile.String(title)).
+			Add("keyword", hyperfile.Keyword("timing"), hyperfile.Value{})
+		for _, c := range cells {
+			o.Add("Pointer", hyperfile.String("Describes"), hyperfile.PointerTo(c.ID))
+		}
+		return o
+	}
+	dsCore := ds("ALU32 and L1Cache timing closure", alu, cache)
+	dsIO := ds("UART16550 programming guide", uart)
+
+	all := []*hyperfile.Object{alu, cache, uart, dsCore, dsIO}
+	var ids []hyperfile.ID
+	for _, o := range all {
+		if err := db.Put(o); err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, o.ID)
+	}
+
+	names := func(set hyperfile.IDSet) []string {
+		var out []string
+		for _, id := range set.Sorted() {
+			o, _ := db.Get(id)
+			for _, t := range o.Tuples {
+				if t.Key.Text() == "Name" || t.Key.Text() == "Title" {
+					out = append(out, t.Data.Str)
+				}
+			}
+		}
+		return out
+	}
+
+	// The design tool: fast cells, by clock-speed range.
+	fast, _, _, err := db.Exec(`S (Number, "ClockMHz", 20..50) -> T`, ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cells clocked 20-50 MHz:", names(fast))
+
+	// The documentation tool: datasheets whose title matches a regex, and
+	// the cells they describe, in one request.
+	res, _, _, err := db.Exec(
+		`S (Datasheet, "Title", /ALU.*timing/) (Pointer, "Describes", ?C) ^C (Cell, ?, ?) -> T`,
+		ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cells described by the ALU timing sheet:", names(res))
+
+	// Cross-application navigation the other way: from a cell back to its
+	// documentation, via materialized back pointers.
+	if err := db.AddBackPointers("Describes", "Described by"); err != nil {
+		log.Fatal(err)
+	}
+	docs, _, _, err := db.Exec(
+		`S (Cell, "Name", "UART16550") (Pointer, "Described by", ?D) ^D (Datasheet, ?, ->title) -> T`,
+		ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("documentation for UART16550:", names(docs))
+}

@@ -1,0 +1,203 @@
+package hyperfile
+
+import (
+	"testing"
+	"time"
+)
+
+// buildLibrary populates a DB with the paper's software-engineering flavor
+// of data: modules with authors, references, and keywords.
+func buildLibrary(t *testing.T, db *DB) (root ID, all []ID) {
+	t.Helper()
+	lib := db.NewObject().
+		Add("String", String("Title"), String("Sort Library")).
+		Add("String", String("Author"), String("Joe Programmer"))
+	callee := db.NewObject().
+		Add("String", String("Title"), String("Quicksort")).
+		Add("String", String("Author"), String("Joe Programmer")).
+		Add("keyword", Keyword("sorting"), Value{})
+	main := db.NewObject().
+		Add("String", String("Title"), String("Main Program for Sort routine")).
+		Add("String", String("Author"), String("Joe Programmer")).
+		Add("Pointer", String("Called Routine"), PointerTo(callee.ID)).
+		Add("Pointer", String("Library"), PointerTo(lib.ID))
+	for _, o := range []*Object{lib, callee, main} {
+		if err := db.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return main.ID, []ID{lib.ID, callee.ID, main.ID}
+}
+
+func TestEmbeddedQuery(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	// The paper's section-2 query: called routines written by Joe.
+	res, _, stats, err := db.Exec(
+		`S (Pointer, "Called Routine", ?X) ^^X (String, "Author", "Joe Programmer") -> T`,
+		[]ID{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("results = %v, want main + callee", res)
+	}
+	if stats.Processed != 2 {
+		t.Errorf("processed = %d", stats.Processed)
+	}
+}
+
+func TestEmbeddedFetch(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	_, fetches, _, err := db.Exec(
+		`S (String, "Title", ->title) -> T`, []ID{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fetches) != 1 || fetches[0].Val.Str != "Main Program for Sort routine" {
+		t.Errorf("fetches = %v", fetches)
+	}
+}
+
+func TestEmbeddedQueryError(t *testing.T) {
+	db := Open()
+	if _, _, _, err := db.Exec("nope", nil); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, _, _, err := db.Exec("S ^X -> T", nil); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestMakeSetAndQueryFromSet(t *testing.T) {
+	db := Open()
+	_, all := buildLibrary(t, db)
+	setID, err := db.MakeSet("Member", all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, _, err := db.Exec(
+		`S (Pointer, "Member", ?X) ^X (String, "Author", "Joe Programmer") -> T`,
+		[]ID{setID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Errorf("results from set = %v", res)
+	}
+}
+
+func TestIndexesThroughFacade(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	kw := db.BuildKeywordIndex()
+	rx := db.BuildReachIndex("") // all pointer categories
+	hits := ReachableWith(rx, kw, root, "keyword", "sorting")
+	if len(hits) != 1 {
+		t.Errorf("reachable-with = %v", hits)
+	}
+}
+
+func TestLocalClusterThroughFacade(t *testing.T) {
+	c := NewCluster(2, Options{})
+	defer c.Close()
+	a := c.Store(1).NewObject().Add("keyword", Keyword("x"), Value{})
+	b := c.Store(2).NewObject().Add("keyword", Keyword("x"), Value{})
+	a.Add("Pointer", String("Ref"), PointerTo(b.ID))
+	if err := c.Put(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(2, b); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(1, `S (Pointer, "Ref", ?X) ^^X (keyword, "x", ?) -> T`,
+		[]ID{a.ID}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 2 {
+		t.Errorf("results = %v", res.IDs)
+	}
+}
+
+func TestSimClusterThroughFacade(t *testing.T) {
+	c := NewSimCluster(2, Options{Cost: PaperCosts()})
+	a := c.Store(1).NewObject().Add("keyword", Keyword("x"), Value{})
+	if err := c.Put(1, a); err != nil {
+		t.Fatal(err)
+	}
+	res, rt, err := c.Exec(1, `S (keyword, "x", ?) -> T`, []ID{a.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 || rt <= 0 {
+		t.Errorf("res = %v rt = %v", res.IDs, rt)
+	}
+}
+
+func TestTCPThroughFacade(t *testing.T) {
+	st := NewStore(1)
+	o := st.NewObject().Add("keyword", Keyword("net"), Value{})
+	if err := st.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(1, st, nil, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := NewClient(50, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.AddServer(1, srv.Addr())
+	srv.AddPeer(50, cl.Addr())
+	cm, err := cl.Exec(1, `S (keyword, "net", ?) -> T`, []ID{o.ID}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.IDs) != 1 {
+		t.Errorf("results = %v", cm.IDs)
+	}
+}
+
+func TestParseQueryFacade(t *testing.T) {
+	q, err := ParseQuery(`S (keyword, "db", ?) -> T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Initial != "S" || q.Result != "T" {
+		t.Errorf("query = %v", q)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	o, _ := db.Get(root)
+	if s := Describe(o); s == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestFetchDataSpill(t *testing.T) {
+	db := Open()
+	big := make([]byte, 100000)
+	o := db.NewObject().Add("Text", String("body"), Bytes(big))
+	if err := db.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.Get(o.ID)
+	if len(got.Tuples[0].Data.Bytes) != 0 {
+		t.Error("large field should be spilled from the search representation")
+	}
+	v, err := db.FetchData(o.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Bytes) != 100000 {
+		t.Errorf("fetched %d bytes", len(v.Bytes))
+	}
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderFigure4SVG renders an E5 report as an SVG line chart in the layout
+// of the paper's Figure 4: average response time (y) against the
+// probability of a pointer being local (x), one series per machine count.
+// It returns an error if the report lacks E5's values.
+func RenderFigure4SVG(r *Report) (string, error) {
+	type point struct{ p, secs float64 }
+	series := map[string][]point{}
+	for key, v := range r.Values {
+		// Keys look like "p05_m3": locality percentage, machine count.
+		var pct, m int
+		if _, err := fmt.Sscanf(key, "p%02d_m%d", &pct, &m); err != nil {
+			continue
+		}
+		name := fmt.Sprintf("%d machines", m)
+		series[name] = append(series[name], point{p: float64(pct) / 100, secs: v})
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("bench: report %s carries no Figure-4 series", r.ID)
+	}
+	var names []string
+	maxY := 0.0
+	for name, pts := range series {
+		names = append(names, name)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].p < pts[j].p })
+		series[name] = pts
+		for _, pt := range pts {
+			if pt.secs > maxY {
+				maxY = pt.secs
+			}
+		}
+	}
+	sort.Strings(names)
+	if maxY == 0 {
+		maxY = 1
+	}
+
+	const (
+		width, height            = 640, 420
+		left, right, top, bottom = 70, 20, 30, 60
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+	x := func(p float64) float64 { return left + p*plotW }
+	y := func(s float64) float64 { return top + (1-s/maxY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14">Figure 4: response time vs pointer locality (avg of randomized closure queries)</text>`+"\n", left)
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", left, top, left, height-bottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", left, height-bottom, width-right, height-bottom)
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		yy := y(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", left, yy, width-right, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.1fs</text>`+"\n", left-6, yy+4, v)
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		xx := x(p)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%.2f</text>`+"\n", xx, height-bottom+18, p)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">probability a pointer is local</text>`+"\n",
+		left+int(plotW/2), height-14)
+
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd"}
+	for i, name := range names {
+		pts := series[name]
+		color := colors[i%len(colors)]
+		var path []string
+		for _, pt := range pts {
+			path = append(path, fmt.Sprintf("%.1f,%.1f", x(pt.p), y(pt.secs)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(path, " "), color)
+		for _, pt := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x(pt.p), y(pt.secs), color)
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			width-right-150, top+20*i, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", width-right-132, top+20*i+10, name)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderFigure4SVG(t *testing.T) {
+	r := report(t, "E5")
+	svg, err := RenderFigure4SVG(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Errorf("not an SVG document")
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("want two series, got %d", strings.Count(svg, "<polyline"))
+	}
+	if strings.Count(svg, "<circle") != 14 {
+		t.Errorf("want 14 data points, got %d", strings.Count(svg, "<circle"))
+	}
+	for _, want := range []string{"3 machines", "9 machines", "probability a pointer is local"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderFigure4SVGRejectsOtherReports(t *testing.T) {
+	r := newReport("X", "no series", "")
+	r.set("unrelated", 1)
+	if _, err := RenderFigure4SVG(r); err == nil {
+		t.Error("expected error for a report without Figure-4 series")
+	}
+}

@@ -1,0 +1,158 @@
+// Package cluster wires HyperFile sites together into a running service.
+//
+// Two runners share the same site logic:
+//
+//   - SimCluster drives sites on a discrete-event loop with virtual time and
+//     the calibrated cost model; it is deterministic and reproduces the
+//     paper's timed experiments (section 5).
+//
+//   - LocalCluster runs one goroutine per site with in-process message
+//     passing; it exercises real concurrency and is what the examples and
+//     the TCP server build on.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperfile/internal/engine"
+	"hyperfile/internal/naming"
+	"hyperfile/internal/object"
+	"hyperfile/internal/sim"
+	"hyperfile/internal/site"
+	"hyperfile/internal/store"
+	"hyperfile/internal/termination"
+	"hyperfile/internal/wire"
+)
+
+// Options configures a cluster's sites.
+type Options struct {
+	// Cost is the virtual-time cost model (SimCluster only).
+	Cost sim.CostModel
+	// Order is the working-set discipline for every site.
+	Order engine.Order
+	// TermMode selects the termination-detection algorithm.
+	TermMode termination.Mode
+	// ResultBatch caps ids per result message (0 = unbounded).
+	ResultBatch int
+	// DistributedSetThreshold enables the section-5 refinement (0 = off).
+	DistributedSetThreshold int
+	// UseNaming replaces the static birth-site router with per-site naming
+	// directories supporting object migration and forwarding.
+	UseNaming bool
+	// OracleMarkTable shares a zero-cost global mark table among all sites
+	// (ablation of the paper's local-mark-table design decision).
+	OracleMarkTable bool
+}
+
+// siteIDs returns 1..n.
+func siteIDs(n int) []object.SiteID {
+	ids := make([]object.SiteID, n)
+	for i := range ids {
+		ids[i] = object.SiteID(i + 1)
+	}
+	return ids
+}
+
+// buildSite constructs one site plus its store and (optional) directory.
+// marks is the shared oracle mark table (nil unless OracleMarkTable).
+func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.GlobalMarks) (*site.Site, *store.Store, *naming.Directory) {
+	st := store.New(id)
+	var dir *naming.Directory
+	var router site.Router = site.BirthRouter{}
+	if opts.UseNaming {
+		dir = naming.New(id)
+		router = dir
+	}
+	peers := make([]object.SiteID, 0, len(all)-1)
+	for _, other := range all {
+		if other != id {
+			peers = append(peers, other)
+		}
+	}
+	s := site.New(site.Config{
+		ID:                      id,
+		Store:                   st,
+		Router:                  router,
+		Directory:               dir,
+		Peers:                   peers,
+		Order:                   opts.Order,
+		TermMode:                opts.TermMode,
+		ResultBatch:             opts.ResultBatch,
+		DistributedSetThreshold: opts.DistributedSetThreshold,
+		GlobalMarks:             marks,
+	})
+	return s, st, dir
+}
+
+// Result is a finished query as seen by the client.
+type Result struct {
+	IDs         []object.ID
+	Fetches     []wire.FetchVal
+	Count       int
+	Distributed bool
+	Partial     bool
+}
+
+// moveObject migrates an object between stores and updates the naming
+// directories: the birth site's authority records the new location, the
+// destination presumes itself, and everyone else discovers the move through
+// message forwarding (section 4). It is a setup-time operation: callers must
+// not run it concurrently with query processing.
+func moveObject(stores map[object.SiteID]*store.Store, dirs map[object.SiteID]*naming.Directory, id object.ID, to object.SiteID) error {
+	if len(dirs) == 0 {
+		return errors.New("cluster: object migration requires UseNaming")
+	}
+	birthDir, ok := dirs[id.Birth]
+	if !ok {
+		return fmt.Errorf("cluster: unknown birth site %v", id.Birth)
+	}
+	cur, _ := birthDir.Owner(id)
+	src, ok := stores[cur]
+	if !ok {
+		return fmt.Errorf("cluster: unknown current site %v", cur)
+	}
+	dst, ok := stores[to]
+	if !ok {
+		return fmt.Errorf("cluster: unknown destination site %v", to)
+	}
+	full, err := src.Remove(id)
+	if err != nil {
+		return fmt.Errorf("cluster: move %v: %w", id, err)
+	}
+	if err := dst.PutForeign(full); err != nil {
+		return fmt.Errorf("cluster: move %v: %w", id, err)
+	}
+	birthDir.RecordMove(id, to)
+	dirs[to].Presume(id, to)
+	return nil
+}
+
+// putObject stores an object at a site and registers it with the site's
+// naming directory when naming is enabled.
+func putObject(stores map[object.SiteID]*store.Store, dirs map[object.SiteID]*naming.Directory, at object.SiteID, o *object.Object) error {
+	st, ok := stores[at]
+	if !ok {
+		return fmt.Errorf("cluster: unknown site %v", at)
+	}
+	if err := st.Put(o); err != nil {
+		return err
+	}
+	if dir, ok := dirs[at]; ok {
+		dir.Register(o.ID)
+	}
+	return nil
+}
+
+func fromComplete(c *wire.Complete) (*Result, error) {
+	if c.Err != "" {
+		return nil, fmt.Errorf("cluster: query failed: %s", c.Err)
+	}
+	return &Result{
+		IDs:         c.IDs,
+		Fetches:     c.Fetches,
+		Count:       c.Count,
+		Distributed: c.Distributed,
+		Partial:     c.Partial,
+	}, nil
+}

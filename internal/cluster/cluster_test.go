@@ -1,0 +1,646 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/sim"
+	"hyperfile/internal/termination"
+)
+
+// loadRingSim builds a cross-site ring of n objects (object i at site
+// i%len(sites)+1, pointing to object i+1 mod n) each carrying a keyword
+// tuple chosen from keys. It returns the ids in ring order.
+func loadRingSim(t *testing.T, c *SimCluster, n int, keys []string) []object.ID {
+	t.Helper()
+	sites := c.Sites()
+	objs := make([]*object.Object, n)
+	for i := range objs {
+		objs[i] = c.Store(sites[i%len(sites)]).NewObject()
+	}
+	for i, o := range objs {
+		o.Add("keyword", object.Keyword(keys[i%len(keys)]), object.Value{})
+		o.Add("Pointer", object.String("Reference"), object.Pointer(objs[(i+1)%n].ID))
+		if err := c.Put(o.ID.Birth, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]object.ID, n)
+	for i, o := range objs {
+		ids[i] = o.ID
+	}
+	return ids
+}
+
+func loadRingLocal(t *testing.T, c *LocalCluster, n int, keys []string) []object.ID {
+	t.Helper()
+	sites := c.Sites()
+	objs := make([]*object.Object, n)
+	for i := range objs {
+		objs[i] = c.Store(sites[i%len(sites)]).NewObject()
+	}
+	for i, o := range objs {
+		o.Add("keyword", object.Keyword(keys[i%len(keys)]), object.Value{})
+		o.Add("Pointer", object.String("Reference"), object.Pointer(objs[(i+1)%n].ID))
+		if err := c.Put(o.ID.Birth, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]object.ID, n)
+	for i, o := range objs {
+		ids[i] = o.ID
+	}
+	return ids
+}
+
+const closureQuery = `S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, "hot", ?) -> T`
+
+func TestSimSingleSiteSelection(t *testing.T) {
+	c := NewSim(1, Options{Cost: sim.Paper()})
+	ids := loadRingSim(t, c, 10, []string{"hot", "cold"})
+	res, rt, err := c.Exec(1, `S (keyword, "hot", ?) -> T`, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 5 || res.Count != 5 {
+		t.Errorf("results = %d ids count %d, want 5", len(res.IDs), res.Count)
+	}
+	// 10 objects * 8ms + 5 results * 20ms = 180ms of processing plus fixed
+	// message overhead; response time must be deterministic and in range.
+	if rt < 180*time.Millisecond || rt > 400*time.Millisecond {
+		t.Errorf("response time = %v", rt)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		c := NewSim(3, Options{Cost: sim.Paper()})
+		ids := loadRingSim(t, c, 30, []string{"hot", "cold", "warm"})
+		_, rt, err := c.Exec(1, closureQuery, ids[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSimDistributedClosureCompleteness(t *testing.T) {
+	c := NewSim(3, Options{Cost: sim.Paper()})
+	ids := loadRingSim(t, c, 30, []string{"hot", "cold"})
+	res, _, err := c.Exec(1, closureQuery, ids[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 15 {
+		t.Errorf("closure over 30-ring returned %d hot objects, want 15", len(res.IDs))
+	}
+	stats := c.TotalStats()
+	// The ring alternates sites, so nearly every hop is a remote deref.
+	if stats.DerefsSent < 25 {
+		t.Errorf("DerefsSent = %d, expected ~29 for a cross-site ring", stats.DerefsSent)
+	}
+	if stats.Completed != 1 {
+		t.Errorf("Completed = %d", stats.Completed)
+	}
+}
+
+// TestDistributedMatchesSingleSite is the core correctness property: the
+// same object graph partitioned over 1, 3, or 5 sites yields identical
+// result sets.
+func TestDistributedMatchesSingleSite(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		var want []int
+		for _, n := range []int{1, 3, 5} {
+			rng := rand.New(rand.NewSource(seed))
+			c := NewSim(n, Options{Cost: sim.Free()})
+			// Build identical logical graphs: object i lives at site
+			// i%n+1, with the same tuples regardless of n. Ids differ
+			// across partitionings, so compare by logical index.
+			sites := c.Sites()
+			const N = 40
+			objs := make([]*object.Object, N)
+			for i := range objs {
+				objs[i] = c.Store(sites[i%len(sites)]).NewObject()
+			}
+			index := make(map[object.ID]int, N)
+			for i, o := range objs {
+				index[o.ID] = i
+			}
+			for _, o := range objs {
+				if rng.Intn(3) == 0 {
+					o.Add("keyword", object.Keyword("hot"), object.Value{})
+				}
+				for j := 0; j < 2; j++ {
+					o.Add("Pointer", object.String("Reference"), object.Pointer(objs[rng.Intn(N)].ID))
+				}
+				if err := c.Put(o.ID.Birth, o); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, _, err := c.Exec(sites[0], closureQuery, []object.ID{objs[0].ID})
+			if err != nil {
+				t.Fatalf("seed %d n %d: %v", seed, n, err)
+			}
+			got := make([]int, 0, len(res.IDs))
+			for _, id := range res.IDs {
+				got = append(got, index[id])
+			}
+			if n == 1 {
+				want = got
+			} else if !equalIntSets(want, got) {
+				t.Errorf("seed %d n %d: results %v != single-site %v", seed, n, got, want)
+			}
+		}
+	}
+}
+
+func equalIntSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[int]bool, len(a))
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimBothTerminationModes(t *testing.T) {
+	for _, mode := range []termination.Mode{termination.Weighted, termination.DijkstraScholten} {
+		c := NewSim(3, Options{Cost: sim.Paper(), TermMode: mode})
+		ids := loadRingSim(t, c, 24, []string{"hot", "cold"})
+		res, _, err := c.Exec(2, closureQuery, ids[:1])
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if len(res.IDs) != 12 {
+			t.Errorf("mode %v: %d results, want 12", mode, len(res.IDs))
+		}
+	}
+}
+
+func TestSimRemoteInitialSet(t *testing.T) {
+	c := NewSim(3, Options{Cost: sim.Paper()})
+	ids := loadRingSim(t, c, 9, []string{"hot"})
+	// Submit at site 1 with initial objects living at sites 2 and 3.
+	res, _, err := c.Exec(1, `S (keyword, "hot", ?) -> T`, []object.ID{ids[1], ids[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 2 {
+		t.Errorf("results = %v, want the two remote initial objects", res.IDs)
+	}
+}
+
+func TestSimFetchAcrossSites(t *testing.T) {
+	c := NewSim(2, Options{Cost: sim.Paper()})
+	a := c.Store(1).NewObject().
+		Add("Pointer", object.String("Reference"), object.Pointer(object.ID{})). // placeholder replaced below
+		Add("String", object.String("Title"), object.String("root doc"))
+	b := c.Store(2).NewObject().
+		Add("String", object.String("Title"), object.String("leaf doc"))
+	a.Tuples[0].Data = object.Pointer(b.ID)
+	if err := c.Put(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(2, b); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := c.Exec(1,
+		`S (Pointer, "Reference", ?X) ^^X (String, "Title", ->title) -> T`,
+		[]object.ID{a.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fetches) != 2 {
+		t.Fatalf("fetches = %v, want titles from both sites", res.Fetches)
+	}
+	titles := map[string]bool{}
+	for _, f := range res.Fetches {
+		if f.Var != "title" {
+			t.Errorf("fetch var = %q", f.Var)
+		}
+		titles[f.Val.Str] = true
+	}
+	if !titles["root doc"] || !titles["leaf doc"] {
+		t.Errorf("titles = %v", titles)
+	}
+}
+
+func TestSimQueryError(t *testing.T) {
+	c := NewSim(1, Options{Cost: sim.Paper()})
+	_, _, err := c.Exec(1, `this is not a query`, nil)
+	if err == nil {
+		t.Fatal("expected error for malformed query")
+	}
+}
+
+func TestSimDownSitePartialResults(t *testing.T) {
+	c := NewSim(3, Options{Cost: sim.Paper()})
+	ids := loadRingSim(t, c, 12, []string{"hot"})
+	c.SetDown(3, true)
+	res, _, err := c.Exec(1, closureQuery, ids[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Error("expected a partial result with site 3 down")
+	}
+	if len(res.IDs) == 0 || len(res.IDs) >= 12 {
+		t.Errorf("partial results = %d ids, want some but not all", len(res.IDs))
+	}
+	for _, id := range res.IDs {
+		if id.Birth == 3 {
+			t.Errorf("result %v from the downed site", id)
+		}
+	}
+}
+
+func TestSimDistributedSetRefinement(t *testing.T) {
+	// Three site-local rings: each remote site drains its whole portion in
+	// one pass, so the per-drain retention threshold triggers.
+	c := NewSim(3, Options{Cost: sim.Paper(), DistributedSetThreshold: 2})
+	var heads []object.ID
+	for s := 1; s <= 3; s++ {
+		st := c.Store(object.SiteID(s))
+		objs := make([]*object.Object, 10)
+		for i := range objs {
+			objs[i] = st.NewObject()
+		}
+		for i, o := range objs {
+			o.Add("keyword", object.Keyword("hot"), object.Value{})
+			o.Add("Pointer", object.String("Reference"), object.Pointer(objs[(i+1)%10].ID))
+			if err := c.Put(object.SiteID(s), o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		heads = append(heads, objs[0].ID)
+	}
+	res, qid, _, err := c.ExecQID(1, closureQuery, heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Distributed {
+		t.Fatal("expected a distributed result set")
+	}
+	if res.Count != 30 {
+		t.Errorf("count = %d, want 30", res.Count)
+	}
+	if len(res.IDs) >= 30 {
+		t.Errorf("ids = %d, expected remote portions withheld", len(res.IDs))
+	}
+	// Follow-up narrows within the distributed set: only objects whose ring
+	// position gave them a pointer to an even... instead filter by site of
+	// birth using the keyword again (all match) to check the full set is
+	// reachable as a starting point.
+	res2, _, err := c.ExecSeeded(1, `S (keyword, "hot", ?) -> U`, qid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != 30 {
+		t.Errorf("seeded follow-up count = %d, want 30", res2.Count)
+	}
+}
+
+func TestSimNamingForwarding(t *testing.T) {
+	c := NewSim(3, Options{Cost: sim.Paper(), UseNaming: true})
+	ids := loadRingSim(t, c, 9, []string{"hot"})
+	// Move an object away from its birth site (site 2) to site 3. The
+	// pointer to it is held at site 1, which has no presumption and falls
+	// back to the birth site; the birth site's authority forwards to 3.
+	if err := c.Move(ids[4], 3); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := c.Exec(1, closureQuery, ids[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 9 {
+		t.Errorf("results after migration = %d, want 9", len(res.IDs))
+	}
+	stats := c.TotalStats()
+	if stats.Forwards == 0 {
+		t.Error("expected at least one forwarded dereference")
+	}
+}
+
+func TestSimTreeFasterThanChainDistributed(t *testing.T) {
+	// Sanity check of the headline experiment shape: with the same objects,
+	// a spanning-tree pointer structure must beat the all-remote chain.
+	buildChainAndTree := func(c *SimCluster, n int) []object.ID {
+		sites := c.Sites()
+		objs := make([]*object.Object, n)
+		for i := range objs {
+			objs[i] = c.Store(sites[i%len(sites)]).NewObject()
+		}
+		for i, o := range objs {
+			o.Add("keyword", object.Keyword("hot"), object.Value{})
+			o.Add("Pointer", object.String("Chain"), object.Pointer(objs[(i+1)%n].ID))
+		}
+		// Tree: object 0 points at one root per other site; roots span
+		// their site-local objects.
+		for s := 1; s < len(sites); s++ {
+			objs[0].Add("Pointer", object.String("Tree"), object.Pointer(objs[s].ID))
+		}
+		perSite := make(map[int][]int)
+		for i := range objs {
+			perSite[i%len(sites)] = append(perSite[i%len(sites)], i)
+		}
+		for s, members := range perSite {
+			root := members[0]
+			if s == 0 {
+				root = 0
+			}
+			for _, m := range members {
+				if m != root {
+					objs[root].Add("Pointer", object.String("Tree"), object.Pointer(objs[m].ID))
+				}
+			}
+		}
+		ids := make([]object.ID, n)
+		for i, o := range objs {
+			ids[i] = o.ID
+			if err := c.Put(o.ID.Birth, o); err != nil {
+				panic(err)
+			}
+		}
+		return ids
+	}
+
+	cChain := NewSim(3, Options{Cost: sim.Paper()})
+	idsC := buildChainAndTree(cChain, 30)
+	_, rtChain, err := cChain.Exec(1, `S [ (Pointer, "Chain", ?X) ^^X ]** (keyword, "hot", ?) -> T`, idsC[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cTree := NewSim(3, Options{Cost: sim.Paper()})
+	idsT := buildChainAndTree(cTree, 30)
+	_, rtTree, err := cTree.Exec(1, `S [ (Pointer, "Tree", ?X) ^^X ]** (keyword, "hot", ?) -> T`, idsT[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtTree >= rtChain {
+		t.Errorf("tree (%v) not faster than chain (%v)", rtTree, rtChain)
+	}
+}
+
+// TestOracleMarkTablePreservesAnswers: the global-mark-table ablation only
+// removes duplicate messages; answers must be identical.
+func TestOracleMarkTablePreservesAnswers(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		var want []object.ID
+		for _, oracle := range []bool{false, true} {
+			rng := rand.New(rand.NewSource(seed))
+			c := NewSim(3, Options{Cost: sim.Free(), OracleMarkTable: oracle})
+			sites := c.Sites()
+			const N = 45
+			objs := make([]*object.Object, N)
+			for i := range objs {
+				objs[i] = c.Store(sites[i%3]).NewObject()
+			}
+			for _, o := range objs {
+				if rng.Intn(2) == 0 {
+					o.Add("keyword", object.Keyword("hot"), object.Value{})
+				}
+				for j := 0; j < 2; j++ {
+					o.Add("Pointer", object.String("Reference"), object.Pointer(objs[rng.Intn(N)].ID))
+				}
+				if err := c.Put(o.ID.Birth, o); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, _, err := c.Exec(1, closureQuery, []object.ID{objs[0].ID})
+			if err != nil {
+				t.Fatalf("seed %d oracle %v: %v", seed, oracle, err)
+			}
+			if !oracle {
+				want = res.IDs
+			} else if len(res.IDs) != len(want) {
+				t.Errorf("seed %d: oracle results %d != plain %d", seed, len(res.IDs), len(want))
+			}
+		}
+	}
+}
+
+// TestSimSeededWithoutRetention: seeding from a query that retained nothing
+// still terminates with an empty answer.
+func TestSimSeededWithoutRetention(t *testing.T) {
+	c := NewSim(3, Options{Cost: sim.Paper()})
+	ids := loadRingSim(t, c, 9, []string{"hot"})
+	_, qid, _, err := c.ExecQID(1, closureQuery, ids[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first query was not distributed, so contexts are gone; the
+	// seeded follow-up finds nothing to seed and completes empty.
+	res, _, err := c.ExecSeeded(1, `S (keyword, "hot", ?) -> U`, qid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 {
+		t.Errorf("count = %d, want 0", res.Count)
+	}
+}
+
+// TestSimDownSiteWithDS: partial results also work under Dijkstra-Scholten.
+func TestSimDownSiteWithDS(t *testing.T) {
+	c := NewSim(3, Options{Cost: sim.Paper(), TermMode: termination.DijkstraScholten})
+	ids := loadRingSim(t, c, 12, []string{"hot"})
+	c.SetDown(2, true)
+	res, _, err := c.Exec(1, closureQuery, ids[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Error("expected partial result")
+	}
+}
+
+// TestSimExecBatchInterleaving: concurrent queries share site CPUs
+// round-robin; all complete with correct answers and each runs slower than
+// it would alone.
+func TestSimExecBatchInterleaving(t *testing.T) {
+	c := NewSim(3, Options{Cost: sim.Paper()})
+	ids := loadRingSim(t, c, 30, []string{"hot", "cold"})
+	// Solo baseline.
+	_, solo, err := c.Exec(1, closureQuery, ids[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []BatchQuery{
+		{Origin: 1, Body: closureQuery, Initial: ids[:1]},
+		{Origin: 2, Body: closureQuery, Initial: ids[:1]},
+		{Origin: 3, Body: closureQuery, Initial: ids[:1]},
+	}
+	results, times, err := c.ExecBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if len(res.IDs) != 15 {
+			t.Errorf("query %d: %d results", i, len(res.IDs))
+		}
+		if times[i] < solo {
+			t.Errorf("query %d finished in %v, faster than solo %v under 3x load", i, times[i], solo)
+		}
+	}
+}
+
+func TestLocalClusterBasic(t *testing.T) {
+	c := NewLocal(3, Options{})
+	defer c.Close()
+	ids := loadRingLocal(t, c, 30, []string{"hot", "cold"})
+	res, err := c.Exec(1, closureQuery, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 15 {
+		t.Errorf("results = %d, want 15", len(res.IDs))
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("internal error: %v", err)
+	}
+}
+
+func TestLocalClusterConcurrentQueries(t *testing.T) {
+	c := NewLocal(3, Options{})
+	defer c.Close()
+	ids := loadRingLocal(t, c, 30, []string{"hot", "cold"})
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		origin := object.SiteID(i%3 + 1)
+		go func() {
+			res, err := c.Exec(origin, closureQuery, ids[:1], 10*time.Second)
+			if err == nil && len(res.IDs) != 15 {
+				err = errors.New("wrong result size")
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestLocalClusterTimeoutPartial(t *testing.T) {
+	c := NewLocal(3, Options{})
+	defer c.Close()
+	ids := loadRingLocal(t, c, 12, []string{"hot"})
+	c.SetDown(3, true)
+	res, err := c.Exec(1, closureQuery, ids[:1], 300*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if res == nil || !res.Partial {
+		t.Errorf("expected partial results, got %+v", res)
+	}
+}
+
+func TestLocalClusterMigration(t *testing.T) {
+	c := NewLocal(3, Options{UseNaming: true})
+	defer c.Close()
+	ids := loadRingLocal(t, c, 9, []string{"hot"})
+	if err := c.Move(ids[2], 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(1, closureQuery, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 9 {
+		t.Errorf("results = %d, want 9", len(res.IDs))
+	}
+}
+
+func TestLocalClusterSeededFollowUp(t *testing.T) {
+	c := NewLocal(2, Options{DistributedSetThreshold: 1})
+	defer c.Close()
+	var members []object.ID
+	for i := 0; i < 4; i++ {
+		o := c.Store(2).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+		if err := c.Put(2, o); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, o.ID)
+	}
+	res, qid, err := c.ExecQID(1, `S (keyword, "hot", ?) -> T`, members, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Distributed || res.Count != 4 {
+		t.Fatalf("first query = %+v", res)
+	}
+	res2, err := c.ExecSeeded(1, `S (keyword, "hot", ?) -> U`, qid, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != 4 {
+		t.Errorf("seeded count = %d", res2.Count)
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	lc := NewLocal(2, Options{UseNaming: true})
+	defer lc.Close()
+	if lc.Directory(1) == nil || lc.Directory(2) == nil {
+		t.Error("local directories missing under UseNaming")
+	}
+	st := lc.SiteStats(1)
+	if st.Completed != 0 {
+		t.Errorf("fresh site stats = %+v", st)
+	}
+
+	sc := NewSim(2, Options{Cost: sim.Paper(), UseNaming: true})
+	if sc.Directory(1) == nil {
+		t.Error("sim directory missing under UseNaming")
+	}
+	if sc.Now() != 0 {
+		t.Errorf("fresh sim time = %v", sc.Now())
+	}
+	o := sc.Store(1).NewObject().Add("keyword", object.Keyword("x"), object.Value{})
+	if err := sc.Put(1, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.Exec(1, `S (keyword, "x", ?) -> T`, []object.ID{o.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Now() == 0 {
+		t.Error("sim time did not advance")
+	}
+	if sc.SiteStats(1).Completed != 1 {
+		t.Errorf("sim site stats = %+v", sc.SiteStats(1))
+	}
+}
+
+func TestMoveWithoutNamingFails(t *testing.T) {
+	c := NewSim(2, Options{Cost: sim.Free()})
+	o := c.Store(1).NewObject()
+	if err := c.Put(1, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Move(o.ID, 2); err == nil {
+		t.Error("Move without UseNaming should fail")
+	}
+}
+
+func TestLocalClusterClosedExec(t *testing.T) {
+	c := NewLocal(1, Options{})
+	c.Close()
+	if _, err := c.Exec(1, `S (a, ?, ?) -> T`, nil, time.Second); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/sim"
+	"hyperfile/internal/workload"
+)
+
+// TestSimAndLocalRunnersAgree: the virtual-time and goroutine runners drive
+// the same site logic; on identical datasets every query must return the
+// same result set.
+func TestSimAndLocalRunnersAgree(t *testing.T) {
+	const machines = 3
+	specs := workload.Spec{N: 60, Machines: machines, Seed: 5}
+
+	simC := NewSim(machines, Options{Cost: sim.Free()})
+	dSim, err := workload.Build(simC, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locC := NewLocal(machines, Options{})
+	defer locC.Close()
+	dLoc, err := workload.Build(locC, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		workload.ClosureQuery("Tree", "Rand10", 5),
+		workload.ClosureQuery("Chain", "Rand100", 17),
+		workload.ClosureQuery("Rand50", "Rand10", 3),
+		workload.ClosureQueryKeyword("Tree", "Common", "all"),
+		workload.ClosureQueryKeyword("Rand95", "Unique", "u7"),
+	}
+	for _, q := range queries {
+		simRes, _, err := simC.Exec(1, q, []object.ID{dSim.Root})
+		if err != nil {
+			t.Fatalf("sim %s: %v", q, err)
+		}
+		locRes, err := locC.Exec(2, q, []object.ID{dLoc.Root}, 20*time.Second)
+		if err != nil {
+			t.Fatalf("local %s: %v", q, err)
+		}
+		// Same seed and spec produce identical ids in both clusters.
+		if len(simRes.IDs) != len(locRes.IDs) {
+			t.Fatalf("%s: sim %d results, local %d", q, len(simRes.IDs), len(locRes.IDs))
+		}
+		simSet := object.NewIDSet(simRes.IDs...)
+		for _, id := range locRes.IDs {
+			if !simSet.Has(id) {
+				t.Fatalf("%s: local result %v missing from sim results", q, id)
+			}
+		}
+	}
+}
+
+// TestSimScale runs a closure over a 5000-object dataset on 9 sites: a
+// regression guard against super-linear blowups in the engine, the sim
+// event loop, or the protocol (finishes in well under a second of real
+// time).
+func TestSimScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale")
+	}
+	c := NewSim(9, Options{Cost: sim.Paper()})
+	d, err := workload.Build(c, workload.Spec{N: 5000, Machines: 9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, rt, err := c.Exec(1, workload.ClosureQuery("Tree", "Rand10", 5), []object.ID{d.Root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if len(res.IDs) < 300 || len(res.IDs) > 700 {
+		t.Errorf("results = %d, expected ~10%% of 5000", len(res.IDs))
+	}
+	// Virtual time ~ 5000/9 objects * 8ms + result install; sanity-bound it.
+	if rt < 4*time.Second || rt > 60*time.Second {
+		t.Errorf("virtual response time = %v", rt)
+	}
+	if wall > 20*time.Second {
+		t.Errorf("real time = %v: something is super-linear", wall)
+	}
+	t.Logf("5000 objects over 9 sites: %v virtual, %v real", rt, wall)
+}
+
+// TestLocalClusterSoak hammers a cluster with concurrent randomized queries
+// and verifies every answer against precomputed expectations.
+func TestLocalClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	const machines = 5
+	c := NewLocal(machines, Options{})
+	defer c.Close()
+	d, err := workload.Build(c, workload.Spec{N: 100, Machines: machines, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected result count per (pointer key, class key): run each query
+	// once sequentially first.
+	type qcase struct {
+		body string
+		want int
+	}
+	rng := rand.New(rand.NewSource(3))
+	var cases []qcase
+	for i := 0; i < 8; i++ {
+		ptr := []string{"Tree", "Chain", "Rand80"}[i%3]
+		key := 1 + rng.Intn(10)
+		body := workload.ClosureQuery(ptr, "Rand10", key)
+		res, err := c.Exec(1, body, []object.ID{d.Root}, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, qcase{body: body, want: len(res.IDs)})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				qc := cases[(w+i)%len(cases)]
+				origin := object.SiteID((w+i)%machines + 1)
+				res, err := c.Exec(origin, qc.body, []object.ID{d.Root}, 30*time.Second)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				if len(res.IDs) != qc.want {
+					errs <- fmt.Errorf("worker %d: %s returned %d, want %d",
+						w, qc.body, len(res.IDs), qc.want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("internal error: %v", err)
+	}
+}

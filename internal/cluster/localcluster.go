@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hyperfile/internal/naming"
+	"hyperfile/internal/object"
+	"hyperfile/internal/site"
+	"hyperfile/internal/store"
+	"hyperfile/internal/wire"
+)
+
+// ErrTimeout is returned when a query misses its deadline; the accompanying
+// Result (if any) is partial.
+var ErrTimeout = errors.New("cluster: query timed out")
+
+// ErrClosed is returned when submitting to a closed cluster.
+var ErrClosed = errors.New("cluster: closed")
+
+// LocalCluster runs one goroutine per site with in-process message passing.
+// It exercises the same site logic as SimCluster under real concurrency.
+type LocalCluster struct {
+	ids    []object.SiteID
+	sites  map[object.SiteID]*localSite
+	stores map[object.SiteID]*store.Store
+	dirs   map[object.SiteID]*naming.Directory
+
+	mu         sync.Mutex
+	nextQID    uint64
+	waiters    map[wire.QueryID]chan *wire.Complete
+	migWaiters map[uint64]chan *wire.Migrated
+	closed     bool
+	firstErr   error
+
+	wg sync.WaitGroup
+}
+
+// localSite owns one Site on its own goroutine. Work arrives through an
+// unbounded mailbox of thunks so deliveries never deadlock.
+type localSite struct {
+	c  *LocalCluster
+	id object.SiteID
+	s  *site.Site
+
+	mu      sync.Mutex
+	mailbox []func(*site.Site) []wire.Envelope
+	wake    chan struct{} // capacity 1
+	quit    chan struct{}
+	down    bool
+}
+
+// NewLocal builds and starts a cluster of n sites.
+func NewLocal(n int, opts Options) *LocalCluster {
+	c := &LocalCluster{
+		ids:        siteIDs(n),
+		sites:      make(map[object.SiteID]*localSite, n),
+		stores:     make(map[object.SiteID]*store.Store, n),
+		dirs:       make(map[object.SiteID]*naming.Directory, n),
+		waiters:    make(map[wire.QueryID]chan *wire.Complete),
+		migWaiters: make(map[uint64]chan *wire.Migrated),
+	}
+	var marks *site.GlobalMarks
+	if opts.OracleMarkTable {
+		marks = site.NewGlobalMarks()
+	}
+	for _, id := range c.ids {
+		s, st, dir := buildSite(id, c.ids, opts, marks)
+		c.stores[id] = st
+		if dir != nil {
+			c.dirs[id] = dir
+		}
+		ls := &localSite{
+			c:    c,
+			id:   id,
+			s:    s,
+			wake: make(chan struct{}, 1),
+			quit: make(chan struct{}),
+		}
+		c.sites[id] = ls
+		c.wg.Add(1)
+		go ls.loop()
+	}
+	return c
+}
+
+// Sites returns the site ids.
+func (c *LocalCluster) Sites() []object.SiteID { return c.ids }
+
+// Store returns a site's store for loading and inspection.
+func (c *LocalCluster) Store(id object.SiteID) *store.Store { return c.stores[id] }
+
+// Directory returns a site's naming directory (nil unless UseNaming).
+func (c *LocalCluster) Directory(id object.SiteID) *naming.Directory { return c.dirs[id] }
+
+// Put stores an object at a site (setup time), registering it with naming.
+func (c *LocalCluster) Put(at object.SiteID, o *object.Object) error {
+	return putObject(c.stores, c.dirs, at, o)
+}
+
+// Move migrates an object to another site. It must only be called while no
+// queries are running (requires UseNaming).
+func (c *LocalCluster) Move(id object.ID, to object.SiteID) error {
+	return moveObject(c.stores, c.dirs, id, to)
+}
+
+// SiteStats snapshots a site's statistics. The site goroutine may be
+// mutating them concurrently, so call this only when the cluster is idle
+// (between queries) for exact values.
+func (c *LocalCluster) SiteStats(id object.SiteID) site.Stats {
+	ls := c.sites[id]
+	ch := make(chan site.Stats, 1)
+	ls.post(func(s *site.Site) []wire.Envelope {
+		ch <- s.Stats()
+		return nil
+	})
+	return <-ch
+}
+
+// SetDown simulates a crashed site: its mailbox drains into the void and
+// deliveries to it are dropped.
+func (c *LocalCluster) SetDown(id object.SiteID, down bool) {
+	ls := c.sites[id]
+	ls.mu.Lock()
+	ls.down = down
+	ls.mu.Unlock()
+	ls.poke()
+}
+
+// Close stops all site goroutines.
+func (c *LocalCluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, ls := range c.sites {
+		close(ls.quit)
+		ls.poke()
+	}
+	c.wg.Wait()
+}
+
+// post enqueues a thunk on the site's mailbox.
+func (ls *localSite) post(f func(*site.Site) []wire.Envelope) {
+	ls.mu.Lock()
+	ls.mailbox = append(ls.mailbox, f)
+	ls.mu.Unlock()
+	ls.poke()
+}
+
+func (ls *localSite) poke() {
+	select {
+	case ls.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (ls *localSite) take() (func(*site.Site) []wire.Envelope, bool) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.down {
+		ls.mailbox = nil
+		return nil, false
+	}
+	if len(ls.mailbox) == 0 {
+		return nil, false
+	}
+	f := ls.mailbox[0]
+	ls.mailbox = ls.mailbox[1:]
+	return f, true
+}
+
+func (ls *localSite) isDown() bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.down
+}
+
+// loop is the site goroutine: drain the mailbox, then step engine work,
+// blocking when fully idle.
+func (ls *localSite) loop() {
+	defer ls.c.wg.Done()
+	for {
+		select {
+		case <-ls.quit:
+			return
+		default:
+		}
+		if f, ok := ls.take(); ok {
+			ls.dispatch(f(ls.s))
+			continue
+		}
+		if !ls.isDown() && ls.s.HasWork() {
+			_, envs, _, err := ls.s.Step()
+			if err != nil {
+				ls.c.fail(err)
+				return
+			}
+			ls.dispatch(envs)
+			continue
+		}
+		select {
+		case <-ls.quit:
+			return
+		case <-ls.wake:
+		}
+	}
+}
+
+// dispatch delivers envelopes to their destinations.
+func (ls *localSite) dispatch(envs []wire.Envelope) {
+	for _, env := range envs {
+		env := env
+		if env.To == clientID {
+			switch cm := env.Msg.(type) {
+			case *wire.Complete:
+				ls.c.complete(cm)
+			case *wire.Migrated:
+				ls.c.migrated(cm)
+			}
+			continue
+		}
+		dst, ok := ls.c.sites[env.To]
+		if !ok {
+			continue
+		}
+		from := ls.id
+		dst.post(func(s *site.Site) []wire.Envelope {
+			out, err := s.HandleMessage(from, env.Msg)
+			if err != nil {
+				ls.c.fail(err)
+				return nil
+			}
+			return out
+		})
+	}
+}
+
+func (c *LocalCluster) fail(err error) {
+	c.mu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *LocalCluster) complete(cm *wire.Complete) {
+	c.mu.Lock()
+	ch := c.waiters[cm.QID]
+	delete(c.waiters, cm.QID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- cm
+	}
+}
+
+func (c *LocalCluster) migrated(m *wire.Migrated) {
+	c.mu.Lock()
+	ch := c.migWaiters[m.Seq]
+	delete(c.migWaiters, m.Seq)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- m
+	}
+}
+
+// MigrateLive moves an object between sites through the live migration
+// protocol (unlike Move, which bypasses the sites at setup time). Requires
+// UseNaming.
+func (c *LocalCluster) MigrateLive(id object.ID, to object.SiteID, timeout time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.nextQID++
+	seq := c.nextQID
+	ch := make(chan *wire.Migrated, 1)
+	c.migWaiters[seq] = ch
+	c.mu.Unlock()
+
+	owner, ok := c.sites[id.Birth]
+	if !ok {
+		return fmt.Errorf("cluster: unknown birth site %v", id.Birth)
+	}
+	req := &wire.Migrate{Seq: seq, ID: id, To: to, Client: clientID}
+	owner.post(func(s *site.Site) []wire.Envelope {
+		out, err := s.HandleMessage(clientID, req)
+		if err != nil {
+			c.fail(err)
+		}
+		return out
+	})
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m := <-ch:
+		if !m.OK {
+			return fmt.Errorf("cluster: migration failed: %s", m.Err)
+		}
+		return nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.migWaiters, seq)
+		c.mu.Unlock()
+		return ErrTimeout
+	}
+}
+
+// Exec runs a query to completion at the given originator, with a deadline.
+// On timeout the query is aborted and the partial answer returned together
+// with ErrTimeout.
+func (c *LocalCluster) Exec(origin object.SiteID, body string, initial []object.ID, timeout time.Duration) (*Result, error) {
+	res, _, err := c.ExecQID(origin, body, initial, timeout)
+	return res, err
+}
+
+// ExecQID is Exec returning the query id for distributed-set follow-ups.
+func (c *LocalCluster) ExecQID(origin object.SiteID, body string, initial []object.ID, timeout time.Duration) (*Result, wire.QueryID, error) {
+	return c.exec(origin, body, initial, wire.QueryID{}, timeout)
+}
+
+// ExecSeeded runs a query seeded from a previous query's distributed result
+// set.
+func (c *LocalCluster) ExecSeeded(origin object.SiteID, body string, from wire.QueryID, timeout time.Duration) (*Result, error) {
+	res, _, err := c.exec(origin, body, nil, from, timeout)
+	return res, err
+}
+
+func (c *LocalCluster) exec(origin object.SiteID, body string, initial []object.ID, from wire.QueryID, timeout time.Duration) (*Result, wire.QueryID, error) {
+	ls, ok := c.sites[origin]
+	if !ok {
+		return nil, wire.QueryID{}, fmt.Errorf("cluster: no site %v", origin)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, wire.QueryID{}, ErrClosed
+	}
+	c.nextQID++
+	qid := wire.QueryID{Origin: origin, Seq: c.nextQID}
+	ch := make(chan *wire.Complete, 1)
+	c.waiters[qid] = ch
+	c.mu.Unlock()
+
+	sub := &wire.Submit{QID: qid, Client: clientID, Body: body, Initial: initial, InitialFromResultOf: from}
+	ls.post(func(s *site.Site) []wire.Envelope {
+		out, err := s.HandleMessage(clientID, sub)
+		if err != nil {
+			c.fail(err)
+		}
+		return out
+	})
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case cm := <-ch:
+		res, err := fromComplete(cm)
+		return res, qid, err
+	case <-timer.C:
+		// Abort on the site goroutine; it will deliver a partial Complete.
+		ls.post(func(s *site.Site) []wire.Envelope { return s.Abort(qid) })
+		select {
+		case cm := <-ch:
+			res, err := fromComplete(cm)
+			if err != nil {
+				return nil, qid, err
+			}
+			return res, qid, ErrTimeout
+		case <-time.After(5 * time.Second):
+			c.mu.Lock()
+			err := c.firstErr
+			c.mu.Unlock()
+			if err != nil {
+				return nil, qid, err
+			}
+			return nil, qid, ErrTimeout
+		}
+	}
+}
+
+// Err returns the first internal error any site hit (nil normally).
+func (c *LocalCluster) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.firstErr
+}

@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"hyperfile/internal/object"
+)
+
+// liveBed builds a 3-site naming-enabled cluster with a 9-object cross-site
+// ring.
+func liveBed(t *testing.T) (*LocalCluster, []object.ID) {
+	t.Helper()
+	c := NewLocal(3, Options{UseNaming: true})
+	t.Cleanup(c.Close)
+	ids := loadRingLocal(t, c, 9, []string{"hot"})
+	return c, ids
+}
+
+// awaitAuthority polls until the birth site's authority records the
+// expected location: the MigrateDone update is asynchronous to the client's
+// acknowledgement.
+func awaitAuthority(t *testing.T, c *LocalCluster, id object.ID, want object.SiteID) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		owner, auth := c.Directory(id.Birth).Owner(id)
+		if owner == want && auth {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("authority = %v (auth %v), want %v", owner, auth, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestMigrateLiveMovesObject(t *testing.T) {
+	c, ids := liveBed(t)
+	// ids[1] was born at site 2; move it to site 3.
+	if err := c.MigrateLive(ids[1], 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Store(2).Get(ids[1]); ok {
+		t.Error("object still at the old site")
+	}
+	if _, ok := c.Store(3).Get(ids[1]); !ok {
+		t.Error("object missing at the new site")
+	}
+	// The birth site's authority converges on site 3.
+	awaitAuthority(t, c, ids[1], 3)
+	// Queries still find everything; derefs to the moved object are
+	// forwarded along the naming chain.
+	res, err := c.Exec(1, closureQuery, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 9 {
+		t.Errorf("results after migration = %d, want 9", len(res.IDs))
+	}
+}
+
+func TestMigrateLiveChain(t *testing.T) {
+	c, ids := liveBed(t)
+	// Move the same object twice; the second Migrate hits the birth site
+	// whose authority forwards to the first destination.
+	if err := c.MigrateLive(ids[1], 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	awaitAuthority(t, c, ids[1], 3)
+	if err := c.MigrateLive(ids[1], 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Store(1).Get(ids[1]); !ok {
+		t.Error("object missing at final destination")
+	}
+	awaitAuthority(t, c, ids[1], 1)
+	res, err := c.Exec(2, closureQuery, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 9 {
+		t.Errorf("results after two migrations = %d", len(res.IDs))
+	}
+}
+
+func TestMigrateLiveBackHome(t *testing.T) {
+	c, ids := liveBed(t)
+	if err := c.MigrateLive(ids[1], 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	awaitAuthority(t, c, ids[1], 3)
+	if err := c.MigrateLive(ids[1], 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Store(2).Get(ids[1]); !ok {
+		t.Error("object missing back home")
+	}
+	awaitAuthority(t, c, ids[1], 2)
+}
+
+func TestMigrateLiveNoop(t *testing.T) {
+	c, ids := liveBed(t)
+	if err := c.MigrateLive(ids[1], 2, 5*time.Second); err != nil {
+		t.Fatalf("move-to-self should succeed as a no-op: %v", err)
+	}
+	if _, ok := c.Store(2).Get(ids[1]); !ok {
+		t.Error("object vanished on no-op move")
+	}
+}
+
+func TestMigrateLiveErrors(t *testing.T) {
+	c, _ := liveBed(t)
+	// Unknown object.
+	if err := c.MigrateLive(object.ID{Birth: 2, Seq: 9999}, 3, 5*time.Second); err == nil {
+		t.Error("expected error for unknown object")
+	}
+	// Migration without naming directories is refused.
+	plain := NewLocal(2, Options{})
+	defer plain.Close()
+	o := plain.Store(1).NewObject()
+	if err := plain.Put(1, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.MigrateLive(o.ID, 2, 5*time.Second); err == nil {
+		t.Error("expected error without naming")
+	}
+}
+
+func TestMigrateLivePreservesPayload(t *testing.T) {
+	c := NewLocal(2, Options{UseNaming: true})
+	defer c.Close()
+	big := make([]byte, 100000)
+	big[7] = 42
+	o := c.Store(1).NewObject().
+		Add("Text", object.String("body"), object.Bytes(big)).
+		Add("keyword", object.Keyword("k"), object.Value{})
+	if err := c.Put(1, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MigrateLive(o.ID, 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Store(2).FetchData(o.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Bytes) != 100000 || v.Bytes[7] != 42 {
+		t.Error("spilled payload lost in migration")
+	}
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hyperfile/internal/naming"
+	"hyperfile/internal/object"
+	"hyperfile/internal/sim"
+	"hyperfile/internal/site"
+	"hyperfile/internal/store"
+	"hyperfile/internal/wire"
+)
+
+// clientID is the pseudo-site representing the experimental client, which
+// per the paper "ran at a separate machine from any of the servers".
+const clientID object.SiteID = 0xFFFF
+
+// SimCluster runs N sites on a shared discrete-event loop. Each site is a
+// serial CPU: it handles one message or processes one object at a time,
+// charging the cost model. Messages travel with sender CPU cost, wire
+// latency, and receiver CPU cost.
+type SimCluster struct {
+	loop  sim.Loop
+	cost  sim.CostModel
+	ids   []object.SiteID
+	sites map[object.SiteID]*simSite
+	dirs  map[object.SiteID]*naming.Directory
+
+	nextQID   uint64
+	completes map[wire.QueryID]*wire.Complete
+	err       error
+}
+
+type simSite struct {
+	c         *SimCluster
+	s         *site.Site
+	store     *store.Store
+	id        object.SiteID
+	freeAt    time.Duration
+	inbox     []inMsg
+	scheduled bool
+	down      bool
+	// Counters for experiment reporting.
+	msgsIn, msgsOut int
+}
+
+type inMsg struct {
+	from object.SiteID
+	msg  wire.Msg
+}
+
+// NewSim builds a simulated cluster of n sites.
+func NewSim(n int, opts Options) *SimCluster {
+	c := &SimCluster{
+		cost:      opts.Cost,
+		ids:       siteIDs(n),
+		sites:     make(map[object.SiteID]*simSite, n),
+		dirs:      make(map[object.SiteID]*naming.Directory, n),
+		completes: make(map[wire.QueryID]*wire.Complete),
+	}
+	var marks *site.GlobalMarks
+	if opts.OracleMarkTable {
+		marks = site.NewGlobalMarks()
+	}
+	for _, id := range c.ids {
+		s, st, dir := buildSite(id, c.ids, opts, marks)
+		c.sites[id] = &simSite{c: c, s: s, id: id, store: st}
+		if dir != nil {
+			c.dirs[id] = dir
+		}
+	}
+	return c
+}
+
+// Sites returns the site ids (1..n).
+func (c *SimCluster) Sites() []object.SiteID { return c.ids }
+
+// Store returns the object store of a site, for loading data. It must only
+// be used for setup and inspection, not while the simulation is running.
+func (c *SimCluster) Store(id object.SiteID) *store.Store {
+	ss, ok := c.sites[id]
+	if !ok {
+		panic(fmt.Sprintf("cluster: no site %v", id))
+	}
+	return ss.store
+}
+
+// Directory returns a site's naming directory (nil unless UseNaming).
+func (c *SimCluster) Directory(id object.SiteID) *naming.Directory { return c.dirs[id] }
+
+// Put stores an object at a site (setup time), registering it with naming.
+func (c *SimCluster) Put(at object.SiteID, o *object.Object) error {
+	stores := make(map[object.SiteID]*store.Store, len(c.sites))
+	for id, ss := range c.sites {
+		stores[id] = ss.store
+	}
+	return putObject(stores, c.dirs, at, o)
+}
+
+// Move migrates an object to another site (setup time, requires UseNaming).
+func (c *SimCluster) Move(id object.ID, to object.SiteID) error {
+	stores := make(map[object.SiteID]*store.Store, len(c.sites))
+	for sid, ss := range c.sites {
+		stores[sid] = ss.store
+	}
+	return moveObject(stores, c.dirs, id, to)
+}
+
+// SetDown marks a site as crashed: it silently drops everything sent to it.
+func (c *SimCluster) SetDown(id object.SiteID, down bool) { c.sites[id].down = down }
+
+// Now returns the current virtual time.
+func (c *SimCluster) Now() time.Duration { return c.loop.Now() }
+
+// SiteStats returns a site's protocol statistics.
+func (c *SimCluster) SiteStats(id object.SiteID) site.Stats { return c.sites[id].s.Stats() }
+
+// TotalStats sums protocol statistics over all sites.
+func (c *SimCluster) TotalStats() site.Stats {
+	var t site.Stats
+	for _, id := range c.ids {
+		st := c.sites[id].s.Stats()
+		t.DerefsSent += st.DerefsSent
+		t.DerefsReceived += st.DerefsReceived
+		t.ResultsSent += st.ResultsSent
+		t.ResultsReceived += st.ResultsReceived
+		t.ControlsSent += st.ControlsSent
+		t.ControlsReceived += st.ControlsReceived
+		t.SeedsSent += st.SeedsSent
+		t.SeedsReceived += st.SeedsReceived
+		t.Forwards += st.Forwards
+		t.Completed += st.Completed
+		t.Engine.Add(st.Engine)
+	}
+	return t
+}
+
+// deliver schedules a message arrival.
+func (c *SimCluster) deliver(from, to object.SiteID, m wire.Msg, at time.Duration) {
+	if to == clientID {
+		if cm, ok := m.(*wire.Complete); ok {
+			c.loop.At(at, func() { c.completes[cm.QID] = cm })
+		}
+		return
+	}
+	dst, ok := c.sites[to]
+	if !ok || dst.down {
+		return // dropped on the floor, like a message to a crashed machine
+	}
+	c.loop.At(at, func() {
+		dst.inbox = append(dst.inbox, inMsg{from: from, msg: m})
+		dst.msgsIn++
+		dst.kick()
+	})
+}
+
+// kick schedules the site's next CPU slot if it has pending activity.
+func (ss *simSite) kick() {
+	if ss.scheduled || ss.down {
+		return
+	}
+	if len(ss.inbox) == 0 && !ss.s.HasWork() {
+		return
+	}
+	ss.scheduled = true
+	ss.c.loop.At(maxDur(ss.c.loop.Now(), ss.freeAt), ss.run)
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// run gives the site one CPU slot: handle one message, or process one
+// object. Receiving is prioritized so dereference requests keep flowing.
+func (ss *simSite) run() {
+	ss.scheduled = false
+	if ss.c.err != nil {
+		return
+	}
+	now := ss.c.loop.Now()
+	cost := time.Duration(0)
+	var out []wire.Envelope
+
+	switch {
+	case len(ss.inbox) > 0:
+		in := ss.inbox[0]
+		ss.inbox = ss.inbox[1:]
+		cost = ss.recvCost(in.msg)
+		envs, err := ss.s.HandleMessage(in.from, in.msg)
+		if err != nil {
+			ss.c.err = err
+			return
+		}
+		out = envs
+	case ss.s.HasWork():
+		outcome, envs, _, err := ss.s.Step()
+		if err != nil {
+			ss.c.err = err
+			return
+		}
+		if outcome.Processed {
+			cost += ss.c.cost.ProcessObject
+		}
+		if outcome.ResultAdded {
+			cost += ss.c.cost.AddResult
+		}
+		out = envs
+	default:
+		return
+	}
+
+	ss.freeAt = now + cost
+	for _, env := range out {
+		ss.freeAt += ss.sendCost(env.Msg)
+		ss.msgsOut++
+		ss.c.deliver(ss.id, env.To, env.Msg, ss.freeAt+ss.c.cost.Latency)
+	}
+	ss.kick()
+}
+
+// recvCost is the receiver-CPU charge for a message.
+func (ss *simSite) recvCost(m wire.Msg) time.Duration {
+	switch m := m.(type) {
+	case *wire.Result:
+		// Installing returned ids into the originator's result set.
+		return ss.c.cost.RecvMsg + time.Duration(len(m.IDs))*ss.c.cost.ResultItem
+	case *wire.Control, *wire.Finish:
+		return ss.c.cost.CtlRecv
+	default:
+		return ss.c.cost.RecvMsg
+	}
+}
+
+// sendCost is the sender-CPU charge for a message.
+func (ss *simSite) sendCost(m wire.Msg) time.Duration {
+	switch m.(type) {
+	case *wire.Control, *wire.Finish:
+		return ss.c.cost.CtlSend
+	default:
+		return ss.c.cost.SendMsg
+	}
+}
+
+// ErrWedged is returned when the simulation runs out of events before the
+// query completes (e.g. a site is down and credits never return).
+var ErrWedged = errors.New("cluster: query did not complete (site down or protocol wedge)")
+
+// Exec submits a query at the given originator site and runs the simulation
+// until the client receives the answer, returning it together with the
+// client-observed response time.
+func (c *SimCluster) Exec(origin object.SiteID, body string, initial []object.ID) (*Result, time.Duration, error) {
+	return c.exec(origin, body, initial, wire.QueryID{})
+}
+
+// BatchQuery is one entry of an ExecBatch submission.
+type BatchQuery struct {
+	Origin  object.SiteID
+	Body    string
+	Initial []object.ID
+}
+
+// ExecBatch submits several queries at the same instant and runs the
+// simulation until all complete, returning per-query results and response
+// times. Sites interleave the queries' working sets round-robin, so the
+// batch measures multi-query contention.
+func (c *SimCluster) ExecBatch(queries []BatchQuery) ([]*Result, []time.Duration, error) {
+	start := c.loop.Now()
+	qids := make([]wire.QueryID, len(queries))
+	for i, q := range queries {
+		c.nextQID++
+		qids[i] = wire.QueryID{Origin: q.Origin, Seq: c.nextQID}
+		sub := &wire.Submit{QID: qids[i], Client: clientID, Body: q.Body, Initial: q.Initial}
+		c.deliver(clientID, q.Origin, sub, start+c.cost.Latency)
+	}
+	times := make([]time.Duration, len(queries))
+	done := make([]bool, len(queries))
+	remaining := len(queries)
+	c.loop.RunUntil(func() bool {
+		if c.err != nil {
+			return true
+		}
+		for i, qid := range qids {
+			if !done[i] && c.completes[qid] != nil {
+				done[i] = true
+				times[i] = c.loop.Now() - start
+				remaining--
+			}
+		}
+		return remaining == 0
+	})
+	if c.err != nil {
+		return nil, nil, c.err
+	}
+	results := make([]*Result, len(queries))
+	for i, qid := range qids {
+		cm := c.completes[qid]
+		if cm == nil {
+			return nil, nil, ErrWedged
+		}
+		delete(c.completes, qid)
+		res, err := fromComplete(cm)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[i] = res
+	}
+	return results, times, nil
+}
+
+// ExecSeeded submits a query whose initial set is the distributed result set
+// of a previous query (the section-5 refinement).
+func (c *SimCluster) ExecSeeded(origin object.SiteID, body string, from wire.QueryID) (*Result, time.Duration, error) {
+	return c.exec(origin, body, nil, from)
+}
+
+// ExecQID is Exec but also returns the query id, for later ExecSeeded use.
+func (c *SimCluster) ExecQID(origin object.SiteID, body string, initial []object.ID) (*Result, wire.QueryID, time.Duration, error) {
+	qid, res, rt, err := c.execQID(origin, body, initial, wire.QueryID{})
+	return res, qid, rt, err
+}
+
+func (c *SimCluster) exec(origin object.SiteID, body string, initial []object.ID, from wire.QueryID) (*Result, time.Duration, error) {
+	_, res, rt, err := c.execQID(origin, body, initial, from)
+	return res, rt, err
+}
+
+func (c *SimCluster) execQID(origin object.SiteID, body string, initial []object.ID, from wire.QueryID) (wire.QueryID, *Result, time.Duration, error) {
+	c.nextQID++
+	qid := wire.QueryID{Origin: origin, Seq: c.nextQID}
+	start := c.loop.Now()
+	sub := &wire.Submit{
+		QID: qid, Client: clientID, Body: body,
+		Initial: initial, InitialFromResultOf: from,
+	}
+	// Client -> originator costs one message like any other.
+	c.deliver(clientID, origin, sub, start+c.cost.Latency)
+	done := c.loop.RunUntil(func() bool {
+		return c.completes[qid] != nil || c.err != nil
+	})
+	if c.err != nil {
+		return qid, nil, 0, c.err
+	}
+	if !done {
+		// Out of events without an answer: abort at the originator for the
+		// partial answer, as a client timeout would.
+		ss := c.sites[origin]
+		for _, env := range ss.s.Abort(qid) {
+			c.deliver(origin, env.To, env.Msg, c.loop.Now()+c.cost.Latency)
+		}
+		c.loop.RunUntil(func() bool { return c.completes[qid] != nil })
+		if c.completes[qid] == nil {
+			return qid, nil, 0, ErrWedged
+		}
+	}
+	cm := c.completes[qid]
+	delete(c.completes, qid)
+	res, err := fromComplete(cm)
+	if err != nil {
+		return qid, nil, 0, err
+	}
+	return qid, res, c.loop.Now() - start, nil
+}

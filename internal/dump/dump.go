@@ -1,0 +1,124 @@
+// Package dump serializes HyperFile objects to a line-oriented JSON format
+// for dataset files: one object per line. cmd/hfgen writes per-site dataset
+// files; cmd/hyperfiled loads them at startup.
+package dump
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hyperfile/internal/object"
+)
+
+// jsonValue is the file form of a Value.
+type jsonValue struct {
+	Kind  string  `json:"kind"`
+	Str   string  `json:"str,omitempty"`
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	Ptr   string  `json:"ptr,omitempty"`
+	Bytes []byte  `json:"bytes,omitempty"` // base64 via encoding/json
+}
+
+// jsonTuple is the file form of a Tuple.
+type jsonTuple struct {
+	Type string    `json:"type"`
+	Key  jsonValue `json:"key"`
+	Data jsonValue `json:"data"`
+}
+
+// jsonObject is the file form of an Object.
+type jsonObject struct {
+	ID     string      `json:"id"`
+	Tuples []jsonTuple `json:"tuples"`
+}
+
+func encodeValue(v object.Value) jsonValue {
+	out := jsonValue{Kind: v.Kind.String()}
+	switch v.Kind {
+	case object.KindString, object.KindKeyword:
+		out.Str = v.Str
+	case object.KindInt:
+		out.Int = v.Int
+	case object.KindFloat:
+		out.Float = v.Float
+	case object.KindPointer:
+		out.Ptr = v.Ptr.String()
+	case object.KindBytes:
+		out.Bytes = v.Bytes
+	}
+	return out
+}
+
+func decodeValue(v jsonValue) (object.Value, error) {
+	switch v.Kind {
+	case "nil", "":
+		return object.Value{}, nil
+	case "string":
+		return object.String(v.Str), nil
+	case "keyword":
+		return object.Keyword(v.Str), nil
+	case "int":
+		return object.Int(v.Int), nil
+	case "float":
+		return object.Float(v.Float), nil
+	case "pointer":
+		id, err := object.ParseID(v.Ptr)
+		if err != nil {
+			return object.Value{}, err
+		}
+		return object.Pointer(id), nil
+	case "bytes":
+		return object.Bytes(v.Bytes), nil
+	default:
+		return object.Value{}, fmt.Errorf("dump: unknown value kind %q", v.Kind)
+	}
+}
+
+// Write emits objects as JSON lines.
+func Write(w io.Writer, objs []*object.Object) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, o := range objs {
+		jo := jsonObject{ID: o.ID.String(), Tuples: make([]jsonTuple, len(o.Tuples))}
+		for i, t := range o.Tuples {
+			jo.Tuples[i] = jsonTuple{Type: t.Type, Key: encodeValue(t.Key), Data: encodeValue(t.Data)}
+		}
+		if err := enc.Encode(&jo); err != nil {
+			return fmt.Errorf("dump: encode %v: %w", o.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines object stream.
+func Read(r io.Reader) ([]*object.Object, error) {
+	dec := json.NewDecoder(r)
+	var out []*object.Object
+	for dec.More() {
+		var jo jsonObject
+		if err := dec.Decode(&jo); err != nil {
+			return nil, fmt.Errorf("dump: object %d: %w", len(out), err)
+		}
+		id, err := object.ParseID(jo.ID)
+		if err != nil {
+			return nil, fmt.Errorf("dump: object %d: %w", len(out), err)
+		}
+		o := object.New(id)
+		for _, jt := range jo.Tuples {
+			key, err := decodeValue(jt.Key)
+			if err != nil {
+				return nil, fmt.Errorf("dump: object %v: %w", id, err)
+			}
+			data, err := decodeValue(jt.Data)
+			if err != nil {
+				return nil, fmt.Errorf("dump: object %v: %w", id, err)
+			}
+			o.Add(jt.Type, key, data)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

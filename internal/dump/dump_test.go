@@ -1,0 +1,62 @@
+package dump
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hyperfile/internal/object"
+)
+
+func TestRoundTrip(t *testing.T) {
+	id1 := object.ID{Birth: 1, Seq: 1}
+	id2 := object.ID{Birth: 2, Seq: 9}
+	objs := []*object.Object{
+		object.New(id1).
+			Add("String", object.String("Title"), object.String("doc")).
+			Add("keyword", object.Keyword("db"), object.Value{}).
+			Add("Rand10", object.Int(5), object.Value{}).
+			Add("score", object.Float(2.5), object.Value{}).
+			Add("Pointer", object.String("Ref"), object.Pointer(id2)).
+			Add("Text", object.String("body"), object.Bytes([]byte{0, 1, 255})),
+		object.New(id2),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, objs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d objects", len(got))
+	}
+	for i := range objs {
+		if !reflect.DeepEqual(objs[i], got[i]) {
+			t.Errorf("object %d:\n want %#v\n got  %#v", i, objs[i], got[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		`{"id":"nope","tuples":[]}`,
+		`{"id":"s1:1","tuples":[{"type":"a","key":{"kind":"weird"},"data":{"kind":"nil"}}]}`,
+		`{"id":"s1:1","tuples":[{"type":"a","key":{"kind":"pointer","ptr":"xx"},"data":{"kind":"nil"}}]}`,
+		`{garbage`,
+	}
+	for _, s := range bad {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("Read(%q): expected error", s)
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty stream: %v, %v", got, err)
+	}
+}

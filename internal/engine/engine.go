@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"hyperfile/internal/object"
+	"hyperfile/internal/pattern"
+	"hyperfile/internal/query"
+)
+
+// Stats aggregates the work the engine has performed; the simulator and the
+// experiment harness charge costs against these quantities.
+type Stats struct {
+	// Processed counts objects taken through the filters (the paper's ~8 ms
+	// per-object cost unit). Missing and duplicate-skipped objects are not
+	// counted.
+	Processed int
+	// Results counts objects added to the local result set (the ~20 ms unit).
+	Results int
+	// LocalDerefs counts pointers followed to local objects.
+	LocalDerefs int
+	// RemoteDerefs counts pointers surfaced for remote processing.
+	RemoteDerefs int
+	// Skipped counts items dropped because their (id, start) was already in
+	// the mark table — the paper's duplicate-message suppression.
+	Skipped int
+	// Missing counts dereferenced ids the local store could not supply.
+	Missing int
+	// Fetched counts retrieved field values.
+	Fetched int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Processed += other.Processed
+	s.Results += other.Results
+	s.LocalDerefs += other.LocalDerefs
+	s.RemoteDerefs += other.RemoteDerefs
+	s.Skipped += other.Skipped
+	s.Missing += other.Missing
+	s.Fetched += other.Fetched
+}
+
+// StepResult reports what processing one working-set item did.
+type StepResult struct {
+	// Item is the item that was popped.
+	Item Item
+	// Processed is false when the item was skipped via the mark table or its
+	// object is not present locally.
+	Processed bool
+	// Passed is true when the object passed every filter and joined the
+	// result set.
+	Passed bool
+	// LocalSpawned counts objects this step added to the working set.
+	LocalSpawned int
+	// Remote lists dereferences that must be forwarded to other sites.
+	Remote []RemoteRef
+	// Fetches lists field values retrieved by "->" patterns during the step.
+	Fetches []Fetch
+}
+
+// Marks is the mark-table abstraction: the set of (object, filter index)
+// pairs already processed. The default is an engine-local map, per the
+// paper's design; a shared implementation enables the shared-memory
+// multiprocessor mode of section 6.
+type Marks interface {
+	// TestAndSet records (id, idx) and reports whether it was already set.
+	TestAndSet(id object.ID, idx int) bool
+	// Test reports whether (id, idx) is set.
+	Test(id object.ID, idx int) bool
+}
+
+// mapMarks is the default single-threaded mark table.
+type mapMarks map[object.ID]map[int]struct{}
+
+func (m mapMarks) Test(id object.ID, idx int) bool {
+	set, ok := m[id]
+	if !ok {
+		return false
+	}
+	_, hit := set[idx]
+	return hit
+}
+
+func (m mapMarks) TestAndSet(id object.ID, idx int) bool {
+	set, ok := m[id]
+	if !ok {
+		set = make(map[int]struct{})
+		m[id] = set
+	}
+	if _, hit := set[idx]; hit {
+		return true
+	}
+	set[idx] = struct{}{}
+	return false
+}
+
+// Engine processes one query at one site. It is not safe for concurrent use;
+// each query context owns one engine. (Concurrent processing shares state
+// across engines via WithMarks and WithSpawnSink — see RunParallel.)
+type Engine struct {
+	q     *query.Compiled
+	src   Source
+	loc   Locator
+	order Order
+
+	work  []Item
+	marks Marks
+	// spawn, when set, receives locally-dereferenced items instead of the
+	// engine's own working set.
+	spawn func(Item)
+	// trace, when set, receives every processing step.
+	trace func(TraceEvent)
+
+	results object.IDSet
+	fetches []Fetch
+	stats   Stats
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithLocator sets the locality oracle (default: AllLocal).
+func WithLocator(l Locator) Option {
+	return func(e *Engine) { e.loc = l }
+}
+
+// WithOrder sets the working-set discipline (default: BFS).
+func WithOrder(o Order) Option {
+	return func(e *Engine) { e.order = o }
+}
+
+// WithMarks replaces the engine-local mark table (e.g. with one shared by
+// several engines on a shared-memory multiprocessor).
+func WithMarks(m Marks) Option {
+	return func(e *Engine) { e.marks = m }
+}
+
+// WithSpawnSink redirects locally-dereferenced items to sink instead of the
+// engine's own working set, so a coordinator can distribute them.
+func WithSpawnSink(sink func(Item)) Option {
+	return func(e *Engine) { e.spawn = sink }
+}
+
+// New returns an engine for one compiled query over the given object source.
+func New(q *query.Compiled, src Source, opts ...Option) *Engine {
+	e := &Engine{
+		q:       q,
+		src:     src,
+		loc:     AllLocal{},
+		marks:   make(mapMarks),
+		results: make(object.IDSet),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// AddInitial seeds the working set with initial-set objects (start = 0).
+func (e *Engine) AddInitial(ids ...object.ID) {
+	for _, id := range ids {
+		e.push(NewItem(id))
+	}
+}
+
+// Enqueue adds an item arriving from another site (a remote dereference):
+// next is reset to start and the binding environment starts empty, exactly as
+// the paper specifies for messages.
+func (e *Engine) Enqueue(it Item) {
+	it.Next = it.Start
+	it.MVars = nil
+	e.push(it)
+}
+
+// HasWork reports whether the working set is non-empty.
+func (e *Engine) HasWork() bool { return len(e.work) > 0 }
+
+// Pending returns the number of items in the working set.
+func (e *Engine) Pending() int { return len(e.work) }
+
+// Results returns the local result set accumulated so far. The set is live;
+// callers must not mutate it.
+func (e *Engine) Results() object.IDSet { return e.results }
+
+// TakeResults returns the accumulated results and fetches and resets both,
+// supporting the paper's protocol of flushing Q.result to the originator
+// whenever the working set drains.
+func (e *Engine) TakeResults() (object.IDSet, []Fetch) {
+	r, f := e.results, e.fetches
+	e.results = make(object.IDSet)
+	e.fetches = nil
+	return r, f
+}
+
+// Stats returns cumulative statistics.
+func (e *Engine) Stats() Stats { return e.stats }
+
+func (e *Engine) push(it Item) { e.work = append(e.work, it) }
+
+func (e *Engine) pop() Item {
+	var it Item
+	if e.order == DFS {
+		it = e.work[len(e.work)-1]
+		e.work = e.work[:len(e.work)-1]
+	} else {
+		it = e.work[0]
+		e.work = e.work[1:]
+	}
+	return it
+}
+
+// Step pops one item and runs it through the filters until it passes, fails,
+// or is entirely dereferenced away. It reports false when the working set is
+// empty.
+//
+// This is the body of Figure 3's outer loop. Exposing it one item at a time
+// lets the simulator charge per-object processing cost and interleave message
+// arrivals, and lets a real server yield between objects.
+func (e *Engine) Step() (StepResult, bool) {
+	if len(e.work) == 0 {
+		return StepResult{}, false
+	}
+	it := e.pop()
+	res := StepResult{Item: it}
+	e.emit(TraceEvent{ID: it.ID, Filter: -1, Iter: it.iterAt(maxInt(len(it.Iters)-1, 0)), Action: TraceDequeued})
+
+	// Duplicate suppression: "if a marked object is found in the working
+	// set it is ignored" — refined by start position (the mark table stores
+	// the set of filter indices at which the object has been processed).
+	if e.marks.Test(it.ID, it.Start) {
+		e.stats.Skipped++
+		e.emit(TraceEvent{ID: it.ID, Filter: -1, Action: TraceSkipped})
+		return res, true
+	}
+	obj, ok := e.src.Get(it.ID)
+	if !ok {
+		// The object is gone (deleted or moved between naming and
+		// processing). Partial results are better than none: drop it.
+		e.stats.Missing++
+		e.emit(TraceEvent{ID: it.ID, Filter: -1, Action: TraceMissing})
+		return res, true
+	}
+	e.stats.Processed++
+	res.Processed = true
+	if it.MVars == nil {
+		it.MVars = pattern.Env{}
+	}
+
+	alive := true
+	for alive && it.Next < len(e.q.Filters) {
+		e.marks.TestAndSet(it.ID, it.Next)
+		f := e.q.Filters[it.Next]
+		switch f.Kind {
+		case query.FSelect:
+			alive = e.applySelect(f, obj, &it, &res)
+		case query.FDeref:
+			alive = e.applyDeref(f, &it, &res)
+		case query.FIter:
+			e.applyIter(f, &it)
+		}
+	}
+	if alive {
+		e.results.Add(it.ID)
+		e.stats.Results++
+		res.Passed = true
+		e.emit(TraceEvent{ID: it.ID, Filter: -1, Action: TraceResult})
+	}
+	return res, true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run drains the working set completely (single-site processing) and returns
+// the statistics for the drain.
+func (e *Engine) Run() Stats {
+	before := e.stats
+	for {
+		if _, ok := e.Step(); !ok {
+			break
+		}
+	}
+	d := e.stats
+	d.Processed -= before.Processed
+	d.Results -= before.Results
+	d.LocalDerefs -= before.LocalDerefs
+	d.RemoteDerefs -= before.RemoteDerefs
+	d.Skipped -= before.Skipped
+	d.Missing -= before.Missing
+	d.Fetched -= before.Fetched
+	return d
+}
+
+// applySelect implements E for selection filters: the object passes if any
+// tuple matches all three patterns; bindings and fetches are applied for
+// every matching tuple.
+func (e *Engine) applySelect(f query.Filter, obj *object.Object, it *Item, res *StepResult) bool {
+	sel := f.Sel
+	matched := false
+	for _, t := range obj.Tuples {
+		if !sel.Type.Matches(t.Type) ||
+			!sel.Key.Matches(t.Key, it.MVars) ||
+			!sel.Data.Matches(t.Data, it.MVars) {
+			continue
+		}
+		matched = true
+		applyFieldEffects(sel.Key, t.Key, it, obj.ID, e, res)
+		applyFieldEffects(sel.Data, t.Data, it, obj.ID, e, res)
+	}
+	if !matched {
+		e.emit(TraceEvent{ID: obj.ID, Filter: it.Next, Action: TraceFailedSelect})
+		return false
+	}
+	e.emit(TraceEvent{ID: obj.ID, Filter: it.Next, Action: TracePassedSelect})
+	it.Next++
+	return true
+}
+
+func applyFieldEffects(p pattern.P, v object.Value, it *Item, from object.ID, e *Engine, res *StepResult) {
+	if name, ok := p.BindsVar(); ok {
+		it.MVars.Bind(name, v)
+	}
+	if name, ok := p.FetchesVar(); ok {
+		fe := Fetch{Var: name, From: from, Val: v}
+		e.fetches = append(e.fetches, fe)
+		res.Fetches = append(res.Fetches, fe)
+		e.stats.Fetched++
+	}
+}
+
+// applyDeref implements E for dereference filters: every pointer bound to the
+// variable spawns a new working-set item (or a remote reference). With Keep
+// the dereferencing object continues; otherwise it is consumed.
+func (e *Engine) applyDeref(f query.Filter, it *Item, res *StepResult) bool {
+	next := it.Next + 1
+	childIters := it.childIters(f.Depth)
+	for _, v := range it.MVars.Lookup(f.Var) {
+		if v.Kind != object.KindPointer {
+			continue
+		}
+		if e.loc.IsLocal(v.Ptr) {
+			child := Item{ID: v.Ptr, Start: next, Next: next}
+			child.Iters = append([]int(nil), childIters...)
+			if e.spawn != nil {
+				e.spawn(child)
+			} else {
+				e.push(child)
+			}
+			e.stats.LocalDerefs++
+			res.LocalSpawned++
+		} else {
+			ref := RemoteRef{ID: v.Ptr, Start: next}
+			ref.Iters = append([]int(nil), childIters...)
+			res.Remote = append(res.Remote, ref)
+			e.stats.RemoteDerefs++
+		}
+	}
+	e.emit(TraceEvent{
+		ID: it.ID, Filter: next - 1, Action: TraceDereferenced,
+		Local: res.LocalSpawned, Remote: len(res.Remote),
+	})
+	if !f.Keep {
+		return false
+	}
+	it.Next = next
+	return true
+}
+
+// applyIter implements E for iterator markers: objects that have traversed
+// the whole body (start at or before the body) or exhausted the iteration
+// bound continue; others loop back to the body start.
+func (e *Engine) applyIter(f query.Filter, it *Item) {
+	if it.Start <= f.BodyStart || (f.K != query.Closure && it.iterAt(f.Depth) >= f.K) {
+		e.emit(TraceEvent{ID: it.ID, Filter: it.Next, Iter: it.iterAt(f.Depth), Action: TraceExitedIter})
+		it.Next++
+		return
+	}
+	e.emit(TraceEvent{ID: it.ID, Filter: it.Next, Iter: it.iterAt(f.Depth), Action: TraceLoopedBack})
+	it.Start = f.BodyStart // so that it passes next time
+	it.Next = f.BodyStart
+}

@@ -1,0 +1,126 @@
+// Package engine executes compiled filtering queries with the algorithm of
+// the paper's section 3 (Figure 3): a working set of in-flight objects, the
+// filter-evaluation function E, a mark table recording (object, filter-index)
+// pairs already processed, and iteration-number stacks for (possibly nested)
+// iterators.
+//
+// The engine is single-site: pointers to non-local objects are not followed
+// but surfaced as RemoteRef values so that the site layer can ship the query
+// to the owning site ("send the query, not the data").
+package engine
+
+import (
+	"fmt"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/pattern"
+)
+
+// Item is one entry of the working set W: an object id plus the transient
+// processing state the paper attaches to objects (O.start, O.next, O.iter#,
+// O.mvars). Only id, start, and the iteration stack cross site boundaries;
+// next and mvars are reconstructed at the processing site.
+type Item struct {
+	ID object.ID
+	// Start is the first filter (0-based) to process the object: 0 for
+	// initial-set objects, the filter after the dereference for objects
+	// reached through a pointer.
+	Start int
+	// Next is the next filter to apply while the item is in flight.
+	Next int
+	// Iters is the iteration-number stack: Iters[d] is the pointer-chain
+	// length within the iterator at nesting depth d+1. Missing entries read
+	// as 1 (the initial iteration number).
+	Iters []int
+	// MVars is the matching-variable binding environment O.mvars; it always
+	// starts empty and lives only while the item is being processed.
+	MVars pattern.Env
+}
+
+// NewItem returns an initial-set item for id (start = next = first filter,
+// iteration numbers all 1, no bindings).
+func NewItem(id object.ID) Item { return Item{ID: id} }
+
+// iterAt returns the iteration number for counter index d (depth of the
+// enclosing iterator), defaulting to 1.
+func (it *Item) iterAt(d int) int {
+	if d < len(it.Iters) {
+		return it.Iters[d]
+	}
+	return 1
+}
+
+// childIters builds the iteration stack for an object dereferenced at static
+// nesting depth d: the parent stack normalized to length d (padded with 1s,
+// truncated if deeper) with the innermost counter incremented.
+func (it *Item) childIters(d int) []int {
+	if d == 0 {
+		return nil
+	}
+	s := make([]int, d)
+	for i := 0; i < d; i++ {
+		s[i] = it.iterAt(i)
+	}
+	s[d-1]++
+	return s
+}
+
+// String renders the item for diagnostics.
+func (it Item) String() string {
+	return fmt.Sprintf("{%v start=%d next=%d iters=%v}", it.ID, it.Start, it.Next, it.Iters)
+}
+
+// RemoteRef describes a dereference of a pointer to an object owned by
+// another site. The site layer turns it into a Deref message carrying the
+// query identity plus exactly the paper's per-object fields: O.id, O.start,
+// and O.iter#.
+type RemoteRef struct {
+	ID    object.ID
+	Start int
+	Iters []int
+}
+
+// Fetch is one retrieved field value (the "->var" operator): the binding
+// name, the value, and the object it came from.
+type Fetch struct {
+	Var  string
+	From object.ID
+	Val  object.Value
+}
+
+// Locator decides whether an object id is stored at the local site. The
+// engine follows local pointers itself and surfaces remote ones.
+type Locator interface {
+	IsLocal(object.ID) bool
+}
+
+// AllLocal is a Locator for single-site processing: every id is local.
+type AllLocal struct{}
+
+// IsLocal always reports true.
+func (AllLocal) IsLocal(object.ID) bool { return true }
+
+// Source supplies objects to the engine; *store.Store implements it.
+type Source interface {
+	Get(object.ID) (*object.Object, bool)
+}
+
+// Order selects the working-set discipline. The choice determines the graph
+// search order (paper footnote 4): a FIFO queue gives breadth-first search —
+// the best average case per Kapidakis — and a LIFO stack gives depth-first.
+type Order uint8
+
+const (
+	// BFS processes the working set as a FIFO queue (default).
+	BFS Order = iota
+	// DFS processes the working set as a LIFO stack.
+	DFS
+)
+
+// String names the order.
+func (o Order) String() string {
+	if o == DFS {
+		return "dfs"
+	}
+	return "bfs"
+}

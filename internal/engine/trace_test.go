@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/query"
+	"hyperfile/internal/store"
+)
+
+// TestTracePaperExample traces the section-3.1 worked example (A->B->C->D,
+// k=3) and checks the narrative: B loops back, C exits by count, D never
+// appears.
+func TestTracePaperExample(t *testing.T) {
+	s := store.New(1)
+	ids := buildChain(t, s, 4, "Distributed")
+	c := query.MustCompile(`S [ (Pointer, "Reference", ?X) ^^X ]*3 (keyword, "Distributed", ?) -> T`)
+
+	var events []TraceEvent
+	e := New(c, s, WithTrace(func(ev TraceEvent) { events = append(events, ev) }))
+	e.AddInitial(ids[0])
+	e.Run()
+
+	byID := map[object.ID][]TraceAction{}
+	for _, ev := range events {
+		byID[ev.ID] = append(byID[ev.ID], ev.Action)
+	}
+	has := func(id object.ID, a TraceAction) bool {
+		for _, got := range byID[id] {
+			if got == a {
+				return true
+			}
+		}
+		return false
+	}
+	// A (initial): exits the iterator immediately (start <= body start).
+	if !has(ids[0], TraceExitedIter) || !has(ids[0], TraceResult) {
+		t.Errorf("A events = %v", byID[ids[0]])
+	}
+	// B (chain length 2): loops back once, then exits and passes.
+	if !has(ids[1], TraceLoopedBack) || !has(ids[1], TraceResult) {
+		t.Errorf("B events = %v", byID[ids[1]])
+	}
+	// C (chain length 3): exits by count WITHOUT looping back.
+	if has(ids[2], TraceLoopedBack) || !has(ids[2], TraceExitedIter) || !has(ids[2], TraceResult) {
+		t.Errorf("C events = %v", byID[ids[2]])
+	}
+	// D (chain length 4): never dequeued at all.
+	if len(byID[ids[3]]) != 0 {
+		t.Errorf("D events = %v, want none (paper: 'terminates before examining D')", byID[ids[3]])
+	}
+}
+
+func TestTraceEventStrings(t *testing.T) {
+	id := object.ID{Birth: 1, Seq: 2}
+	cases := []struct {
+		ev   TraceEvent
+		want string
+	}{
+		{TraceEvent{ID: id, Filter: -1, Action: TraceDequeued}, "dequeued"},
+		{TraceEvent{ID: id, Filter: 2, Action: TraceFailedSelect}, "F2 select-fail"},
+		{TraceEvent{ID: id, Filter: 1, Action: TraceDereferenced, Local: 2, Remote: 1}, "(2 local, 1 remote)"},
+		{TraceEvent{ID: id, Filter: 3, Action: TraceLoopedBack}, "loop-back"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String() = %q, want containing %q", got, c.want)
+		}
+	}
+	if TraceAction(99).String() == "" {
+		t.Error("out-of-range action should render")
+	}
+}
+
+// TestTraceCountsConsistent: select-fail + result counts line up with
+// engine statistics.
+func TestTraceCountsConsistent(t *testing.T) {
+	s := store.New(1)
+	ids := buildChain(t, s, 8, "hot")
+	c := query.MustCompile(`S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, "hot", ?) -> T`)
+	results, skips := 0, 0
+	e := New(c, s, WithTrace(func(ev TraceEvent) {
+		switch ev.Action {
+		case TraceResult:
+			results++
+		case TraceSkipped:
+			skips++
+		}
+	}))
+	e.AddInitial(ids[0])
+	st := e.Run()
+	if results != st.Results || skips != st.Skipped {
+		t.Errorf("trace counts (results %d, skips %d) != stats (%d, %d)",
+			results, skips, st.Results, st.Skipped)
+	}
+}

@@ -1,0 +1,114 @@
+// Package fileserver models the file-interface alternative the paper argues
+// against (section 1): a server that only understands named byte sequences.
+// Under that interface the server cannot evaluate filters, so a filtering
+// query degenerates into the client fetching every candidate object — whole,
+// including its opaque payload — and filtering locally. "At best this uses a
+// single message for each file; ... our messages send only the query (about
+// 40 bytes) versus potentially huge messages required to send a complete
+// file."
+//
+// The baseline shares HyperFile's stores so comparisons use identical data.
+package fileserver
+
+import (
+	"hyperfile/internal/object"
+	"hyperfile/internal/store"
+)
+
+// Stats accounts the client-server traffic of a baseline search.
+type Stats struct {
+	// Fetches counts object-fetch request/response exchanges.
+	Fetches int
+	// BytesShipped totals the full object bytes sent server -> client.
+	BytesShipped int
+	// RequestBytes totals the fetch-request bytes client -> server
+	// (object-id sized).
+	RequestBytes int
+}
+
+// requestSize is the bytes of a fetch request: an object name.
+const requestSize = 16
+
+// Client is a file-interface client searching over one or more file servers
+// (one per site). The client does all interpretation: it parses fetched
+// objects, follows pointers, and applies filters itself.
+type Client struct {
+	stores map[object.SiteID]*store.Store
+	stats  Stats
+}
+
+// NewClient returns a baseline client over the given per-site stores.
+func NewClient(stores map[object.SiteID]*store.Store) *Client {
+	return &Client{stores: stores}
+}
+
+// Stats returns cumulative traffic statistics.
+func (c *Client) Stats() Stats { return c.stats }
+
+// fetch retrieves a whole object from whichever server holds it.
+func (c *Client) fetch(id object.ID) (*object.Object, bool) {
+	st, ok := c.stores[id.Birth]
+	if !ok {
+		return nil, false
+	}
+	o, ok := st.GetFull(id)
+	if !ok {
+		return nil, false
+	}
+	c.stats.Fetches++
+	c.stats.RequestBytes += requestSize
+	c.stats.BytesShipped += o.Size()
+	return o, true
+}
+
+// ClosureSearch performs the paper's experimental query under the file
+// interface: traverse the transitive closure of (Pointer, ptrKey) links from
+// the roots, client-side, keeping objects that satisfy match. Every visited
+// object is fetched in full exactly once.
+func (c *Client) ClosureSearch(roots []object.ID, ptrKey string, match func(*object.Object) bool) object.IDSet {
+	results := make(object.IDSet)
+	seen := make(object.IDSet)
+	queue := append([]object.ID(nil), roots...)
+	for _, r := range roots {
+		seen.Add(r)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		o, ok := c.fetch(id)
+		if !ok {
+			continue
+		}
+		if match(o) {
+			results.Add(o.ID)
+		}
+		for _, next := range o.Pointers("Pointer", ptrKey) {
+			if !seen.Has(next) {
+				seen.Add(next)
+				queue = append(queue, next)
+			}
+		}
+	}
+	return results
+}
+
+// Select performs a flat selection over an explicit candidate set, fetching
+// each candidate in full — what a file interface forces even for simple
+// "published between May 1901 and February 1902" searches.
+func (c *Client) Select(candidates []object.ID, match func(*object.Object) bool) object.IDSet {
+	results := make(object.IDSet)
+	for _, id := range candidates {
+		if o, ok := c.fetch(id); ok && match(o) {
+			results.Add(o.ID)
+		}
+	}
+	return results
+}
+
+// MatchTuple returns a match predicate for (class, key) searches, the
+// client-side equivalent of a HyperFile selection filter.
+func MatchTuple(class string, key object.Value) func(*object.Object) bool {
+	return func(o *object.Object) bool {
+		return len(o.FindKey(class, key)) > 0
+	}
+}

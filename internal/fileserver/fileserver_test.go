@@ -1,0 +1,83 @@
+package fileserver
+
+import (
+	"testing"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/store"
+)
+
+// twoSiteChain builds a chain of n objects alternating between two stores,
+// each with a payload, and returns the stores and ids.
+func twoSiteChain(t *testing.T, n, payload int) (map[object.SiteID]*store.Store, []object.ID) {
+	t.Helper()
+	stores := map[object.SiteID]*store.Store{1: store.New(1), 2: store.New(2)}
+	objs := make([]*object.Object, n)
+	for i := range objs {
+		objs[i] = stores[object.SiteID(i%2+1)].NewObject()
+	}
+	ids := make([]object.ID, n)
+	for i, o := range objs {
+		ids[i] = o.ID
+		o.Add("keyword", object.Keyword("hot"), object.Value{})
+		o.Add("Pointer", object.String("Chain"), object.Pointer(objs[(i+1)%n].ID))
+		if payload > 0 {
+			o.Add("Text", object.String("body"), object.Bytes(make([]byte, payload)))
+		}
+		if err := stores[object.SiteID(i%2+1)].Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return stores, ids
+}
+
+func TestClosureSearchFindsAll(t *testing.T) {
+	stores, ids := twoSiteChain(t, 10, 0)
+	c := NewClient(stores)
+	res := c.ClosureSearch(ids[:1], "Chain", MatchTuple("keyword", object.Keyword("hot")))
+	if len(res) != 10 {
+		t.Errorf("results = %d, want 10", len(res))
+	}
+	st := c.Stats()
+	if st.Fetches != 10 {
+		t.Errorf("fetches = %d, want one per object", st.Fetches)
+	}
+}
+
+func TestBytesShippedIncludesPayload(t *testing.T) {
+	const payload = 8192 // above the store's spill threshold
+	stores, ids := twoSiteChain(t, 6, payload)
+	c := NewClient(stores)
+	c.ClosureSearch(ids[:1], "Chain", MatchTuple("keyword", object.Keyword("hot")))
+	st := c.Stats()
+	if st.BytesShipped < 6*payload {
+		t.Errorf("BytesShipped = %d, want at least %d (whole objects must ship)", st.BytesShipped, 6*payload)
+	}
+	// The whole point of the comparison: fetching whole files dwarfs the
+	// ~40-byte query messages HyperFile sends.
+	if st.BytesShipped/st.Fetches < 100*40 {
+		t.Errorf("per-fetch bytes = %d; expected orders of magnitude above a 40-byte query", st.BytesShipped/st.Fetches)
+	}
+}
+
+func TestSelectFetchesEveryCandidate(t *testing.T) {
+	stores, ids := twoSiteChain(t, 8, 0)
+	c := NewClient(stores)
+	res := c.Select(ids, MatchTuple("keyword", object.Keyword("cold")))
+	if len(res) != 0 {
+		t.Errorf("results = %v", res)
+	}
+	if c.Stats().Fetches != 8 {
+		t.Errorf("fetches = %d: the file server cannot filter server-side", c.Stats().Fetches)
+	}
+}
+
+func TestMissingObjectsSkipped(t *testing.T) {
+	stores, ids := twoSiteChain(t, 4, 0)
+	c := NewClient(stores)
+	res := c.Select(append(ids, object.ID{Birth: 9, Seq: 1}, object.ID{Birth: 1, Seq: 999}),
+		MatchTuple("keyword", object.Keyword("hot")))
+	if len(res) != 4 {
+		t.Errorf("results = %d, want 4", len(res))
+	}
+}

@@ -1,0 +1,181 @@
+// Package index provides the indexing facilities the paper references
+// (section 2, citing its companion indexing work): conventional keyword
+// indexes over tuple keys, and reachability indexes that precompute the
+// pointer closure so queries like "find all documents referenced directly or
+// indirectly by this document that in addition have a given keyword" answer
+// without traversal.
+//
+// Indexes are per-site structures built over one store; distributed queries
+// use them site-locally.
+package index
+
+import (
+	"sync"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/store"
+)
+
+// Keyword is an inverted index from (tuple type, key text) to the objects
+// carrying such a tuple. Numeric keys index under their decimal rendering.
+type Keyword struct {
+	mu    sync.RWMutex
+	terms map[term]object.IDSet
+}
+
+type term struct {
+	class string
+	key   string
+}
+
+// keyText renders an indexable key; non-text non-numeric keys are skipped.
+func keyText(v object.Value) (string, bool) {
+	switch v.Kind {
+	case object.KindString, object.KindKeyword:
+		return v.Str, true
+	case object.KindInt, object.KindFloat:
+		return v.String(), true
+	default:
+		return "", false
+	}
+}
+
+// NewKeyword returns an empty keyword index.
+func NewKeyword() *Keyword {
+	return &Keyword{terms: make(map[term]object.IDSet)}
+}
+
+// BuildKeyword indexes every object currently in the store.
+func BuildKeyword(st *store.Store) *Keyword {
+	ix := NewKeyword()
+	for _, id := range st.IDs() {
+		if o, ok := st.Get(id); ok {
+			ix.Insert(o)
+		}
+	}
+	return ix
+}
+
+// Insert indexes one object's tuples.
+func (ix *Keyword) Insert(o *object.Object) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, t := range o.Tuples {
+		if k, ok := keyText(t.Key); ok {
+			tm := term{class: t.Type, key: k}
+			set, ok := ix.terms[tm]
+			if !ok {
+				set = make(object.IDSet)
+				ix.terms[tm] = set
+			}
+			set.Add(o.ID)
+		}
+	}
+}
+
+// Remove un-indexes one object (pass the stored version).
+func (ix *Keyword) Remove(o *object.Object) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, t := range o.Tuples {
+		if k, ok := keyText(t.Key); ok {
+			if set, ok := ix.terms[term{class: t.Type, key: k}]; ok {
+				delete(set, o.ID)
+			}
+		}
+	}
+}
+
+// Lookup returns the objects with a (class, key) tuple. The returned set is
+// a copy.
+func (ix *Keyword) Lookup(class, key string) object.IDSet {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(object.IDSet)
+	out.AddAll(ix.terms[term{class: class, key: key}])
+	return out
+}
+
+// Terms returns the number of distinct indexed terms.
+func (ix *Keyword) Terms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.terms)
+}
+
+// Reach is a reachability index over one pointer category: for every object
+// it precomputes the transitive closure of (Pointer, key) links within one
+// store.
+type Reach struct {
+	mu      sync.RWMutex
+	ptrKey  string
+	closure map[object.ID]object.IDSet
+}
+
+// BuildReach computes the closure index for the given pointer key ("" means
+// all pointer tuples).
+func BuildReach(st *store.Store, ptrKey string) *Reach {
+	ix := &Reach{ptrKey: ptrKey, closure: make(map[object.ID]object.IDSet)}
+	ids := st.IDs()
+	adj := make(map[object.ID][]object.ID, len(ids))
+	for _, id := range ids {
+		if o, ok := st.Get(id); ok {
+			adj[id] = o.Pointers("Pointer", ptrKey)
+		}
+	}
+	// Iterative BFS per object with memoization on completed nodes. For the
+	// graph sizes a site holds, an O(V * E) pass is plenty; cycles are
+	// handled by the visited set.
+	for _, id := range ids {
+		ix.closure[id] = bfsClosure(id, adj)
+	}
+	return ix
+}
+
+func bfsClosure(from object.ID, adj map[object.ID][]object.ID) object.IDSet {
+	out := make(object.IDSet)
+	queue := []object.ID{from}
+	out.Add(from)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !out.Has(v) {
+				out.Add(v)
+				queue = append(queue, v)
+			}
+		}
+	}
+	return out
+}
+
+// PtrKey returns the pointer category the index covers.
+func (ix *Reach) PtrKey() string { return ix.ptrKey }
+
+// Reachable returns the closure from an object (including itself). The
+// returned set is shared; callers must not mutate it.
+func (ix *Reach) Reachable(from object.ID) object.IDSet {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.closure[from]
+}
+
+// ReachableWith intersects the reachability closure with a keyword lookup:
+// "documents referenced directly or indirectly by this document that in
+// addition have a given keyword".
+func ReachableWith(r *Reach, k *Keyword, from object.ID, class, key string) object.IDSet {
+	reach := r.Reachable(from)
+	terms := k.Lookup(class, key)
+	out := make(object.IDSet)
+	// Iterate the smaller side.
+	small, big := reach, terms
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for id := range small {
+		if big.Has(id) {
+			out.Add(id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package naming implements HyperFile's object-location scheme (paper
+// section 4): a variant of R*'s naming in which every object id permanently
+// encodes its birth site, each site presumes locations for foreign objects,
+// and the birth site is the final arbiter of an object's actual location.
+//
+// Lookups never block on a remote name server: a site answers from its own
+// authority (for objects born there) or its presumed-location cache, falling
+// back to the birth site. A dereference routed to a stale location is
+// forwarded by the receiving site, so moves cost pointer chasing rather than
+// global updates.
+package naming
+
+import (
+	"sync"
+
+	"hyperfile/internal/object"
+)
+
+// Directory is one site's naming state. It is safe for concurrent use.
+type Directory struct {
+	mu   sync.RWMutex
+	self object.SiteID
+	// birth is the authoritative current site for every object born here.
+	// Deleted objects are removed.
+	birth map[object.ID]object.SiteID
+	// presumed caches last-known sites of foreign-born objects.
+	presumed map[object.ID]object.SiteID
+}
+
+// New returns an empty directory for site self.
+func New(self object.SiteID) *Directory {
+	return &Directory{
+		self:     self,
+		birth:    make(map[object.ID]object.SiteID),
+		presumed: make(map[object.ID]object.SiteID),
+	}
+}
+
+// Self returns the owning site.
+func (d *Directory) Self() object.SiteID { return d.self }
+
+// Register records that an object born at this site is stored here. It is a
+// no-op for foreign-born ids.
+func (d *Directory) Register(id object.ID) {
+	if id.Birth != d.self {
+		return
+	}
+	d.mu.Lock()
+	d.birth[id] = d.self
+	d.mu.Unlock()
+}
+
+// RecordMove updates the authoritative location of an object born here.
+// Foreign-born ids only update the presumed cache.
+func (d *Directory) RecordMove(id object.ID, to object.SiteID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id.Birth == d.self {
+		d.birth[id] = to
+		return
+	}
+	d.presumed[id] = to
+}
+
+// Forget removes an object born here from the authority (after deletion).
+func (d *Directory) Forget(id object.ID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id.Birth == d.self {
+		delete(d.birth, id)
+	}
+	delete(d.presumed, id)
+}
+
+// Presume caches a location hint for a foreign-born object (e.g. learned
+// from a forwarded message).
+func (d *Directory) Presume(id object.ID, site object.SiteID) {
+	if id.Birth == d.self {
+		return // authority beats hints
+	}
+	d.mu.Lock()
+	d.presumed[id] = site
+	d.mu.Unlock()
+}
+
+// Owner returns this site's best knowledge of where id lives: the authority
+// for locally-born objects, the presumed cache for foreign ones, and the
+// birth site as the fallback of last resort. The second result reports
+// whether the answer is authoritative.
+func (d *Directory) Owner(id object.ID) (object.SiteID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id.Birth == d.self {
+		if cur, ok := d.birth[id]; ok {
+			return cur, true
+		}
+		// Born here but unknown: it was deleted (or never stored). Answer
+		// self authoritatively; the store lookup will report it missing.
+		return d.self, true
+	}
+	if cur, ok := d.presumed[id]; ok {
+		return cur, false
+	}
+	return id.Birth, false
+}

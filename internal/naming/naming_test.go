@@ -1,0 +1,94 @@
+package naming
+
+import (
+	"sync"
+	"testing"
+
+	"hyperfile/internal/object"
+)
+
+func TestOwnerAuthorityForLocalBirths(t *testing.T) {
+	d := New(1)
+	id := object.ID{Birth: 1, Seq: 5}
+	owner, auth := d.Owner(id)
+	if owner != 1 || !auth {
+		t.Errorf("unregistered local birth: owner=%v auth=%v", owner, auth)
+	}
+	d.Register(id)
+	owner, auth = d.Owner(id)
+	if owner != 1 || !auth {
+		t.Errorf("registered: owner=%v auth=%v", owner, auth)
+	}
+	d.RecordMove(id, 3)
+	owner, auth = d.Owner(id)
+	if owner != 3 || !auth {
+		t.Errorf("after move: owner=%v auth=%v", owner, auth)
+	}
+	d.Forget(id)
+	owner, auth = d.Owner(id)
+	if owner != 1 || !auth {
+		t.Errorf("after forget: owner=%v auth=%v", owner, auth)
+	}
+}
+
+func TestRegisterIgnoresForeignBirths(t *testing.T) {
+	d := New(1)
+	foreign := object.ID{Birth: 2, Seq: 9}
+	d.Register(foreign)
+	owner, auth := d.Owner(foreign)
+	if owner != 2 || auth {
+		t.Errorf("foreign fallback: owner=%v auth=%v", owner, auth)
+	}
+}
+
+func TestPresumedCache(t *testing.T) {
+	d := New(1)
+	foreign := object.ID{Birth: 2, Seq: 9}
+	d.Presume(foreign, 5)
+	owner, auth := d.Owner(foreign)
+	if owner != 5 || auth {
+		t.Errorf("presumed: owner=%v auth=%v", owner, auth)
+	}
+	// Moves of foreign objects update the presumed cache.
+	d.RecordMove(foreign, 7)
+	owner, _ = d.Owner(foreign)
+	if owner != 7 {
+		t.Errorf("presumed after RecordMove: %v", owner)
+	}
+	d.Forget(foreign)
+	owner, _ = d.Owner(foreign)
+	if owner != 2 {
+		t.Errorf("after forget, fallback = %v, want birth site", owner)
+	}
+}
+
+func TestPresumeCannotOverrideAuthority(t *testing.T) {
+	d := New(1)
+	id := object.ID{Birth: 1, Seq: 3}
+	d.Register(id)
+	d.Presume(id, 9)
+	owner, auth := d.Owner(id)
+	if owner != 1 || !auth {
+		t.Errorf("authority overridden by hint: owner=%v auth=%v", owner, auth)
+	}
+}
+
+func TestConcurrentDirectory(t *testing.T) {
+	d := New(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := object.ID{Birth: 1, Seq: uint64(w*1000 + i)}
+				d.Register(id)
+				d.RecordMove(id, object.SiteID(2+i%3))
+				d.Owner(id)
+				d.Presume(object.ID{Birth: 9, Seq: uint64(i)}, 4)
+			}
+		}()
+	}
+	wg.Wait()
+}

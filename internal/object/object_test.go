@@ -1,0 +1,240 @@
+package object
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseIDRoundTrip(t *testing.T) {
+	tests := []ID{
+		{Birth: 1, Seq: 0},
+		{Birth: 1, Seq: 1},
+		{Birth: 42, Seq: 1 << 40},
+		{Birth: 0xFFFFFFFF, Seq: 1<<64 - 1},
+	}
+	for _, id := range tests {
+		got, err := ParseID(id.String())
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Errorf("round trip %v -> %q -> %v", id, id.String(), got)
+		}
+	}
+}
+
+func TestParseIDErrors(t *testing.T) {
+	bad := []string{"", "3:4", "s3", "s:4", "sx:4", "s3:", "s3:y", "s-1:4", "s3:-4"}
+	for _, s := range bad {
+		if _, err := ParseID(s); err == nil {
+			t.Errorf("ParseID(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseIDQuick(t *testing.T) {
+	f := func(b uint32, q uint64) bool {
+		id := ID{Birth: SiteID(b), Seq: q}
+		got, err := ParseID(id.String())
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDLessTotalOrder(t *testing.T) {
+	a := ID{Birth: 1, Seq: 5}
+	b := ID{Birth: 1, Seq: 6}
+	c := ID{Birth: 2, Seq: 0}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Errorf("expected a < b < c")
+	}
+	if a.Less(a) {
+		t.Errorf("Less must be irreflexive")
+	}
+	if b.Less(a) || c.Less(a) {
+		t.Errorf("Less must be antisymmetric")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	id := ID{Birth: 1, Seq: 9}
+	tests := []struct {
+		v    Value
+		kind Kind
+	}{
+		{String("hi"), KindString},
+		{Keyword("word"), KindKeyword},
+		{Int(-3), KindInt},
+		{Float(2.5), KindFloat},
+		{Pointer(id), KindPointer},
+		{Bytes([]byte{1, 2}), KindBytes},
+	}
+	for _, tt := range tests {
+		if tt.v.Kind != tt.kind {
+			t.Errorf("constructor for %v produced kind %v", tt.kind, tt.v.Kind)
+		}
+		if tt.v.IsNil() {
+			t.Errorf("%v should not be nil", tt.v)
+		}
+	}
+	var zero Value
+	if !zero.IsNil() {
+		t.Errorf("zero Value must be nil")
+	}
+	if got := Int(7).AsFloat(); got != 7 {
+		t.Errorf("Int.AsFloat = %v", got)
+	}
+	if got := Float(1.5).AsFloat(); got != 1.5 {
+		t.Errorf("Float.AsFloat = %v", got)
+	}
+	if got := String("x").Text(); got != "x" {
+		t.Errorf("String.Text = %q", got)
+	}
+	if got := Int(1).Text(); got != "" {
+		t.Errorf("Int.Text = %q, want empty", got)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	id1 := ID{Birth: 1, Seq: 1}
+	id2 := ID{Birth: 1, Seq: 2}
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{String("a"), Keyword("a"), false}, // different kinds
+		{Int(3), Int(3), true},
+		{Int(3), Float(3), true}, // numeric cross-kind equality
+		{Float(3.5), Int(3), false},
+		{Pointer(id1), Pointer(id1), true},
+		{Pointer(id1), Pointer(id2), false},
+		{Bytes([]byte{1}), Bytes([]byte{1}), true},
+		{Bytes([]byte{1}), Bytes([]byte{2}), false},
+		{Value{}, Value{}, true},
+		{Value{}, Int(0), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Equal(tt.a); got != tt.want {
+			t.Errorf("Equal not symmetric for %v, %v", tt.a, tt.b)
+		}
+	}
+}
+
+func TestValueCloneIndependence(t *testing.T) {
+	b := Bytes([]byte{1, 2, 3})
+	c := b.Clone()
+	c.Bytes[0] = 99
+	if b.Bytes[0] != 1 {
+		t.Errorf("Clone shares byte storage")
+	}
+}
+
+func TestObjectFindAndPointers(t *testing.T) {
+	idA := ID{Birth: 1, Seq: 1}
+	idB := ID{Birth: 1, Seq: 2}
+	idC := ID{Birth: 2, Seq: 1}
+	o := New(idA).
+		Add("String", String("Title"), String("Main Program")).
+		Add("String", String("Author"), String("Joe Programmer")).
+		Add("Pointer", String("Called Routine"), Pointer(idB)).
+		Add("Pointer", String("Library"), Pointer(idC))
+
+	if got := len(o.Find("String")); got != 2 {
+		t.Errorf("Find(String) = %d tuples, want 2", got)
+	}
+	if got := len(o.Find("Missing")); got != 0 {
+		t.Errorf("Find(Missing) = %d tuples, want 0", got)
+	}
+	if got := len(o.FindKey("String", String("Author"))); got != 1 {
+		t.Errorf("FindKey(Author) = %d, want 1", got)
+	}
+
+	ptrs := o.Pointers("Pointer", "Called Routine")
+	if len(ptrs) != 1 || ptrs[0] != idB {
+		t.Errorf("Pointers(Called Routine) = %v, want [%v]", ptrs, idB)
+	}
+	all := o.Pointers("Pointer", "")
+	if len(all) != 2 {
+		t.Errorf("Pointers(any key) = %v, want 2 entries", all)
+	}
+	if got := o.AllPointers(); len(got) != 2 {
+		t.Errorf("AllPointers = %v, want 2 entries", got)
+	}
+}
+
+func TestObjectCloneIsDeep(t *testing.T) {
+	o := New(ID{Birth: 1, Seq: 1}).Add("Bytes", String("data"), Bytes([]byte{7}))
+	c := o.Clone()
+	c.Tuples[0].Data.Bytes[0] = 8
+	c.Add("String", String("x"), String("y"))
+	if o.Tuples[0].Data.Bytes[0] != 7 {
+		t.Errorf("Clone shares tuple byte storage")
+	}
+	if len(o.Tuples) != 1 {
+		t.Errorf("Clone shares tuple slice")
+	}
+}
+
+func TestObjectSizeMonotonic(t *testing.T) {
+	o := New(ID{Birth: 1, Seq: 1})
+	prev := o.Size()
+	o.Add("String", String("k"), String("hello"))
+	if o.Size() <= prev {
+		t.Errorf("Size did not grow after Add: %d <= %d", o.Size(), prev)
+	}
+	prev = o.Size()
+	o.Add("Bytes", String("body"), Bytes(make([]byte, 1000)))
+	if o.Size() < prev+1000 {
+		t.Errorf("Size should account for opaque payload: %d < %d", o.Size(), prev+1000)
+	}
+}
+
+func TestIDSetBasics(t *testing.T) {
+	a := ID{Birth: 1, Seq: 1}
+	b := ID{Birth: 1, Seq: 2}
+	c := ID{Birth: 2, Seq: 1}
+	s := NewIDSet(b, a)
+	if !s.Has(a) || !s.Has(b) || s.Has(c) {
+		t.Errorf("membership wrong: %v", s)
+	}
+	s.Add(c)
+	if !s.Has(c) {
+		t.Errorf("Add failed")
+	}
+	sorted := s.Sorted()
+	if len(sorted) != 3 || sorted[0] != a || sorted[1] != b || sorted[2] != c {
+		t.Errorf("Sorted = %v", sorted)
+	}
+	other := NewIDSet(a, b, c)
+	if !s.Equal(other) {
+		t.Errorf("Equal sets not equal")
+	}
+	other.Add(ID{Birth: 9, Seq: 9})
+	if s.Equal(other) {
+		t.Errorf("unequal sets reported equal")
+	}
+	s2 := NewIDSet()
+	s2.AddAll(s)
+	if !s2.Equal(s) {
+		t.Errorf("AddAll failed: %v vs %v", s2, s)
+	}
+	if got, want := NewIDSet(a).String(), "{s1:1}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPointer.String() != "pointer" || KindNil.String() != "nil" {
+		t.Errorf("kind names wrong")
+	}
+	if Kind(200).String() == "" {
+		t.Errorf("out-of-range kind should still render")
+	}
+}

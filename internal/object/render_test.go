@@ -1,0 +1,96 @@
+package object
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueStringAllKinds(t *testing.T) {
+	id := ID{Birth: 2, Seq: 9}
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Value{}, "<nil>"},
+		{String("a b"), `"a b"`},
+		{Keyword("word"), "word"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Pointer(id), "->s2:9"},
+		{Bytes([]byte{1, 2, 3}), "<3 bytes>"},
+		{Value{Kind: Kind(77)}, "<invalid>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String(%v-kind) = %q, want %q", tt.v.Kind, got, tt.want)
+		}
+	}
+}
+
+func TestObjectStringRendersSortedTuples(t *testing.T) {
+	o := New(ID{Birth: 1, Seq: 4}).
+		Add("Zed", String("z"), Int(1)).
+		Add("Alpha", String("a"), Int(2))
+	got := o.String()
+	if !strings.HasPrefix(got, "s1:4 {") {
+		t.Errorf("missing id header: %q", got)
+	}
+	if strings.Index(got, "Alpha") > strings.Index(got, "Zed") {
+		t.Errorf("tuples not sorted: %q", got)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := Tuple{Type: "String", Key: String("Title"), Data: String("doc")}
+	if got := tu.String(); got != `(String, "Title", "doc")` {
+		t.Errorf("Tuple.String = %q", got)
+	}
+}
+
+func TestValueTextAndNumericHelpers(t *testing.T) {
+	if Keyword("k").Text() != "k" {
+		t.Error("keyword text")
+	}
+	if !Float(1).IsNumeric() || !Int(1).IsNumeric() || String("1").IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+}
+
+func TestSiteIDString(t *testing.T) {
+	if SiteID(7).String() != "s7" || InvalidSite.String() != "s0" {
+		t.Error("SiteID rendering wrong")
+	}
+}
+
+func TestIDSetStringEmpty(t *testing.T) {
+	if got := NewIDSet().String(); got != "{}" {
+		t.Errorf("empty set = %q", got)
+	}
+}
+
+func TestCloneNilBytesValue(t *testing.T) {
+	v := Value{Kind: KindBytes}
+	c := v.Clone()
+	if c.Bytes != nil {
+		t.Error("nil bytes should stay nil")
+	}
+}
+
+func TestFindKeyKindSensitivity(t *testing.T) {
+	o := New(ID{Birth: 1, Seq: 1}).Add("k", Int(5), Value{})
+	if len(o.FindKey("k", Float(5))) != 1 {
+		t.Error("numeric cross-kind FindKey failed")
+	}
+	if len(o.FindKey("k", String("5"))) != 0 {
+		t.Error("string should not match int key")
+	}
+}
+
+func TestAllPointersIncludesKeyPointers(t *testing.T) {
+	tgt := ID{Birth: 3, Seq: 3}
+	o := New(ID{Birth: 1, Seq: 1}).Add("x", Pointer(tgt), Value{})
+	got := o.AllPointers()
+	if len(got) != 1 || got[0] != tgt {
+		t.Errorf("AllPointers = %v", got)
+	}
+}

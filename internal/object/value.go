@@ -1,0 +1,160 @@
+package object
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the value kinds HyperFile itself understands. Everything an
+// application stores beyond these is opaque bytes (KindBytes): the server
+// never interprets it, exactly as a file server never interprets file
+// contents.
+type Kind uint8
+
+const (
+	// KindNil is the zero Kind; a Value of this kind means "no value".
+	KindNil Kind = iota
+	// KindString is a short, searchable character string.
+	KindString
+	// KindKeyword is a single searchable word (e.g. an index term).
+	KindKeyword
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindPointer is a reference to another HyperFile object, possibly at a
+	// remote site. Pointers are what filtering queries dereference.
+	KindPointer
+	// KindBytes is opaque application data (document text, bitmaps, object
+	// code, ...). HyperFile stores and returns it but never searches it.
+	KindBytes
+)
+
+var kindNames = [...]string{
+	KindNil:     "nil",
+	KindString:  "string",
+	KindKeyword: "keyword",
+	KindInt:     "int",
+	KindFloat:   "float",
+	KindPointer: "pointer",
+	KindBytes:   "bytes",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Value is a tagged union holding one field of a tuple. The zero Value has
+// KindNil and represents "no value".
+type Value struct {
+	Kind  Kind
+	Str   string  // KindString, KindKeyword
+	Int   int64   // KindInt
+	Float float64 // KindFloat
+	Ptr   ID      // KindPointer
+	Bytes []byte  // KindBytes
+}
+
+// String constructs a string value.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Keyword constructs a keyword value.
+func Keyword(s string) Value { return Value{Kind: KindKeyword, Str: s} }
+
+// Int constructs an integer value.
+func Int(n int64) Value { return Value{Kind: KindInt, Int: n} }
+
+// Float constructs a float value.
+func Float(f float64) Value { return Value{Kind: KindFloat, Float: f} }
+
+// Pointer constructs a pointer value referring to id.
+func Pointer(id ID) Value { return Value{Kind: KindPointer, Ptr: id} }
+
+// Bytes constructs an opaque-data value. The slice is not copied; callers
+// that retain the source should copy first.
+func Bytes(b []byte) Value { return Value{Kind: KindBytes, Bytes: b} }
+
+// IsNil reports whether v is the zero "no value" value.
+func (v Value) IsNil() bool { return v.Kind == KindNil }
+
+// IsNumeric reports whether v holds an int or float.
+func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// AsFloat returns the numeric value as a float64. It is only meaningful when
+// IsNumeric reports true.
+func (v Value) AsFloat() float64 {
+	if v.Kind == KindInt {
+		return float64(v.Int)
+	}
+	return v.Float
+}
+
+// Text returns the string form for string/keyword kinds, and "" otherwise.
+func (v Value) Text() string {
+	if v.Kind == KindString || v.Kind == KindKeyword {
+		return v.Str
+	}
+	return ""
+}
+
+// Equal reports whether two values are identical in kind and content.
+// Numeric values of different kinds compare by numeric value, so
+// Int(3).Equal(Float(3)) is true; this mirrors the paper's "equivalence
+// depends on the type of the field" rule with the natural numeric semantics.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNil:
+		return true
+	case KindString, KindKeyword:
+		return v.Str == o.Str
+	case KindPointer:
+		return v.Ptr == o.Ptr
+	case KindBytes:
+		return bytes.Equal(v.Bytes, o.Bytes)
+	default:
+		return false
+	}
+}
+
+// String renders the value for diagnostics and query output.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNil:
+		return "<nil>"
+	case KindString:
+		return strconv.Quote(v.Str)
+	case KindKeyword:
+		return v.Str
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindPointer:
+		return "->" + v.Ptr.String()
+	case KindBytes:
+		return fmt.Sprintf("<%d bytes>", len(v.Bytes))
+	default:
+		return "<invalid>"
+	}
+}
+
+// Clone returns a deep copy of v (the Bytes payload is copied).
+func (v Value) Clone() Value {
+	if v.Kind == KindBytes && v.Bytes != nil {
+		b := make([]byte, len(v.Bytes))
+		copy(b, v.Bytes)
+		v.Bytes = b
+	}
+	return v
+}

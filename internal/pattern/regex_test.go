@@ -1,0 +1,58 @@
+package pattern
+
+import (
+	"testing"
+
+	"hyperfile/internal/object"
+)
+
+func TestRegexMatching(t *testing.T) {
+	p := MustRegex(`^Joe .*mer$`)
+	tests := []struct {
+		v    object.Value
+		want bool
+	}{
+		{object.String("Joe Programmer"), true},
+		{object.Keyword("Joe Programmer"), true},
+		{object.String("Programmer Joe"), false},
+		{object.String("joe programmer"), false},
+		{object.Int(7), false},
+		{object.Bytes([]byte("Joe Programmer")), false},
+	}
+	for _, tt := range tests {
+		if got := p.Matches(tt.v, nil); got != tt.want {
+			t.Errorf("Matches(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestRegexCompileError(t *testing.T) {
+	if _, err := Regex("("); err == nil {
+		t.Error("expected compile error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegex should panic on bad input")
+		}
+	}()
+	MustRegex("(")
+}
+
+func TestRegexString(t *testing.T) {
+	p := MustRegex(`a/b.*`)
+	if got := p.String(); got != `/a\/b.*/` {
+		t.Errorf("String = %q", got)
+	}
+	if OpRegex.String() != "regex" {
+		t.Errorf("op name = %q", OpRegex.String())
+	}
+}
+
+func TestRegexZeroValueSafe(t *testing.T) {
+	// An OpRegex P without a compiled expression matches nothing rather
+	// than panicking.
+	p := P{Op: OpRegex, Lit: object.String("x")}
+	if p.Matches(object.String("x"), nil) {
+		t.Error("uncompiled regex matched")
+	}
+}

@@ -1,0 +1,116 @@
+// Package query defines the HyperFile filtering-query language: an abstract
+// syntax (mirroring the paper's notation), a textual concrete syntax with
+// lexer and parser, and a compiler producing the flat filter list
+// F_1 ... F_n that the processing algorithm of section 3 executes.
+//
+// Concrete syntax (one query per string):
+//
+//	S [ (pointer, "Reference", ?X) ^^X ]*3 (keyword, "Distributed", ?) -> T
+//
+//	query  := IDENT filter* '->' IDENT
+//	filter := '(' typepat ',' pat ',' pat ')'          tuple selection
+//	        | '^' IDENT                                 dereference (keep referenced only)
+//	        | '^^' IDENT                                dereference (keep both)
+//	        | '[' filter+ ']' '*' (INT | '*')           iterate k times / closure
+//	pat    := '?' | '?'IDENT | '$'IDENT | STRING | '~'STRING
+//	        | NUMBER | NUMBER '..' NUMBER | '->' IDENT | '@' ID | IDENT
+//
+// A bare IDENT in a pattern position is shorthand for a string literal; '@'
+// introduces a pointer literal ("@s1:3").
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hyperfile/internal/pattern"
+)
+
+// Node is one element of a query body.
+type Node interface {
+	fmt.Stringer
+	isNode()
+}
+
+// Select is a tuple-selection filter: an object passes if some tuple matches
+// all three field patterns.
+type Select struct {
+	Type pattern.TypePattern
+	Key  pattern.P
+	Data pattern.P
+}
+
+func (Select) isNode() {}
+
+// String renders the filter in "(type, key, data)" syntax.
+func (s Select) String() string {
+	return "(" + s.Type.String() + ", " + s.Key.String() + ", " + s.Data.String() + ")"
+}
+
+// Deref dereferences every pointer bound to Var, injecting the referenced
+// objects into the working set. With Keep the dereferencing object also
+// continues through the remaining filters (the paper's ⇑⇑ / "TX" operator);
+// without it only the referenced objects continue (the paper's ⇑).
+type Deref struct {
+	Var  string
+	Keep bool
+}
+
+func (Deref) isNode() {}
+
+// String renders "^X" or "^^X".
+func (d Deref) String() string {
+	if d.Keep {
+		return "^^" + d.Var
+	}
+	return "^" + d.Var
+}
+
+// Closure marks an unbounded iteration count (the paper's '*', "may be
+// thought of as infinity").
+const Closure = -1
+
+// Block is an iterator: its body is repeated K times, or until the pointer
+// closure is exhausted when K == Closure.
+type Block struct {
+	Body []Node
+	K    int
+}
+
+func (Block) isNode() {}
+
+// String renders "[ body ]*k" (or "]**" for closures).
+func (b Block) String() string {
+	parts := make([]string, len(b.Body))
+	for i, n := range b.Body {
+		parts[i] = n.String()
+	}
+	k := "*"
+	if b.K != Closure {
+		k = strconv.Itoa(b.K)
+	}
+	return "[ " + strings.Join(parts, " ") + " ]*" + k
+}
+
+// Query is a full filtering query: a named initial set, a body, and the name
+// the result set will be bound to at the client.
+type Query struct {
+	Initial string
+	Body    []Node
+	Result  string
+}
+
+// String renders the query in concrete syntax; Parse(q.String()) returns an
+// equivalent query.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.Initial)
+	for _, n := range q.Body {
+		b.WriteByte(' ')
+		b.WriteString(n.String())
+	}
+	b.WriteString(" -> ")
+	b.WriteString(q.Result)
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FilterKind discriminates compiled filters.
+type FilterKind uint8
+
+const (
+	// FSelect is a tuple-selection filter.
+	FSelect FilterKind = iota
+	// FDeref is a pointer dereference.
+	FDeref
+	// FIter is an iterator marker closing a block (the paper's I_j).
+	FIter
+)
+
+// Filter is one compiled filter F_i. Exactly the fields for its Kind are
+// meaningful.
+type Filter struct {
+	Kind FilterKind
+
+	// FSelect
+	Sel Select
+
+	// FDeref
+	Var  string
+	Keep bool
+
+	// FIter: the body spans [BodyStart, position of this filter).
+	BodyStart int
+	// K is the iteration bound, or Closure for transitive closure.
+	K int
+
+	// Depth is the iterator nesting depth at this filter's position: 0 for
+	// top level, 1 inside one iterator, etc. For an FIter filter, Depth is
+	// the depth *outside* the iterator, which is also the index of this
+	// iterator's counter in an item's iteration-number stack.
+	Depth int
+}
+
+// String renders the compiled filter for diagnostics.
+func (f Filter) String() string {
+	switch f.Kind {
+	case FSelect:
+		return f.Sel.String()
+	case FDeref:
+		return Deref{Var: f.Var, Keep: f.Keep}.String()
+	case FIter:
+		if f.K == Closure {
+			return fmt.Sprintf("iter[%d..]*", f.BodyStart)
+		}
+		return fmt.Sprintf("iter[%d..]*%d", f.BodyStart, f.K)
+	default:
+		return "<badfilter>"
+	}
+}
+
+// Compiled is the executable form of a query: the flat filter list
+// F_1 ... F_n of section 3 (0-indexed here), plus retrieval metadata.
+type Compiled struct {
+	Source  *Query
+	Filters []Filter
+	// FetchVars lists the retrieval ("->x") binding names in the order they
+	// appear, for allocating client-side result bindings.
+	FetchVars []string
+}
+
+// Len returns the number of compiled filters n.
+func (c *Compiled) Len() int { return len(c.Filters) }
+
+// HasFetch reports whether the query retrieves any field values.
+func (c *Compiled) HasFetch() bool { return len(c.FetchVars) > 0 }
+
+// ErrCompile is the base error for semantic query errors.
+var ErrCompile = errors.New("query: compile error")
+
+// Compile flattens the query body into the executable filter list and
+// validates it: every dereferenced variable must be bound by some selection
+// filter, and iterator bodies must be able to make progress.
+func Compile(q *Query) (*Compiled, error) {
+	c := &Compiled{Source: q}
+	bound := map[string]bool{}
+	var fetchSeen = map[string]bool{}
+
+	var walk func(nodes []Node, depth int) error
+	walk = func(nodes []Node, depth int) error {
+		for _, n := range nodes {
+			switch n := n.(type) {
+			case Select:
+				for _, p := range []struct {
+					v  string
+					ok bool
+				}{
+					vb(n.Key.BindsVar()), vb(n.Data.BindsVar()),
+				} {
+					if p.ok {
+						bound[p.v] = true
+					}
+				}
+				for _, p := range []struct {
+					v  string
+					ok bool
+				}{
+					vb(n.Key.FetchesVar()), vb(n.Data.FetchesVar()),
+				} {
+					if p.ok && !fetchSeen[p.v] {
+						fetchSeen[p.v] = true
+						c.FetchVars = append(c.FetchVars, p.v)
+					}
+				}
+				c.Filters = append(c.Filters, Filter{Kind: FSelect, Sel: n, Depth: depth})
+			case Deref:
+				c.Filters = append(c.Filters, Filter{Kind: FDeref, Var: n.Var, Keep: n.Keep, Depth: depth})
+			case Block:
+				if len(n.Body) == 0 {
+					return fmt.Errorf("%w: empty iterator body", ErrCompile)
+				}
+				if n.K != Closure && n.K < 1 {
+					return fmt.Errorf("%w: iteration count %d", ErrCompile, n.K)
+				}
+				start := len(c.Filters)
+				if err := walk(n.Body, depth+1); err != nil {
+					return err
+				}
+				c.Filters = append(c.Filters, Filter{
+					Kind: FIter, BodyStart: start, K: n.K, Depth: depth,
+				})
+			default:
+				return fmt.Errorf("%w: unknown node %T", ErrCompile, n)
+			}
+		}
+		return nil
+	}
+	if err := walk(q.Body, 0); err != nil {
+		return nil, err
+	}
+
+	for _, f := range c.Filters {
+		if f.Kind == FDeref && !bound[f.Var] {
+			return nil, fmt.Errorf("%w: dereference of variable %q which no selection binds", ErrCompile, f.Var)
+		}
+	}
+	return c, nil
+}
+
+func vb(v string, ok bool) struct {
+	v  string
+	ok bool
+} {
+	return struct {
+		v  string
+		ok bool
+	}{v, ok}
+}
+
+// MustCompile parses and compiles src, panicking on error; for tests and
+// examples with known-good queries.
+func MustCompile(src string) *Compiled {
+	c, err := Compile(MustParse(src))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

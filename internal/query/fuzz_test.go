@@ -1,0 +1,36 @@
+package query
+
+import "testing"
+
+// FuzzParse exercises the lexer/parser on arbitrary inputs: it must never
+// panic, and anything it accepts must print and reparse stably (parse ∘
+// print is idempotent).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`S (String, "Author", "Joe Programmer") -> T`,
+		`S [ (pointer, "Reference", ?X) ^^X ]** (keyword, "Distributed", ?) -> T`,
+		`S [ (p, "a", ?X) [ (p, "b", ?Y) ^Y ]*2 ^X ]*3 -> T`,
+		`S (n, 1..10, ?) (f, "Title", ->title) (g, ?, @s3:17) -> T`,
+		`S (a, ~"frag", $X) -> Out`,
+		`S (a, -5, 2.75) -> T`,
+		``, `S`, `->`, `S ^`, `S [ ]`, `S (a, ., ?) -> T`,
+		`S ("quoted type", ?, ?) -> T`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own printing %q: %v", src, printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("printing unstable: %q -> %q", printed, q2.String())
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber
+	tLParen
+	tRParen
+	tLBrack
+	tRBrack
+	tComma
+	tStar
+	tArrow  // ->
+	tCaret  // ^
+	tDCaret // ^^
+	tQMark  // ?
+	tBind   // ?X  (qmark immediately followed by ident)
+	tUse    // $X
+	tTilde  // ~
+	tDotDot // ..
+	tAt     // @
+	tColon  // :
+	tRegex  // /re/
+)
+
+var tokNames = map[tokKind]string{
+	tEOF: "end of query", tIdent: "identifier", tString: "string",
+	tNumber: "number", tLParen: "'('", tRParen: "')'", tLBrack: "'['",
+	tRBrack: "']'", tComma: "','", tStar: "'*'", tArrow: "'->'",
+	tCaret: "'^'", tDCaret: "'^^'", tQMark: "'?'", tBind: "'?var'",
+	tUse: "'$var'", tTilde: "'~'", tDotDot: "'..'", tAt: "'@'", tColon: "':'",
+	tRegex: "regular expression",
+}
+
+type token struct {
+	kind tokKind
+	text string // ident name, string contents, or number text
+	pos  int    // byte offset in input, for error messages
+}
+
+// ErrSyntax is the base error for lexical and parse failures.
+var ErrSyntax = errors.New("query: syntax error")
+
+func lexError(pos int, format string, args ...any) error {
+	return fmt.Errorf("%w at offset %d: %s", ErrSyntax, pos, fmt.Sprintf(format, args...))
+}
+
+// lex tokenizes a complete query string.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tLParen, "", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tRParen, "", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tLBrack, "", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tRBrack, "", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tComma, "", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tStar, "", i})
+			i++
+		case c == '~':
+			toks = append(toks, token{tTilde, "", i})
+			i++
+		case c == '@':
+			toks = append(toks, token{tAt, "", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tColon, "", i})
+			i++
+		case c == '$':
+			name, n := lexIdent(src[i+1:])
+			if name == "" {
+				return nil, lexError(i, "'$' must be followed by a variable name")
+			}
+			toks = append(toks, token{tUse, name, i})
+			i += 1 + n
+		case c == '?':
+			name, n := lexIdent(src[i+1:])
+			if name == "" {
+				toks = append(toks, token{tQMark, "", i})
+				i++
+			} else {
+				toks = append(toks, token{tBind, name, i})
+				i += 1 + n
+			}
+		case c == '^':
+			if i+1 < len(src) && src[i+1] == '^' {
+				toks = append(toks, token{tDCaret, "", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tCaret, "", i})
+				i++
+			}
+		case c == '-':
+			if i+1 < len(src) && src[i+1] == '>' {
+				toks = append(toks, token{tArrow, "", i})
+				i += 2
+				break
+			}
+			// negative number
+			num, n, err := lexNumber(src[i:])
+			if err != nil {
+				return nil, lexError(i, "%v", err)
+			}
+			toks = append(toks, token{tNumber, num, i})
+			i += n
+		case c == '.':
+			if i+1 < len(src) && src[i+1] == '.' {
+				toks = append(toks, token{tDotDot, "", i})
+				i += 2
+			} else {
+				return nil, lexError(i, "unexpected '.'")
+			}
+		case c == '"':
+			s, n, err := lexString(src[i:])
+			if err != nil {
+				return nil, lexError(i, "%v", err)
+			}
+			toks = append(toks, token{tString, s, i})
+			i += n
+		case c == '/':
+			s, n, err := lexRegex(src[i:])
+			if err != nil {
+				return nil, lexError(i, "%v", err)
+			}
+			toks = append(toks, token{tRegex, s, i})
+			i += n
+		case c >= '0' && c <= '9':
+			num, n, err := lexNumber(src[i:])
+			if err != nil {
+				return nil, lexError(i, "%v", err)
+			}
+			toks = append(toks, token{tNumber, num, i})
+			i += n
+		default:
+			name, n := lexIdent(src[i:])
+			if name == "" {
+				return nil, lexError(i, "unexpected character %q", c)
+			}
+			toks = append(toks, token{tIdent, name, i})
+			i += n
+		}
+	}
+	toks = append(toks, token{tEOF, "", len(src)})
+	return toks, nil
+}
+
+// lexIdent consumes a leading identifier (letter or '_' then letters, digits,
+// '_'), returning it and the number of bytes consumed.
+func lexIdent(s string) (string, int) {
+	if s == "" {
+		return "", 0
+	}
+	r := rune(s[0])
+	if !unicode.IsLetter(r) && r != '_' {
+		return "", 0
+	}
+	i := 1
+	for i < len(s) {
+		r := rune(s[i])
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			break
+		}
+		i++
+	}
+	return s[:i], i
+}
+
+// lexNumber consumes a leading (possibly negative, possibly fractional)
+// number. A '.' is part of the number only if followed by a digit, so that
+// range syntax "1..5" lexes as NUMBER DOTDOT NUMBER.
+func lexNumber(s string) (string, int, error) {
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		i++
+	}
+	start := i
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == start {
+		return "", 0, errors.New("malformed number")
+	}
+	if i+1 < len(s) && s[i] == '.' && s[i+1] >= '0' && s[i+1] <= '9' {
+		i++
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	}
+	return s[:i], i, nil
+}
+
+// lexString consumes a leading double-quoted string with the full Go escape
+// syntax (symmetric with the strconv.Quote printing the query renderer
+// uses), returning the unescaped contents and bytes consumed.
+func lexString(s string) (string, int, error) {
+	if s == "" || s[0] != '"' {
+		return "", 0, errors.New("malformed string")
+	}
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '\\':
+			i += 2 // skip the escaped character, whatever it is
+		case '"':
+			out, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", 0, fmt.Errorf("bad string literal: %v", err)
+			}
+			return out, i + 1, nil
+		default:
+			i++
+		}
+	}
+	return "", 0, errors.New("unterminated string")
+}
+
+// lexRegex consumes a '/'-delimited regular expression; "\/" escapes a
+// slash (the backslash is kept for any other escape, which the regexp
+// engine interprets).
+func lexRegex(s string) (string, int, error) {
+	if s == "" || s[0] != '/' {
+		return "", 0, errors.New("malformed regex")
+	}
+	var b []byte
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '/':
+			return string(b), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, errors.New("unterminated regex escape")
+			}
+			if s[i+1] == '/' {
+				b = append(b, '/')
+			} else {
+				b = append(b, s[i], s[i+1])
+			}
+			i += 2
+		default:
+			b = append(b, s[i])
+			i++
+		}
+	}
+	return "", 0, errors.New("unterminated regex")
+}

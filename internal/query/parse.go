@@ -1,0 +1,267 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/pattern"
+)
+
+// Parse parses a complete query in concrete syntax.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse for tests and examples with known-good queries; it
+// panics on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, lexError(t.pos, "expected %s, found %s", tokNames[k], tokNames[t.kind])
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	initial, err := p.expect(tIdent)
+	if err != nil {
+		return nil, fmt.Errorf("initial set: %w", err)
+	}
+	body, err := p.parseFilters(false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tArrow); err != nil {
+		return nil, fmt.Errorf("result binding: %w", err)
+	}
+	result, err := p.expect(tIdent)
+	if err != nil {
+		return nil, fmt.Errorf("result set name: %w", err)
+	}
+	if _, err := p.expect(tEOF); err != nil {
+		return nil, fmt.Errorf("after result set: %w", err)
+	}
+	return &Query{Initial: initial.text, Body: body, Result: result.text}, nil
+}
+
+// parseFilters parses a sequence of filters, stopping at '->', ']' or EOF.
+// Inside a block (inBlock) the sequence must be non-empty.
+func (p *parser) parseFilters(inBlock bool) ([]Node, error) {
+	var nodes []Node
+	for {
+		t := p.peek()
+		switch t.kind {
+		case tLParen:
+			n, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, n)
+		case tCaret, tDCaret:
+			p.next()
+			name, err := p.expect(tIdent)
+			if err != nil {
+				return nil, fmt.Errorf("dereference variable: %w", err)
+			}
+			nodes = append(nodes, Deref{Var: name.text, Keep: t.kind == tDCaret})
+		case tLBrack:
+			n, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, n)
+		default:
+			if inBlock && len(nodes) == 0 {
+				return nil, lexError(t.pos, "iterator body must contain at least one filter")
+			}
+			return nodes, nil
+		}
+	}
+}
+
+func (p *parser) parseBlock() (Node, error) {
+	if _, err := p.expect(tLBrack); err != nil {
+		return nil, err
+	}
+	body, err := p.parseFilters(true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tRBrack); err != nil {
+		return nil, fmt.Errorf("iterator body: %w", err)
+	}
+	if _, err := p.expect(tStar); err != nil {
+		return nil, fmt.Errorf("iterator count: %w", err)
+	}
+	t := p.next()
+	switch t.kind {
+	case tStar:
+		return Block{Body: body, K: Closure}, nil
+	case tNumber:
+		k, err := strconv.Atoi(t.text)
+		if err != nil || k < 1 {
+			return nil, lexError(t.pos, "iteration count must be a positive integer, got %q", t.text)
+		}
+		return Block{Body: body, K: k}, nil
+	default:
+		return nil, lexError(t.pos, "expected iteration count or '*', found %s", tokNames[t.kind])
+	}
+}
+
+func (p *parser) parseSelect() (Node, error) {
+	if _, err := p.expect(tLParen); err != nil {
+		return nil, err
+	}
+	tp, err := p.parseTypePattern()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, fmt.Errorf("after type pattern: %w", err)
+	}
+	key, err := p.parsePattern()
+	if err != nil {
+		return nil, fmt.Errorf("key pattern: %w", err)
+	}
+	if _, err := p.expect(tComma); err != nil {
+		return nil, fmt.Errorf("after key pattern: %w", err)
+	}
+	data, err := p.parsePattern()
+	if err != nil {
+		return nil, fmt.Errorf("data pattern: %w", err)
+	}
+	if _, err := p.expect(tRParen); err != nil {
+		return nil, fmt.Errorf("closing selection: %w", err)
+	}
+	return Select{Type: tp, Key: key, Data: data}, nil
+}
+
+func (p *parser) parseTypePattern() (pattern.TypePattern, error) {
+	t := p.next()
+	switch t.kind {
+	case tQMark:
+		return pattern.AnyType, nil
+	case tIdent:
+		return pattern.Type(t.text), nil
+	case tString:
+		return pattern.Type(t.text), nil
+	default:
+		return pattern.TypePattern{}, lexError(t.pos, "expected tuple type or '?', found %s", tokNames[t.kind])
+	}
+}
+
+func (p *parser) parsePattern() (pattern.P, error) {
+	t := p.next()
+	switch t.kind {
+	case tQMark:
+		return pattern.Any(), nil
+	case tBind:
+		return pattern.Bind(t.text), nil
+	case tUse:
+		return pattern.Use(t.text), nil
+	case tIdent:
+		return pattern.Str(t.text), nil
+	case tString:
+		return pattern.Str(t.text), nil
+	case tTilde:
+		s, err := p.expect(tString)
+		if err != nil {
+			return pattern.P{}, fmt.Errorf("substring pattern: %w", err)
+		}
+		return pattern.Substr(s.text), nil
+	case tRegex:
+		re, err := pattern.Regex(t.text)
+		if err != nil {
+			return pattern.P{}, lexError(t.pos, "%v", err)
+		}
+		return re, nil
+	case tArrow:
+		name, err := p.expect(tIdent)
+		if err != nil {
+			return pattern.P{}, fmt.Errorf("retrieval binding: %w", err)
+		}
+		return pattern.Fetch(name.text), nil
+	case tAt:
+		return p.parsePointerLit()
+	case tNumber:
+		lo, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return pattern.P{}, lexError(t.pos, "bad number %q", t.text)
+		}
+		if p.peek().kind == tDotDot {
+			p.next()
+			ht, err := p.expect(tNumber)
+			if err != nil {
+				return pattern.P{}, fmt.Errorf("range upper bound: %w", err)
+			}
+			hi, err := strconv.ParseFloat(ht.text, 64)
+			if err != nil {
+				return pattern.P{}, lexError(ht.pos, "bad number %q", ht.text)
+			}
+			if hi < lo {
+				return pattern.P{}, lexError(t.pos, "empty range %g..%g", lo, hi)
+			}
+			return pattern.Range(lo, hi), nil
+		}
+		if lo == float64(int64(lo)) {
+			return pattern.Lit(object.Int(int64(lo))), nil
+		}
+		return pattern.Lit(object.Float(lo)), nil
+	default:
+		return pattern.P{}, lexError(t.pos, "expected a pattern, found %s", tokNames[t.kind])
+	}
+}
+
+// parsePointerLit parses the id following '@': IDENT ':' NUMBER where the
+// ident is the "s<site>" birth-site form.
+func (p *parser) parsePointerLit() (pattern.P, error) {
+	site, err := p.expect(tIdent)
+	if err != nil {
+		return pattern.P{}, fmt.Errorf("pointer literal site: %w", err)
+	}
+	if _, err := p.expect(tColon); err != nil {
+		return pattern.P{}, fmt.Errorf("pointer literal: %w", err)
+	}
+	seq, err := p.expect(tNumber)
+	if err != nil {
+		return pattern.P{}, fmt.Errorf("pointer literal seq: %w", err)
+	}
+	id, err := object.ParseID(site.text + ":" + seq.text)
+	if err != nil {
+		return pattern.P{}, lexError(site.pos, "bad pointer literal: %v", err)
+	}
+	return pattern.Lit(object.Pointer(id)), nil
+}

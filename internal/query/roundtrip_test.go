@@ -1,0 +1,135 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/pattern"
+)
+
+// randQuery builds a random well-formed query AST, for the print/parse
+// round-trip property.
+func randQuery(rng *rand.Rand) *Query {
+	return &Query{
+		Initial: randIdent(rng),
+		Body:    randNodes(rng, 3, 2),
+		Result:  randIdent(rng),
+	}
+}
+
+func randIdent(rng *rand.Rand) string {
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+	n := 1 + rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	// Later characters may also be digits.
+	for i := 1; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			b[i] = byte('0' + rng.Intn(10))
+		}
+	}
+	return string(b)
+}
+
+func randNodes(rng *rand.Rand, maxLen, depth int) []Node {
+	n := 1 + rng.Intn(maxLen)
+	nodes := make([]Node, 0, n)
+	boundVar := ""
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(10); {
+		case k < 6 || depth == 0:
+			sel, bound := randSelect(rng)
+			if bound != "" {
+				boundVar = bound
+			}
+			nodes = append(nodes, sel)
+		case k < 8 && boundVar != "":
+			nodes = append(nodes, Deref{Var: boundVar, Keep: rng.Intn(2) == 0})
+		default:
+			kk := Closure
+			if rng.Intn(2) == 0 {
+				kk = 1 + rng.Intn(9)
+			}
+			nodes = append(nodes, Block{Body: randNodes(rng, 2, depth-1), K: kk})
+		}
+	}
+	return nodes
+}
+
+func randSelect(rng *rand.Rand) (Select, string) {
+	tp := pattern.AnyType
+	if rng.Intn(3) > 0 {
+		tp = pattern.Type(randIdent(rng))
+	}
+	var bound string
+	gen := func() pattern.P {
+		switch rng.Intn(8) {
+		case 0:
+			return pattern.Any()
+		case 1:
+			v := randIdent(rng)
+			bound = v
+			return pattern.Bind(v)
+		case 2:
+			if bound != "" {
+				return pattern.Use(bound)
+			}
+			return pattern.Any()
+		case 3:
+			return pattern.Str(randIdent(rng) + " with spaces \"quoted\" \\slash")
+		case 4:
+			return pattern.Substr(randIdent(rng))
+		case 5:
+			lo := float64(rng.Intn(100))
+			return pattern.Range(lo, lo+float64(rng.Intn(50)))
+		case 6:
+			return pattern.Lit(object.Int(int64(rng.Intn(2000) - 1000)))
+		default:
+			return pattern.Lit(object.Pointer(object.ID{
+				Birth: object.SiteID(1 + rng.Intn(9)),
+				Seq:   uint64(rng.Intn(1000)),
+			}))
+		}
+	}
+	return Select{Type: tp, Key: gen(), Data: gen()}, bound
+}
+
+// TestRandomQueryRoundTrip: printing any well-formed query and reparsing it
+// yields a structurally identical query.
+func TestRandomQueryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		q := randQuery(rng)
+		src := q.String()
+		got, err := Parse(src)
+		if err != nil {
+			t.Fatalf("iteration %d: Parse(%q): %v", i, src, err)
+		}
+		if !reflect.DeepEqual(q, got) {
+			t.Fatalf("iteration %d: round trip mismatch\nsrc:  %s\nwant: %#v\ngot:  %#v",
+				i, src, q, got)
+		}
+	}
+}
+
+// TestRandomQueryCompiles: every random well-formed query with its derefs
+// referring to bound variables compiles (or fails only with the
+// unbound-variable diagnostic when the random body unluckily derefs before
+// binding in scope).
+func TestRandomQueryCompiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	compiled := 0
+	for i := 0; i < 500; i++ {
+		q := randQuery(rng)
+		if _, err := Compile(q); err == nil {
+			compiled++
+		}
+	}
+	if compiled < 400 {
+		t.Errorf("only %d/500 random queries compiled", compiled)
+	}
+}

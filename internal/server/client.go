@@ -1,0 +1,211 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/transport"
+	"hyperfile/internal/wire"
+)
+
+// ErrTimeout is returned when the deadline passes; the accompanying Complete
+// (if non-nil) carries the partial answer recovered through an abort.
+var ErrTimeout = errors.New("server: query timed out")
+
+// Client is a HyperFile network client. Like the paper's experimental
+// client, it runs "at a separate machine from any of the servers": it has
+// its own site id and listener so originators can send Complete messages
+// directly to it.
+type Client struct {
+	tr *transport.TCP
+
+	mu           sync.Mutex
+	next         uint64
+	waiters      map[wire.QueryID]chan *wire.Complete
+	statsWaiters map[uint64]chan *wire.StatsResp
+	migWaiters   map[uint64]chan *wire.Migrated
+}
+
+// NewClient starts a client endpoint with the given (client) site id,
+// listening on addr ("127.0.0.1:0" for ephemeral).
+func NewClient(id object.SiteID, addr string) (*Client, error) {
+	c := &Client{
+		waiters:      make(map[wire.QueryID]chan *wire.Complete),
+		statsWaiters: make(map[uint64]chan *wire.StatsResp),
+		migWaiters:   make(map[uint64]chan *wire.Migrated),
+	}
+	tr, err := transport.ListenTCP(id, addr, c.onMessage)
+	if err != nil {
+		return nil, err
+	}
+	c.tr = tr
+	return c, nil
+}
+
+// Addr returns the client's listen address (servers must AddPeer it).
+func (c *Client) Addr() string { return c.tr.Addr() }
+
+// ID returns the client's site id.
+func (c *Client) ID() object.SiteID { return c.tr.Self() }
+
+// AddServer registers a server's address.
+func (c *Client) AddServer(id object.SiteID, addr string) { c.tr.AddPeer(id, addr) }
+
+// Close shuts the client down.
+func (c *Client) Close() { _ = c.tr.Close() }
+
+func (c *Client) onMessage(_ object.SiteID, m wire.Msg) {
+	switch m := m.(type) {
+	case *wire.Complete:
+		c.mu.Lock()
+		ch := c.waiters[m.QID]
+		delete(c.waiters, m.QID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	case *wire.StatsResp:
+		c.mu.Lock()
+		ch := c.statsWaiters[m.Seq]
+		delete(c.statsWaiters, m.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	case *wire.Migrated:
+		c.mu.Lock()
+		ch := c.migWaiters[m.Seq]
+		delete(c.migWaiters, m.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+// Migrate moves an object to another site (live, section 4). The request
+// goes to the object's presumed current owner — its birth site unless the
+// client knows better — and is forwarded along stale presumptions.
+func (c *Client) Migrate(id object.ID, to object.SiteID, timeout time.Duration) error {
+	c.mu.Lock()
+	c.next++
+	seq := c.next
+	ch := make(chan *wire.Migrated, 1)
+	c.migWaiters[seq] = ch
+	c.mu.Unlock()
+	req := &wire.Migrate{
+		Seq: seq, ID: id, To: to,
+		Client: c.tr.Self(), ClientAddr: c.tr.Addr(),
+	}
+	if err := c.tr.Send(id.Birth, req); err != nil {
+		c.mu.Lock()
+		delete(c.migWaiters, seq)
+		c.mu.Unlock()
+		return err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m := <-ch:
+		if !m.OK {
+			return fmt.Errorf("server: migration failed: %s", m.Err)
+		}
+		return nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.migWaiters, seq)
+		c.mu.Unlock()
+		return ErrTimeout
+	}
+}
+
+// Stats fetches a server's counters.
+func (c *Client) Stats(site object.SiteID, timeout time.Duration) (*wire.StatsResp, error) {
+	c.mu.Lock()
+	c.next++
+	seq := c.next
+	ch := make(chan *wire.StatsResp, 1)
+	c.statsWaiters[seq] = ch
+	c.mu.Unlock()
+	if err := c.tr.Send(site, &wire.StatsReq{Seq: seq, ClientAddr: c.tr.Addr()}); err != nil {
+		c.mu.Lock()
+		delete(c.statsWaiters, seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.statsWaiters, seq)
+		c.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// Exec submits a query to the originator site and waits for the answer. On
+// timeout it asks the originator to abort and returns the partial answer
+// with ErrTimeout.
+func (c *Client) Exec(origin object.SiteID, body string, initial []object.ID, timeout time.Duration) (*wire.Complete, error) {
+	c.mu.Lock()
+	c.next++
+	qid := wire.QueryID{Origin: origin, Seq: c.next}
+	ch := make(chan *wire.Complete, 1)
+	c.waiters[qid] = ch
+	c.mu.Unlock()
+
+	sub := &wire.Submit{
+		QID: qid, Client: c.tr.Self(), ClientAddr: c.tr.Addr(),
+		Body: body, Initial: initial,
+	}
+	if err := c.tr.Send(origin, sub); err != nil {
+		c.drop(qid)
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case cm := <-ch:
+		return c.finish(cm)
+	case <-timer.C:
+		// Ask the originator for whatever it has (a Finish from the client
+		// is the abort request).
+		c.mu.Lock()
+		c.waiters[qid] = ch
+		c.mu.Unlock()
+		if err := c.tr.Send(origin, &wire.Finish{QID: qid}); err != nil {
+			c.drop(qid)
+			return nil, fmt.Errorf("%w (abort also failed: %v)", ErrTimeout, err)
+		}
+		select {
+		case cm := <-ch:
+			res, err := c.finish(cm)
+			if err != nil {
+				return nil, err
+			}
+			return res, ErrTimeout
+		case <-time.After(5 * time.Second):
+			c.drop(qid)
+			return nil, ErrTimeout
+		}
+	}
+}
+
+func (c *Client) finish(cm *wire.Complete) (*wire.Complete, error) {
+	if cm.Err != "" {
+		return nil, fmt.Errorf("server: query failed: %s", cm.Err)
+	}
+	return cm, nil
+}
+
+func (c *Client) drop(qid wire.QueryID) {
+	c.mu.Lock()
+	delete(c.waiters, qid)
+	c.mu.Unlock()
+}

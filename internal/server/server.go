@@ -1,0 +1,211 @@
+// Package server runs a HyperFile site as a network service over the TCP
+// transport, and provides the matching client. This is the deployment shape
+// of the paper's prototype: one server process per machine, an experimental
+// client on a separate machine submitting queries and receiving results.
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/site"
+	"hyperfile/internal/transport"
+	"hyperfile/internal/wire"
+)
+
+// Server owns one Site on its own goroutine, fed by the TCP transport.
+type Server struct {
+	cfg site.Config
+	s   *site.Site
+	tr  *transport.TCP
+	lg  *slog.Logger
+
+	mu      sync.Mutex
+	mailbox []mail
+	wake    chan struct{}
+	quit    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+type mail struct {
+	from object.SiteID
+	msg  wire.Msg
+}
+
+// New starts a server for the given site configuration, listening on addr.
+// Pass logger nil for a default logger.
+func New(cfg site.Config, addr string, logger *slog.Logger) (*Server, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	srv := &Server{
+		cfg:  cfg,
+		s:    site.New(cfg),
+		lg:   logger.With("site", cfg.ID.String()),
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	tr, err := transport.ListenTCP(cfg.ID, addr, srv.post)
+	if err != nil {
+		return nil, err
+	}
+	srv.tr = tr
+	srv.wg.Add(1)
+	go srv.loop()
+	return srv, nil
+}
+
+// Addr returns the server's bound address.
+func (srv *Server) Addr() string { return srv.tr.Addr() }
+
+// ID returns the server's site id.
+func (srv *Server) ID() object.SiteID { return srv.tr.Self() }
+
+// AddPeer registers another site's (or a client's) address.
+func (srv *Server) AddPeer(id object.SiteID, addr string) { srv.tr.AddPeer(id, addr) }
+
+// Stats snapshots the underlying site's statistics. Values are exact only
+// while the server is idle.
+func (srv *Server) Stats() site.Stats {
+	ch := make(chan site.Stats, 1)
+	srv.postThunk(func() { ch <- srv.s.Stats() })
+	select {
+	case st := <-ch:
+		return st
+	case <-srv.quit:
+		return site.Stats{}
+	}
+}
+
+// post is the transport handler: enqueue and wake the site goroutine.
+func (srv *Server) post(from object.SiteID, m wire.Msg) {
+	srv.mu.Lock()
+	srv.mailbox = append(srv.mailbox, mail{from: from, msg: m})
+	srv.mu.Unlock()
+	srv.poke()
+}
+
+// postThunk runs f on the site goroutine (from == 0 marks thunks).
+func (srv *Server) postThunk(f func()) {
+	srv.mu.Lock()
+	srv.mailbox = append(srv.mailbox, mail{msg: thunkMsg{f}})
+	srv.mu.Unlock()
+	srv.poke()
+}
+
+// thunkMsg smuggles a closure through the mailbox.
+type thunkMsg struct{ f func() }
+
+func (thunkMsg) Kind() wire.Kind     { return wire.KInvalid }
+func (thunkMsg) Query() wire.QueryID { return wire.QueryID{} }
+
+func (srv *Server) poke() {
+	select {
+	case srv.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (srv *Server) take() (mail, bool) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.mailbox) == 0 {
+		return mail{}, false
+	}
+	m := srv.mailbox[0]
+	srv.mailbox = srv.mailbox[1:]
+	return m, true
+}
+
+func (srv *Server) loop() {
+	defer srv.wg.Done()
+	for {
+		select {
+		case <-srv.quit:
+			return
+		default:
+		}
+		if m, ok := srv.take(); ok {
+			if th, ok := m.msg.(thunkMsg); ok {
+				th.f()
+				continue
+			}
+			// Learn client addresses from messages that carry them.
+			switch cm := m.msg.(type) {
+			case *wire.Submit:
+				if cm.ClientAddr != "" {
+					srv.tr.AddPeer(cm.Client, cm.ClientAddr)
+				}
+			case *wire.StatsReq:
+				if cm.ClientAddr != "" {
+					srv.tr.AddPeer(m.from, cm.ClientAddr)
+				}
+			case *wire.Migrate:
+				if cm.ClientAddr != "" {
+					srv.tr.AddPeer(cm.Client, cm.ClientAddr)
+				}
+			case *wire.MigrateData:
+				if cm.ClientAddr != "" {
+					srv.tr.AddPeer(cm.Client, cm.ClientAddr)
+				}
+			}
+			out, err := srv.s.HandleMessage(m.from, m.msg)
+			if err != nil {
+				srv.lg.Error("message rejected", "from", m.from.String(),
+					"kind", m.msg.Kind().String(), "err", err)
+				continue
+			}
+			srv.dispatch(out)
+			continue
+		}
+		if srv.s.HasWork() {
+			_, envs, _, err := srv.s.Step()
+			if err != nil {
+				srv.lg.Error("engine step failed", "err", err)
+				return
+			}
+			srv.dispatch(envs)
+			continue
+		}
+		select {
+		case <-srv.quit:
+			return
+		case <-srv.wake:
+		}
+	}
+}
+
+func (srv *Server) dispatch(envs []wire.Envelope) {
+	for _, env := range envs {
+		if err := srv.tr.Send(env.To, env.Msg); err != nil {
+			// A down peer must not wedge the server: partial results are
+			// better than none. The termination credit on that message is
+			// lost; the client's timeout/abort path recovers.
+			srv.lg.Warn("send failed", "to", env.To.String(),
+				"kind", env.Msg.Kind().String(), "err", err)
+		}
+	}
+}
+
+// Close stops the server.
+func (srv *Server) Close() {
+	srv.once.Do(func() {
+		close(srv.quit)
+		srv.poke()
+		_ = srv.tr.Close()
+	})
+	srv.wg.Wait()
+}
+
+// LoadObjects installs objects into the server's store (setup time).
+func (srv *Server) LoadObjects(objs []*object.Object) error {
+	for _, o := range objs {
+		if err := srv.cfg.Store.Put(o); err != nil {
+			return fmt.Errorf("server: load %v: %w", o.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"hyperfile/internal/naming"
+	"hyperfile/internal/object"
+	"hyperfile/internal/site"
+	"hyperfile/internal/store"
+)
+
+// testDeployment spins n servers plus a client on loopback, fully meshed.
+func testDeployment(t *testing.T, n int) ([]*Server, []*store.Store, *Client) {
+	t.Helper()
+	servers := make([]*Server, n)
+	stores := make([]*store.Store, n)
+	ids := make([]object.SiteID, n)
+	for i := range ids {
+		ids[i] = object.SiteID(i + 1)
+	}
+	for i, id := range ids {
+		peers := make([]object.SiteID, 0, n-1)
+		for _, o := range ids {
+			if o != id {
+				peers = append(peers, o)
+			}
+		}
+		stores[i] = store.New(id)
+		srv, err := New(site.Config{ID: id, Store: stores[i], Peers: peers}, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		t.Cleanup(srv.Close)
+	}
+	for _, a := range servers {
+		for _, b := range servers {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	client, err := NewClient(100, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	for _, s := range servers {
+		client.AddServer(s.ID(), s.Addr())
+		s.AddPeer(client.ID(), client.Addr())
+	}
+	return servers, stores, client
+}
+
+// loadRing stores a cross-site ring of size objs*count.
+func loadServerRing(t *testing.T, stores []*store.Store, n int) []object.ID {
+	t.Helper()
+	objs := make([]*object.Object, n)
+	for i := range objs {
+		objs[i] = stores[i%len(stores)].NewObject()
+	}
+	ids := make([]object.ID, n)
+	for i, o := range objs {
+		ids[i] = o.ID
+		key := "cold"
+		if i%2 == 0 {
+			key = "hot"
+		}
+		o.Add("keyword", object.Keyword(key), object.Value{})
+		o.Add("Pointer", object.String("Reference"), object.Pointer(objs[(i+1)%n].ID))
+		if err := stores[i%len(stores)].Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+const tcpClosure = `S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, "hot", ?) -> T`
+
+func TestTCPQueryEndToEnd(t *testing.T) {
+	_, stores, client := testDeployment(t, 3)
+	ids := loadServerRing(t, stores, 30)
+	cm, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.IDs) != 15 || cm.Count != 15 {
+		t.Errorf("results = %d ids count %d, want 15", len(cm.IDs), cm.Count)
+	}
+}
+
+func TestTCPFetchValues(t *testing.T) {
+	_, stores, client := testDeployment(t, 2)
+	a := stores[0].NewObject().Add("String", object.String("Title"), object.String("A"))
+	b := stores[1].NewObject().Add("String", object.String("Title"), object.String("B"))
+	a.Add("Pointer", object.String("Reference"), object.Pointer(b.ID))
+	for i, o := range []*object.Object{a, b} {
+		if err := stores[i].Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cm, err := client.Exec(1,
+		`S (Pointer, "Reference", ?X) ^^X (String, "Title", ->title) -> T`,
+		[]object.ID{a.ID}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Fetches) != 2 {
+		t.Errorf("fetches = %v", cm.Fetches)
+	}
+}
+
+func TestTCPQueryError(t *testing.T) {
+	_, _, client := testDeployment(t, 1)
+	if _, err := client.Exec(1, "garbage", nil, 5*time.Second); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestTCPMultipleSequentialQueries(t *testing.T) {
+	_, stores, client := testDeployment(t, 3)
+	ids := loadServerRing(t, stores, 18)
+	for i := 0; i < 5; i++ {
+		cm, err := client.Exec(object.SiteID(i%3+1), tcpClosure, ids[:1], 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cm.IDs) != 9 {
+			t.Errorf("query %d: results = %d", i, len(cm.IDs))
+		}
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	_, stores, client := testDeployment(t, 3)
+	ids := loadServerRing(t, stores, 18)
+	errs := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		origin := object.SiteID(i%3 + 1)
+		go func() {
+			cm, err := client.Exec(origin, tcpClosure, ids[:1], 10*time.Second)
+			if err == nil && len(cm.IDs) != 9 {
+				err = errors.New("wrong result count")
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestTCPDownServerPartialResults(t *testing.T) {
+	servers, stores, client := testDeployment(t, 3)
+	ids := loadServerRing(t, stores, 12)
+	servers[2].Close() // site 3 goes down
+	cm, err := client.Exec(1, tcpClosure, ids[:1], 2*time.Second)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if cm == nil || !cm.Partial {
+		t.Fatalf("expected partial answer, got %+v", cm)
+	}
+	for _, id := range cm.IDs {
+		if id.Birth == 3 {
+			t.Errorf("result %v from downed site", id)
+		}
+	}
+	// The surviving sites keep answering (initial set avoids the dead site).
+	cm2, err := client.Exec(2, `S (keyword, "hot", ?) -> T`, ids[0:2], 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm2.IDs) != 1 {
+		t.Errorf("follow-up results = %v", cm2.IDs)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	servers, stores, client := testDeployment(t, 2)
+	ids := loadServerRing(t, stores, 8)
+	if _, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The ring alternates sites, so site 1 must have sent remote derefs and
+	// completed the query; site 2 must have processed objects.
+	st1 := servers[0].Stats()
+	st2 := servers[1].Stats()
+	if st1.DerefsSent == 0 || st1.Completed != 1 {
+		t.Errorf("site 1 stats: %+v", st1)
+	}
+	if st2.Engine.Processed != 4 {
+		t.Errorf("site 2 processed %d, want 4", st2.Engine.Processed)
+	}
+}
+
+func TestClientStats(t *testing.T) {
+	_, stores, client := testDeployment(t, 2)
+	ids := loadServerRing(t, stores, 6)
+	if _, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Stats(1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Site != 1 || resp.Objects != 3 {
+		t.Errorf("stats = %+v", resp)
+	}
+	counters := map[string]uint64{}
+	for _, c := range resp.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["completed"] != 1 || counters["objects_processed"] == 0 {
+		t.Errorf("counters = %v", counters)
+	}
+	// Stats from a dead site time out.
+	if _, err := client.Stats(9, 200*time.Millisecond); err == nil {
+		t.Error("expected stats error for unknown site")
+	}
+}
+
+func TestServerSurvivesGarbageFrames(t *testing.T) {
+	servers, stores, client := testDeployment(t, 1)
+	o := stores[0].NewObject().Add("keyword", object.Keyword("ok"), object.Value{})
+	if err := stores[0].Put(o); err != nil {
+		t.Fatal(err)
+	}
+	// Raw garbage on the wire: the server drops the connection and keeps
+	// serving everyone else.
+	conn, err := net.Dial("tcp", servers[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0, 0, 0, 4, 0, 0, 0, 9, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// A protocol-legal but misdirected message (Complete at a server) is
+	// rejected by the site and logged; the server keeps serving too.
+	cm, err := client.Exec(1, `S (keyword, "ok", ?) -> T`, []object.ID{o.ID}, 5*time.Second)
+	if err != nil || len(cm.IDs) != 1 {
+		t.Fatalf("exec after garbage: %v %v", cm, err)
+	}
+}
+
+// TestContextsCleanedAcrossManyQueries: contexts must not leak.
+func TestContextsCleanedAcrossManyQueries(t *testing.T) {
+	servers, stores, client := testDeployment(t, 2)
+	ids := loadServerRing(t, stores, 8)
+	for i := 0; i < 10; i++ {
+		if _, err := client.Exec(object.SiteID(i%2+1), tcpClosure, ids[:1], 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, srv := range servers {
+		resp, err := client.Stats(srv.ID(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Contexts != 0 {
+			t.Errorf("site %v leaks %d contexts", resp.Site, resp.Contexts)
+		}
+	}
+}
+
+// BenchmarkTCPQuery measures end-to-end distributed query latency over real
+// loopback TCP (two sites, cross-site ring of 8).
+func BenchmarkTCPQuery(b *testing.B) {
+	stores := []*store.Store{store.New(1), store.New(2)}
+	var servers []*Server
+	for i, st := range stores {
+		id := object.SiteID(i + 1)
+		peer := object.SiteID(2 - i)
+		srv, err := New(site.Config{ID: id, Store: st, Peers: []object.SiteID{peer}}, "127.0.0.1:0", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+	}
+	servers[0].AddPeer(2, servers[1].Addr())
+	servers[1].AddPeer(1, servers[0].Addr())
+	client, err := NewClient(100, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	for _, s := range servers {
+		client.AddServer(s.ID(), s.Addr())
+		s.AddPeer(client.ID(), client.Addr())
+	}
+	objs := make([]*object.Object, 8)
+	for i := range objs {
+		objs[i] = stores[i%2].NewObject()
+	}
+	var root object.ID
+	for i, o := range objs {
+		if i == 0 {
+			root = o.ID
+		}
+		o.Add("keyword", object.Keyword("hot"), object.Value{})
+		o.Add("Pointer", object.String("Reference"), object.Pointer(objs[(i+1)%8].ID))
+		if err := stores[i%2].Put(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm, err := client.Exec(1, tcpClosure, []object.ID{root}, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cm.IDs) != 8 {
+			b.Fatalf("results = %d", len(cm.IDs))
+		}
+	}
+}
+
+// TestTCPLiveMigration exercises the full migration protocol over real TCP:
+// Migrate -> MigrateData -> MigrateDone -> Migrated, then queries that
+// forward through the naming chain.
+func TestTCPLiveMigration(t *testing.T) {
+	const n = 3
+	stores := make([]*store.Store, n)
+	dirs := make([]*naming.Directory, n)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		id := object.SiteID(i + 1)
+		stores[i] = store.New(id)
+		dirs[i] = naming.New(id)
+		var peers []object.SiteID
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, object.SiteID(j+1))
+			}
+		}
+		srv, err := New(site.Config{
+			ID: id, Store: stores[i], Router: dirs[i], Directory: dirs[i], Peers: peers,
+		}, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		servers[i] = srv
+	}
+	for _, a := range servers {
+		for _, b := range servers {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	client, err := NewClient(100, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for _, s := range servers {
+		client.AddServer(s.ID(), s.Addr())
+		s.AddPeer(client.ID(), client.Addr())
+	}
+
+	// Ring of 6 with naming registration.
+	objs := make([]*object.Object, 6)
+	for i := range objs {
+		objs[i] = stores[i%n].NewObject()
+	}
+	ids := make([]object.ID, 6)
+	for i, o := range objs {
+		ids[i] = o.ID
+		o.Add("keyword", object.Keyword("hot"), object.Value{})
+		o.Add("Pointer", object.String("Reference"), object.Pointer(objs[(i+1)%6].ID))
+		if err := stores[i%n].Put(o); err != nil {
+			t.Fatal(err)
+		}
+		dirs[i%n].Register(o.ID)
+	}
+
+	// Move ids[1] (born at site 2) to site 3, live.
+	if err := client.Migrate(ids[1], 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stores[2].Get(ids[1]); !ok {
+		t.Error("object missing at new site")
+	}
+	// Full closure still answers via forwarding.
+	cm, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.IDs) != 6 {
+		t.Errorf("results after migration = %d, want 6", len(cm.IDs))
+	}
+	// Second move goes through the birth site's (eventually updated)
+	// authority chain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err = client.Migrate(ids[1], 1, 5*time.Second); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second migration never succeeded: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, ok := stores[0].Get(ids[1]); !ok {
+		t.Error("object missing after second migration")
+	}
+	// Migration of a nonexistent object reports failure.
+	if err := client.Migrate(object.ID{Birth: 1, Seq: 9999}, 2, 5*time.Second); err == nil {
+		t.Error("expected failure for unknown object")
+	}
+}
+
+func TestLoadObjects(t *testing.T) {
+	servers, stores, client := testDeployment(t, 1)
+	o := stores[0].NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	if err := servers[0].LoadObjects([]*object.Object{o}); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := client.Exec(1, `S (keyword, "hot", ?) -> T`, []object.ID{o.ID}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.IDs) != 1 {
+		t.Errorf("results = %v", cm.IDs)
+	}
+}

@@ -1,0 +1,97 @@
+// Package sim provides a deterministic discrete-event simulator used to
+// reproduce the paper's timed experiments on any host.
+//
+// The paper's prototype ran on IBM PC/RTs over an Ethernet; its evaluation is
+// driven entirely by a handful of measured cost constants (section 5): ~8 ms
+// to process one object, ~20 ms to add an object to a result set, ~50 ms per
+// remote dereference message, and ~50 ms per remote result message. The
+// simulator models each site as a serial CPU and the network as point-to-
+// point links with latency, charging exactly those constants (see CostModel),
+// which preserves the tradeoffs the evaluation studies — parallelism vs.
+// message overhead vs. transit delay — while keeping runs deterministic.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Loop is a discrete-event loop with a virtual clock. The zero value is
+// ready to use. Loop is not safe for concurrent use: everything runs on the
+// caller's goroutine inside Run.
+type Loop struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tie-break for determinism
+	run func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// At schedules f to run at absolute virtual time t (clamped to now).
+func (l *Loop) At(t time.Duration, f func()) {
+	if t < l.now {
+		t = l.now
+	}
+	l.seq++
+	heap.Push(&l.events, event{at: t, seq: l.seq, run: f})
+}
+
+// After schedules f to run d after the current virtual time.
+func (l *Loop) After(d time.Duration, f func()) { l.At(l.now+d, f) }
+
+// Run executes events in time order until none remain, returning the final
+// virtual time.
+func (l *Loop) Run() time.Duration {
+	for l.events.Len() > 0 {
+		e := heap.Pop(&l.events).(event)
+		l.now = e.at
+		e.run()
+	}
+	return l.now
+}
+
+// RunUntil executes events until the predicate holds (checked after each
+// event) or no events remain. It reports whether the predicate held.
+func (l *Loop) RunUntil(pred func() bool) bool {
+	if pred() {
+		return true
+	}
+	for l.events.Len() > 0 {
+		e := heap.Pop(&l.events).(event)
+		l.now = e.at
+		e.run()
+		if pred() {
+			return true
+		}
+	}
+	return pred()
+}
+
+// Pending returns the number of scheduled events.
+func (l *Loop) Pending() int { return l.events.Len() }

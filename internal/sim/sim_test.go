@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var l Loop
+	var got []int
+	l.At(30*time.Millisecond, func() { got = append(got, 3) })
+	l.At(10*time.Millisecond, func() { got = append(got, 1) })
+	l.At(20*time.Millisecond, func() { got = append(got, 2) })
+	end := l.Run()
+	if end != 30*time.Millisecond {
+		t.Errorf("end time = %v", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var l Loop
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	var l Loop
+	var at time.Duration
+	l.At(10*time.Millisecond, func() {
+		l.After(5*time.Millisecond, func() { at = l.Now() })
+	})
+	l.Run()
+	if at != 15*time.Millisecond {
+		t.Errorf("After fired at %v", at)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	var l Loop
+	var at time.Duration
+	l.At(10*time.Millisecond, func() {
+		l.At(1*time.Millisecond, func() { at = l.Now() }) // in the past
+	})
+	l.Run()
+	if at != 10*time.Millisecond {
+		t.Errorf("past event fired at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestEventsCanCascade(t *testing.T) {
+	var l Loop
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			l.After(time.Millisecond, step)
+		}
+	}
+	l.After(0, step)
+	end := l.Run()
+	if count != 100 {
+		t.Errorf("count = %d", count)
+	}
+	if end != 99*time.Millisecond {
+		t.Errorf("end = %v", end)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var l Loop
+	count := 0
+	for i := 0; i < 10; i++ {
+		l.At(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	ok := l.RunUntil(func() bool { return count == 5 })
+	if !ok || count != 5 {
+		t.Errorf("RunUntil stopped at count=%d ok=%v", count, ok)
+	}
+	if l.Pending() != 5 {
+		t.Errorf("Pending = %d", l.Pending())
+	}
+	// Resume to completion.
+	l.Run()
+	if count != 10 {
+		t.Errorf("after Run count = %d", count)
+	}
+}
+
+func TestRunUntilUnsatisfied(t *testing.T) {
+	var l Loop
+	l.After(time.Millisecond, func() {})
+	if l.RunUntil(func() bool { return false }) {
+		t.Error("RunUntil reported satisfied")
+	}
+}
+
+func TestPaperCostModel(t *testing.T) {
+	cm := Paper()
+	if cm.ProcessObject != 8*time.Millisecond || cm.AddResult != 20*time.Millisecond {
+		t.Errorf("per-object constants wrong: %+v", cm)
+	}
+	total := cm.SendMsg + cm.RecvMsg + cm.Latency
+	if total != 50*time.Millisecond {
+		t.Errorf("remote message total = %v, want the paper's 50ms", total)
+	}
+}

@@ -1,0 +1,259 @@
+package site
+
+import (
+	"fmt"
+
+	"hyperfile/internal/engine"
+	"hyperfile/internal/object"
+	"hyperfile/internal/query"
+	"hyperfile/internal/termination"
+	"hyperfile/internal/wire"
+)
+
+// HandleMessage processes one inbound message and returns the envelopes to
+// deliver in response.
+func (s *Site) HandleMessage(from object.SiteID, m wire.Msg) ([]wire.Envelope, error) {
+	switch m := m.(type) {
+	case *wire.Submit:
+		return s.handleSubmit(m)
+	case *wire.Deref:
+		return s.handleDeref(from, m)
+	case *wire.Seed:
+		return s.handleSeed(from, m)
+	case *wire.Result:
+		return s.handleResult(from, m)
+	case *wire.Control:
+		return s.handleControl(from, m)
+	case *wire.Finish:
+		return s.handleFinish(from, m), nil
+	case *wire.StatsReq:
+		return []wire.Envelope{{To: from, Msg: s.statsResp(m.Seq)}}, nil
+	case *wire.Migrate:
+		return s.handleMigrate(m)
+	case *wire.MigrateData:
+		return s.handleMigrateData(m)
+	case *wire.MigrateDone:
+		s.handleMigrateDone(m)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: unexpected %v message at server site", ErrProtocol, m.Kind())
+	}
+}
+
+// statsResp snapshots the site's counters for administration clients.
+func (s *Site) statsResp(seq uint64) *wire.StatsResp {
+	st := s.Stats()
+	return &wire.StatsResp{
+		Seq:      seq,
+		Site:     s.cfg.ID,
+		Contexts: uint64(len(s.contexts)),
+		Objects:  uint64(s.cfg.Store.Len()),
+		Counters: []wire.Counter{
+			{Name: "derefs_sent", Value: uint64(st.DerefsSent)},
+			{Name: "derefs_received", Value: uint64(st.DerefsReceived)},
+			{Name: "results_sent", Value: uint64(st.ResultsSent)},
+			{Name: "results_received", Value: uint64(st.ResultsReceived)},
+			{Name: "controls_sent", Value: uint64(st.ControlsSent)},
+			{Name: "controls_received", Value: uint64(st.ControlsReceived)},
+			{Name: "forwards", Value: uint64(st.Forwards)},
+			{Name: "completed", Value: uint64(st.Completed)},
+			{Name: "objects_processed", Value: uint64(st.Engine.Processed)},
+			{Name: "results_added", Value: uint64(st.Engine.Results)},
+			{Name: "duplicates_skipped", Value: uint64(st.Engine.Skipped)},
+			{Name: "missing_objects", Value: uint64(st.Engine.Missing)},
+			{Name: "disk_reads", Value: uint64(s.cfg.Store.DiskReads())},
+		},
+	}
+}
+
+// handleSubmit sets up the originator context and seeds the working set.
+func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
+	if _, ok := s.contexts[m.QID]; ok {
+		return nil, fmt.Errorf("%w: duplicate submit for %v", ErrProtocol, m.QID)
+	}
+	parsed, err := query.Parse(m.Body)
+	var compiled *query.Compiled
+	if err == nil {
+		compiled, err = query.Compile(parsed)
+	}
+	if err != nil {
+		// Reject at submission time: the client gets the error, no context
+		// is created anywhere.
+		return []wire.Envelope{{To: m.Client, Msg: &wire.Complete{
+			QID: m.QID, Err: err.Error(),
+		}}}, nil
+	}
+	ctx := s.newCtx(m.QID, s.cfg.ID, m.Body, compiled)
+	ctx.client = m.Client
+
+	var out []wire.Envelope
+	if m.InitialFromResultOf != (wire.QueryID{}) {
+		// Distributed-set seeding: use the local retained portion, and ask
+		// every peer to seed from its own.
+		if prev, ok := s.contexts[m.InitialFromResultOf]; ok {
+			ctx.eng.AddInitial(prev.retained...)
+		}
+		for _, peer := range s.cfg.Peers {
+			tok, err := ctx.det.OnSend(peer)
+			if err != nil {
+				return out, err
+			}
+			s.stats.SeedsSent++
+			out = append(out, wire.Envelope{To: peer, Msg: &wire.Seed{
+				QID: m.QID, Origin: s.cfg.ID, Body: m.Body,
+				FromQID: m.InitialFromResultOf, Token: tok,
+			}})
+		}
+	} else {
+		for _, id := range m.Initial {
+			if owner, _ := s.cfg.Router.Owner(id); owner == s.cfg.ID {
+				ctx.eng.AddInitial(id)
+				continue
+			}
+			env, ok, err := s.sendDeref(ctx, engine.RemoteRef{ID: id, Start: 0})
+			if err != nil {
+				return out, err
+			}
+			if ok {
+				out = append(out, env)
+			}
+		}
+	}
+	return s.afterEvent(ctx, out)
+}
+
+// handleDeref installs the context if needed and enqueues the object — or
+// forwards the message when the object has moved (section 4 naming).
+func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, error) {
+	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.DerefsReceived++
+	out, err := s.ingestToken(ctx, from, m.Token)
+	if err != nil {
+		return out, err
+	}
+	if ctx.finished {
+		// Late work for a finished (retained) query: nothing to process.
+		return s.afterEvent(ctx, out)
+	}
+	if _, ok := s.cfg.Store.Get(m.ObjID); !ok {
+		if owner, _ := s.cfg.Router.Owner(m.ObjID); owner != s.cfg.ID {
+			// The object lives elsewhere (moved, or the sender's presumed
+			// location was stale): forward the dereference.
+			tok, err := ctx.det.OnSend(owner)
+			if err != nil {
+				return out, err
+			}
+			s.stats.Forwards++
+			s.stats.DerefsSent++
+			out = append(out, wire.Envelope{To: owner, Msg: &wire.Deref{
+				QID: m.QID, Origin: m.Origin, Body: m.Body,
+				ObjID: m.ObjID, Start: m.Start, Iters: m.Iters, Token: tok,
+			}})
+			return s.afterEvent(ctx, out)
+		}
+		// Born/owned here but gone: enqueue anyway; the engine records it
+		// missing and the query proceeds with partial results.
+	}
+	ctx.eng.Enqueue(engine.Item{ID: m.ObjID, Start: m.Start, Iters: m.Iters})
+	return s.afterEvent(ctx, out)
+}
+
+// handleSeed seeds a context from the retained results of a previous query.
+func (s *Site) handleSeed(from object.SiteID, m *wire.Seed) ([]wire.Envelope, error) {
+	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.SeedsReceived++
+	out, err := s.ingestToken(ctx, from, m.Token)
+	if err != nil {
+		return out, err
+	}
+	if prev, ok := s.contexts[m.FromQID]; ok {
+		ctx.eng.AddInitial(prev.retained...)
+	}
+	return s.afterEvent(ctx, out)
+}
+
+// ingestToken runs the termination detector's work-received hook and wraps
+// any immediate control responses.
+func (s *Site) ingestToken(ctx *qctx, from object.SiteID, token []byte) ([]wire.Envelope, error) {
+	ctls, err := ctx.det.OnWorkReceived(from, token)
+	if err != nil {
+		return nil, err
+	}
+	return s.controlEnvelopes(ctx, ctls), nil
+}
+
+func (s *Site) controlEnvelopes(ctx *qctx, ctls []termination.ControlMsg) []wire.Envelope {
+	var out []wire.Envelope
+	for _, c := range ctls {
+		s.stats.ControlsSent++
+		out = append(out, wire.Envelope{To: c.To, Msg: &wire.Control{
+			QID: ctx.qid, Token: c.Token,
+		}})
+	}
+	return out
+}
+
+// handleResult installs a flush from a participant into the originator's
+// accumulated answer.
+func (s *Site) handleResult(from object.SiteID, m *wire.Result) ([]wire.Envelope, error) {
+	ctx, ok := s.contexts[m.QID]
+	if !ok || !ctx.isOrigin {
+		return nil, fmt.Errorf("%w: result for %v at non-originator %v", ErrProtocol, m.QID, s.cfg.ID)
+	}
+	s.stats.ResultsReceived++
+	for _, id := range m.IDs {
+		ctx.results.Add(id)
+	}
+	ctx.count += m.Count
+	ctx.fetches = append(ctx.fetches, m.Fetches...)
+	if m.Retained {
+		ctx.distributed = true
+	}
+	if len(m.Token) > 0 {
+		if err := ctx.det.OnControl(from, m.Token); err != nil {
+			return nil, err
+		}
+	}
+	return s.afterEvent(ctx, nil)
+}
+
+// handleControl feeds a standalone detection token to the context.
+func (s *Site) handleControl(from object.SiteID, m *wire.Control) ([]wire.Envelope, error) {
+	ctx, ok := s.contexts[m.QID]
+	if !ok {
+		// The query is gone (finished and discarded); stale tokens are
+		// harmless.
+		return nil, nil
+	}
+	s.stats.ControlsReceived++
+	if err := ctx.det.OnControl(from, m.Token); err != nil {
+		return nil, err
+	}
+	return s.afterEvent(ctx, nil)
+}
+
+// handleFinish discards (or retains) a participant context after global
+// termination. A Finish sent by the *client* for a query this site
+// originated is an abort request: the client timed out and wants whatever
+// partial answer exists.
+func (s *Site) handleFinish(from object.SiteID, m *wire.Finish) []wire.Envelope {
+	ctx, ok := s.contexts[m.QID]
+	if !ok {
+		return nil
+	}
+	if ctx.isOrigin && from == ctx.client && !ctx.finished {
+		return s.Abort(m.QID)
+	}
+	if m.Retain {
+		ctx.finished = true
+		return nil
+	}
+	s.dropCtx(m.QID)
+	return nil
+}

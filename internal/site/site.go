@@ -1,0 +1,258 @@
+// Package site implements a HyperFile server site: per-query contexts, the
+// "send the query, not the data" protocol of section 3.2, result routing
+// directly to the originating site, termination detection, and the
+// distributed-set refinement of section 5.
+//
+// A Site is a transport-agnostic state machine: messages go in through
+// HandleMessage, engine work is advanced one object at a time through Step,
+// and both return the envelopes to deliver. All sites run an identical
+// algorithm, exactly as in the paper. A Site is not safe for concurrent use;
+// each runner (simulator event loop or per-site goroutine) owns one Site.
+package site
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hyperfile/internal/engine"
+	"hyperfile/internal/naming"
+	"hyperfile/internal/object"
+	"hyperfile/internal/query"
+	"hyperfile/internal/store"
+	"hyperfile/internal/termination"
+	"hyperfile/internal/wire"
+)
+
+// Router supplies each site's knowledge of object locations. The second
+// result reports whether the answer is authoritative (see naming.Directory).
+type Router interface {
+	Owner(object.ID) (object.SiteID, bool)
+}
+
+// BirthRouter routes every object to its birth site — the static placement
+// used when objects never migrate.
+type BirthRouter struct{}
+
+// Owner returns the id's birth site, authoritatively.
+func (BirthRouter) Owner(id object.ID) (object.SiteID, bool) { return id.Birth, true }
+
+var _ Router = BirthRouter{}
+
+// Config configures a Site.
+type Config struct {
+	// ID is this site's identity.
+	ID object.SiteID
+	// Store holds this site's objects.
+	Store *store.Store
+	// Router locates objects; nil means BirthRouter.
+	Router Router
+	// Directory, when set, is this site's mutable naming state (usually the
+	// same value as Router); it enables live object migration.
+	Directory *naming.Directory
+	// Peers lists the other server sites (for the Finish broadcast).
+	Peers []object.SiteID
+	// Order is the working-set discipline.
+	Order engine.Order
+	// TermMode selects the termination-detection algorithm.
+	TermMode termination.Mode
+	// ResultBatch caps ids per Result message; 0 means unbounded.
+	ResultBatch int
+	// DistributedSetThreshold, when positive, makes a participant withhold
+	// its local result ids and report only a count whenever a drain yields
+	// more than this many results (the paper's distributed-set refinement).
+	DistributedSetThreshold int
+	// GlobalMarks, when non-nil, is a shared global mark table consulted
+	// before sending any dereference: a (query, object, start) already sent
+	// by anyone is suppressed. This models the design alternative the paper
+	// rejects ("the cost in communications and complexity of such a global
+	// table would outweigh the cost of the extra messages") as a zero-cost
+	// oracle, for ablation measurements.
+	GlobalMarks *GlobalMarks
+}
+
+// Stats counts a site's protocol activity.
+type Stats struct {
+	DerefsSent       int
+	DerefsReceived   int
+	ResultsSent      int
+	ResultsReceived  int
+	ControlsSent     int
+	ControlsReceived int
+	SeedsSent        int
+	SeedsReceived    int
+	Forwards         int
+	Completed        int
+	MigrationsOut    int
+	MigrationsIn     int
+	Engine           engine.Stats
+}
+
+// Site is one HyperFile server.
+type Site struct {
+	cfg      Config
+	contexts map[wire.QueryID]*qctx
+	// order preserves context creation order for deterministic round-robin
+	// stepping.
+	order  []wire.QueryID
+	cursor int
+	stats  Stats
+}
+
+// qctx is the paper's per-site query context: identity, body, working set
+// (inside the engine), mark table (inside the engine), local results, and
+// detector state.
+type qctx struct {
+	qid    wire.QueryID
+	origin object.SiteID
+	body   string
+	eng    *engine.Engine
+	det    termination.Detector
+
+	isOrigin bool
+	finished bool
+
+	// Originator-side accumulation.
+	client      object.SiteID
+	results     object.IDSet
+	fetches     []wire.FetchVal
+	count       int
+	distributed bool
+
+	// Participant-side retention for the distributed-set refinement.
+	retained []object.ID
+}
+
+// New returns a site with the given configuration.
+func New(cfg Config) *Site {
+	if cfg.Router == nil {
+		cfg.Router = BirthRouter{}
+	}
+	return &Site{cfg: cfg, contexts: make(map[wire.QueryID]*qctx)}
+}
+
+// ID returns the site's identity.
+func (s *Site) ID() object.SiteID { return s.cfg.ID }
+
+// Stats returns cumulative protocol statistics including engine work of all
+// live contexts.
+func (s *Site) Stats() Stats {
+	st := s.stats
+	for _, ctx := range s.contexts {
+		st.Engine.Add(ctx.eng.Stats())
+	}
+	return st
+}
+
+// HasWork reports whether any query context has working-set items.
+func (s *Site) HasWork() bool {
+	for _, ctx := range s.contexts {
+		if ctx.eng.HasWork() {
+			return true
+		}
+	}
+	return false
+}
+
+// Contexts returns the number of live query contexts.
+func (s *Site) Contexts() int { return len(s.contexts) }
+
+// ErrProtocol is the base error for messages that violate the protocol.
+var ErrProtocol = errors.New("site: protocol error")
+
+// GlobalMarks is a cluster-wide mark table for the ablation described on
+// Config.GlobalMarks. It is safe for concurrent use.
+type GlobalMarks struct {
+	mu sync.Mutex
+	m  map[globalMark]struct{}
+}
+
+type globalMark struct {
+	qid   wire.QueryID
+	id    object.ID
+	start int
+}
+
+// NewGlobalMarks returns an empty global mark table.
+func NewGlobalMarks() *GlobalMarks {
+	return &GlobalMarks{m: make(map[globalMark]struct{})}
+}
+
+// TestAndSet records the mark and reports whether it was already present.
+func (g *GlobalMarks) TestAndSet(qid wire.QueryID, id object.ID, start int) bool {
+	k := globalMark{qid: qid, id: id, start: start}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.m[k]; ok {
+		return true
+	}
+	g.m[k] = struct{}{}
+	return false
+}
+
+// routerLocator adapts a Router to the engine's locality test.
+type routerLocator struct {
+	r    Router
+	self object.SiteID
+}
+
+func (l routerLocator) IsLocal(id object.ID) bool {
+	owner, _ := l.r.Owner(id)
+	return owner == l.self
+}
+
+// newCtx builds a context for a query. body must already be validated when
+// isOrigin; participants trust the originator's body.
+func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, compiled *query.Compiled) *qctx {
+	ctx := &qctx{
+		qid:    qid,
+		origin: origin,
+		body:   body,
+		eng: engine.New(compiled, s.cfg.Store,
+			engine.WithLocator(routerLocator{r: s.cfg.Router, self: s.cfg.ID}),
+			engine.WithOrder(s.cfg.Order)),
+		det:      termination.New(s.cfg.TermMode, s.cfg.ID, origin),
+		isOrigin: origin == s.cfg.ID,
+		results:  make(object.IDSet),
+	}
+	s.contexts[qid] = ctx
+	s.order = append(s.order, qid)
+	return ctx
+}
+
+// ctxFor returns the context for qid, creating it from a Deref/Seed message
+// when this site sees the query for the first time ("the setup cost
+// associated with the query is only required once at each involved site").
+func (s *Site) ctxFor(qid wire.QueryID, origin object.SiteID, body string) (*qctx, error) {
+	if ctx, ok := s.contexts[qid]; ok {
+		return ctx, nil
+	}
+	parsed, err := query.Parse(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: query %v body does not parse: %v", ErrProtocol, qid, err)
+	}
+	compiled, err := query.Compile(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: query %v body does not compile: %v", ErrProtocol, qid, err)
+	}
+	return s.newCtx(qid, origin, body, compiled), nil
+}
+
+// dropCtx removes a context, folding its engine statistics into the site's.
+func (s *Site) dropCtx(qid wire.QueryID) {
+	ctx, ok := s.contexts[qid]
+	if !ok {
+		return
+	}
+	s.stats.Engine.Add(ctx.eng.Stats())
+	delete(s.contexts, qid)
+	for i, id := range s.order {
+		if id == qid {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if s.cursor >= len(s.order) {
+		s.cursor = 0
+	}
+}

@@ -1,0 +1,390 @@
+package site
+
+import (
+	"errors"
+	"testing"
+
+	"hyperfile/internal/naming"
+	"hyperfile/internal/object"
+	"hyperfile/internal/store"
+	"hyperfile/internal/termination"
+	"hyperfile/internal/wire"
+)
+
+const client object.SiteID = 99
+
+// harness drives sites synchronously: it delivers envelopes immediately and
+// steps sites until quiescent, collecting client-bound messages.
+type harness struct {
+	t         *testing.T
+	sites     map[object.SiteID]*Site
+	dirs      map[object.SiteID]*naming.Directory
+	completes []*wire.Complete
+}
+
+func newHarness(t *testing.T, n int, tweak func(*Config)) *harness {
+	t.Helper()
+	h := &harness{t: t, sites: make(map[object.SiteID]*Site)}
+	ids := make([]object.SiteID, n)
+	for i := range ids {
+		ids[i] = object.SiteID(i + 1)
+	}
+	for _, id := range ids {
+		peers := make([]object.SiteID, 0, n-1)
+		for _, o := range ids {
+			if o != id {
+				peers = append(peers, o)
+			}
+		}
+		cfg := Config{ID: id, Store: store.New(id), Peers: peers}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		h.sites[id] = New(cfg)
+	}
+	return h
+}
+
+func (h *harness) store(id object.SiteID) *store.Store { return h.sites[id].cfg.Store }
+
+func (h *harness) deliver(from object.SiteID, envs []wire.Envelope) {
+	for _, env := range envs {
+		if env.To == client {
+			if cm, ok := env.Msg.(*wire.Complete); ok {
+				h.completes = append(h.completes, cm)
+			}
+			continue
+		}
+		dst, ok := h.sites[env.To]
+		if !ok {
+			continue // dropped (down site)
+		}
+		out, err := dst.HandleMessage(from, env.Msg)
+		if err != nil {
+			h.t.Fatalf("HandleMessage at %v: %v", env.To, err)
+		}
+		h.deliver(env.To, out)
+	}
+}
+
+// pump steps all sites until no site has work.
+func (h *harness) pump() {
+	for {
+		progress := false
+		for id, s := range h.sites {
+			for s.HasWork() {
+				progress = true
+				_, envs, _, err := s.Step()
+				if err != nil {
+					h.t.Fatalf("Step at %v: %v", id, err)
+				}
+				h.deliver(id, envs)
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (h *harness) exec(origin object.SiteID, qid uint64, body string, initial []object.ID) *wire.Complete {
+	h.t.Helper()
+	sub := &wire.Submit{
+		QID: wire.QueryID{Origin: origin, Seq: qid}, Client: client,
+		Body: body, Initial: initial,
+	}
+	out, err := h.sites[origin].HandleMessage(client, sub)
+	if err != nil {
+		h.t.Fatalf("submit: %v", err)
+	}
+	h.deliver(origin, out)
+	h.pump()
+	if len(h.completes) == 0 {
+		h.t.Fatalf("no completion")
+	}
+	cm := h.completes[len(h.completes)-1]
+	h.completes = h.completes[:len(h.completes)-1]
+	return cm
+}
+
+func TestSubmitParseErrorCompletesWithError(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	cm := h.exec(1, 1, "not a query", nil)
+	if cm.Err == "" {
+		t.Error("expected an error completion")
+	}
+	if h.sites[1].Contexts() != 0 {
+		t.Error("context leaked for rejected query")
+	}
+}
+
+func TestDuplicateSubmitRejected(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	o := h.store(1).NewObject().Add("k", object.String("a"), object.Value{})
+	if err := h.store(1).Put(o); err != nil {
+		t.Fatal(err)
+	}
+	sub := &wire.Submit{
+		QID: wire.QueryID{Origin: 1, Seq: 9}, Client: client,
+		Body: `S (k, "a", ?) -> T`, Initial: []object.ID{o.ID},
+	}
+	if _, err := h.sites[1].HandleMessage(client, sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.sites[1].HandleMessage(client, sub); !errors.Is(err, ErrProtocol) {
+		t.Errorf("duplicate submit: %v", err)
+	}
+}
+
+func TestContextsDiscardedAfterFinish(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	// Cross-site ring.
+	objs := make([]*object.Object, 6)
+	for i := range objs {
+		objs[i] = h.store(object.SiteID(i%3 + 1)).NewObject()
+	}
+	ids := make([]object.ID, 6)
+	for i, o := range objs {
+		ids[i] = o.ID
+		o.Add("keyword", object.Keyword("hot"), object.Value{})
+		o.Add("Pointer", object.String("Ref"), object.Pointer(objs[(i+1)%6].ID))
+		if err := h.store(object.SiteID(i%3 + 1)).Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cm := h.exec(1, 1, `S [ (Pointer, "Ref", ?X) ^^X ]** (keyword, "hot", ?) -> T`, ids[:1])
+	if len(cm.IDs) != 6 {
+		t.Errorf("results = %d, want 6", len(cm.IDs))
+	}
+	for id, s := range h.sites {
+		if s.Contexts() != 0 {
+			t.Errorf("site %v retains %d contexts after finish", id, s.Contexts())
+		}
+	}
+}
+
+func TestStatsCountMessages(t *testing.T) {
+	h := newHarness(t, 2, nil)
+	a := h.store(1).NewObject()
+	b := h.store(2).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	a.Add("Pointer", object.String("Ref"), object.Pointer(b.ID))
+	a.Add("keyword", object.Keyword("hot"), object.Value{})
+	if err := h.store(1).Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.store(2).Put(b); err != nil {
+		t.Fatal(err)
+	}
+	cm := h.exec(1, 1, `S (Pointer, "Ref", ?X) ^^X (keyword, "hot", ?) -> T`, []object.ID{a.ID})
+	if len(cm.IDs) != 2 {
+		t.Fatalf("results = %v", cm.IDs)
+	}
+	s1 := h.sites[1].Stats()
+	s2 := h.sites[2].Stats()
+	if s1.DerefsSent != 1 || s2.DerefsReceived != 1 {
+		t.Errorf("deref counts: sent=%d received=%d", s1.DerefsSent, s2.DerefsReceived)
+	}
+	if s2.ResultsSent != 1 || s1.ResultsReceived != 1 {
+		t.Errorf("result counts: sent=%d received=%d", s2.ResultsSent, s1.ResultsReceived)
+	}
+	if s1.Completed != 1 {
+		t.Errorf("completed = %d", s1.Completed)
+	}
+}
+
+func TestResultAtNonOriginatorRejected(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	msg := &wire.Result{QID: wire.QueryID{Origin: 2, Seq: 1}}
+	if _, err := h.sites[1].HandleMessage(2, msg); !errors.Is(err, ErrProtocol) {
+		t.Errorf("stray result: %v", err)
+	}
+}
+
+func TestStaleControlIgnored(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	msg := &wire.Control{QID: wire.QueryID{Origin: 9, Seq: 1}, Token: []byte{0, 1, 1, 0, 1, 1}}
+	if _, err := h.sites[1].HandleMessage(2, msg); err != nil {
+		t.Errorf("stale control should be ignored: %v", err)
+	}
+}
+
+func TestFinishUnknownQueryIgnored(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	if _, err := h.sites[1].HandleMessage(2, &wire.Finish{QID: wire.QueryID{Origin: 9, Seq: 9}}); err != nil {
+		t.Errorf("unknown finish: %v", err)
+	}
+}
+
+func TestCompleteAtServerRejected(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	if _, err := h.sites[1].HandleMessage(2, &wire.Complete{}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("server got Complete: %v", err)
+	}
+}
+
+func TestDerefWithBadBodyRejected(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	msg := &wire.Deref{QID: wire.QueryID{Origin: 2, Seq: 1}, Origin: 2, Body: "%%%"}
+	if _, err := h.sites[1].HandleMessage(2, msg); !errors.Is(err, ErrProtocol) {
+		t.Errorf("bad body: %v", err)
+	}
+}
+
+func TestBatchedResults(t *testing.T) {
+	h := newHarness(t, 2, func(c *Config) { c.ResultBatch = 2 })
+	// 5 matching objects at site 2, initial set points to them via site 1.
+	var members []object.ID
+	for i := 0; i < 5; i++ {
+		o := h.store(2).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+		if err := h.store(2).Put(o); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, o.ID)
+	}
+	cm := h.exec(1, 1, `S (keyword, "hot", ?) -> T`, members)
+	if len(cm.IDs) != 5 || cm.Count != 5 {
+		t.Fatalf("results = %v count %d", cm.IDs, cm.Count)
+	}
+	if got := h.sites[2].Stats().ResultsSent; got != 3 {
+		t.Errorf("result messages = %d, want 3 batches of <=2", got)
+	}
+}
+
+func TestAbortDeliversPartial(t *testing.T) {
+	h := newHarness(t, 2, nil)
+	local := h.store(1).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	if err := h.store(1).Put(local); err != nil {
+		t.Fatal(err)
+	}
+	// Unresolvable remote object: site 2 exists but drops (simulate by
+	// pointing at a site that is not in the harness).
+	ghost := object.ID{Birth: 7, Seq: 1}
+	sub := &wire.Submit{
+		QID: wire.QueryID{Origin: 1, Seq: 5}, Client: client,
+		Body:    `S (keyword, "hot", ?) -> T`,
+		Initial: []object.ID{local.ID, ghost},
+	}
+	out, err := h.sites[1].HandleMessage(client, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.deliver(1, out) // deref to site 7 dropped
+	h.pump()
+	if len(h.completes) != 0 {
+		t.Fatalf("query completed despite lost credit")
+	}
+	envs := h.sites[1].Abort(wire.QueryID{Origin: 1, Seq: 5})
+	h.deliver(1, envs)
+	if len(h.completes) != 1 {
+		t.Fatalf("no completion after abort")
+	}
+	cm := h.completes[0]
+	if !cm.Partial || len(cm.IDs) != 1 {
+		t.Errorf("partial = %v ids = %v", cm.Partial, cm.IDs)
+	}
+	if h.sites[1].Contexts() != 0 {
+		t.Errorf("context leaked after abort")
+	}
+}
+
+func TestAbortUnknownQueryNoop(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	if envs := h.sites[1].Abort(wire.QueryID{Origin: 1, Seq: 42}); envs != nil {
+		t.Errorf("abort of unknown query emitted %v", envs)
+	}
+}
+
+func TestDistributedSetRetention(t *testing.T) {
+	h := newHarness(t, 2, func(c *Config) { c.DistributedSetThreshold = 1 })
+	var members []object.ID
+	for i := 0; i < 4; i++ {
+		o := h.store(2).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+		if err := h.store(2).Put(o); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, o.ID)
+	}
+	cm := h.exec(1, 1, `S (keyword, "hot", ?) -> T`, members)
+	if !cm.Distributed || cm.Count != 4 || len(cm.IDs) != 0 {
+		t.Fatalf("complete = %+v, want distributed count-only", cm)
+	}
+	// Both sites retain their contexts for seeding.
+	if h.sites[1].Contexts() != 1 || h.sites[2].Contexts() != 1 {
+		t.Errorf("contexts: origin=%d participant=%d, want 1/1",
+			h.sites[1].Contexts(), h.sites[2].Contexts())
+	}
+	// Follow-up narrows within the distributed set.
+	sub := &wire.Submit{
+		QID: wire.QueryID{Origin: 1, Seq: 2}, Client: client,
+		Body:                `S (keyword, "hot", ?) -> U`,
+		InitialFromResultOf: wire.QueryID{Origin: 1, Seq: 1},
+	}
+	out, err := h.sites[1].HandleMessage(client, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.deliver(1, out)
+	h.pump()
+	cm2 := h.completes[len(h.completes)-1]
+	if cm2.Count != 4 {
+		t.Errorf("follow-up count = %d, want 4", cm2.Count)
+	}
+}
+
+func TestTermModesEquivalentResults(t *testing.T) {
+	for _, mode := range []termination.Mode{termination.Weighted, termination.DijkstraScholten} {
+		h := newHarness(t, 3, func(c *Config) { c.TermMode = mode })
+		objs := make([]*object.Object, 9)
+		for i := range objs {
+			objs[i] = h.store(object.SiteID(i%3 + 1)).NewObject()
+		}
+		ids := make([]object.ID, 9)
+		for i, o := range objs {
+			ids[i] = o.ID
+			o.Add("keyword", object.Keyword("hot"), object.Value{})
+			o.Add("Pointer", object.String("Ref"), object.Pointer(objs[(i+1)%9].ID))
+			if err := h.store(object.SiteID(i%3 + 1)).Put(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cm := h.exec(1, 1, `S [ (Pointer, "Ref", ?X) ^^X ]** (keyword, "hot", ?) -> T`, ids[:1])
+		if len(cm.IDs) != 9 {
+			t.Errorf("mode %v: results = %d, want 9", mode, len(cm.IDs))
+		}
+	}
+}
+
+func TestGlobalMarksSuppressDuplicates(t *testing.T) {
+	marks := NewGlobalMarks()
+	h := newHarness(t, 2, func(c *Config) { c.GlobalMarks = marks })
+	// Two site-1 objects point at the same site-2 object: the second deref
+	// send must be suppressed by the shared table.
+	target := h.store(2).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	if err := h.store(2).Put(target); err != nil {
+		t.Fatal(err)
+	}
+	var initial []object.ID
+	for i := 0; i < 2; i++ {
+		o := h.store(1).NewObject().
+			Add("Pointer", object.String("Ref"), object.Pointer(target.ID)).
+			Add("keyword", object.Keyword("hot"), object.Value{})
+		if err := h.store(1).Put(o); err != nil {
+			t.Fatal(err)
+		}
+		initial = append(initial, o.ID)
+	}
+	cm := h.exec(1, 1, `S (Pointer, "Ref", ?X) ^^X (keyword, "hot", ?) -> T`, initial)
+	if len(cm.IDs) != 3 {
+		t.Fatalf("results = %v", cm.IDs)
+	}
+	if got := h.sites[1].Stats().DerefsSent; got != 1 {
+		t.Errorf("derefs sent = %d, want 1 (duplicate suppressed)", got)
+	}
+}
+
+func TestBirthRouter(t *testing.T) {
+	owner, auth := BirthRouter{}.Owner(object.ID{Birth: 4, Seq: 2})
+	if owner != 4 || !auth {
+		t.Errorf("BirthRouter = %v, %v", owner, auth)
+	}
+}

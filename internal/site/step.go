@@ -1,0 +1,225 @@
+package site
+
+import (
+	"hyperfile/internal/engine"
+	"hyperfile/internal/object"
+	"hyperfile/internal/wire"
+)
+
+// StepOutcome describes one engine step for cost accounting by the caller.
+type StepOutcome struct {
+	// Query is the query the step advanced.
+	Query wire.QueryID
+	// Processed reports that an object was actually run through the filters
+	// (false for mark-table skips and missing objects).
+	Processed bool
+	// ResultAdded reports that the object joined the local result set.
+	ResultAdded bool
+}
+
+// Step advances one query context by one working-set item, round-robin over
+// contexts with work. It returns the envelopes to deliver and reports false
+// when no context has work. An error indicates a broken protocol invariant
+// (e.g. a termination-credit underflow) and leaves the query wedged; callers
+// should surface it.
+func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
+	ctx := s.nextWithWork()
+	if ctx == nil {
+		return StepOutcome{}, nil, false, nil
+	}
+	res, _ := ctx.eng.Step()
+	outcome := StepOutcome{
+		Query:       ctx.qid,
+		Processed:   res.Processed,
+		ResultAdded: res.Passed,
+	}
+	var out []wire.Envelope
+	for _, ref := range res.Remote {
+		env, ok, err := s.sendDeref(ctx, ref)
+		if err != nil {
+			return outcome, out, true, err
+		}
+		if ok {
+			out = append(out, env)
+		}
+	}
+	out, err := s.afterEvent(ctx, out)
+	return outcome, out, true, err
+}
+
+// nextWithWork scans contexts round-robin from the cursor.
+func (s *Site) nextWithWork() *qctx {
+	n := len(s.order)
+	for i := 0; i < n; i++ {
+		qid := s.order[(s.cursor+i)%n]
+		ctx := s.contexts[qid]
+		if ctx != nil && !ctx.finished && ctx.eng.HasWork() {
+			s.cursor = (s.cursor + i + 1) % n
+			return ctx
+		}
+	}
+	return nil
+}
+
+// sendDeref builds a Deref envelope for a remote reference, splitting off a
+// termination credit. With the global-mark-table ablation active, a
+// dereference anyone already sent is suppressed (ok = false).
+func (s *Site) sendDeref(ctx *qctx, ref engine.RemoteRef) (env wire.Envelope, ok bool, err error) {
+	if s.cfg.GlobalMarks != nil && s.cfg.GlobalMarks.TestAndSet(ctx.qid, ref.ID, ref.Start) {
+		return wire.Envelope{}, false, nil
+	}
+	owner, _ := s.cfg.Router.Owner(ref.ID)
+	tok, err := ctx.det.OnSend(owner)
+	if err != nil {
+		return wire.Envelope{}, false, err
+	}
+	s.stats.DerefsSent++
+	return wire.Envelope{To: owner, Msg: &wire.Deref{
+		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body,
+		ObjID: ref.ID, Start: ref.Start, Iters: ref.Iters, Token: tok,
+	}}, true, nil
+}
+
+// afterEvent performs the on-drain duties whenever a context's working set
+// is empty: flush local results to the originator, run the detector's idle
+// hook, and — at the originator — check for global termination.
+func (s *Site) afterEvent(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error) {
+	if ctx.finished || ctx.eng.HasWork() {
+		return out, nil
+	}
+	results, fetches := ctx.eng.TakeResults()
+
+	if ctx.isOrigin {
+		// The originator accumulates its own results directly.
+		ctx.results.AddAll(results)
+		ctx.count += len(results)
+		for _, f := range fetches {
+			ctx.fetches = append(ctx.fetches, wire.FetchVal{Var: f.Var, From: f.From, Val: f.Val})
+		}
+		ctx.det.OnIdle() // recovers the originator's own credit internally
+		return s.checkDone(ctx, out)
+	}
+
+	// Participant: ship the flush to the originator, then the detector
+	// tokens (piggybacking the origin-bound token on the last result
+	// message, as the paper piggybacks credit on results).
+	msgs := s.buildResultMsgs(ctx, results, fetches)
+	tokens := ctx.det.OnIdle()
+	var originTok []byte
+	for _, t := range tokens {
+		if t.To == ctx.origin && originTok == nil && len(msgs) > 0 {
+			originTok = t.Token
+			continue
+		}
+		s.stats.ControlsSent++
+		out = append(out, wire.Envelope{To: t.To, Msg: &wire.Control{QID: ctx.qid, Token: t.Token}})
+	}
+	if len(msgs) > 0 {
+		msgs[len(msgs)-1].Token = originTok
+		for _, m := range msgs {
+			s.stats.ResultsSent++
+			out = append(out, wire.Envelope{To: ctx.origin, Msg: m})
+		}
+	}
+	return out, nil
+}
+
+// buildResultMsgs packages a drain's results, applying the distributed-set
+// threshold and the result batch size.
+func (s *Site) buildResultMsgs(ctx *qctx, results object.IDSet, fetches []engine.Fetch) []*wire.Result {
+	var fv []wire.FetchVal
+	for _, f := range fetches {
+		fv = append(fv, wire.FetchVal{Var: f.Var, From: f.From, Val: f.Val})
+	}
+	if len(results) == 0 && len(fv) == 0 {
+		return nil
+	}
+	if t := s.cfg.DistributedSetThreshold; t > 0 && len(results) > t {
+		ctx.retained = append(ctx.retained, results.Sorted()...)
+		return []*wire.Result{{
+			QID: ctx.qid, Count: len(results), Retained: true, Fetches: fv,
+		}}
+	}
+	ids := results.Sorted()
+	batch := s.cfg.ResultBatch
+	if batch <= 0 || batch > len(ids) {
+		batch = len(ids)
+	}
+	var msgs []*wire.Result
+	for start := 0; start < len(ids); start += batch {
+		end := start + batch
+		if end > len(ids) {
+			end = len(ids)
+		}
+		msgs = append(msgs, &wire.Result{
+			QID: ctx.qid, IDs: ids[start:end], Count: end - start,
+		})
+	}
+	if len(msgs) == 0 {
+		// Fetches only.
+		msgs = append(msgs, &wire.Result{QID: ctx.qid})
+	}
+	msgs[0].Fetches = fv
+	return msgs
+}
+
+// checkDone finishes the query at the originator once the detector reports
+// global termination: broadcast Finish, deliver Complete to the client.
+func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error) {
+	if ctx.finished || !ctx.det.Done() {
+		return out, nil
+	}
+	ctx.finished = true
+	s.stats.Completed++
+	retain := ctx.distributed
+	for _, peer := range s.cfg.Peers {
+		out = append(out, wire.Envelope{To: peer, Msg: &wire.Finish{QID: ctx.qid, Retain: retain}})
+	}
+	out = append(out, wire.Envelope{To: ctx.client, Msg: &wire.Complete{
+		QID:         ctx.qid,
+		IDs:         ctx.results.Sorted(),
+		Fetches:     ctx.fetches,
+		Count:       ctx.count,
+		Distributed: ctx.distributed,
+	}})
+	if retain {
+		// Keep the context: its results (all ids known at the originator)
+		// become the originator's retained portion for follow-up seeding.
+		ctx.retained = ctx.results.Sorted()
+	} else {
+		s.dropCtx(ctx.qid)
+	}
+	return out, nil
+}
+
+// Abort force-completes a query at its originator with whatever has been
+// collected — partial results are better than none at all. It returns the
+// envelopes delivering the partial answer and telling peers to clean up.
+func (s *Site) Abort(qid wire.QueryID) []wire.Envelope {
+	ctx, ok := s.contexts[qid]
+	if !ok || !ctx.isOrigin || ctx.finished {
+		return nil
+	}
+	// Sweep up whatever the local engine produced so far.
+	results, fetches := ctx.eng.TakeResults()
+	ctx.results.AddAll(results)
+	ctx.count += len(results)
+	for _, f := range fetches {
+		ctx.fetches = append(ctx.fetches, wire.FetchVal{Var: f.Var, From: f.From, Val: f.Val})
+	}
+	ctx.finished = true
+	var out []wire.Envelope
+	for _, peer := range s.cfg.Peers {
+		out = append(out, wire.Envelope{To: peer, Msg: &wire.Finish{QID: ctx.qid}})
+	}
+	out = append(out, wire.Envelope{To: ctx.client, Msg: &wire.Complete{
+		QID:         ctx.qid,
+		IDs:         ctx.results.Sorted(),
+		Fetches:     ctx.fetches,
+		Count:       ctx.count,
+		Distributed: ctx.distributed,
+		Partial:     true,
+	}})
+	s.dropCtx(qid)
+	return out
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperfile/internal/object"
+)
+
+// arbitraryTuples builds tuples from fuzz inputs covering all value kinds.
+func arbitraryTuples(types []uint8, strs []string, nums []int64) []object.Tuple {
+	var out []object.Tuple
+	n := len(types)
+	if len(strs) < n {
+		n = len(strs)
+	}
+	if len(nums) < n {
+		n = len(nums)
+	}
+	for i := 0; i < n; i++ {
+		var key, data object.Value
+		switch types[i] % 5 {
+		case 0:
+			key, data = object.String(strs[i]), object.Int(nums[i])
+		case 1:
+			key, data = object.Keyword(strs[i]), object.Float(float64(nums[i])/3)
+		case 2:
+			key, data = object.Int(nums[i]), object.Bytes([]byte(strs[i]))
+		case 3:
+			key = object.String(strs[i])
+			data = object.Pointer(object.ID{Birth: 1, Seq: uint64(nums[i])})
+		default:
+			key, data = object.Value{}, object.Value{}
+		}
+		out = append(out, object.Tuple{Type: strs[i], Key: key, Data: data})
+	}
+	return out
+}
+
+// Property: anything Put comes back from Get equal (modulo blob spilling,
+// disabled here).
+func TestQuickPutGetRoundTrip(t *testing.T) {
+	s := New(1, WithLargeThreshold(0))
+	f := func(types []uint8, strs []string, nums []int64) bool {
+		o := s.NewObject()
+		o.Tuples = arbitraryTuples(types, strs, nums)
+		if err := s.Put(o); err != nil {
+			return false
+		}
+		got, ok := s.Get(o.ID)
+		if !ok || len(got.Tuples) != len(o.Tuples) {
+			return false
+		}
+		for i := range o.Tuples {
+			if got.Tuples[i].Type != o.Tuples[i].Type ||
+				!got.Tuples[i].Key.Equal(o.Tuples[i].Key) ||
+				!got.Tuples[i].Data.Equal(o.Tuples[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: spilled blobs always come back byte-identical through FetchData.
+func TestQuickSpillRoundTrip(t *testing.T) {
+	s := New(1, WithLargeThreshold(8))
+	f := func(payload []byte) bool {
+		o := s.NewObject().Add("Text", object.String("body"), object.Bytes(payload))
+		if err := s.Put(o); err != nil {
+			return false
+		}
+		v, err := s.FetchData(o.ID, 0)
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(v.Bytes) == 0
+		}
+		if len(v.Bytes) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if v.Bytes[i] != payload[i] {
+				return false
+			}
+		}
+		// The search representation must hide large payloads entirely.
+		got, _ := s.Get(o.ID)
+		if len(payload) > 8 && len(got.Tuples[0].Data.Bytes) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetFullMaterializesEverything(t *testing.T) {
+	s := New(1, WithLargeThreshold(4))
+	big1 := []byte("0123456789")
+	big2 := []byte("abcdefghij")
+	o := s.NewObject().
+		Add("Text", object.String("a"), object.Bytes(big1)).
+		Add("String", object.String("t"), object.String("x")).
+		Add("Text", object.String("b"), object.Bytes(big2))
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	full, ok := s.GetFull(o.ID)
+	if !ok {
+		t.Fatal("missing")
+	}
+	if string(full.Tuples[0].Data.Bytes) != string(big1) ||
+		string(full.Tuples[2].Data.Bytes) != string(big2) {
+		t.Errorf("blobs not materialized: %v", full)
+	}
+	if s.DiskReads() != 2 {
+		t.Errorf("disk reads = %d, want 2", s.DiskReads())
+	}
+	if _, ok := s.GetFull(object.ID{Birth: 1, Seq: 999}); ok {
+		t.Error("GetFull of missing object succeeded")
+	}
+}

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hyperfile/internal/object"
+)
+
+func TestNewObjectAllocatesUniqueIDs(t *testing.T) {
+	s := New(3)
+	seen := map[object.ID]bool{}
+	for i := 0; i < 100; i++ {
+		o := s.NewObject()
+		if o.ID.Birth != 3 {
+			t.Fatalf("birth site = %v, want s3", o.ID.Birth)
+		}
+		if seen[o.ID] {
+			t.Fatalf("duplicate id %v", o.ID)
+		}
+		seen[o.ID] = true
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := New(1)
+	o := s.NewObject().Add("String", object.String("Title"), object.String("doc"))
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(o.ID)
+	if !ok {
+		t.Fatal("Get after Put failed")
+	}
+	if len(got.Tuples) != 1 || got.Tuples[0].Data.Str != "doc" {
+		t.Errorf("stored object = %v", got)
+	}
+	// Put clones: mutating the original must not affect the store.
+	o.Tuples[0].Data = object.String("mutated")
+	got, _ = s.Get(o.ID)
+	if got.Tuples[0].Data.Str != "doc" {
+		t.Errorf("store aliases caller's object")
+	}
+	if !s.Delete(o.ID) {
+		t.Error("Delete returned false for present object")
+	}
+	if s.Delete(o.ID) {
+		t.Error("Delete returned true for absent object")
+	}
+	if _, ok := s.Get(o.ID); ok {
+		t.Error("Get after Delete succeeded")
+	}
+}
+
+func TestInsertConvenience(t *testing.T) {
+	s := New(1)
+	id, err := s.Insert([]object.Tuple{{Type: "keyword", Key: object.Keyword("db"), Data: object.Value{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(id); !ok {
+		t.Error("inserted object missing")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestLargeDataSpill(t *testing.T) {
+	s := New(1, WithLargeThreshold(10))
+	big := make([]byte, 100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	o := s.NewObject().
+		Add("Text", object.String("body"), object.Bytes(big)).
+		Add("Text", object.String("small"), object.Bytes([]byte("tiny")))
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(o.ID)
+	if len(got.Tuples[0].Data.Bytes) != 0 {
+		t.Errorf("large field not stubbed in search representation")
+	}
+	if string(got.Tuples[1].Data.Bytes) != "tiny" {
+		t.Errorf("small field should stay inline")
+	}
+	if s.DiskReads() != 0 {
+		t.Errorf("no disk reads expected before retrieval")
+	}
+	v, err := s.FetchData(o.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Bytes) != 100 || v.Bytes[42] != 42 {
+		t.Errorf("FetchData returned wrong blob")
+	}
+	if s.DiskReads() != 1 {
+		t.Errorf("DiskReads = %d, want 1", s.DiskReads())
+	}
+	// Inline field fetch does not count as a disk read.
+	if _, err := s.FetchData(o.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.DiskReads() != 1 {
+		t.Errorf("DiskReads = %d after inline fetch, want 1", s.DiskReads())
+	}
+}
+
+func TestFetchDataErrors(t *testing.T) {
+	s := New(1)
+	if _, err := s.FetchData(object.ID{Birth: 1, Seq: 99}, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("FetchData missing object: %v", err)
+	}
+	o := s.NewObject().Add("a", object.Value{}, object.Value{})
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FetchData(o.ID, 5); err == nil {
+		t.Errorf("FetchData out-of-range index: expected error")
+	}
+}
+
+func TestPutReplacesBlobs(t *testing.T) {
+	s := New(1, WithLargeThreshold(4))
+	o := s.NewObject().Add("Text", object.String("b"), object.Bytes([]byte("0123456789")))
+	if err := s.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	// Replace with a version without the blob.
+	o2 := object.New(o.ID).Add("String", object.String("t"), object.String("x"))
+	if err := s.Put(o2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.blobs) != 0 {
+		t.Errorf("stale blobs left after replace: %d", len(s.blobs))
+	}
+}
+
+func TestRemoveAndMigrate(t *testing.T) {
+	src := New(1, WithLargeThreshold(4))
+	dst := New(2)
+	o := src.NewObject().Add("Text", object.String("body"), object.Bytes([]byte("0123456789")))
+	if err := src.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	full, err := src.Remove(o.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(full.Tuples[0].Data.Bytes) != "0123456789" {
+		t.Errorf("Remove lost spilled data: %v", full.Tuples[0].Data)
+	}
+	if _, ok := src.Get(o.ID); ok {
+		t.Error("object still present after Remove")
+	}
+	if err := dst.PutForeign(full); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dst.Get(o.ID); !ok {
+		t.Error("migrated object missing at destination")
+	}
+	if _, err := src.Remove(o.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second Remove: %v", err)
+	}
+}
+
+func TestPutForeignRejectsForgedLocalIDs(t *testing.T) {
+	s := New(1)
+	forged := object.New(object.ID{Birth: 1, Seq: 999})
+	if err := s.PutForeign(forged); !errors.Is(err, ErrWrongSite) {
+		t.Errorf("PutForeign forged id: %v", err)
+	}
+}
+
+func TestPutRejectsNilID(t *testing.T) {
+	s := New(1)
+	if err := s.Put(object.New(object.NilID)); err == nil {
+		t.Error("Put of nil id should fail")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	s := New(1)
+	var want []object.ID
+	for i := 0; i < 5; i++ {
+		o := s.NewObject()
+		want = append(want, o.ID)
+		if err := s.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMakeSet(t *testing.T) {
+	s := New(1)
+	a := s.NewObject()
+	b := s.NewObject()
+	for _, o := range []*object.Object{a, b} {
+		if err := s.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setID, err := s.MakeSet("Member", []object.ID{a.ID, b.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, ok := s.Get(setID)
+	if !ok {
+		t.Fatal("set object missing")
+	}
+	ptrs := set.Pointers("Pointer", "Member")
+	if len(ptrs) != 2 {
+		t.Errorf("set members = %v", ptrs)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				o := s.NewObject().Add("n", object.Int(int64(i)), object.Value{})
+				if err := s.Put(o); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := s.Get(o.ID); !ok {
+					t.Error("lost own write")
+					return
+				}
+				s.IDs()
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Errorf("Len = %d, want 400", s.Len())
+	}
+}

@@ -1,0 +1,95 @@
+// Package termination implements distributed termination detection for
+// query processing. With a single site a query terminates when its working
+// set empties; with multiple sites every working set must be empty and no
+// dereference message may be in flight (the Distributed Termination Problem,
+// paper section 4).
+//
+// Two detectors are provided:
+//
+//   - Weighted: the weighted-message (credit) algorithm the paper's
+//     prototype implements. The originator starts with credit 1; every work
+//     message carries a share of the sender's credit; a site returns all
+//     held credit to the originator when its working set drains. Global
+//     termination holds exactly when the originator has recovered credit 1.
+//     Credits are exact rationals, so detection is never spurious.
+//
+//   - DijkstraScholten: the classic diffusing-computation detector, kept as
+//     an ablation alternative. Every work message is eventually acknowledged;
+//     a site acknowledges its engagement parent once it is idle and all of
+//     its own messages are acknowledged; the originator terminates when it is
+//     idle with no outstanding acknowledgements.
+//
+// Both are driven through the Detector interface by the site layer:
+// OnSend when emitting a work message, OnWorkReceived when one arrives,
+// OnControl when a control token arrives, and OnIdle whenever the local
+// working set is (still) empty after any of the above.
+package termination
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperfile/internal/object"
+)
+
+// Mode selects a detection algorithm.
+type Mode uint8
+
+const (
+	// Weighted is the weighted-message (credit-recovery) algorithm.
+	Weighted Mode = iota
+	// DijkstraScholten is the diffusing-computation parent-tree algorithm.
+	DijkstraScholten
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == DijkstraScholten {
+		return "dijkstra-scholten"
+	}
+	return "weighted"
+}
+
+// ControlMsg is a standalone detection token addressed to a site.
+type ControlMsg struct {
+	To    object.SiteID
+	Token []byte
+}
+
+// Detector is per-(site, query) detection state.
+//
+// The site layer must call OnIdle after every OnWorkReceived / OnControl /
+// local drain that leaves the working set empty; detectors are idempotent
+// under repeated OnIdle calls.
+type Detector interface {
+	// OnSend returns the token to attach to an outgoing work message.
+	OnSend(to object.SiteID) ([]byte, error)
+	// OnWorkReceived ingests the token of an arriving work message and may
+	// emit immediate control messages.
+	OnWorkReceived(from object.SiteID, token []byte) ([]ControlMsg, error)
+	// OnIdle reports that the local working set is empty; it returns control
+	// messages to emit (credit returns, acknowledgements).
+	OnIdle() []ControlMsg
+	// OnControl ingests an arriving control token.
+	OnControl(from object.SiteID, token []byte) error
+	// Done reports global termination; it is meaningful at the originator.
+	Done() bool
+}
+
+// ErrToken is the base error for malformed or impossible detection tokens.
+var ErrToken = errors.New("termination: bad token")
+
+// New returns a detector of the given mode for site self processing a query
+// originated at origin.
+func New(mode Mode, self, origin object.SiteID) Detector {
+	switch mode {
+	case DijkstraScholten:
+		return newDS(self, origin)
+	default:
+		return newWeighted(self, origin)
+	}
+}
+
+func tokenErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrToken, fmt.Sprintf(format, args...))
+}

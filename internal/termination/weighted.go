@@ -1,0 +1,146 @@
+package termination
+
+import (
+	"math/big"
+
+	"hyperfile/internal/object"
+)
+
+// weighted implements the credit-recovery algorithm with exact rational
+// credits. Invariant: held(all sites) + in-flight(all messages) + recovered
+// (at originator) == 1, so Done (recovered == 1) holds iff nothing is active
+// anywhere.
+type weighted struct {
+	self, origin object.SiteID
+	held         *big.Rat
+	recovered    *big.Rat // originator only
+}
+
+var _ Detector = (*weighted)(nil)
+
+func newWeighted(self, origin object.SiteID) *weighted {
+	w := &weighted{
+		self:      self,
+		origin:    origin,
+		held:      new(big.Rat),
+		recovered: new(big.Rat),
+	}
+	if self == origin {
+		w.held.SetInt64(1)
+	}
+	return w
+}
+
+func (w *weighted) isOrigin() bool { return w.self == w.origin }
+
+// OnSend halves the held credit and attaches one half to the message.
+func (w *weighted) OnSend(object.SiteID) ([]byte, error) {
+	if w.held.Sign() <= 0 {
+		// Can only happen through a protocol violation: sending work while
+		// holding no credit would break the conservation invariant.
+		return nil, tokenErr("site %v sending work while holding no credit", w.self)
+	}
+	half := new(big.Rat).Quo(w.held, big.NewRat(2, 1))
+	w.held.Sub(w.held, half)
+	return encodeRat(half), nil
+}
+
+// OnWorkReceived adds the message's credit share to the held credit.
+func (w *weighted) OnWorkReceived(_ object.SiteID, token []byte) ([]ControlMsg, error) {
+	c, err := decodeRat(token)
+	if err != nil {
+		return nil, err
+	}
+	if c.Sign() <= 0 {
+		return nil, tokenErr("non-positive credit share")
+	}
+	w.held.Add(w.held, c)
+	return nil, nil
+}
+
+// OnIdle returns all held credit to the originator. At the originator itself
+// the credit moves directly to the recovered pool.
+func (w *weighted) OnIdle() []ControlMsg {
+	if w.held.Sign() == 0 {
+		return nil
+	}
+	c := new(big.Rat).Set(w.held)
+	w.held.SetInt64(0)
+	if w.isOrigin() {
+		w.recovered.Add(w.recovered, c)
+		return nil
+	}
+	return []ControlMsg{{To: w.origin, Token: encodeRat(c)}}
+}
+
+// OnControl (originator only) banks a returned credit share.
+func (w *weighted) OnControl(_ object.SiteID, token []byte) error {
+	c, err := decodeRat(token)
+	if err != nil {
+		return err
+	}
+	if !w.isOrigin() {
+		return tokenErr("credit return received by non-originator %v", w.self)
+	}
+	w.recovered.Add(w.recovered, c)
+	if w.recovered.Cmp(big.NewRat(1, 1)) > 0 {
+		return tokenErr("recovered credit exceeds 1: %v", w.recovered)
+	}
+	return nil
+}
+
+// Done reports whether the originator has recovered the full credit.
+func (w *weighted) Done() bool {
+	return w.isOrigin() && w.recovered.Cmp(big.NewRat(1, 1)) == 0
+}
+
+// encodeRat serializes a positive rational as two length-prefixed big-endian
+// integers (numerator, denominator).
+func encodeRat(r *big.Rat) []byte {
+	num := r.Num().Bytes()
+	den := r.Denom().Bytes()
+	out := make([]byte, 0, 2+len(num)+len(den))
+	out = appendChunk(out, num)
+	out = appendChunk(out, den)
+	return out
+}
+
+func appendChunk(dst, chunk []byte) []byte {
+	// Chunks are bounded: credit denominators are powers of two whose size
+	// grows with dereference-chain depth, a few hundred bits in practice.
+	// Two length bytes allow 64 KiB, far beyond anything reachable.
+	dst = append(dst, byte(len(chunk)>>8), byte(len(chunk)))
+	return append(dst, chunk...)
+}
+
+func takeChunk(src []byte) ([]byte, []byte, error) {
+	if len(src) < 2 {
+		return nil, nil, tokenErr("truncated chunk header")
+	}
+	n := int(src[0])<<8 | int(src[1])
+	src = src[2:]
+	if len(src) < n {
+		return nil, nil, tokenErr("truncated chunk body")
+	}
+	return src[:n], src[n:], nil
+}
+
+func decodeRat(token []byte) (*big.Rat, error) {
+	numB, rest, err := takeChunk(token)
+	if err != nil {
+		return nil, err
+	}
+	denB, rest, err := takeChunk(rest)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, tokenErr("trailing bytes in credit token")
+	}
+	num := new(big.Int).SetBytes(numB)
+	den := new(big.Int).SetBytes(denB)
+	if den.Sign() == 0 {
+		return nil, tokenErr("zero denominator")
+	}
+	return new(big.Rat).SetFrac(num, den), nil
+}

@@ -1,0 +1,253 @@
+// Package transport carries wire messages between HyperFile sites over real
+// networks. The paper's prototype ran its servers on a network of IBM PC/RTs
+// with TCP/IP; this package is the equivalent substrate: length-prefixed
+// frames over TCP with lazy outbound connections and an address book mapping
+// site ids to endpoints.
+//
+// Frame layout: the 4-byte protocol magic "HF\x00\x01" (name + version),
+// 4-byte big-endian payload length, 4-byte big-endian sender site id, then
+// the wire-encoded message. A reader that sees a wrong magic — a stray
+// client, an incompatible version — drops the connection immediately.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/wire"
+)
+
+// maxFrame bounds incoming frames (a result batch with many ids stays far
+// below this).
+const maxFrame = 16 << 20
+
+// magic identifies the protocol and its version on every frame.
+var magic = [4]byte{'H', 'F', 0, 1}
+
+// ErrUnknownPeer is returned when sending to a site with no registered
+// address.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// Handler receives inbound messages. It is called from reader goroutines;
+// implementations must be safe for concurrent use and must not block for
+// long.
+type Handler func(from object.SiteID, m wire.Msg)
+
+// TCP is one endpoint: a listener for inbound frames and a set of lazily
+// dialed outbound connections.
+type TCP struct {
+	self    object.SiteID
+	ln      net.Listener
+	handler Handler
+
+	mu      sync.Mutex
+	peers   map[object.SiteID]string
+	conns   map[object.SiteID]*sendConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type sendConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// ListenTCP starts an endpoint for site self on addr (use "127.0.0.1:0" for
+// an ephemeral port). The handler receives every inbound message.
+func ListenTCP(self object.SiteID, addr string, handler Handler) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		self:    self,
+		ln:      ln,
+		handler: handler,
+		peers:   make(map[object.SiteID]string),
+		conns:   make(map[object.SiteID]*sendConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Self returns this endpoint's site id.
+func (t *TCP) Self() object.SiteID { return t.self }
+
+// Addr returns the bound listen address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// AddPeer registers (or updates) the address of a site.
+func (t *TCP) AddPeer(id object.SiteID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+	// Drop any cached connection to a stale address.
+	if sc, ok := t.conns[id]; ok {
+		sc.mu.Lock()
+		_ = sc.c.Close()
+		sc.mu.Unlock()
+		delete(t.conns, id)
+	}
+}
+
+// Send delivers one message to a peer, dialing on first use. Concurrent
+// sends to the same peer are serialized per connection.
+func (t *TCP) Send(to object.SiteID, m wire.Msg) error {
+	sc, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	payload := wire.Encode(m)
+	var hdr [12]byte
+	copy(hdr[0:4], magic[:])
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(t.self))
+
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, err := sc.c.Write(hdr[:]); err != nil {
+		t.dropConn(to, sc)
+		return fmt.Errorf("transport: send to %v: %w", to, err)
+	}
+	if _, err := sc.c.Write(payload); err != nil {
+		t.dropConn(to, sc)
+		return fmt.Errorf("transport: send to %v: %w", to, err)
+	}
+	return nil
+}
+
+func (t *TCP) conn(to object.SiteID) (*sendConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sc, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return sc, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownPeer, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %v (%s): %w", to, addr, err)
+	}
+	sc := &sendConn{c: c}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost a race; use the existing connection.
+		t.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[to] = sc
+	t.mu.Unlock()
+	return sc, nil
+}
+
+func (t *TCP) dropConn(to object.SiteID, sc *sendConn) {
+	_ = sc.c.Close()
+	t.mu.Lock()
+	if t.conns[to] == sc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		t.inbound[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCP) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = c.Close()
+		t.mu.Lock()
+		delete(t.inbound, c)
+		t.mu.Unlock()
+	}()
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		if [4]byte(hdr[0:4]) != magic {
+			return // wrong protocol or version: drop the connection
+		}
+		n := binary.BigEndian.Uint32(hdr[4:8])
+		from := object.SiteID(binary.BigEndian.Uint32(hdr[8:12]))
+		if n > maxFrame {
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		m, err := wire.Decode(payload)
+		if err != nil {
+			// A malformed frame poisons the stream; drop the connection.
+			return
+		}
+		t.handler(from, m)
+	}
+}
+
+// Close shuts the listener and all connections and waits for reader
+// goroutines to drain.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.ln.Close()
+	for id, sc := range t.conns {
+		sc.mu.Lock()
+		_ = sc.c.Close()
+		sc.mu.Unlock()
+		delete(t.conns, id)
+	}
+	for c := range t.inbound {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}

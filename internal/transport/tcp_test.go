@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/wire"
+)
+
+// collector gathers inbound messages.
+type collector struct {
+	mu   sync.Mutex
+	msgs []wire.Msg
+	from []object.SiteID
+	ch   chan struct{}
+}
+
+func newCollector() *collector { return &collector{ch: make(chan struct{}, 100)} }
+
+func (c *collector) handle(from object.SiteID, m wire.Msg) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.from = append(c.from, from)
+	c.mu.Unlock()
+	c.ch <- struct{}{}
+}
+
+func (c *collector) wait(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		got := len(c.msgs)
+		c.mu.Unlock()
+		if got >= n {
+			return
+		}
+		select {
+		case <-c.ch:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d messages (have %d)", n, got)
+		}
+	}
+}
+
+func pair(t *testing.T) (*TCP, *TCP, *collector, *collector) {
+	t.Helper()
+	c1, c2 := newCollector(), newCollector()
+	t1, err := ListenTCP(1, "127.0.0.1:0", c1.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := ListenTCP(2, "127.0.0.1:0", c2.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { t1.Close(); t2.Close() })
+	t1.AddPeer(2, t2.Addr())
+	t2.AddPeer(1, t1.Addr())
+	return t1, t2, c1, c2
+}
+
+func TestSendReceive(t *testing.T) {
+	t1, _, _, c2 := pair(t)
+	msg := &wire.Deref{
+		QID: wire.QueryID{Origin: 1, Seq: 7}, Origin: 1,
+		Body: `S (a, ?, ?) -> T`, ObjID: object.ID{Birth: 2, Seq: 3},
+		Start: 1, Iters: []int{2}, Token: []byte{1},
+	}
+	if err := t1.Send(2, msg); err != nil {
+		t.Fatal(err)
+	}
+	c2.wait(t, 1)
+	got, ok := c2.msgs[0].(*wire.Deref)
+	if !ok || got.ObjID != msg.ObjID || got.Body != msg.Body {
+		t.Errorf("got %#v", c2.msgs[0])
+	}
+	if c2.from[0] != 1 {
+		t.Errorf("from = %v", c2.from[0])
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	t1, t2, c1, c2 := pair(t)
+	for i := 0; i < 20; i++ {
+		if err := t1.Send(2, &wire.Finish{QID: wire.QueryID{Origin: 1, Seq: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := t2.Send(1, &wire.Control{QID: wire.QueryID{Origin: 1, Seq: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1.wait(t, 20)
+	c2.wait(t, 20)
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	t1, _, _, c2 := pair(t)
+	var wg sync.WaitGroup
+	const per, workers = 25, 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := t1.Send(2, &wire.Control{QID: wire.QueryID{Origin: 1, Seq: 1}, Token: []byte{1, 2}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c2.wait(t, per*workers)
+}
+
+func TestUnknownPeer(t *testing.T) {
+	t1, _, _, _ := pair(t)
+	if err := t1.Send(9, &wire.Finish{}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	t1, _, _, _ := pair(t)
+	if err := t1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Send(2, &wire.Finish{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v", err)
+	}
+	// Double close is fine.
+	if err := t1.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestSendToDeadPeerFails(t *testing.T) {
+	t1, t2, _, _ := pair(t)
+	if err := t2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// First send may succeed into the dead socket's buffer; eventually the
+	// failure surfaces and subsequent sends error.
+	var err error
+	for i := 0; i < 50 && err == nil; i++ {
+		err = t1.Send(2, &wire.Finish{})
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err == nil {
+		t.Error("sends to a closed peer never failed")
+	}
+}
+
+// TestReconnectAfterPeerRestart: a dead connection is dropped on send
+// failure and the next send re-dials the (re-registered) peer.
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	c1 := newCollector()
+	t1, err := ListenTCP(1, "127.0.0.1:0", c1.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	c2 := newCollector()
+	t2, err := ListenTCP(2, "127.0.0.1:0", c2.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1.AddPeer(2, t2.Addr())
+	if err := t1.Send(2, &wire.Finish{QID: wire.QueryID{Origin: 1, Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	c2.wait(t, 1)
+
+	// Kill the peer; sends start failing.
+	if err := t2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	for i := 0; i < 50; i++ {
+		if err := t1.Send(2, &wire.Finish{}); err != nil {
+			failed = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !failed {
+		t.Fatal("sends never failed after peer death")
+	}
+
+	// Peer restarts (new ephemeral port); re-register and send again.
+	c3 := newCollector()
+	t3, err := ListenTCP(2, "127.0.0.1:0", c3.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t3.Close()
+	t1.AddPeer(2, t3.Addr())
+	if err := t1.Send(2, &wire.Finish{QID: wire.QueryID{Origin: 1, Seq: 2}}); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+	c3.wait(t, 1)
+}
+
+func TestAddPeerDropsStaleConnection(t *testing.T) {
+	t1, t2, _, c2 := pair(t)
+	if err := t1.Send(2, &wire.Finish{}); err != nil {
+		t.Fatal(err)
+	}
+	c2.wait(t, 1)
+	// Re-registering the same peer drops the cached connection; the next
+	// send dials fresh and still works.
+	t1.AddPeer(2, t2.Addr())
+	if err := t1.Send(2, &wire.Finish{}); err != nil {
+		t.Fatalf("send after re-register: %v", err)
+	}
+	c2.wait(t, 2)
+}
+
+// TestWrongMagicDropsConnection: frames without the protocol magic are
+// rejected and the connection closed; correctly-framed peers still work.
+func TestWrongMagicDropsConnection(t *testing.T) {
+	t1, _, _, c2 := pair(t)
+	raw, err := net.Dial("tcp", t1.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old-style frame without magic: 4-byte length + 4-byte site + payload.
+	if _, err := raw.Write([]byte{0, 0, 0, 2, 0, 0, 0, 9, 6, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes the connection; reads return EOF eventually.
+	buf := make([]byte, 1)
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Error("expected connection close on wrong magic")
+	}
+	raw.Close()
+	// Well-formed traffic still flows.
+	if err := t1.Send(2, &wire.Finish{}); err != nil {
+		t.Fatal(err)
+	}
+	c2.wait(t, 1)
+}
+
+func TestLargeMessage(t *testing.T) {
+	t1, _, _, c2 := pair(t)
+	ids := make([]object.ID, 20000)
+	for i := range ids {
+		ids[i] = object.ID{Birth: 1, Seq: uint64(i)}
+	}
+	if err := t1.Send(2, &wire.Result{QID: wire.QueryID{Origin: 2, Seq: 1}, IDs: ids, Count: len(ids)}); err != nil {
+		t.Fatal(err)
+	}
+	c2.wait(t, 1)
+	got := c2.msgs[0].(*wire.Result)
+	if len(got.IDs) != 20000 {
+		t.Errorf("ids = %d", len(got.IDs))
+	}
+}

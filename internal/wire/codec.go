@@ -1,0 +1,421 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"hyperfile/internal/object"
+)
+
+// ErrDecode is the base error for malformed wire data.
+var ErrDecode = errors.New("wire: decode error")
+
+// maxSliceLen bounds decoded slice lengths to keep a corrupt or malicious
+// length prefix from forcing a huge allocation.
+const maxSliceLen = 1 << 24
+
+// Encode serializes a message to the compact binary wire form: a kind byte
+// followed by the payload fields in order, integers as uvarints and
+// strings/byte-slices length-prefixed.
+func Encode(m Msg) []byte {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u8(uint8(m.Kind()))
+	switch m := m.(type) {
+	case *Submit:
+		e.qid(m.QID)
+		e.u64(uint64(m.Client))
+		e.str(m.ClientAddr)
+		e.str(m.Body)
+		e.ids(m.Initial)
+		e.qid(m.InitialFromResultOf)
+	case *Deref:
+		e.qid(m.QID)
+		e.u64(uint64(m.Origin))
+		e.str(m.Body)
+		e.id(m.ObjID)
+		e.u64(uint64(m.Start))
+		e.u64(uint64(len(m.Iters)))
+		for _, it := range m.Iters {
+			e.u64(uint64(it))
+		}
+		e.bytes(m.Token)
+	case *Result:
+		e.qid(m.QID)
+		e.ids(m.IDs)
+		e.fetches(m.Fetches)
+		e.u64(uint64(m.Count))
+		e.bool(m.Retained)
+		e.bytes(m.Token)
+	case *Control:
+		e.qid(m.QID)
+		e.bytes(m.Token)
+	case *Finish:
+		e.qid(m.QID)
+		e.bool(m.Retain)
+	case *Complete:
+		e.qid(m.QID)
+		e.ids(m.IDs)
+		e.fetches(m.Fetches)
+		e.u64(uint64(m.Count))
+		e.bool(m.Distributed)
+		e.bool(m.Partial)
+		e.str(m.Err)
+	case *Seed:
+		e.qid(m.QID)
+		e.u64(uint64(m.Origin))
+		e.str(m.Body)
+		e.qid(m.FromQID)
+		e.bytes(m.Token)
+	case *Migrate:
+		e.u64(m.Seq)
+		e.id(m.ID)
+		e.u64(uint64(m.To))
+		e.u64(uint64(m.Client))
+		e.str(m.ClientAddr)
+		e.u8(m.Hops)
+	case *MigrateData:
+		e.u64(m.Seq)
+		e.bytes(m.Obj)
+		e.u64(uint64(m.Client))
+		e.str(m.ClientAddr)
+	case *MigrateDone:
+		e.id(m.ID)
+		e.u64(uint64(m.NewSite))
+	case *Migrated:
+		e.u64(m.Seq)
+		e.id(m.ID)
+		e.bool(m.OK)
+		e.str(m.Err)
+	case *StatsReq:
+		e.u64(m.Seq)
+		e.str(m.ClientAddr)
+	case *StatsResp:
+		e.u64(m.Seq)
+		e.u64(uint64(m.Site))
+		e.u64(m.Contexts)
+		e.u64(m.Objects)
+		e.u64(uint64(len(m.Counters)))
+		for _, c := range m.Counters {
+			e.str(c.Name)
+			e.u64(c.Value)
+		}
+	}
+	return e.buf
+}
+
+// Decode parses a message from its wire form.
+func Decode(data []byte) (Msg, error) {
+	d := &decoder{buf: data}
+	kind := Kind(d.u8())
+	var m Msg
+	switch kind {
+	case KSubmit:
+		s := &Submit{}
+		s.QID = d.qid()
+		s.Client = object.SiteID(d.u64())
+		s.ClientAddr = d.str()
+		s.Body = d.str()
+		s.Initial = d.ids()
+		s.InitialFromResultOf = d.qid()
+		m = s
+	case KDeref:
+		r := &Deref{}
+		r.QID = d.qid()
+		r.Origin = object.SiteID(d.u64())
+		r.Body = d.str()
+		r.ObjID = d.id()
+		r.Start = int(d.u64())
+		n := d.len()
+		if d.err == nil && n > 0 {
+			r.Iters = make([]int, n)
+			for i := range r.Iters {
+				r.Iters[i] = int(d.u64())
+			}
+		}
+		r.Token = d.bytes()
+		m = r
+	case KResult:
+		r := &Result{}
+		r.QID = d.qid()
+		r.IDs = d.ids()
+		r.Fetches = d.fetches()
+		r.Count = int(d.u64())
+		r.Retained = d.bool()
+		r.Token = d.bytes()
+		m = r
+	case KControl:
+		c := &Control{}
+		c.QID = d.qid()
+		c.Token = d.bytes()
+		m = c
+	case KFinish:
+		f := &Finish{}
+		f.QID = d.qid()
+		f.Retain = d.bool()
+		m = f
+	case KComplete:
+		c := &Complete{}
+		c.QID = d.qid()
+		c.IDs = d.ids()
+		c.Fetches = d.fetches()
+		c.Count = int(d.u64())
+		c.Distributed = d.bool()
+		c.Partial = d.bool()
+		c.Err = d.str()
+		m = c
+	case KSeed:
+		s := &Seed{}
+		s.QID = d.qid()
+		s.Origin = object.SiteID(d.u64())
+		s.Body = d.str()
+		s.FromQID = d.qid()
+		s.Token = d.bytes()
+		m = s
+	case KMigrate:
+		mg := &Migrate{}
+		mg.Seq = d.u64()
+		mg.ID = d.id()
+		mg.To = object.SiteID(d.u64())
+		mg.Client = object.SiteID(d.u64())
+		mg.ClientAddr = d.str()
+		mg.Hops = d.u8()
+		m = mg
+	case KMigrateData:
+		md := &MigrateData{}
+		md.Seq = d.u64()
+		md.Obj = d.bytes()
+		md.Client = object.SiteID(d.u64())
+		md.ClientAddr = d.str()
+		m = md
+	case KMigrateDone:
+		m = &MigrateDone{ID: d.id(), NewSite: object.SiteID(d.u64())}
+	case KMigrated:
+		mg := &Migrated{}
+		mg.Seq = d.u64()
+		mg.ID = d.id()
+		mg.OK = d.bool()
+		mg.Err = d.str()
+		m = mg
+	case KStatsReq:
+		m = &StatsReq{Seq: d.u64(), ClientAddr: d.str()}
+	case KStatsResp:
+		r := &StatsResp{}
+		r.Seq = d.u64()
+		r.Site = object.SiteID(d.u64())
+		r.Contexts = d.u64()
+		r.Objects = d.u64()
+		n := d.len()
+		if d.err == nil && n > 0 {
+			r.Counters = make([]Counter, n)
+			for i := range r.Counters {
+				r.Counters[i].Name = d.str()
+				r.Counters[i].Value = d.u64()
+			}
+		}
+		m = r
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrDecode, kind)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.pos {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(d.buf)-d.pos)
+	}
+	return m, nil
+}
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) bytes(b []byte) {
+	e.u64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+func (e *encoder) id(id object.ID) {
+	e.u64(uint64(id.Birth))
+	e.u64(id.Seq)
+}
+func (e *encoder) qid(q QueryID) {
+	e.u64(uint64(q.Origin))
+	e.u64(q.Seq)
+}
+func (e *encoder) ids(ids []object.ID) {
+	e.u64(uint64(len(ids)))
+	for _, id := range ids {
+		e.id(id)
+	}
+}
+func (e *encoder) value(v object.Value) {
+	e.u8(uint8(v.Kind))
+	switch v.Kind {
+	case object.KindString, object.KindKeyword:
+		e.str(v.Str)
+	case object.KindInt:
+		e.u64(uint64(v.Int))
+	case object.KindFloat:
+		e.u64(math.Float64bits(v.Float))
+	case object.KindPointer:
+		e.id(v.Ptr)
+	case object.KindBytes:
+		e.bytes(v.Bytes)
+	}
+}
+func (e *encoder) fetches(fs []FetchVal) {
+	e.u64(uint64(len(fs)))
+	for _, f := range fs {
+		e.str(f.Var)
+		e.id(f.From)
+		e.value(f.Val)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at byte %d", ErrDecode, msg, d.pos)
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.buf) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// len decodes a slice length and bounds-checks it.
+func (d *decoder) len() int {
+	n := d.u64()
+	if d.err == nil && n > maxSliceLen {
+		d.fail("length prefix too large")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) str() string {
+	n := d.len()
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+n > len(d.buf) {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if d.pos+n > len(d.buf) {
+		d.fail("truncated bytes")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.pos:d.pos+n])
+	d.pos += n
+	return b
+}
+
+func (d *decoder) id() object.ID {
+	return object.ID{Birth: object.SiteID(d.u64()), Seq: d.u64()}
+}
+
+func (d *decoder) qid() QueryID {
+	return QueryID{Origin: object.SiteID(d.u64()), Seq: d.u64()}
+}
+
+func (d *decoder) ids() []object.ID {
+	n := d.len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	ids := make([]object.ID, n)
+	for i := range ids {
+		ids[i] = d.id()
+	}
+	return ids
+}
+
+func (d *decoder) value() object.Value {
+	k := object.Kind(d.u8())
+	switch k {
+	case object.KindNil:
+		return object.Value{}
+	case object.KindString:
+		return object.String(d.str())
+	case object.KindKeyword:
+		return object.Keyword(d.str())
+	case object.KindInt:
+		return object.Int(int64(d.u64()))
+	case object.KindFloat:
+		return object.Float(math.Float64frombits(d.u64()))
+	case object.KindPointer:
+		return object.Pointer(d.id())
+	case object.KindBytes:
+		return object.Bytes(d.bytes())
+	default:
+		d.fail("unknown value kind")
+		return object.Value{}
+	}
+}
+
+func (d *decoder) fetches() []FetchVal {
+	n := d.len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	fs := make([]FetchVal, n)
+	for i := range fs {
+		fs[i].Var = d.str()
+		fs[i].From = d.id()
+		fs[i].Val = d.value()
+	}
+	return fs
+}

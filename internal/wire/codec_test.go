@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hyperfile/internal/object"
+)
+
+func roundTrip(t *testing.T, m Msg) Msg {
+	t.Helper()
+	data := Encode(m)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(%T): %v", m, err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip %T:\n sent %#v\n got  %#v", m, m, got)
+	}
+	return got
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	id1 := object.ID{Birth: 1, Seq: 100}
+	id2 := object.ID{Birth: 3, Seq: 7}
+	qid := QueryID{Origin: 2, Seq: 42}
+
+	roundTrip(t, &Submit{
+		QID: qid, Client: 9, ClientAddr: "127.0.0.1:9999",
+		Body:                `S (keyword, "db", ?) -> T`,
+		Initial:             []object.ID{id1, id2},
+		InitialFromResultOf: QueryID{Origin: 1, Seq: 1},
+	})
+	roundTrip(t, &Submit{QID: qid, Client: 9, Body: "S -> T"})
+	roundTrip(t, &Deref{
+		QID: qid, Origin: 2,
+		Body:  `S [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
+		ObjID: id1, Start: 2, Iters: []int{3, 1}, Token: []byte{1, 2, 3},
+	})
+	roundTrip(t, &Deref{QID: qid, Origin: 2, ObjID: id2})
+	roundTrip(t, &Result{
+		QID: qid, IDs: []object.ID{id1},
+		Fetches: []FetchVal{
+			{Var: "title", From: id1, Val: object.String("HyperFile")},
+			{Var: "size", From: id2, Val: object.Int(-5)},
+			{Var: "score", From: id2, Val: object.Float(2.75)},
+			{Var: "link", From: id2, Val: object.Pointer(id1)},
+			{Var: "body", From: id2, Val: object.Bytes([]byte{0, 255, 7})},
+			{Var: "kw", From: id2, Val: object.Keyword("word")},
+			{Var: "none", From: id2, Val: object.Value{}},
+		},
+		Count: 1, Retained: true, Token: []byte{9},
+	})
+	roundTrip(t, &Result{QID: qid, Count: 0})
+	roundTrip(t, &Control{QID: qid, Token: []byte("credit")})
+	roundTrip(t, &Finish{QID: qid, Retain: true})
+	roundTrip(t, &Finish{QID: qid})
+	roundTrip(t, &Complete{
+		QID: qid, IDs: []object.ID{id1, id2}, Count: 2,
+		Distributed: true, Partial: true, Err: "boom",
+	})
+	roundTrip(t, &Seed{
+		QID: qid, Origin: 2, Body: `S (a, ?, ?) -> T`,
+		FromQID: QueryID{Origin: 2, Seq: 41}, Token: []byte{4},
+	})
+	roundTrip(t, &StatsReq{Seq: 77, ClientAddr: "127.0.0.1:8080"})
+	roundTrip(t, &Migrate{Seq: 5, ID: id1, To: 3, Client: 9, ClientAddr: "c:1", Hops: 2})
+	roundTrip(t, &MigrateData{Seq: 5, Obj: []byte(`{"id":"s1:1"}`), Client: 9, ClientAddr: "c:1"})
+	roundTrip(t, &MigrateDone{ID: id1, NewSite: 3})
+	roundTrip(t, &Migrated{Seq: 5, ID: id1, OK: true})
+	roundTrip(t, &Migrated{Seq: 6, Err: "not found"})
+	roundTrip(t, &StatsResp{
+		Seq: 77, Site: 3, Contexts: 2, Objects: 90,
+		Counters: []Counter{{Name: "derefs_sent", Value: 12}, {Name: "completed", Value: 3}},
+	})
+	roundTrip(t, &StatsResp{Seq: 1})
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},                         // unknown kind
+		{byte(KDeref)},               // truncated
+		{byte(KSubmit), 1},           // truncated qid
+		append(Encode(&Finish{}), 7), // trailing garbage
+	}
+	for _, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrDecode) {
+			t.Errorf("Decode(%v) error = %v, want ErrDecode", data, err)
+		}
+	}
+}
+
+func TestDecodeTruncationsNeverPanic(t *testing.T) {
+	msgs := []Msg{
+		&Submit{QID: QueryID{1, 2}, Body: "S -> T", Initial: []object.ID{{Birth: 1, Seq: 2}}},
+		&Deref{QID: QueryID{1, 2}, Body: "S -> T", Iters: []int{1, 2}, Token: []byte{5}},
+		&Result{QID: QueryID{1, 2}, IDs: []object.ID{{Birth: 1, Seq: 2}},
+			Fetches: []FetchVal{{Var: "v", Val: object.String("x")}}},
+		&Complete{QID: QueryID{1, 2}, Err: "e"},
+	}
+	for _, m := range msgs {
+		data := Encode(m)
+		for n := 0; n < len(data); n++ {
+			if _, err := Decode(data[:n]); err == nil {
+				t.Errorf("%T truncated to %d bytes decoded successfully", m, n)
+			}
+		}
+	}
+}
+
+func TestDecodeRandomBytesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		data := make([]byte, rng.Intn(64))
+		rng.Read(data)
+		_, _ = Decode(data) // must not panic; error is fine
+	}
+}
+
+func TestHugeLengthPrefixRejected(t *testing.T) {
+	// KResult followed by a qid and then an absurd id-count.
+	e := &encoder{}
+	e.u8(uint8(KResult))
+	e.qid(QueryID{1, 1})
+	e.u64(1 << 40) // ids length
+	if _, err := Decode(e.buf); !errors.Is(err, ErrDecode) {
+		t.Errorf("huge length: %v, want ErrDecode", err)
+	}
+}
+
+func TestDerefMessageIsSmall(t *testing.T) {
+	// The paper reports ~40-byte query messages; our Deref with the running
+	// experimental query body must stay the same order of magnitude.
+	m := &Deref{
+		QID: QueryID{Origin: 1, Seq: 7}, Origin: 1,
+		Body:  `R [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
+		ObjID: object.ID{Birth: 3, Seq: 123}, Start: 2, Iters: []int{4},
+		Token: make([]byte, 10),
+	}
+	n := len(Encode(m))
+	if n > 120 {
+		t.Errorf("Deref message is %d bytes; expected well under 120", n)
+	}
+}
+
+func TestQueryIDString(t *testing.T) {
+	if got := (QueryID{Origin: 3, Seq: 9}).String(); got != "q9@s3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KDeref.String() != "deref" || Kind(99).String() == "" {
+		t.Errorf("kind names wrong")
+	}
+}
+
+// Property: Deref messages round-trip for arbitrary cursor state.
+func TestQuickDerefRoundTrip(t *testing.T) {
+	f := func(origin uint32, seq uint64, body string, birth uint32, oseq uint64, start uint16, iters []uint8, token []byte) bool {
+		in := &Deref{
+			QID:    QueryID{Origin: object.SiteID(origin), Seq: seq},
+			Origin: object.SiteID(origin),
+			Body:   body,
+			ObjID:  object.ID{Birth: object.SiteID(birth), Seq: oseq},
+			Start:  int(start),
+		}
+		for _, it := range iters {
+			in.Iters = append(in.Iters, int(it))
+		}
+		if len(token) > 0 {
+			in.Token = token
+		}
+		out, err := Decode(Encode(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Result messages round-trip for arbitrary id lists.
+func TestQuickResultRoundTrip(t *testing.T) {
+	f := func(seq uint64, births []uint16, count uint16, retained bool) bool {
+		in := &Result{QID: QueryID{Origin: 1, Seq: seq}, Count: int(count), Retained: retained}
+		for i, b := range births {
+			in.IDs = append(in.IDs, object.ID{Birth: object.SiteID(b) + 1, Seq: uint64(i)})
+		}
+		out, err := Decode(Encode(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package workload generates the synthetic dataset of the paper's
+// experimental evaluation (section 5).
+//
+// Every object carries:
+//
+//   - five search-key tuples: one unique to the object, one found in all
+//     objects, and three drawn from spaces of 10, 100, and 1000 values
+//     ("Rand10", "Rand100", "Rand1000") — varying the tuple searched for
+//     varies query selectivity;
+//
+//   - one chain pointer forming a linked list of all items, with consecutive
+//     items always on different machines (maximum delay: every server is
+//     idle while each message is in transit);
+//
+//   - fourteen random pointers in seven locality classes, two per class,
+//     with the probability of pointing to a local object ranging from .05 to
+//     .95 ("Rand05" ... "Rand95");
+//
+//   - tree pointers forming a spanning tree in which the root has a single
+//     remote pointer to every other machine and each machine's subtree is
+//     local (high parallelism at low message cost).
+//
+// One departure from the paper's sketch: the chain wraps around and tree
+// leaves carry a self-loop tree pointer. Under the query algorithm's literal
+// semantics an object with no pointer tuple of the traversed type fails the
+// selection inside the closure body and is dropped before the search-key
+// check; the wrap/self-loops make every reached object eligible without
+// changing message costs (self-loops are local and deduplicated by the mark
+// table).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/store"
+)
+
+// DefaultObjects is the number of objects the paper's queries touch.
+const DefaultObjects = 270
+
+// DefaultRandClasses are the locality classes of the fourteen random
+// pointers: probability that a pointer stays on the local machine.
+var DefaultRandClasses = []float64{0.05, 0.20, 0.35, 0.50, 0.65, 0.80, 0.95}
+
+// Spec parameterizes dataset generation.
+type Spec struct {
+	// N is the number of objects (DefaultObjects if 0).
+	N int
+	// Machines is the number of sites the objects spread over.
+	Machines int
+	// StructureMachines, when non-zero, fixes the *logical* graph structure
+	// to that machine count while placing objects on Machines sites. The
+	// paper compares single-site and distributed runs over "identical"
+	// graphs: generate with StructureMachines=3 (or 9) and Machines=1 to
+	// colocate the very same graph on one server.
+	StructureMachines int
+	// Seed drives all randomness; equal specs generate equal datasets.
+	Seed int64
+	// RandClasses overrides DefaultRandClasses when non-nil.
+	RandClasses []float64
+	// PayloadBytes attaches an opaque data field of this size to every
+	// object ("objects in our system are long relative to the size of a
+	// query"). Zero means no payload.
+	PayloadBytes int
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.N == 0 {
+		s.N = DefaultObjects
+	}
+	if s.Machines == 0 {
+		s.Machines = 1
+	}
+	if s.StructureMachines == 0 {
+		s.StructureMachines = s.Machines
+	}
+	if s.RandClasses == nil {
+		s.RandClasses = DefaultRandClasses
+	}
+	return s
+}
+
+// ClassName renders a locality probability as its tuple key ("Rand05").
+func ClassName(pLocal float64) string {
+	return fmt.Sprintf("Rand%02.0f", pLocal*100)
+}
+
+// Placer is the destination of generated objects; both cluster kinds
+// implement it.
+type Placer interface {
+	Sites() []object.SiteID
+	Store(object.SiteID) *store.Store
+	Put(object.SiteID, *object.Object) error
+}
+
+// Dataset records the generated graph for query construction and checking.
+type Dataset struct {
+	Spec Spec
+	// IDs maps logical object index -> object id. Object i lives on site
+	// i mod Machines (+1).
+	IDs []object.ID
+	// Root is object 0, the root of the spanning tree and head of the chain.
+	Root object.ID
+	// rand pointer targets per class, for reachability analysis:
+	// randTargets[class][i] = the two logical targets of object i.
+	randTargets map[string][2][]int
+	treeKids    [][]int
+}
+
+// SiteOf returns the site of logical object i.
+func (d *Dataset) SiteOf(i int) object.SiteID {
+	return object.SiteID(i%d.Spec.Machines + 1)
+}
+
+// Build generates the dataset into the placer's stores.
+func Build(p Placer, spec Spec) (*Dataset, error) {
+	spec = spec.withDefaults()
+	sites := p.Sites()
+	if len(sites) < spec.Machines {
+		return nil, fmt.Errorf("workload: spec wants %d machines, cluster has %d sites", spec.Machines, len(sites))
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.N
+	// All structure (chain hops, locality classes, tree shape) follows the
+	// logical machine count; only placement follows spec.Machines.
+	m := spec.StructureMachines
+
+	d := &Dataset{
+		Spec:        spec,
+		IDs:         make([]object.ID, n),
+		randTargets: make(map[string][2][]int, len(spec.RandClasses)),
+	}
+
+	objs := make([]*object.Object, n)
+	for i := range objs {
+		objs[i] = p.Store(d.siteID(sites, i)).NewObject()
+		d.IDs[i] = objs[i].ID
+	}
+	d.Root = d.IDs[0]
+
+	// Pre-compute per-machine membership.
+	members := make([][]int, m)
+	for i := 0; i < n; i++ {
+		mi := i % m
+		members[mi] = append(members[mi], i)
+	}
+
+	// Search-key tuples.
+	for i, o := range objs {
+		o.Add("Unique", object.Keyword(fmt.Sprintf("u%d", i)), object.Value{})
+		o.Add("Common", object.Keyword("all"), object.Value{})
+		o.Add("Rand10", object.Int(int64(1+rng.Intn(10))), object.Value{})
+		o.Add("Rand100", object.Int(int64(1+rng.Intn(100))), object.Value{})
+		o.Add("Rand1000", object.Int(int64(1+rng.Intn(1000))), object.Value{})
+	}
+
+	// Chain pointers: i -> i+1 mod n. With m > 1 consecutive objects are on
+	// different machines, so every hop is remote.
+	for i, o := range objs {
+		o.Add("Pointer", object.String("Chain"), object.Pointer(d.IDs[(i+1)%n]))
+	}
+
+	// Random pointers: two per class per object.
+	for _, pLocal := range spec.RandClasses {
+		name := ClassName(pLocal)
+		var targets [2][]int
+		for slot := 0; slot < 2; slot++ {
+			targets[slot] = make([]int, n)
+		}
+		for i, o := range objs {
+			for slot := 0; slot < 2; slot++ {
+				t := d.pickTarget(rng, members, i, pLocal)
+				targets[slot][i] = t
+				o.Add("Pointer", object.String(name), object.Pointer(d.IDs[t]))
+			}
+		}
+		d.randTargets[name] = targets
+	}
+
+	// Tree pointers: root 0 points at the site root of every other machine;
+	// each site root spans its machine's members as a binary tree; leaves
+	// self-loop.
+	d.treeKids = make([][]int, n)
+	for mi := 0; mi < m; mi++ {
+		mem := members[mi]
+		if len(mem) == 0 {
+			continue
+		}
+		// Site 0's local root is object 0 itself (mem[0] == 0).
+		for j := range mem {
+			hasKid := false
+			for _, cj := range []int{2*j + 1, 2*j + 2} {
+				if cj < len(mem) {
+					objs[mem[j]].Add("Pointer", object.String("Tree"), object.Pointer(d.IDs[mem[cj]]))
+					d.treeKids[mem[j]] = append(d.treeKids[mem[j]], mem[cj])
+					hasKid = true
+				}
+			}
+			if !hasKid {
+				objs[mem[j]].Add("Pointer", object.String("Tree"), object.Pointer(d.IDs[mem[j]]))
+			}
+		}
+		if mi != 0 {
+			objs[0].Add("Pointer", object.String("Tree"), object.Pointer(d.IDs[mem[0]]))
+			d.treeKids[0] = append(d.treeKids[0], mem[0])
+		}
+	}
+
+	// Optional opaque payload.
+	if spec.PayloadBytes > 0 {
+		for _, o := range objs {
+			body := make([]byte, spec.PayloadBytes)
+			rng.Read(body)
+			o.Add("Text", object.String("body"), object.Bytes(body))
+		}
+	}
+
+	for i, o := range objs {
+		if err := p.Put(d.siteID(sites, i), o); err != nil {
+			return nil, fmt.Errorf("workload: storing object %d: %w", i, err)
+		}
+	}
+	return d, nil
+}
+
+func (d *Dataset) siteID(sites []object.SiteID, i int) object.SiteID {
+	return sites[i%d.Spec.Machines]
+}
+
+// pickTarget draws a pointer target for object i with the given probability
+// of staying local. Self-pointers are allowed (the paper's targets are
+// simply "randomly chosen objects").
+func (d *Dataset) pickTarget(rng *rand.Rand, members [][]int, i int, pLocal float64) int {
+	m := d.Spec.StructureMachines
+	if m == 1 {
+		return rng.Intn(d.Spec.N)
+	}
+	if rng.Float64() < pLocal {
+		local := members[i%m]
+		return local[rng.Intn(len(local))]
+	}
+	for {
+		t := rng.Intn(d.Spec.N)
+		if t%m != i%m {
+			return t
+		}
+	}
+}
+
+// ClosureQuery builds the paper's experimental query: traverse the
+// transitive closure of ptrKey pointers from the root set and select objects
+// whose class tuple has the given key.
+//
+//	Root [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T
+func ClosureQuery(ptrKey, class string, key int) string {
+	return fmt.Sprintf(`Root [ (Pointer, %q, ?X) ^^X ]** (%s, %d, ?) -> T`, ptrKey, class, key)
+}
+
+// ClosureQueryKeyword is ClosureQuery for the text-keyed classes
+// ("Unique"/"Common").
+func ClosureQueryKeyword(ptrKey, class, key string) string {
+	return fmt.Sprintf(`Root [ (Pointer, %q, ?X) ^^X ]** (%s, %q, ?) -> T`, ptrKey, class, key)
+}
+
+// Reached computes the set of logical objects the closure over ptrKey
+// pointers visits from object 0, independently of the query engine (for
+// validation and for computing expected selectivities).
+func (d *Dataset) Reached(ptrKey string) []int {
+	n := d.Spec.N
+	adj := make([][]int, n)
+	switch ptrKey {
+	case "Chain":
+		for i := 0; i < n; i++ {
+			adj[i] = []int{(i + 1) % n}
+		}
+	case "Tree":
+		adj = d.treeKids
+	default:
+		targets, ok := d.randTargets[ptrKey]
+		if !ok {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			adj[i] = []int{targets[0][i], targets[1][i]}
+		}
+	}
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	var out []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		out = append(out, u)
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hyperfile/internal/cluster"
+	"hyperfile/internal/object"
+	"hyperfile/internal/sim"
+)
+
+func build(t *testing.T, machines int, spec Spec) (*cluster.SimCluster, *Dataset) {
+	t.Helper()
+	c := cluster.NewSim(machines, cluster.Options{Cost: sim.Free()})
+	spec.Machines = machines
+	d, err := Build(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+func TestPlacementEvenSplit(t *testing.T) {
+	c, d := build(t, 3, Spec{N: 270})
+	for _, s := range c.Sites() {
+		if got := c.Store(s).Len(); got != 90 {
+			t.Errorf("site %v holds %d objects, want 90", s, got)
+		}
+	}
+	if len(d.IDs) != 270 {
+		t.Errorf("ids = %d", len(d.IDs))
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	_, d1 := build(t, 3, Spec{N: 90, Seed: 7})
+	_, d2 := build(t, 3, Spec{N: 90, Seed: 7})
+	for class, t1 := range d1.randTargets {
+		t2 := d2.randTargets[class]
+		for slot := 0; slot < 2; slot++ {
+			for i := range t1[slot] {
+				if t1[slot][i] != t2[slot][i] {
+					t.Fatalf("class %s slot %d object %d: %d vs %d", class, slot, i, t1[slot][i], t2[slot][i])
+				}
+			}
+		}
+	}
+}
+
+func TestChainAlwaysRemote(t *testing.T) {
+	c, d := build(t, 3, Spec{N: 90})
+	for i := 0; i < 90; i++ {
+		o, ok := c.Store(d.SiteOf(i)).Get(d.IDs[i])
+		if !ok {
+			t.Fatalf("object %d missing", i)
+		}
+		ptrs := o.Pointers("Pointer", "Chain")
+		if len(ptrs) != 1 {
+			t.Fatalf("object %d has %d chain pointers", i, len(ptrs))
+		}
+		if ptrs[0].Birth == d.SiteOf(i) {
+			t.Errorf("object %d chain pointer is local", i)
+		}
+	}
+}
+
+func TestChainCoversAllObjects(t *testing.T) {
+	_, d := build(t, 3, Spec{N: 90})
+	if got := len(d.Reached("Chain")); got != 90 {
+		t.Errorf("chain closure = %d, want 90", got)
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	c, d := build(t, 3, Spec{N: 90})
+	// Root has exactly 2 remote tree pointers (one per other machine) plus
+	// its local children.
+	root, _ := c.Store(1).Get(d.Root)
+	remote := 0
+	for _, p := range root.Pointers("Pointer", "Tree") {
+		if p.Birth != 1 {
+			remote++
+		}
+	}
+	if remote != 2 {
+		t.Errorf("root remote tree pointers = %d, want 2", remote)
+	}
+	// All non-root objects' tree pointers are local.
+	for i := 1; i < 90; i++ {
+		o, _ := c.Store(d.SiteOf(i)).Get(d.IDs[i])
+		for _, p := range o.Pointers("Pointer", "Tree") {
+			if p.Birth != d.SiteOf(i) {
+				t.Errorf("object %d has a remote tree pointer", i)
+			}
+		}
+		if len(o.Pointers("Pointer", "Tree")) == 0 {
+			t.Errorf("object %d has no tree pointer (leaves must self-loop)", i)
+		}
+	}
+	if got := len(d.Reached("Tree")); got != 90 {
+		t.Errorf("tree closure = %d, want 90", got)
+	}
+}
+
+func TestRandClassLocality(t *testing.T) {
+	c, d := build(t, 3, Spec{N: 270, Seed: 3})
+	for _, p := range DefaultRandClasses {
+		name := ClassName(p)
+		local, total := 0, 0
+		for i := 0; i < 270; i++ {
+			o, _ := c.Store(d.SiteOf(i)).Get(d.IDs[i])
+			for _, tgt := range o.Pointers("Pointer", name) {
+				total++
+				if tgt.Birth == d.SiteOf(i) {
+					local++
+				}
+			}
+		}
+		if total != 540 {
+			t.Fatalf("class %s: %d pointers, want 540", name, total)
+		}
+		frac := float64(local) / float64(total)
+		if math.Abs(frac-p) > 0.06 {
+			t.Errorf("class %s: local fraction %.3f, want ~%.2f", name, frac, p)
+		}
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	tests := map[float64]string{0.05: "Rand05", 0.5: "Rand50", 0.95: "Rand95"}
+	for p, want := range tests {
+		if got := ClassName(p); got != want {
+			t.Errorf("ClassName(%v) = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestSearchKeyTuples(t *testing.T) {
+	c, d := build(t, 1, Spec{N: 20})
+	seenUnique := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		o, _ := c.Store(1).Get(d.IDs[i])
+		u := o.Find("Unique")
+		if len(u) != 1 {
+			t.Fatalf("object %d: %d unique tuples", i, len(u))
+		}
+		if seenUnique[u[0].Key.Str] {
+			t.Errorf("duplicate unique key %q", u[0].Key.Str)
+		}
+		seenUnique[u[0].Key.Str] = true
+		if len(o.FindKey("Common", object.Keyword("all"))) != 1 {
+			t.Errorf("object %d: missing common tuple", i)
+		}
+		for _, class := range []string{"Rand10", "Rand100", "Rand1000"} {
+			ts := o.Find(class)
+			if len(ts) != 1 || ts[0].Key.Kind != object.KindInt {
+				t.Errorf("object %d: bad %s tuple %v", i, class, ts)
+			}
+		}
+		r10 := o.Find("Rand10")[0].Key.Int
+		if r10 < 1 || r10 > 10 {
+			t.Errorf("Rand10 key %d out of range", r10)
+		}
+	}
+}
+
+func TestPayload(t *testing.T) {
+	c, d := build(t, 1, Spec{N: 5, PayloadBytes: 100})
+	o, _ := c.Store(1).Get(d.IDs[0])
+	body := o.Find("Text")
+	if len(body) != 1 {
+		t.Fatalf("payload tuples = %d", len(body))
+	}
+	if len(body[0].Data.Bytes) != 100 {
+		t.Errorf("payload = %d bytes (note: below the store spill threshold)", len(body[0].Data.Bytes))
+	}
+}
+
+// TestQueryMatchesEngineOnWorkload runs the paper's experimental query
+// end-to-end and compares against the dataset's own reachability analysis.
+func TestQueryMatchesEngineOnWorkload(t *testing.T) {
+	c, d := build(t, 3, Spec{N: 90, Seed: 11})
+	for _, ptr := range []string{"Chain", "Tree", "Rand50"} {
+		res, _, err := c.Exec(1, ClosureQueryKeyword(ptr, "Common", "all"), []object.ID{d.Root})
+		if err != nil {
+			t.Fatalf("%s: %v", ptr, err)
+		}
+		want := len(d.Reached(ptr))
+		if len(res.IDs) != want {
+			t.Errorf("%s: query returned %d, reachability says %d", ptr, len(res.IDs), want)
+		}
+	}
+}
+
+// TestSelectivityApproximation: searching Rand10 for a fixed key over the
+// whole tree returns roughly 10% of the objects.
+func TestSelectivityApproximation(t *testing.T) {
+	c, d := build(t, 3, Spec{N: 270, Seed: 5})
+	total := 0
+	for key := 1; key <= 10; key++ {
+		res, _, err := c.Exec(1, ClosureQuery("Tree", "Rand10", key), []object.ID{d.Root})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(res.IDs)
+	}
+	if total != 270 {
+		t.Errorf("summing all 10 keys returned %d, want every object once (270)", total)
+	}
+}
+
+func TestUniqueSearchReturnsOne(t *testing.T) {
+	c, d := build(t, 3, Spec{N: 90})
+	res, _, err := c.Exec(1, ClosureQueryKeyword("Tree", "Unique", "u42"), []object.ID{d.Root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != d.IDs[42] {
+		t.Errorf("unique search = %v, want exactly object 42", res.IDs)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	c := cluster.NewSim(2, cluster.Options{Cost: sim.Free()})
+	if _, err := Build(c, Spec{N: 10, Machines: 5}); err == nil {
+		t.Error("expected error: more machines than sites")
+	}
+}

@@ -1,0 +1,203 @@
+package hyperfile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPreparedQueryBindings(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	pq, err := db.Prepare(
+		`S (Pointer, "Called Routine", ?X) ^^X (String, "Title", ->title) -> T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var titles []string
+	var resultCount int
+	pq.OnFetch("title", func(v Value, from ID) {
+		titles = append(titles, v.Str)
+	}).OnResult(func(ID) { resultCount++ })
+
+	res, err := pq.Run([]ID{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != resultCount {
+		t.Errorf("OnResult fired %d times for %d results", resultCount, len(res))
+	}
+	joined := strings.Join(titles, ";")
+	if !strings.Contains(joined, "Main Program") || !strings.Contains(joined, "Quicksort") {
+		t.Errorf("titles = %v", titles)
+	}
+
+	// Re-running the prepared query works and handlers persist.
+	titles = nil
+	if _, err := pq.Run([]ID{root}); err != nil {
+		t.Fatal(err)
+	}
+	if len(titles) == 0 {
+		t.Error("handlers did not fire on second run")
+	}
+}
+
+func TestPreparedQueryUnknownBinding(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	pq, err := db.Prepare(`S (String, "Title", ->title) -> T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.OnFetch("nope", func(Value, ID) {})
+	if _, err := pq.Run([]ID{root}); err == nil {
+		t.Error("expected unknown-binding error")
+	}
+}
+
+func TestPreparedQueryParseErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.Prepare("garbage"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := db.Prepare("S ^X -> T"); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestPreparedParallelMatchesSerial(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	q := `S [ (Pointer, "Called Routine", ?X) ^^X ]** (String, "Author", "Joe Programmer") -> T`
+	pqSerial, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := pqSerial.Run([]ID{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pqPar, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := pqPar.Parallel(4).Run([]ID{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(par) {
+		t.Errorf("parallel %v != serial %v", par, serial)
+	}
+}
+
+func TestExecParallelFacade(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	res, _, err := db.ExecParallel(
+		`S (Pointer, "Called Routine", ?X) ^^X (String, "Author", "Joe Programmer") -> T`,
+		4, []ID{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("results = %v", res)
+	}
+	if _, _, err := db.ExecParallel("bad", 2, nil); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, _, err := db.ExecParallel("S ^X -> T", 2, nil); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestExecTraceAndExplain(t *testing.T) {
+	db := Open()
+	root, _ := buildLibrary(t, db)
+	var events int
+	res, _, err := db.ExecTrace(
+		`S (Pointer, "Called Routine", ?X) ^^X (String, "Author", "Joe Programmer") -> T`,
+		[]ID{root}, func(TraceEvent) { events++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || events == 0 {
+		t.Errorf("results = %v, events = %d", res, events)
+	}
+	if _, _, err := db.ExecTrace("bad", nil, nil); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, _, err := db.ExecTrace("S ^X -> T", nil, nil); err == nil {
+		t.Error("expected compile error")
+	}
+
+	plan, err := Explain(`S [ (p, "Ref", ?X) ^X ]** -> T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "consuming dereference") {
+		t.Errorf("plan = %q", plan)
+	}
+	if _, err := Explain("nope"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := Explain("S ^Y -> T"); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestAddBackPointers(t *testing.T) {
+	db := Open()
+	callee := db.NewObject().Add("String", String("Title"), String("Callee"))
+	caller1 := db.NewObject().
+		Add("Pointer", String("Called Routine"), PointerTo(callee.ID))
+	caller2 := db.NewObject().
+		Add("Pointer", String("Called Routine"), PointerTo(callee.ID))
+	for _, o := range []*Object{callee, caller1, caller2} {
+		if err := db.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AddBackPointers("Called Routine", "Called By"); err != nil {
+		t.Fatal(err)
+	}
+	// Backward chaining now expressible as a forward query.
+	res, _, _, err := db.Exec(`S (Pointer, "Called By", ?X) ^X (?, ?, ?) -> T`,
+		[]ID{callee.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewIDSet(caller1.ID, caller2.ID)
+	if !res.Equal(want) {
+		t.Errorf("callers = %v, want %v", res, want)
+	}
+	// Idempotent: running again does not duplicate back pointers.
+	if err := db.AddBackPointers("Called Routine", "Called By"); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := db.Get(callee.ID)
+	if got := len(o.Pointers("Pointer", "Called By")); got != 2 {
+		t.Errorf("back pointers = %d, want 2", got)
+	}
+}
+
+func TestAddBackPointersPreservesSpilledData(t *testing.T) {
+	db := Open()
+	big := make([]byte, 100000)
+	big[42] = 7
+	target := db.NewObject().Add("Text", String("body"), Bytes(big))
+	src := db.NewObject().Add("Pointer", String("Ref"), PointerTo(target.ID))
+	for _, o := range []*Object{target, src} {
+		if err := db.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AddBackPointers("Ref", "RefBy"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.FetchData(target.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Bytes) != 100000 || v.Bytes[42] != 7 {
+		t.Errorf("spilled payload lost by back-pointer rewrite")
+	}
+}
