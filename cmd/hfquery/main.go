@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -103,6 +104,13 @@ func run(w io.Writer, servers string, origin, clientID uint, listen, initial, sc
 	exec := func(body string, init []object.ID) error {
 		start := time.Now()
 		cm, err := cl.Exec(object.SiteID(origin), body, init, timeout)
+		if errors.Is(err, server.ErrTimeout) && cm != nil {
+			// The deadline passed but the abort recovered a partial answer;
+			// print it rather than throw it away.
+			fmt.Fprintf(w, "timed out after %v; partial answer recovered:\n", timeout)
+			printResult(w, body, cm, time.Since(start))
+			return nil
+		}
 		if err != nil {
 			return err
 		}
@@ -209,6 +217,13 @@ func printResult(w io.Writer, body string, cm *wire.Complete, rt time.Duration) 
 		flags += " (distributed set)"
 	}
 	fmt.Fprintf(w, "%d results in %v%s\n", cm.Count, rt.Round(time.Millisecond), flags)
+	if len(cm.Unreachable) > 0 {
+		names := make([]string, len(cm.Unreachable))
+		for i, s := range cm.Unreachable {
+			names[i] = s.String()
+		}
+		fmt.Fprintf(w, "unreachable sites: %s\n", strings.Join(names, ", "))
+	}
 	for _, id := range cm.IDs {
 		fmt.Fprintf(w, "  %s\n", id)
 	}

@@ -20,7 +20,9 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"hyperfile/internal/chaos"
 	"hyperfile/internal/dump"
 	"hyperfile/internal/object"
 	"hyperfile/internal/server"
@@ -29,21 +31,56 @@ import (
 	"hyperfile/internal/termination"
 )
 
+// config collects everything run needs; flags map onto it one to one.
+type config struct {
+	SiteID        uint
+	Listen        string
+	Peers         string
+	Data          string
+	Save          string
+	ResultBatch   int
+	DistThreshold int
+	TermMode      string
+
+	// Failure detection: probe peers every Heartbeat, declare a peer down
+	// after SuspectAfter of silence (0 disables the detector).
+	Heartbeat    time.Duration
+	SuspectAfter time.Duration
+
+	// Fault injection below the reliability layer, for soak and recovery
+	// testing. All zero = no faults.
+	ChaosSeed     int64
+	ChaosDrop     float64
+	ChaosDup      float64
+	ChaosDelay    float64
+	ChaosMaxDelay time.Duration
+	ChaosReorder  float64
+}
+
 func main() {
-	siteID := flag.Uint("site", 1, "this server's site id")
-	listen := flag.String("listen", "127.0.0.1:0", "listen address")
-	peerSpec := flag.String("peers", "", "comma-separated peer list: id=host:port,...")
-	dataPath := flag.String("data", "", "JSON-lines object file to load at startup")
-	savePath := flag.String("save", "", "write a snapshot of the store here on shutdown")
-	batch := flag.Int("result-batch", 0, "max result ids per message (0 = unbounded)")
-	distThreshold := flag.Int("dist-threshold", 0, "distributed-set retention threshold (0 = off)")
-	termMode := flag.String("termination", "weighted", "termination detector: weighted | dijkstra-scholten")
+	var cfg config
+	flag.UintVar(&cfg.SiteID, "site", 1, "this server's site id")
+	flag.StringVar(&cfg.Listen, "listen", "127.0.0.1:0", "listen address")
+	flag.StringVar(&cfg.Peers, "peers", "", "comma-separated peer list: id=host:port,...")
+	flag.StringVar(&cfg.Data, "data", "", "JSON-lines object file to load at startup")
+	flag.StringVar(&cfg.Save, "save", "", "write a snapshot of the store here on shutdown")
+	flag.IntVar(&cfg.ResultBatch, "result-batch", 0, "max result ids per message (0 = unbounded)")
+	flag.IntVar(&cfg.DistThreshold, "dist-threshold", 0, "distributed-set retention threshold (0 = off)")
+	flag.StringVar(&cfg.TermMode, "termination", "weighted", "termination detector: weighted | dijkstra-scholten")
+	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 0, "peer heartbeat interval (0 = no failure detector)")
+	flag.DurationVar(&cfg.SuspectAfter, "suspect-after", 0, "silence before a peer is declared down (default 4x heartbeat)")
+	flag.Int64Var(&cfg.ChaosSeed, "chaos-seed", 0, "fault-injection RNG seed (0 = from clock)")
+	flag.Float64Var(&cfg.ChaosDrop, "chaos-drop", 0, "probability of dropping an outbound frame")
+	flag.Float64Var(&cfg.ChaosDup, "chaos-dup", 0, "probability of duplicating an outbound frame")
+	flag.Float64Var(&cfg.ChaosDelay, "chaos-delay", 0, "probability of delaying an outbound frame")
+	flag.DurationVar(&cfg.ChaosMaxDelay, "chaos-max-delay", 10*time.Millisecond, "maximum injected delay")
+	flag.Float64Var(&cfg.ChaosReorder, "chaos-reorder", 0, "probability of reordering an outbound frame")
 	flag.Parse()
 
 	lg := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	if err := run(*siteID, *listen, *peerSpec, *dataPath, *savePath, *batch, *distThreshold, *termMode, lg, stop, nil); err != nil {
+	if err := run(cfg, lg, stop, nil); err != nil {
 		lg.Error("fatal", "err", err)
 		os.Exit(1)
 	}
@@ -51,50 +88,88 @@ func main() {
 
 // run starts the server and blocks until a signal arrives on stop. When
 // ready is non-nil it receives the bound listen address once serving.
-func run(siteID uint, listen, peerSpec, dataPath, savePath string, batch, distThreshold int, termMode string, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string) error {
-	id := object.SiteID(siteID)
-	peers, err := parsePeers(peerSpec)
+func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string) error {
+	id := object.SiteID(cfg.SiteID)
+	peers, err := parsePeers(cfg.Peers)
 	if err != nil {
 		return err
 	}
 	var mode termination.Mode
-	switch termMode {
+	switch cfg.TermMode {
 	case "weighted":
 		mode = termination.Weighted
 	case "dijkstra-scholten", "ds":
 		mode = termination.DijkstraScholten
 	default:
-		return fmt.Errorf("unknown termination mode %q", termMode)
+		return fmt.Errorf("unknown termination mode %q", cfg.TermMode)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"-chaos-drop", cfg.ChaosDrop},
+		{"-chaos-dup", cfg.ChaosDup},
+		{"-chaos-delay", cfg.ChaosDelay},
+		{"-chaos-reorder", cfg.ChaosReorder},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("%s %v is not a probability (want 0..1)", r.name, r.v)
+		}
+	}
+	if cfg.ChaosMaxDelay < 0 {
+		return fmt.Errorf("-chaos-max-delay %v is negative", cfg.ChaosMaxDelay)
+	}
+	if cfg.SuspectAfter > 0 && cfg.Heartbeat <= 0 {
+		return fmt.Errorf("-suspect-after needs -heartbeat (no probes, nothing to suspect)")
 	}
 
 	st := store.New(id)
-	if dataPath != "" {
-		f, err := os.Open(dataPath)
+	if cfg.Data != "" {
+		f, err := os.Open(cfg.Data)
 		if err != nil {
 			return err
 		}
 		objs, err := dump.Read(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("loading %s: %w", dataPath, err)
+			return fmt.Errorf("loading %s: %w", cfg.Data, err)
 		}
 		for _, o := range objs {
 			if err := st.Put(o); err != nil {
-				return fmt.Errorf("loading %s: %w", dataPath, err)
+				return fmt.Errorf("loading %s: %w", cfg.Data, err)
 			}
 		}
-		lg.Info("loaded dataset", "file", dataPath, "objects", len(objs))
+		lg.Info("loaded dataset", "file", cfg.Data, "objects", len(objs))
+	}
+
+	opts := server.Options{
+		HeartbeatInterval: cfg.Heartbeat,
+		SuspectAfter:      cfg.SuspectAfter,
+	}
+	if cfg.ChaosDrop > 0 || cfg.ChaosDup > 0 || cfg.ChaosDelay > 0 || cfg.ChaosReorder > 0 {
+		opts.Transport.Fault = chaos.NewInjector(chaos.Config{
+			Seed:        cfg.ChaosSeed,
+			DropRate:    cfg.ChaosDrop,
+			DupRate:     cfg.ChaosDup,
+			DelayRate:   cfg.ChaosDelay,
+			MaxDelay:    cfg.ChaosMaxDelay,
+			ReorderRate: cfg.ChaosReorder,
+		})
+		lg.Warn("chaos fault injection enabled",
+			"drop", cfg.ChaosDrop, "dup", cfg.ChaosDup,
+			"delay", cfg.ChaosDelay, "reorder", cfg.ChaosReorder,
+			"seed", cfg.ChaosSeed)
 	}
 
 	peerIDs := make([]object.SiteID, 0, len(peers))
 	for pid := range peers {
 		peerIDs = append(peerIDs, pid)
 	}
-	srv, err := server.New(site.Config{
+	srv, err := server.NewOpts(site.Config{
 		ID: id, Store: st, Peers: peerIDs,
-		ResultBatch: batch, DistributedSetThreshold: distThreshold,
+		ResultBatch: cfg.ResultBatch, DistributedSetThreshold: cfg.DistThreshold,
 		TermMode: mode,
-	}, listen, lg)
+	}, cfg.Listen, lg, opts)
 	if err != nil {
 		return err
 	}
@@ -108,8 +183,8 @@ func run(siteID uint, listen, peerSpec, dataPath, savePath string, batch, distTh
 	}
 	<-stop
 	lg.Info("shutting down")
-	if savePath != "" {
-		f, err := os.Create(savePath)
+	if cfg.Save != "" {
+		f, err := os.Create(cfg.Save)
 		if err != nil {
 			return fmt.Errorf("snapshot: %w", err)
 		}
@@ -120,7 +195,7 @@ func run(siteID uint, listen, peerSpec, dataPath, savePath string, batch, distTh
 		if err := f.Close(); err != nil {
 			return fmt.Errorf("snapshot: %w", err)
 		}
-		lg.Info("snapshot written", "file", savePath, "objects", st.Len())
+		lg.Info("snapshot written", "file", cfg.Save, "objects", st.Len())
 	}
 	return nil
 }

@@ -41,7 +41,10 @@ func TestRunServeQueryShutdownSnapshot(t *testing.T) {
 	done := make(chan error, 1)
 	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
 	go func() {
-		done <- run(1, "127.0.0.1:0", "", dataPath, savePath, 0, 0, "weighted", lg, stop, ready)
+		done <- run(config{
+			SiteID: 1, Listen: "127.0.0.1:0", Data: dataPath, Save: savePath,
+			TermMode: "weighted",
+		}, lg, stop, ready)
 	}()
 	var addr string
 	select {
@@ -85,14 +88,98 @@ func TestRunServeQueryShutdownSnapshot(t *testing.T) {
 func TestRunRejectsBadConfig(t *testing.T) {
 	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
 	stop := make(chan os.Signal)
-	if err := run(1, "127.0.0.1:0", "bogus-peers", "", "", 0, 0, "weighted", lg, stop, nil); err == nil {
+	base := config{SiteID: 1, Listen: "127.0.0.1:0", TermMode: "weighted"}
+	bad := base
+	bad.Peers = "bogus-peers"
+	if err := run(bad, lg, stop, nil); err == nil {
 		t.Error("expected peer-spec error")
 	}
-	if err := run(1, "127.0.0.1:0", "", "/nonexistent/data", "", 0, 0, "weighted", lg, stop, nil); err == nil {
+	bad = base
+	bad.Data = "/nonexistent/data"
+	if err := run(bad, lg, stop, nil); err == nil {
 		t.Error("expected data-file error")
 	}
-	if err := run(1, "127.0.0.1:0", "", "", "", 0, 0, "martian", lg, stop, nil); err == nil {
+	bad = base
+	bad.TermMode = "martian"
+	if err := run(bad, lg, stop, nil); err == nil {
 		t.Error("expected termination-mode error")
+	}
+	bad = base
+	bad.ChaosDrop = 2
+	if err := run(bad, lg, stop, nil); err == nil {
+		t.Error("expected chaos-rate range error")
+	}
+	bad = base
+	bad.ChaosReorder = -0.1
+	if err := run(bad, lg, stop, nil); err == nil {
+		t.Error("expected negative chaos-rate error")
+	}
+	bad = base
+	bad.ChaosMaxDelay = -time.Millisecond
+	if err := run(bad, lg, stop, nil); err == nil {
+		t.Error("expected negative max-delay error")
+	}
+	bad = base
+	bad.SuspectAfter = time.Second
+	if err := run(bad, lg, stop, nil); err == nil {
+		t.Error("expected suspect-after-without-heartbeat error")
+	}
+}
+
+// TestRunWithChaosAndHeartbeat boots a server with fault injection and the
+// failure detector enabled; the reliability layer must still answer queries
+// exactly.
+func TestRunWithChaosAndHeartbeat(t *testing.T) {
+	st := store.New(1)
+	o := st.NewObject().Add("keyword", object.Keyword("net"), object.Value{})
+	if err := st.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(t.TempDir(), "data.jsonl")
+	f, err := os.Create(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := st.Get(o.ID)
+	if err := dump.Write(f, []*object.Object{obj}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	stop := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+	go func() {
+		done <- run(config{
+			SiteID: 1, Listen: "127.0.0.1:0", Data: dataPath, TermMode: "weighted",
+			Heartbeat: 50 * time.Millisecond,
+			ChaosSeed: 99, ChaosDrop: 0.2, ChaosDup: 0.1,
+			ChaosDelay: 0.3, ChaosMaxDelay: 2 * time.Millisecond,
+		}, lg, stop, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	}
+	cl, err := server.NewClient(500, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.AddServer(1, addr)
+	cm, err := cl.Exec(1, `S (keyword, "net", ?) -> T`, []object.ID{o.ID}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.IDs) != 1 {
+		t.Errorf("results = %v", cm.IDs)
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v", err)
 	}
 }
 

@@ -1,0 +1,24 @@
+package chaos
+
+import (
+	"hyperfile/internal/object"
+	"hyperfile/internal/wire"
+)
+
+// Transport is the message-passing surface extracted from transport.TCP,
+// so higher layers (server, tools, tests) can run over the real TCP
+// endpoint or an in-memory fabric interchangeably. Send is reliable
+// (exactly-once to the handler, given the peer eventually responds);
+// SendUnreliable is best-effort and is what heartbeats ride on.
+//
+// transport.TCP satisfies this interface; fault injection plugs in below
+// its reliability layer via transport.Options.Fault, which *Injector
+// implements.
+type Transport interface {
+	Self() object.SiteID
+	Addr() string
+	AddPeer(id object.SiteID, addr string)
+	Send(to object.SiteID, m wire.Msg) error
+	SendUnreliable(to object.SiteID, m wire.Msg) error
+	Close() error
+}

@@ -14,7 +14,9 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"hyperfile/internal/chaos"
 	"hyperfile/internal/engine"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
@@ -43,6 +45,17 @@ type Options struct {
 	// OracleMarkTable shares a zero-cost global mark table among all sites
 	// (ablation of the paper's local-mark-table design decision).
 	OracleMarkTable bool
+	// Chaos, when non-nil, routes LocalCluster inter-site traffic through an
+	// in-memory reliable-delivery network subject to the configured faults
+	// (drop, duplicate, delay, reorder, partition). SimCluster ignores it.
+	Chaos *chaos.Config
+	// HeartbeatInterval enables LocalCluster's failure detector: each site
+	// probes its peers at this interval and declares a peer down after
+	// SuspectAfter of silence (0 = no detector).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence threshold before a peer is declared down
+	// (default 4 × HeartbeatInterval).
+	SuspectAfter time.Duration
 }
 
 // siteIDs returns 1..n.
@@ -92,6 +105,9 @@ type Result struct {
 	Count       int
 	Distributed bool
 	Partial     bool
+	// Unreachable lists sites the query skipped because they were declared
+	// dead; non-empty implies Partial.
+	Unreachable []object.SiteID
 }
 
 // moveObject migrates an object between stores and updates the naming
@@ -154,5 +170,6 @@ func fromComplete(c *wire.Complete) (*Result, error) {
 		Count:       c.Count,
 		Distributed: c.Distributed,
 		Partial:     c.Partial,
+		Unreachable: c.Unreachable,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"hyperfile/internal/chaos"
 	"hyperfile/internal/object"
 	"hyperfile/internal/sim"
 	"hyperfile/internal/termination"
@@ -642,5 +643,180 @@ func TestLocalClusterClosedExec(t *testing.T) {
 	c.Close()
 	if _, err := c.Exec(1, `S (a, ?, ?) -> T`, nil, time.Second); !errors.Is(err, ErrClosed) {
 		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestLocalClusterChaosDropDup is the headline robustness check: a
+// multi-site transitive closure over a network that drops 10% and duplicates
+// 5% of inter-site messages must still produce the exact answer —
+// retransmission recovers losses and receiver dedup keeps duplicated derefs
+// from double-counting termination credit.
+func TestLocalClusterChaosDropDup(t *testing.T) {
+	c := NewLocal(3, Options{Chaos: &chaos.Config{Seed: 42, DropRate: 0.10, DupRate: 0.05}})
+	defer c.Close()
+	ids := loadRingLocal(t, c, 30, []string{"hot", "cold"})
+	res, err := c.Exec(1, closureQuery, ids[:1], 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 15 {
+		t.Errorf("results = %d, want 15", len(res.IDs))
+	}
+	if res.Partial || len(res.Unreachable) != 0 {
+		t.Errorf("answer marked partial with no dead sites: %+v", res)
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("internal error: %v", err)
+	}
+}
+
+// TestLocalClusterChaosDelayReorder piles delay and reordering on top of
+// loss and duplication.
+func TestLocalClusterChaosDelayReorder(t *testing.T) {
+	c := NewLocal(3, Options{Chaos: &chaos.Config{
+		Seed: 9, DropRate: 0.20, DupRate: 0.10,
+		DelayRate: 0.40, MinDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+		ReorderRate: 0.30,
+	}})
+	defer c.Close()
+	ids := loadRingLocal(t, c, 18, []string{"hot", "cold"})
+	res, err := c.Exec(2, closureQuery, ids[:1], 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 9 {
+		t.Errorf("results = %d, want 9", len(res.IDs))
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("internal error: %v", err)
+	}
+}
+
+// TestLocalClusterPartitionPartialAnswer isolates a site before the query
+// starts. The failure detector declares it dead at the live sites, derefs to
+// it are suppressed, and the query terminates normally with a partial answer
+// naming the unreachable site.
+func TestLocalClusterPartitionPartialAnswer(t *testing.T) {
+	c := NewLocal(3, Options{
+		Chaos:             &chaos.Config{Seed: 7},
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      50 * time.Millisecond,
+	})
+	defer c.Close()
+	ids := loadRingLocal(t, c, 30, []string{"hot", "cold"})
+	c.Injector().Isolate(3, []object.SiteID{1, 2})
+	// Let the detector at both live sites declare site 3 dead.
+	time.Sleep(300 * time.Millisecond)
+	res, err := c.Exec(1, closureQuery, ids[:1], 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Errorf("expected a partial answer, got %+v", res)
+	}
+	if len(res.Unreachable) != 1 || res.Unreachable[0] != 3 {
+		t.Errorf("Unreachable = %v, want [3]", res.Unreachable)
+	}
+	for _, id := range res.IDs {
+		if id.Birth == 3 {
+			t.Errorf("result %v came from the dead site", id)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("internal error: %v", err)
+	}
+}
+
+// TestLocalClusterPartitionMidQueryForcedPartial spans the initial set
+// across the partition so the originator engages the dead site before the
+// detector fires: its credit parks at the partitioned site and the
+// originator must force-complete with a partial answer once the peer is
+// declared dead. (If detection wins the race instead, the deref is
+// suppressed and the observable outcome is identical.)
+func TestLocalClusterPartitionMidQueryForcedPartial(t *testing.T) {
+	c := NewLocal(3, Options{
+		Chaos:             &chaos.Config{Seed: 5},
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      50 * time.Millisecond,
+	})
+	defer c.Close()
+	var ids []object.ID
+	for _, sid := range c.Sites() {
+		o := c.Store(sid).NewObject()
+		o.Add("keyword", object.Keyword("hot"), object.Value{})
+		if err := c.Put(o.ID.Birth, o); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, o.ID)
+	}
+	c.Injector().Isolate(3, []object.SiteID{1, 2})
+	res, err := c.Exec(1, `S (keyword, "hot", ?) -> T`, ids, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Errorf("expected a partial answer, got %+v", res)
+	}
+	var named bool
+	for _, u := range res.Unreachable {
+		named = named || u == 3
+	}
+	if !named {
+		t.Errorf("Unreachable = %v, want to include 3", res.Unreachable)
+	}
+	var gotLocal, gotDead bool
+	for _, id := range res.IDs {
+		gotLocal = gotLocal || id == ids[0]
+		gotDead = gotDead || id == ids[2]
+	}
+	if !gotLocal {
+		t.Errorf("results %v missing the originator's own object", res.IDs)
+	}
+	if gotDead {
+		t.Errorf("results %v include the dead site's object", res.IDs)
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("internal error: %v", err)
+	}
+}
+
+// TestLocalClusterPartitionHealRecovers checks the PeerUp path end to end: a
+// healed partition is noticed by the heartbeat exchange and later queries
+// return full answers again.
+func TestLocalClusterPartitionHealRecovers(t *testing.T) {
+	c := NewLocal(3, Options{
+		Chaos:             &chaos.Config{Seed: 3},
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectAfter:      50 * time.Millisecond,
+	})
+	defer c.Close()
+	ids := loadRingLocal(t, c, 30, []string{"hot", "cold"})
+	inj := c.Injector()
+	inj.Isolate(3, []object.SiteID{1, 2})
+	time.Sleep(300 * time.Millisecond)
+	res, err := c.Exec(1, closureQuery, ids[:1], 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatalf("expected a partial answer during the partition, got %+v", res)
+	}
+	inj.HealAll()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err = c.Exec(1, closureQuery, ids[:1], 15*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Partial && len(res.IDs) == 15 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never recovered after heal: %+v", res)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := c.Err(); err != nil {
+		t.Errorf("internal error: %v", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hyperfile/internal/chaos"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
 	"hyperfile/internal/site"
@@ -27,6 +28,12 @@ type LocalCluster struct {
 	sites  map[object.SiteID]*localSite
 	stores map[object.SiteID]*store.Store
 	dirs   map[object.SiteID]*naming.Directory
+
+	// net carries inter-site traffic when chaos or the failure detector is
+	// enabled (nil otherwise: envelopes are posted directly).
+	net          *chaos.Network
+	hbEvery      time.Duration
+	suspectAfter time.Duration
 
 	mu         sync.Mutex
 	nextQID    uint64
@@ -50,6 +57,10 @@ type localSite struct {
 	wake    chan struct{} // capacity 1
 	quit    chan struct{}
 	down    bool
+
+	// Failure-detector state (nil maps unless the detector is enabled).
+	heard     map[object.SiteID]time.Time
+	suspected map[object.SiteID]bool
 }
 
 // NewLocal builds and starts a cluster of n sites.
@@ -66,6 +77,18 @@ func NewLocal(n int, opts Options) *LocalCluster {
 	if opts.OracleMarkTable {
 		marks = site.NewGlobalMarks()
 	}
+	if opts.Chaos != nil || opts.HeartbeatInterval > 0 {
+		var inj *chaos.Injector
+		if opts.Chaos != nil {
+			inj = chaos.NewInjector(*opts.Chaos)
+		}
+		c.net = chaos.NewNetwork(inj)
+		c.hbEvery = opts.HeartbeatInterval
+		c.suspectAfter = opts.SuspectAfter
+		if c.hbEvery > 0 && c.suspectAfter <= 0 {
+			c.suspectAfter = 4 * c.hbEvery
+		}
+	}
 	for _, id := range c.ids {
 		s, st, dir := buildSite(id, c.ids, opts, marks)
 		c.stores[id] = st
@@ -80,10 +103,38 @@ func NewLocal(n int, opts Options) *LocalCluster {
 			quit: make(chan struct{}),
 		}
 		c.sites[id] = ls
+		if c.net != nil {
+			if c.hbEvery > 0 {
+				// Initialise detector state before Register: a peer's
+				// heartbeat may arrive as soon as the handler is installed.
+				ls.heard = make(map[object.SiteID]time.Time, n-1)
+				ls.suspected = make(map[object.SiteID]bool)
+				now := time.Now()
+				for _, peer := range c.ids {
+					if peer != id {
+						ls.heard[peer] = now
+					}
+				}
+			}
+			c.net.Register(id, ls.receive)
+			if c.hbEvery > 0 {
+				c.wg.Add(1)
+				go ls.heartbeatLoop(c.hbEvery, c.suspectAfter)
+			}
+		}
 		c.wg.Add(1)
 		go ls.loop()
 	}
 	return c
+}
+
+// Injector exposes the chaos fault injector so tests can partition and heal
+// links at runtime (nil unless Options.Chaos was set).
+func (c *LocalCluster) Injector() *chaos.Injector {
+	if c.net == nil {
+		return nil
+	}
+	return c.net.Injector()
 }
 
 // Sites returns the site ids.
@@ -143,6 +194,103 @@ func (c *LocalCluster) Close() {
 		ls.poke()
 	}
 	c.wg.Wait()
+	if c.net != nil {
+		c.net.Close()
+	}
+}
+
+// receive is the chaos-network delivery handler: heartbeats feed the failure
+// detector and stop there; everything else is posted to the site mailbox.
+func (ls *localSite) receive(from object.SiteID, m wire.Msg) {
+	ls.noteHeard(from)
+	if _, ok := m.(*wire.Heartbeat); ok {
+		return
+	}
+	ls.post(func(s *site.Site) []wire.Envelope {
+		out, err := s.HandleMessage(from, m)
+		if err != nil {
+			ls.c.fail(err)
+			return nil
+		}
+		return out
+	})
+}
+
+// noteHeard refreshes a peer's liveness clock; any traffic counts, not just
+// heartbeats. A formerly suspected peer that speaks again is reinstated.
+func (ls *localSite) noteHeard(from object.SiteID) {
+	ls.mu.Lock()
+	if ls.heard == nil {
+		ls.mu.Unlock()
+		return
+	}
+	ls.heard[from] = time.Now()
+	wasSuspect := ls.suspected[from]
+	delete(ls.suspected, from)
+	ls.mu.Unlock()
+	if wasSuspect {
+		ls.post(func(s *site.Site) []wire.Envelope {
+			s.PeerUp(from)
+			return nil
+		})
+	}
+}
+
+// heartbeatLoop probes peers every interval and declares any peer silent for
+// longer than suspectAfter dead, feeding site.PeerDown on the site goroutine.
+func (ls *localSite) heartbeatLoop(every, suspectAfter time.Duration) {
+	defer ls.c.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-ls.quit:
+			return
+		case <-ticker.C:
+		}
+		if ls.isDown() {
+			// A crashed site neither probes nor suspects; restart the
+			// silence clocks so revival doesn't mass-declare peers dead.
+			ls.resetHeard()
+			continue
+		}
+		seq++
+		for _, peer := range ls.c.ids {
+			if peer != ls.id {
+				ls.c.net.SendUnreliable(ls.id, peer, &wire.Heartbeat{Seq: seq})
+			}
+		}
+		ls.checkSuspects(suspectAfter)
+	}
+}
+
+func (ls *localSite) resetHeard() {
+	now := time.Now()
+	ls.mu.Lock()
+	for peer := range ls.heard {
+		ls.heard[peer] = now
+	}
+	ls.mu.Unlock()
+}
+
+func (ls *localSite) checkSuspects(suspectAfter time.Duration) {
+	now := time.Now()
+	var newly []object.SiteID
+	ls.mu.Lock()
+	for peer, last := range ls.heard {
+		if !ls.suspected[peer] && now.Sub(last) > suspectAfter {
+			ls.suspected[peer] = true
+			newly = append(newly, peer)
+		}
+	}
+	ls.mu.Unlock()
+	for _, peer := range newly {
+		peer := peer
+		ls.post(func(s *site.Site) []wire.Envelope {
+			return s.PeerDown(peer)
+		})
+	}
 }
 
 // post enqueues a thunk on the site's mailbox.
@@ -223,6 +371,13 @@ func (ls *localSite) dispatch(envs []wire.Envelope) {
 			case *wire.Migrated:
 				ls.c.migrated(cm)
 			}
+			continue
+		}
+		if ls.c.net != nil {
+			// Reliable chaos-network path: faults, retransmission and dedup
+			// happen inside the network; errors (unknown site, closed) are
+			// indistinguishable from loss and handled by the detector.
+			_ = ls.c.net.Send(ls.id, env.To, env.Msg)
 			continue
 		}
 		dst, ok := ls.c.sites[env.To]

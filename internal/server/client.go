@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -33,6 +34,12 @@ type Client struct {
 // listening on addr ("127.0.0.1:0" for ephemeral).
 func NewClient(id object.SiteID, addr string) (*Client, error) {
 	c := &Client{
+		// Seed the id counter from the clock so query ids from successive
+		// client processes sharing a site id never collide: sites tombstone
+		// finished query ids, and a reused id would make a fresh query look
+		// like a straggler of the old one — its work silently dropped and
+		// its termination credit abandoned, hanging the query.
+		next:         uint64(time.Now().UnixNano())<<8 | uint64(rand.Intn(256)),
 		waiters:      make(map[wire.QueryID]chan *wire.Complete),
 		statsWaiters: make(map[uint64]chan *wire.StatsResp),
 		migWaiters:   make(map[uint64]chan *wire.Migrated),

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sync"
+	"time"
 
 	"hyperfile/internal/object"
 	"hyperfile/internal/site"
@@ -15,12 +16,28 @@ import (
 	"hyperfile/internal/wire"
 )
 
+// Options tunes a server's transport reliability and failure detection.
+// The zero value disables the failure detector and takes transport defaults.
+type Options struct {
+	// Transport configures the reliability layer (retransmission, dial
+	// backoff) and optional fault injection.
+	Transport transport.Options
+	// HeartbeatInterval enables the failure detector: the server probes its
+	// peers at this interval and declares a peer down after SuspectAfter of
+	// silence (0 = no detector).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence threshold before a peer is declared down
+	// (default 4 × HeartbeatInterval).
+	SuspectAfter time.Duration
+}
+
 // Server owns one Site on its own goroutine, fed by the TCP transport.
 type Server struct {
-	cfg site.Config
-	s   *site.Site
-	tr  *transport.TCP
-	lg  *slog.Logger
+	cfg  site.Config
+	s    *site.Site
+	tr   *transport.TCP
+	lg   *slog.Logger
+	opts Options
 
 	mu      sync.Mutex
 	mailbox []mail
@@ -28,6 +45,11 @@ type Server struct {
 	quit    chan struct{}
 	once    sync.Once
 	wg      sync.WaitGroup
+
+	// Failure-detector state (nil maps unless HeartbeatInterval > 0).
+	hbMu      sync.Mutex
+	heard     map[object.SiteID]time.Time
+	suspected map[object.SiteID]bool
 }
 
 type mail struct {
@@ -38,23 +60,44 @@ type mail struct {
 // New starts a server for the given site configuration, listening on addr.
 // Pass logger nil for a default logger.
 func New(cfg site.Config, addr string, logger *slog.Logger) (*Server, error) {
+	return NewOpts(cfg, addr, logger, Options{})
+}
+
+// NewOpts is New with explicit transport and failure-detection options.
+func NewOpts(cfg site.Config, addr string, logger *slog.Logger, opts Options) (*Server, error) {
 	if logger == nil {
 		logger = slog.Default()
+	}
+	if opts.HeartbeatInterval > 0 && opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = 4 * opts.HeartbeatInterval
 	}
 	srv := &Server{
 		cfg:  cfg,
 		s:    site.New(cfg),
 		lg:   logger.With("site", cfg.ID.String()),
+		opts: opts,
 		wake: make(chan struct{}, 1),
 		quit: make(chan struct{}),
 	}
-	tr, err := transport.ListenTCP(cfg.ID, addr, srv.post)
+	if opts.HeartbeatInterval > 0 {
+		srv.heard = make(map[object.SiteID]time.Time, len(cfg.Peers))
+		srv.suspected = make(map[object.SiteID]bool)
+		now := time.Now()
+		for _, peer := range cfg.Peers {
+			srv.heard[peer] = now
+		}
+	}
+	tr, err := transport.ListenTCPOpts(cfg.ID, addr, srv.post, opts.Transport)
 	if err != nil {
 		return nil, err
 	}
 	srv.tr = tr
 	srv.wg.Add(1)
 	go srv.loop()
+	if opts.HeartbeatInterval > 0 {
+		srv.wg.Add(1)
+		go srv.heartbeatLoop()
+	}
 	return srv, nil
 }
 
@@ -81,11 +124,77 @@ func (srv *Server) Stats() site.Stats {
 }
 
 // post is the transport handler: enqueue and wake the site goroutine.
+// Heartbeats feed the failure detector and stop here; any other traffic from
+// a monitored peer also refreshes its liveness clock.
 func (srv *Server) post(from object.SiteID, m wire.Msg) {
+	srv.noteHeard(from)
+	if _, ok := m.(*wire.Heartbeat); ok {
+		return
+	}
 	srv.mu.Lock()
 	srv.mailbox = append(srv.mailbox, mail{from: from, msg: m})
 	srv.mu.Unlock()
 	srv.poke()
+}
+
+// noteHeard refreshes a peer's liveness clock; a formerly suspected peer that
+// speaks again is reinstated on the site goroutine.
+func (srv *Server) noteHeard(from object.SiteID) {
+	srv.hbMu.Lock()
+	if _, monitored := srv.heard[from]; !monitored {
+		srv.hbMu.Unlock()
+		return
+	}
+	srv.heard[from] = time.Now()
+	wasSuspect := srv.suspected[from]
+	delete(srv.suspected, from)
+	srv.hbMu.Unlock()
+	if wasSuspect {
+		srv.lg.Info("peer reinstated", "peer", from.String())
+		srv.postThunk(func() { srv.s.PeerUp(from) })
+	}
+}
+
+// heartbeatLoop probes peers every HeartbeatInterval and declares any peer
+// silent for longer than SuspectAfter dead: the site skips it for new work
+// and force-completes queries already engaged with it, returning partial
+// answers annotated with the unreachable site.
+func (srv *Server) heartbeatLoop() {
+	defer srv.wg.Done()
+	ticker := time.NewTicker(srv.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-srv.quit:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		for _, peer := range srv.cfg.Peers {
+			_ = srv.tr.SendUnreliable(peer, &wire.Heartbeat{Seq: seq})
+		}
+		srv.checkSuspects()
+	}
+}
+
+func (srv *Server) checkSuspects() {
+	now := time.Now()
+	var newly []object.SiteID
+	srv.hbMu.Lock()
+	for peer, last := range srv.heard {
+		if !srv.suspected[peer] && now.Sub(last) > srv.opts.SuspectAfter {
+			srv.suspected[peer] = true
+			newly = append(newly, peer)
+		}
+	}
+	srv.hbMu.Unlock()
+	for _, peer := range newly {
+		peer := peer
+		srv.lg.Warn("peer declared down", "peer", peer.String(),
+			"silent", srv.opts.SuspectAfter.String())
+		srv.postThunk(func() { srv.dispatch(srv.s.PeerDown(peer)) })
+	}
 }
 
 // postThunk runs f on the site goroutine (from == 0 marks thunks).

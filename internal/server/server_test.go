@@ -10,10 +10,16 @@ import (
 	"hyperfile/internal/object"
 	"hyperfile/internal/site"
 	"hyperfile/internal/store"
+	"hyperfile/internal/transport"
 )
 
 // testDeployment spins n servers plus a client on loopback, fully meshed.
 func testDeployment(t *testing.T, n int) ([]*Server, []*store.Store, *Client) {
+	return testDeploymentOpts(t, n, Options{})
+}
+
+// testDeploymentOpts is testDeployment with explicit server options.
+func testDeploymentOpts(t *testing.T, n int, opts Options) ([]*Server, []*store.Store, *Client) {
 	t.Helper()
 	servers := make([]*Server, n)
 	stores := make([]*store.Store, n)
@@ -29,7 +35,7 @@ func testDeployment(t *testing.T, n int) ([]*Server, []*store.Store, *Client) {
 			}
 		}
 		stores[i] = store.New(id)
-		srv, err := New(site.Config{ID: id, Store: stores[i], Peers: peers}, "127.0.0.1:0", nil)
+		srv, err := NewOpts(site.Config{ID: id, Store: stores[i], Peers: peers}, "127.0.0.1:0", nil, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,6 +140,44 @@ func TestTCPMultipleSequentialQueries(t *testing.T) {
 	}
 }
 
+// TestTCPClientRestartSameSiteID restarts the client process between two
+// queries through the same origin: a fresh Client with the same site id but
+// a new address and new query ids. Regression test — sites tombstone
+// finished query ids, so if a restarted client reused an id, its query
+// would be mistaken for a straggler of the old one and hang.
+func TestTCPClientRestartSameSiteID(t *testing.T) {
+	servers, stores, client := testDeployment(t, 3)
+	ids := loadServerRing(t, stores, 18)
+	cm, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.IDs) != 9 {
+		t.Fatalf("first client: results = %d, want 9", len(cm.IDs))
+	}
+	client.Close()
+	// Let the first query's Finish messages settle so every participant has
+	// dropped its context and laid a tombstone — the window where a reused
+	// query id would be mistaken for a straggler.
+	time.Sleep(200 * time.Millisecond)
+
+	second, err := NewClient(client.ID(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	for _, s := range servers {
+		second.AddServer(s.ID(), s.Addr())
+	}
+	cm, err = second.Exec(1, tcpClosure, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatalf("restarted client: %v", err)
+	}
+	if len(cm.IDs) != 9 {
+		t.Errorf("restarted client: results = %d, want 9", len(cm.IDs))
+	}
+}
+
 func TestTCPConcurrentClients(t *testing.T) {
 	_, stores, client := testDeployment(t, 3)
 	ids := loadServerRing(t, stores, 18)
@@ -178,6 +222,41 @@ func TestTCPDownServerPartialResults(t *testing.T) {
 	}
 	if len(cm2.IDs) != 1 {
 		t.Errorf("follow-up results = %v", cm2.IDs)
+	}
+}
+
+// TestTCPPeerFailureDetectedPartialAnswer kills a server with the failure
+// detector enabled: the survivors declare it dead, skip it for new work, and
+// the query completes normally — no client timeout — with a partial answer
+// naming the unreachable site.
+func TestTCPPeerFailureDetectedPartialAnswer(t *testing.T) {
+	servers, stores, client := testDeploymentOpts(t, 3, Options{
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectAfter:      150 * time.Millisecond,
+		Transport: transport.Options{
+			RetransmitBase: 5 * time.Millisecond,
+			RetransmitMax:  50 * time.Millisecond,
+			MaxAttempts:    10,
+		},
+	})
+	ids := loadServerRing(t, stores, 12)
+	servers[2].Close() // site 3 crashes
+	// Let the survivors' detectors fire.
+	time.Sleep(500 * time.Millisecond)
+	cm, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cm.Partial {
+		t.Fatalf("expected a partial answer, got %+v", cm)
+	}
+	if len(cm.Unreachable) != 1 || cm.Unreachable[0] != 3 {
+		t.Errorf("Unreachable = %v, want [3]", cm.Unreachable)
+	}
+	for _, id := range cm.IDs {
+		if id.Birth == 3 {
+			t.Errorf("result %v from dead site", id)
+		}
 	}
 }
 

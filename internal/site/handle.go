@@ -35,6 +35,10 @@ func (s *Site) HandleMessage(from object.SiteID, m wire.Msg) ([]wire.Envelope, e
 	case *wire.MigrateDone:
 		s.handleMigrateDone(m)
 		return nil, nil
+	case *wire.Heartbeat:
+		// Liveness probes are normally consumed by the server's failure
+		// detector before reaching site logic; tolerate strays.
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("%w: unexpected %v message at server site", ErrProtocol, m.Kind())
 	}
@@ -94,10 +98,15 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 			ctx.eng.AddInitial(prev.retained...)
 		}
 		for _, peer := range s.cfg.Peers {
+			if s.down[peer] {
+				s.noteUnreachable(ctx, peer)
+				continue
+			}
 			tok, err := ctx.det.OnSend(peer)
 			if err != nil {
 				return out, err
 			}
+			ctx.engage(peer)
 			s.stats.SeedsSent++
 			out = append(out, wire.Envelope{To: peer, Msg: &wire.Seed{
 				QID: m.QID, Origin: s.cfg.ID, Body: m.Body,
@@ -125,6 +134,12 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 // handleDeref installs the context if needed and enqueues the object — or
 // forwards the message when the object has moved (section 4 naming).
 func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, error) {
+	if s.tombstoned(m.QID) {
+		// The query already finished here (possibly force-completed after a
+		// peer death); late work must not resurrect it. The credit on the
+		// token is abandoned — the originator is done and no longer counts.
+		return nil, nil
+	}
 	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body)
 	if err != nil {
 		return nil, err
@@ -163,6 +178,9 @@ func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, 
 
 // handleSeed seeds a context from the retained results of a previous query.
 func (s *Site) handleSeed(from object.SiteID, m *wire.Seed) ([]wire.Envelope, error) {
+	if s.tombstoned(m.QID) {
+		return nil, nil
+	}
 	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body)
 	if err != nil {
 		return nil, err
@@ -203,7 +221,12 @@ func (s *Site) controlEnvelopes(ctx *qctx, ctls []termination.ControlMsg) []wire
 // accumulated answer.
 func (s *Site) handleResult(from object.SiteID, m *wire.Result) ([]wire.Envelope, error) {
 	ctx, ok := s.contexts[m.QID]
-	if !ok || !ctx.isOrigin {
+	if !ok {
+		// The query finished here already (normally, or force-completed
+		// after a peer death); a straggling flush is harmless.
+		return nil, nil
+	}
+	if !ctx.isOrigin {
 		return nil, fmt.Errorf("%w: result for %v at non-originator %v", ErrProtocol, m.QID, s.cfg.ID)
 	}
 	s.stats.ResultsReceived++
@@ -214,6 +237,9 @@ func (s *Site) handleResult(from object.SiteID, m *wire.Result) ([]wire.Envelope
 	ctx.fetches = append(ctx.fetches, m.Fetches...)
 	if m.Retained {
 		ctx.distributed = true
+	}
+	for _, p := range m.Unreachable {
+		s.noteUnreachable(ctx, p)
 	}
 	if len(m.Token) > 0 {
 		if err := ctx.det.OnControl(from, m.Token); err != nil {

@@ -13,6 +13,7 @@ package site
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"hyperfile/internal/engine"
@@ -97,7 +98,22 @@ type Site struct {
 	order  []wire.QueryID
 	cursor int
 	stats  Stats
+
+	// down marks peers the failure detector has declared dead; dereferences
+	// to them are suppressed (and recorded as unreachable) instead of
+	// splitting off termination credit that could never return.
+	down map[object.SiteID]bool
+	// tombs remembers recently finished-and-dropped queries so late or
+	// retransmitted messages cannot resurrect a zombie context; tombOrder
+	// is FIFO eviction order.
+	tombs     map[wire.QueryID]struct{}
+	tombOrder []wire.QueryID
 }
+
+// maxTombstones bounds the finished-query tombstone set; old entries are
+// evicted FIFO. A message older than several hundred queries is long past
+// any retransmission window.
+const maxTombstones = 512
 
 // qctx is the paper's per-site query context: identity, body, working set
 // (inside the engine), mark table (inside the engine), local results, and
@@ -121,6 +137,24 @@ type qctx struct {
 
 	// Participant-side retention for the distributed-set refinement.
 	retained []object.ID
+
+	// engaged records the remote sites this originator context has sent
+	// work to (derefs or seeds), so a peer-death mid-query can tell which
+	// queries may have credit parked at the dead site.
+	engaged map[object.SiteID]struct{}
+	// unreachable collects the sites whose work was skipped because the
+	// failure detector declared them dead. At a participant, the set ships
+	// to the originator on the next Result; at the originator, it annotates
+	// the final Complete.
+	unreachable map[object.SiteID]struct{}
+}
+
+// engage records that this (originator) context sent work to peer.
+func (ctx *qctx) engage(peer object.SiteID) {
+	if ctx.engaged == nil {
+		ctx.engaged = make(map[object.SiteID]struct{})
+	}
+	ctx.engaged[peer] = struct{}{}
 }
 
 // New returns a site with the given configuration.
@@ -238,7 +272,8 @@ func (s *Site) ctxFor(qid wire.QueryID, origin object.SiteID, body string) (*qct
 	return s.newCtx(qid, origin, body, compiled), nil
 }
 
-// dropCtx removes a context, folding its engine statistics into the site's.
+// dropCtx removes a context, folding its engine statistics into the site's
+// and leaving a tombstone so stragglers cannot resurrect the query.
 func (s *Site) dropCtx(qid wire.QueryID) {
 	ctx, ok := s.contexts[qid]
 	if !ok {
@@ -255,4 +290,103 @@ func (s *Site) dropCtx(qid wire.QueryID) {
 	if s.cursor >= len(s.order) {
 		s.cursor = 0
 	}
+	s.tombstone(qid)
 }
+
+// tombstone records a finished query id, evicting the oldest past the cap.
+func (s *Site) tombstone(qid wire.QueryID) {
+	if s.tombs == nil {
+		s.tombs = make(map[wire.QueryID]struct{})
+	}
+	if _, ok := s.tombs[qid]; ok {
+		return
+	}
+	s.tombs[qid] = struct{}{}
+	s.tombOrder = append(s.tombOrder, qid)
+	if len(s.tombOrder) > maxTombstones {
+		delete(s.tombs, s.tombOrder[0])
+		s.tombOrder = s.tombOrder[1:]
+	}
+}
+
+// tombstoned reports whether qid finished here recently; messages for it
+// are late arrivals or retransmissions and must not recreate a context.
+func (s *Site) tombstoned(qid wire.QueryID) bool {
+	_, ok := s.tombs[qid]
+	return ok
+}
+
+// noteUnreachable records that work for ctx destined to peer was skipped
+// because peer is considered dead.
+func (s *Site) noteUnreachable(ctx *qctx, peer object.SiteID) {
+	if ctx.unreachable == nil {
+		ctx.unreachable = make(map[object.SiteID]struct{})
+	}
+	ctx.unreachable[peer] = struct{}{}
+}
+
+// takeUnreachable drains ctx's unreachable set in sorted order (a
+// participant ships it once per drain; re-skips repopulate it).
+func (s *Site) takeUnreachable(ctx *qctx) []object.SiteID {
+	list := unreachableList(ctx)
+	ctx.unreachable = nil
+	return list
+}
+
+// unreachableList returns ctx's unreachable set in sorted order.
+func unreachableList(ctx *qctx) []object.SiteID {
+	if len(ctx.unreachable) == 0 {
+		return nil
+	}
+	list := make([]object.SiteID, 0, len(ctx.unreachable))
+	for p := range ctx.unreachable {
+		list = append(list, p)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	return list
+}
+
+// PeerDown marks a peer dead. Dereferences to it are suppressed from now
+// on (recorded as unreachable instead of parking termination credit at a
+// corpse), and every unfinished originator context already engaged with the
+// peer is force-completed: its parked credit can never return, so waiting
+// for regular termination would hang the query forever. The returned
+// envelopes deliver the partial answers and tell live peers to clean up.
+// Participant contexts whose originator died are discarded — nobody is
+// left to collect their results.
+func (s *Site) PeerDown(peer object.SiteID) []wire.Envelope {
+	if s.down == nil {
+		s.down = make(map[object.SiteID]bool)
+	}
+	if s.down[peer] {
+		return nil
+	}
+	s.down[peer] = true
+	var out []wire.Envelope
+	qids := append([]wire.QueryID(nil), s.order...)
+	for _, qid := range qids {
+		ctx := s.contexts[qid]
+		if ctx == nil || ctx.finished {
+			continue
+		}
+		if ctx.isOrigin {
+			if _, engaged := ctx.engaged[peer]; engaged {
+				s.noteUnreachable(ctx, peer)
+				out = append(out, s.forceComplete(ctx)...)
+			}
+		} else if ctx.origin == peer {
+			s.dropCtx(qid)
+		}
+	}
+	return out
+}
+
+// PeerUp clears a peer's dead mark after the failure detector hears from it
+// again. Queries already force-completed stay completed; new work flows to
+// the peer normally.
+func (s *Site) PeerUp(peer object.SiteID) {
+	delete(s.down, peer)
+}
+
+// PeerIsDown reports whether the failure detector has declared peer dead.
+func (s *Site) PeerIsDown(peer object.SiteID) bool { return s.down[peer] }

@@ -194,9 +194,29 @@ func TestStatsCountMessages(t *testing.T) {
 
 func TestResultAtNonOriginatorRejected(t *testing.T) {
 	h := newHarness(t, 1, nil)
+	// A Result for a query with no context here is a straggler from a
+	// finished (possibly force-completed) query: silently ignored.
 	msg := &wire.Result{QID: wire.QueryID{Origin: 2, Seq: 1}}
-	if _, err := h.sites[1].HandleMessage(2, msg); !errors.Is(err, ErrProtocol) {
-		t.Errorf("stray result: %v", err)
+	if _, err := h.sites[1].HandleMessage(2, msg); err != nil {
+		t.Errorf("stray result for unknown query: %v", err)
+	}
+	// But a Result for a live context this site does NOT originate is a
+	// protocol violation.
+	qid := wire.QueryID{Origin: 2, Seq: 2}
+	remoteDet := termination.New(termination.Weighted, 2, 2)
+	tok, err := remoteDet.OnSend(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.sites[1].HandleMessage(2, &wire.Deref{
+		QID: qid, Origin: 2, Body: `S (keyword, "x", ?) -> T`,
+		ObjID: object.ID{Birth: 1, Seq: 99},
+		Token: tok,
+	}); err != nil {
+		t.Fatalf("deref: %v", err)
+	}
+	if _, err := h.sites[1].HandleMessage(2, &wire.Result{QID: qid}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("result at live non-originator: %v", err)
 	}
 }
 
@@ -291,6 +311,117 @@ func TestAbortUnknownQueryNoop(t *testing.T) {
 	h := newHarness(t, 1, nil)
 	if envs := h.sites[1].Abort(wire.QueryID{Origin: 1, Seq: 42}); envs != nil {
 		t.Errorf("abort of unknown query emitted %v", envs)
+	}
+}
+
+// TestPeerDownSkipsDerefAndAnnotates: with a peer declared dead before the
+// query starts, dereferences to it are suppressed (no credit parked at a
+// corpse) and the query terminates normally with a partial answer naming
+// the unreachable site.
+func TestPeerDownSkipsDerefAndAnnotates(t *testing.T) {
+	h := newHarness(t, 2, nil)
+	local := h.store(1).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	if err := h.store(1).Put(local); err != nil {
+		t.Fatal(err)
+	}
+	remote := h.store(2).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	if err := h.store(2).Put(remote); err != nil {
+		t.Fatal(err)
+	}
+	h.sites[1].PeerDown(2)
+	cm := h.exec(1, 1, `S (keyword, "hot", ?) -> T`, []object.ID{local.ID, remote.ID})
+	if !cm.Partial {
+		t.Error("answer not marked partial")
+	}
+	if len(cm.Unreachable) != 1 || cm.Unreachable[0] != 2 {
+		t.Errorf("unreachable = %v, want [2]", cm.Unreachable)
+	}
+	if len(cm.IDs) != 1 || cm.IDs[0] != local.ID {
+		t.Errorf("ids = %v, want just the local object", cm.IDs)
+	}
+	// After the peer recovers, queries reach it again.
+	h.sites[1].PeerUp(2)
+	cm = h.exec(1, 2, `S (keyword, "hot", ?) -> T`, []object.ID{local.ID, remote.ID})
+	if cm.Partial || len(cm.Unreachable) != 0 || len(cm.IDs) != 2 {
+		t.Errorf("after PeerUp: partial=%v unreachable=%v ids=%v", cm.Partial, cm.Unreachable, cm.IDs)
+	}
+}
+
+// TestPeerDownForceCompletesEngagedQuery: a peer dying while holding
+// termination credit would hang the query forever; PeerDown force-completes
+// the engaged originator context with a partial answer naming the site.
+func TestPeerDownForceCompletesEngagedQuery(t *testing.T) {
+	h := newHarness(t, 2, nil)
+	local := h.store(1).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	if err := h.store(1).Put(local); err != nil {
+		t.Fatal(err)
+	}
+	remote := h.store(2).NewObject().Add("keyword", object.Keyword("hot"), object.Value{})
+	if err := h.store(2).Put(remote); err != nil {
+		t.Fatal(err)
+	}
+	sub := &wire.Submit{
+		QID: wire.QueryID{Origin: 1, Seq: 5}, Client: client,
+		Body:    `S (keyword, "hot", ?) -> T`,
+		Initial: []object.ID{local.ID, remote.ID},
+	}
+	out, err := h.sites[1].HandleMessage(client, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deref to site 2 is never delivered — the site just died with the
+	// credit. Declaring it down must force-complete the query.
+	_ = out
+	envs := h.sites[1].PeerDown(2)
+	h.deliver(1, envs)
+	if len(h.completes) != 1 {
+		t.Fatalf("no completion after PeerDown (envs %v)", envs)
+	}
+	cm := h.completes[0]
+	if !cm.Partial || len(cm.Unreachable) != 1 || cm.Unreachable[0] != 2 {
+		t.Errorf("partial=%v unreachable=%v", cm.Partial, cm.Unreachable)
+	}
+	if h.sites[1].Contexts() != 0 {
+		t.Error("context leaked after forced completion")
+	}
+	// A straggler result or deref for the dead query must not resurrect it.
+	if _, err := h.sites[1].HandleMessage(2, &wire.Result{QID: sub.QID, Count: 1}); err != nil {
+		t.Errorf("straggler result: %v", err)
+	}
+	remoteDet := termination.New(termination.Weighted, 2, 2)
+	tok, _ := remoteDet.OnSend(1)
+	if _, err := h.sites[1].HandleMessage(2, &wire.Deref{
+		QID: sub.QID, Origin: 1, Body: sub.Body, ObjID: remote.ID, Token: tok,
+	}); err != nil {
+		t.Errorf("straggler deref: %v", err)
+	}
+	if h.sites[1].Contexts() != 0 {
+		t.Error("straggler resurrected a tombstoned query")
+	}
+}
+
+// TestPeerDownDropsOrphanedParticipantContexts: when the originator dies,
+// its participants' contexts are discarded — nobody is left to collect.
+func TestPeerDownDropsOrphanedParticipantContexts(t *testing.T) {
+	h := newHarness(t, 2, nil)
+	o := h.store(1).NewObject().Add("keyword", object.Keyword("x"), object.Value{})
+	if err := h.store(1).Put(o); err != nil {
+		t.Fatal(err)
+	}
+	remoteDet := termination.New(termination.Weighted, 2, 2)
+	tok, _ := remoteDet.OnSend(1)
+	qid := wire.QueryID{Origin: 2, Seq: 1}
+	if _, err := h.sites[1].HandleMessage(2, &wire.Deref{
+		QID: qid, Origin: 2, Body: `S (keyword, "x", ?) -> T`, ObjID: o.ID, Token: tok,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h.sites[1].Contexts() != 1 {
+		t.Fatal("participant context not created")
+	}
+	h.sites[1].PeerDown(2)
+	if h.sites[1].Contexts() != 0 {
+		t.Error("orphaned participant context survived originator death")
 	}
 }
 

@@ -63,15 +63,25 @@ func (s *Site) nextWithWork() *qctx {
 
 // sendDeref builds a Deref envelope for a remote reference, splitting off a
 // termination credit. With the global-mark-table ablation active, a
-// dereference anyone already sent is suppressed (ok = false).
+// dereference anyone already sent is suppressed (ok = false). A dereference
+// to a peer declared dead is likewise suppressed — before OnSend, so no
+// credit is split off to park at a corpse — and the peer is recorded as
+// unreachable so the final answer is annotated.
 func (s *Site) sendDeref(ctx *qctx, ref engine.RemoteRef) (env wire.Envelope, ok bool, err error) {
 	if s.cfg.GlobalMarks != nil && s.cfg.GlobalMarks.TestAndSet(ctx.qid, ref.ID, ref.Start) {
 		return wire.Envelope{}, false, nil
 	}
 	owner, _ := s.cfg.Router.Owner(ref.ID)
+	if s.down[owner] {
+		s.noteUnreachable(ctx, owner)
+		return wire.Envelope{}, false, nil
+	}
 	tok, err := ctx.det.OnSend(owner)
 	if err != nil {
 		return wire.Envelope{}, false, err
+	}
+	if ctx.isOrigin {
+		ctx.engage(owner)
 	}
 	s.stats.DerefsSent++
 	return wire.Envelope{To: owner, Msg: &wire.Deref{
@@ -102,8 +112,16 @@ func (s *Site) afterEvent(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, erro
 
 	// Participant: ship the flush to the originator, then the detector
 	// tokens (piggybacking the origin-bound token on the last result
-	// message, as the paper piggybacks credit on results).
+	// message, as the paper piggybacks credit on results). Sites this
+	// participant skipped as unreachable ride along so the originator can
+	// annotate the final answer.
 	msgs := s.buildResultMsgs(ctx, results, fetches)
+	if unr := s.takeUnreachable(ctx); len(unr) > 0 {
+		if len(msgs) == 0 {
+			msgs = []*wire.Result{{QID: ctx.qid}}
+		}
+		msgs[len(msgs)-1].Unreachable = unr
+	}
 	tokens := ctx.det.OnIdle()
 	var originTok []byte
 	for _, t := range tokens {
@@ -164,15 +182,22 @@ func (s *Site) buildResultMsgs(ctx *qctx, results object.IDSet, fetches []engine
 }
 
 // checkDone finishes the query at the originator once the detector reports
-// global termination: broadcast Finish, deliver Complete to the client.
+// global termination: broadcast Finish, deliver Complete to the client. A
+// query that terminated but skipped dead sites completes with the
+// unreachable list and the Partial flag — the answer covers only the live
+// portion of the database.
 func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error) {
 	if ctx.finished || !ctx.det.Done() {
 		return out, nil
 	}
 	ctx.finished = true
 	s.stats.Completed++
+	unr := unreachableList(ctx)
 	retain := ctx.distributed
 	for _, peer := range s.cfg.Peers {
+		if s.down[peer] {
+			continue
+		}
 		out = append(out, wire.Envelope{To: peer, Msg: &wire.Finish{QID: ctx.qid, Retain: retain}})
 	}
 	out = append(out, wire.Envelope{To: ctx.client, Msg: &wire.Complete{
@@ -181,6 +206,8 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 		Fetches:     ctx.fetches,
 		Count:       ctx.count,
 		Distributed: ctx.distributed,
+		Partial:     len(unr) > 0,
+		Unreachable: unr,
 	}})
 	if retain {
 		// Keep the context: its results (all ids known at the originator)
@@ -200,6 +227,14 @@ func (s *Site) Abort(qid wire.QueryID) []wire.Envelope {
 	if !ok || !ctx.isOrigin || ctx.finished {
 		return nil
 	}
+	return s.forceComplete(ctx)
+}
+
+// forceComplete ends an originator context without waiting for termination
+// detection — the client timed out, or a peer holding credit died. The
+// partial answer ships with whatever was collected, annotated with any
+// unreachable sites; live peers are told to clean up.
+func (s *Site) forceComplete(ctx *qctx) []wire.Envelope {
 	// Sweep up whatever the local engine produced so far.
 	results, fetches := ctx.eng.TakeResults()
 	ctx.results.AddAll(results)
@@ -208,8 +243,12 @@ func (s *Site) Abort(qid wire.QueryID) []wire.Envelope {
 		ctx.fetches = append(ctx.fetches, wire.FetchVal{Var: f.Var, From: f.From, Val: f.Val})
 	}
 	ctx.finished = true
+	s.stats.Completed++
 	var out []wire.Envelope
 	for _, peer := range s.cfg.Peers {
+		if s.down[peer] {
+			continue
+		}
 		out = append(out, wire.Envelope{To: peer, Msg: &wire.Finish{QID: ctx.qid}})
 	}
 	out = append(out, wire.Envelope{To: ctx.client, Msg: &wire.Complete{
@@ -219,7 +258,8 @@ func (s *Site) Abort(qid wire.QueryID) []wire.Envelope {
 		Count:       ctx.count,
 		Distributed: ctx.distributed,
 		Partial:     true,
+		Unreachable: unreachableList(ctx),
 	}})
-	s.dropCtx(qid)
+	s.dropCtx(ctx.qid)
 	return out
 }

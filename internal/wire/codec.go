@@ -48,6 +48,7 @@ func Encode(m Msg) []byte {
 		e.u64(uint64(m.Count))
 		e.bool(m.Retained)
 		e.bytes(m.Token)
+		e.sites(m.Unreachable)
 	case *Control:
 		e.qid(m.QID)
 		e.bytes(m.Token)
@@ -62,6 +63,7 @@ func Encode(m Msg) []byte {
 		e.bool(m.Distributed)
 		e.bool(m.Partial)
 		e.str(m.Err)
+		e.sites(m.Unreachable)
 	case *Seed:
 		e.qid(m.QID)
 		e.u64(uint64(m.Origin))
@@ -91,6 +93,10 @@ func Encode(m Msg) []byte {
 	case *StatsReq:
 		e.u64(m.Seq)
 		e.str(m.ClientAddr)
+	case *Ack:
+		e.u64(m.Seq)
+	case *Heartbeat:
+		e.u64(m.Seq)
 	case *StatsResp:
 		e.u64(m.Seq)
 		e.u64(uint64(m.Site))
@@ -144,6 +150,7 @@ func Decode(data []byte) (Msg, error) {
 		r.Count = int(d.u64())
 		r.Retained = d.bool()
 		r.Token = d.bytes()
+		r.Unreachable = d.sites()
 		m = r
 	case KControl:
 		c := &Control{}
@@ -164,6 +171,7 @@ func Decode(data []byte) (Msg, error) {
 		c.Distributed = d.bool()
 		c.Partial = d.bool()
 		c.Err = d.str()
+		c.Unreachable = d.sites()
 		m = c
 	case KSeed:
 		s := &Seed{}
@@ -200,6 +208,10 @@ func Decode(data []byte) (Msg, error) {
 		m = mg
 	case KStatsReq:
 		m = &StatsReq{Seq: d.u64(), ClientAddr: d.str()}
+	case KAck:
+		m = &Ack{Seq: d.u64()}
+	case KHeartbeat:
+		m = &Heartbeat{Seq: d.u64()}
 	case KStatsResp:
 		r := &StatsResp{}
 		r.Seq = d.u64()
@@ -258,6 +270,12 @@ func (e *encoder) ids(ids []object.ID) {
 	e.u64(uint64(len(ids)))
 	for _, id := range ids {
 		e.id(id)
+	}
+}
+func (e *encoder) sites(ss []object.SiteID) {
+	e.u64(uint64(len(ss)))
+	for _, s := range ss {
+		e.u64(uint64(s))
 	}
 }
 func (e *encoder) value(v object.Value) {
@@ -381,6 +399,18 @@ func (d *decoder) ids() []object.ID {
 		ids[i] = d.id()
 	}
 	return ids
+}
+
+func (d *decoder) sites() []object.SiteID {
+	n := d.len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	ss := make([]object.SiteID, n)
+	for i := range ss {
+		ss[i] = object.SiteID(d.u64())
+	}
+	return ss
 }
 
 func (d *decoder) value() object.Value {

@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"testing"
 
 	"hyperfile/internal/object"
@@ -22,6 +25,16 @@ func FuzzDecode(f *testing.F) {
 		&Finish{QID: qid, Retain: true},
 		&Complete{QID: qid, IDs: []object.ID{id}, Count: 1, Partial: true, Err: "e"},
 		&Seed{QID: qid, Origin: 1, Body: "S -> T", FromQID: qid, Token: []byte{3}},
+		&Result{QID: qid, Count: 0, Unreachable: []object.SiteID{2, 5}},
+		&Complete{QID: qid, Partial: true, Unreachable: []object.SiteID{3}},
+		&Migrate{Seq: 4, ID: id, To: 2, Client: 9, ClientAddr: "a:1", Hops: 1},
+		&MigrateData{Seq: 4, Obj: []byte{1, 2}, Client: 9, ClientAddr: "a:1"},
+		&MigrateDone{ID: id, NewSite: 2},
+		&Migrated{Seq: 4, ID: id, OK: false, Err: "gone"},
+		&StatsReq{Seq: 1, ClientAddr: "a:1"},
+		&StatsResp{Seq: 1, Site: 2, Contexts: 3, Objects: 4, Counters: []Counter{{Name: "n", Value: 5}}},
+		&Ack{Seq: 42},
+		&Heartbeat{Seq: 7},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
@@ -43,6 +56,48 @@ func FuzzDecode(f *testing.F) {
 		}
 		if string(Encode(m2)) != string(re) {
 			t.Fatalf("canonical encoding unstable")
+		}
+	})
+}
+
+// FuzzFrame runs arbitrary byte streams through the transport frame reader:
+// it must never panic, must reject corrupt headers (wrong magic, oversized
+// length prefix) with ErrFrame, and must round-trip any frame it accepts.
+// Truncated streams (short length prefix, short payload) surface as io
+// errors, never as a hang or a huge allocation.
+func FuzzFrame(f *testing.F) {
+	const maxPayload = 1 << 16
+	good := AppendFrame(nil, Frame{From: 3, Epoch: 9, Seq: 1, Payload: Encode(&Ack{Seq: 1})})
+	f.Add(good)
+	f.Add(good[:len(good)-1])                         // truncated payload
+	f.Add(good[:6])                                   // short length prefix
+	f.Add([]byte{'H', 'F', 0, 1, 0, 0, 0, 0})         // old version byte
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 9, 6, 1})       // pre-magic framing
+	f.Add(AppendFrame(nil, Frame{From: 1, Seq: 0}))   // unreliable, empty payload
+	f.Add(append(good, good...))                      // two frames back to back
+	f.Add([]byte{'H', 'F', 0, 2, 255, 255, 255, 255}) // huge length prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := ReadFrame(r, maxPayload)
+			if err != nil {
+				if !errors.Is(err, ErrFrame) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(fr.Payload) > maxPayload {
+				t.Fatalf("payload %d exceeds cap", len(fr.Payload))
+			}
+			re := AppendFrame(nil, fr)
+			fr2, err := ReadFrame(bytes.NewReader(re), maxPayload)
+			if err != nil {
+				t.Fatalf("re-read failed: %v", err)
+			}
+			if fr2.From != fr.From || fr2.Epoch != fr.Epoch || fr2.Seq != fr.Seq || !bytes.Equal(fr2.Payload, fr.Payload) {
+				t.Fatalf("frame round-trip mismatch")
+			}
 		}
 	})
 }

@@ -62,6 +62,13 @@ const (
 	KMigrateDone
 	// KMigrated reports the outcome to the requesting client.
 	KMigrated
+	// KAck acknowledges receipt of one reliably-delivered transport frame;
+	// it never reaches site logic (the transport layer consumes it).
+	KAck
+	// KHeartbeat is a liveness probe between sites, feeding the peer
+	// failure detector. Heartbeats are sent unreliably (no ack, no
+	// retransmission): a lost heartbeat is itself the signal.
+	KHeartbeat
 )
 
 var kindNames = [...]string{
@@ -71,6 +78,7 @@ var kindNames = [...]string{
 	KStatsReq: "stats-req", KStatsResp: "stats-resp",
 	KMigrate: "migrate", KMigrateData: "migrate-data",
 	KMigrateDone: "migrate-done", KMigrated: "migrated",
+	KAck: "ack", KHeartbeat: "heartbeat",
 }
 
 // String names the kind.
@@ -161,6 +169,10 @@ type Result struct {
 	Retained bool
 	// Token is the termination-detection payload (returned credit).
 	Token []byte
+	// Unreachable lists sites this participant skipped dereferences to
+	// because its failure detector declared them dead; the originator folds
+	// them into the final answer's unreachable set.
+	Unreachable []object.SiteID
 }
 
 // Kind returns KResult.
@@ -212,6 +224,10 @@ type Complete struct {
 	// Err carries a query-level failure (e.g. a body that fails to parse at
 	// the originator).
 	Err string
+	// Unreachable names the sites whose objects could not be consulted
+	// because they were declared dead — the answer covers only the live
+	// portion of the database. Non-empty Unreachable implies Partial.
+	Unreachable []object.SiteID
 }
 
 // Kind returns KComplete.
@@ -337,8 +353,37 @@ func (m *Migrated) Kind() Kind { return KMigrated }
 // Query returns the zero QueryID.
 func (m *Migrated) Query() QueryID { return QueryID{} }
 
+// Ack acknowledges one reliably-delivered transport frame. Seq is the frame
+// sequence number being acknowledged (per sender-receiver link). Acks travel
+// on the reverse path of the connection that carried the frame and are
+// themselves sent unreliably: a lost ack triggers a retransmission, which the
+// receiver's dedup window absorbs.
+type Ack struct {
+	Seq uint64
+}
+
+// Kind returns KAck.
+func (m *Ack) Kind() Kind { return KAck }
+
+// Query returns the zero QueryID (acks are not query-scoped).
+func (m *Ack) Query() QueryID { return QueryID{} }
+
+// Heartbeat is a periodic liveness probe. Seq increments per probe so
+// captures are distinguishable in traces; receivers only use the arrival.
+type Heartbeat struct {
+	Seq uint64
+}
+
+// Kind returns KHeartbeat.
+func (m *Heartbeat) Kind() Kind { return KHeartbeat }
+
+// Query returns the zero QueryID.
+func (m *Heartbeat) Query() QueryID { return QueryID{} }
+
 // Interface compliance.
 var (
+	_ Msg = (*Ack)(nil)
+	_ Msg = (*Heartbeat)(nil)
 	_ Msg = (*Migrate)(nil)
 	_ Msg = (*MigrateData)(nil)
 	_ Msg = (*MigrateDone)(nil)
