@@ -31,7 +31,27 @@ func main() {
 	csv := flag.Bool("csv", false, "emit machine-readable CSV (experiment,key,value) instead of text")
 	svg := flag.String("svg", "", "also write Figure 4 as an SVG chart to this path (requires running E5)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	obs := flag.String("observability", "", "measure metrics-layer overhead on a local cluster and write JSON here (runs only this)")
 	flag.Parse()
+
+	if *obs != "" {
+		r, err := bench.RunObservability(3, 60, 20, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			os.Exit(1)
+		}
+		b, err := r.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*obs, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (overhead %.2f%%)\n", *obs, r.OverheadPct)
+		return
+	}
 
 	if *list {
 		for _, e := range bench.All() {

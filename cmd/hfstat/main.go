@@ -1,0 +1,119 @@
+// Command hfstat fetches a server's /debug/hyperfile snapshot and renders
+// it for a terminal: counters, gauges, latency histograms, and the most
+// recent cross-site query traces.
+//
+// Usage:
+//
+//	hfstat -addr 127.0.0.1:7071            # human-readable
+//	hfstat -addr 127.0.0.1:7071 -json      # raw snapshot JSON
+//	hfstat -addr 127.0.0.1:7071 -traces 3  # show at most 3 traces
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"hyperfile/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7071", "debug endpoint address (host:port)")
+	raw := flag.Bool("json", false, "print the raw JSON snapshot")
+	nTraces := flag.Int("traces", 5, "max traces to render (-1 = all)")
+	timeout := flag.Duration("timeout", 5*time.Second, "HTTP timeout")
+	flag.Parse()
+
+	if err := run(os.Stdout, *addr, *raw, *nTraces, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "hfstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, addr string, raw bool, nTraces int, timeout time.Duration) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/hyperfile", addr))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/hyperfile: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if raw {
+		_, err := w.Write(body)
+		return err
+	}
+	var snap server.DebugSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("decoding snapshot: %w", err)
+	}
+	render(w, snap, nTraces)
+	return nil
+}
+
+// render writes the human-readable report. It is deterministic for a given
+// snapshot (names sorted), which the golden test relies on.
+func render(w io.Writer, snap server.DebugSnapshot, nTraces int) {
+	fmt.Fprintf(w, "site %s\n", snap.Site)
+
+	if len(snap.Metrics.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedKeys(snap.Metrics.Counters) {
+			fmt.Fprintf(w, "  %-34s %12d\n", name, snap.Metrics.Counters[name])
+		}
+	}
+	if len(snap.Metrics.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range sortedKeys(snap.Metrics.Gauges) {
+			fmt.Fprintf(w, "  %-34s %12d\n", name, snap.Metrics.Gauges[name])
+		}
+	}
+	if len(snap.Metrics.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, name := range sortedKeys(snap.Metrics.Histograms) {
+			h := snap.Metrics.Histograms[name]
+			fmt.Fprintf(w, "  %-34s count=%d mean=%.1f p50<=%d p99<=%d\n",
+				name, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+		}
+	}
+
+	traces := snap.Traces
+	if nTraces >= 0 && len(traces) > nTraces {
+		traces = traces[len(traces)-nTraces:] // most recent
+	}
+	if len(traces) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "traces (%d of %d):\n", len(traces), len(snap.Traces))
+	for _, tr := range traces {
+		status := "complete"
+		if tr.Partial {
+			status = "partial"
+		}
+		fmt.Fprintf(w, "  %s  %s  %s  %d spans\n",
+			tr.QID, status, tr.Duration.Round(time.Microsecond), len(tr.Spans))
+		for _, sp := range tr.Spans {
+			fmt.Fprintf(w, "    hop %d  %s  filter %d  in %d  out %d  %dus\n",
+				sp.Hop, sp.Site, sp.Filter, sp.In, sp.Out, sp.DurationUS)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

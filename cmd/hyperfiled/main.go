@@ -42,6 +42,10 @@ type config struct {
 	DistThreshold int
 	TermMode      string
 
+	// MetricsAddr exposes /debug/hyperfile (metrics + query traces) over
+	// HTTP when non-empty.
+	MetricsAddr string
+
 	// Failure detection: probe peers every Heartbeat, declare a peer down
 	// after SuspectAfter of silence (0 disables the detector).
 	Heartbeat    time.Duration
@@ -67,6 +71,7 @@ func main() {
 	flag.IntVar(&cfg.ResultBatch, "result-batch", 0, "max result ids per message (0 = unbounded)")
 	flag.IntVar(&cfg.DistThreshold, "dist-threshold", 0, "distributed-set retention threshold (0 = off)")
 	flag.StringVar(&cfg.TermMode, "termination", "weighted", "termination detector: weighted | dijkstra-scholten")
+	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "serve /debug/hyperfile on this address (empty = off)")
 	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 0, "peer heartbeat interval (0 = no failure detector)")
 	flag.DurationVar(&cfg.SuspectAfter, "suspect-after", 0, "silence before a peer is declared down (default 4x heartbeat)")
 	flag.Int64Var(&cfg.ChaosSeed, "chaos-seed", 0, "fault-injection RNG seed (0 = from clock)")
@@ -176,6 +181,11 @@ func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string
 	defer srv.Close()
 	for pid, addr := range peers {
 		srv.AddPeer(pid, addr)
+	}
+	if cfg.MetricsAddr != "" {
+		if _, err := srv.ServeDebug(cfg.MetricsAddr); err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
 	}
 	lg.Info("hyperfiled serving", "site", id.String(), "addr", srv.Addr(), "peers", len(peers))
 	if ready != nil {

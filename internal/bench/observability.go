@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"hyperfile/internal/cluster"
+	"hyperfile/internal/object"
+)
+
+// ObservabilityResult quantifies the wall-clock cost of the metrics layer on
+// a real concurrent cluster. Unlike the virtual-time experiments, this one
+// measures the host it runs on, so the numbers vary between machines; the
+// overhead ratio is the stable quantity.
+type ObservabilityResult struct {
+	Sites   int `json:"sites"`
+	Objects int `json:"objects"`
+	Queries int `json:"queries"`
+	Rounds  int `json:"rounds"`
+	// Best per-query wall time over all rounds, microseconds. The minimum
+	// filters scheduler noise: both configurations hit their unobstructed
+	// fast path at least once across the rounds.
+	BaselineUSPerQuery     float64 `json:"baseline_us_per_query"`
+	InstrumentedUSPerQuery float64 `json:"instrumented_us_per_query"`
+	// OverheadPct is (instrumented - baseline) / baseline * 100; negative
+	// means the difference drowned in noise.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// RunObservability measures metrics-registry overhead: the same pointer-chase
+// closure workload on identical LocalClusters with and without Options.Metrics,
+// interleaved A/B over several rounds. Query tracing is always on in both, so
+// the difference isolates the instruments themselves.
+func RunObservability(sites, objects, queries, rounds int) (*ObservabilityResult, error) {
+	if sites <= 0 {
+		sites = 3
+	}
+	if objects <= 0 {
+		objects = 60
+	}
+	if queries <= 0 {
+		queries = 20
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+
+	run := func(withMetrics bool) (time.Duration, error) {
+		c := cluster.NewLocal(sites, cluster.Options{Metrics: withMetrics})
+		defer c.Close()
+		ids, err := loadBenchRing(c, objects)
+		if err != nil {
+			return 0, err
+		}
+		body := `S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, "hot", ?) -> T`
+		// Warm-up query outside the clock: first-touch allocations (contexts,
+		// mark tables, instrument interning) are setup cost, not steady state.
+		if _, err := c.Exec(1, body, ids[:1], 30*time.Second); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			origin := c.Sites()[q%sites]
+			if _, err := c.Exec(origin, body, ids[:1], 30*time.Second); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	res := &ObservabilityResult{Sites: sites, Objects: objects, Queries: queries, Rounds: rounds}
+	bestOff, bestOn := time.Duration(0), time.Duration(0)
+	for r := 0; r < rounds; r++ {
+		off, err := run(false)
+		if err != nil {
+			return nil, fmt.Errorf("baseline round %d: %w", r, err)
+		}
+		on, err := run(true)
+		if err != nil {
+			return nil, fmt.Errorf("instrumented round %d: %w", r, err)
+		}
+		if bestOff == 0 || off < bestOff {
+			bestOff = off
+		}
+		if bestOn == 0 || on < bestOn {
+			bestOn = on
+		}
+	}
+	res.BaselineUSPerQuery = float64(bestOff.Microseconds()) / float64(queries)
+	res.InstrumentedUSPerQuery = float64(bestOn.Microseconds()) / float64(queries)
+	if res.BaselineUSPerQuery > 0 {
+		res.OverheadPct = (res.InstrumentedUSPerQuery - res.BaselineUSPerQuery) /
+			res.BaselineUSPerQuery * 100
+	}
+	return res, nil
+}
+
+// JSON renders the result as indented JSON with a trailing newline, the
+// format of the repository's BENCH_observability.json record.
+func (r *ObservabilityResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// loadBenchRing loads the standard cross-site ring (object i at site
+// i%sites+1 pointing at i+1 mod n, alternating hot/cold keywords).
+func loadBenchRing(c *cluster.LocalCluster, n int) ([]object.ID, error) {
+	sites := c.Sites()
+	objs := make([]*object.Object, n)
+	for i := range objs {
+		objs[i] = c.Store(sites[i%len(sites)]).NewObject()
+	}
+	ids := make([]object.ID, n)
+	for i, o := range objs {
+		ids[i] = o.ID
+		key := "cold"
+		if i%2 == 0 {
+			key = "hot"
+		}
+		o.Add("keyword", object.Keyword(key), object.Value{})
+		o.Add("Pointer", object.String("Reference"), object.Pointer(objs[(i+1)%n].ID))
+		if err := c.Put(o.ID.Birth, o); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}

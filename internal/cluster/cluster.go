@@ -18,6 +18,7 @@ import (
 
 	"hyperfile/internal/chaos"
 	"hyperfile/internal/engine"
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
 	"hyperfile/internal/sim"
@@ -56,6 +57,10 @@ type Options struct {
 	// SuspectAfter is the silence threshold before a peer is declared down
 	// (default 4 × HeartbeatInterval).
 	SuspectAfter time.Duration
+	// Metrics gives every site its own metrics registry, exposed through the
+	// cluster's Metrics(id) accessor. Off by default so benchmarks can
+	// measure the uninstrumented baseline; query tracing is always on.
+	Metrics bool
 }
 
 // siteIDs returns 1..n.
@@ -67,9 +72,10 @@ func siteIDs(n int) []object.SiteID {
 	return ids
 }
 
-// buildSite constructs one site plus its store and (optional) directory.
-// marks is the shared oracle mark table (nil unless OracleMarkTable).
-func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.GlobalMarks) (*site.Site, *store.Store, *naming.Directory) {
+// buildSite constructs one site plus its store, (optional) directory, and
+// (optional) metrics registry. marks is the shared oracle mark table (nil
+// unless OracleMarkTable).
+func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.GlobalMarks) (*site.Site, *store.Store, *naming.Directory, *metrics.Registry) {
 	st := store.New(id)
 	var dir *naming.Directory
 	var router site.Router = site.BirthRouter{}
@@ -83,6 +89,10 @@ func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.
 			peers = append(peers, other)
 		}
 	}
+	var reg *metrics.Registry
+	if opts.Metrics {
+		reg = metrics.NewRegistry()
+	}
 	s := site.New(site.Config{
 		ID:                      id,
 		Store:                   st,
@@ -94,8 +104,9 @@ func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.
 		ResultBatch:             opts.ResultBatch,
 		DistributedSetThreshold: opts.DistributedSetThreshold,
 		GlobalMarks:             marks,
+		Metrics:                 reg,
 	})
-	return s, st, dir
+	return s, st, dir, reg
 }
 
 // Result is a finished query as seen by the client.
@@ -108,6 +119,9 @@ type Result struct {
 	// Unreachable lists sites the query skipped because they were declared
 	// dead; non-empty implies Partial.
 	Unreachable []object.SiteID
+	// Spans is the assembled cross-site trace timeline, sorted by
+	// (Hop, Site, Seq). It may cover only part of the query when Partial.
+	Spans []wire.Span
 }
 
 // moveObject migrates an object between stores and updates the naming
@@ -171,5 +185,6 @@ func fromComplete(c *wire.Complete) (*Result, error) {
 		Distributed: c.Distributed,
 		Partial:     c.Partial,
 		Unreachable: c.Unreachable,
+		Spans:       c.Spans,
 	}, nil
 }

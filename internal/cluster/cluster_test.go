@@ -10,6 +10,7 @@ import (
 	"hyperfile/internal/object"
 	"hyperfile/internal/sim"
 	"hyperfile/internal/termination"
+	"hyperfile/internal/waitfor"
 )
 
 // loadRingSim builds a cross-site ring of n objects (object i at site
@@ -705,8 +706,12 @@ func TestLocalClusterPartitionPartialAnswer(t *testing.T) {
 	defer c.Close()
 	ids := loadRingLocal(t, c, 30, []string{"hot", "cold"})
 	c.Injector().Isolate(3, []object.SiteID{1, 2})
-	// Let the detector at both live sites declare site 3 dead.
-	time.Sleep(300 * time.Millisecond)
+	// Wait until the detector at both live sites has declared site 3 dead.
+	if err := waitfor.Until(5*time.Second, func() bool {
+		return c.PeerIsDown(1, 3) && c.PeerIsDown(2, 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
 	res, err := c.Exec(1, closureQuery, ids[:1], 15*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -793,7 +798,11 @@ func TestLocalClusterPartitionHealRecovers(t *testing.T) {
 	ids := loadRingLocal(t, c, 30, []string{"hot", "cold"})
 	inj := c.Injector()
 	inj.Isolate(3, []object.SiteID{1, 2})
-	time.Sleep(300 * time.Millisecond)
+	if err := waitfor.Until(5*time.Second, func() bool {
+		return c.PeerIsDown(1, 3) && c.PeerIsDown(2, 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
 	res, err := c.Exec(1, closureQuery, ids[:1], 15*time.Second)
 	if err != nil {
 		t.Fatal(err)

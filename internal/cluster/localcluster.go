@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hyperfile/internal/chaos"
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
 	"hyperfile/internal/site"
@@ -28,6 +29,7 @@ type LocalCluster struct {
 	sites  map[object.SiteID]*localSite
 	stores map[object.SiteID]*store.Store
 	dirs   map[object.SiteID]*naming.Directory
+	regs   map[object.SiteID]*metrics.Registry
 
 	// net carries inter-site traffic when chaos or the failure detector is
 	// enabled (nil otherwise: envelopes are posted directly).
@@ -70,6 +72,7 @@ func NewLocal(n int, opts Options) *LocalCluster {
 		sites:      make(map[object.SiteID]*localSite, n),
 		stores:     make(map[object.SiteID]*store.Store, n),
 		dirs:       make(map[object.SiteID]*naming.Directory, n),
+		regs:       make(map[object.SiteID]*metrics.Registry, n),
 		waiters:    make(map[wire.QueryID]chan *wire.Complete),
 		migWaiters: make(map[uint64]chan *wire.Migrated),
 	}
@@ -90,10 +93,13 @@ func NewLocal(n int, opts Options) *LocalCluster {
 		}
 	}
 	for _, id := range c.ids {
-		s, st, dir := buildSite(id, c.ids, opts, marks)
+		s, st, dir, reg := buildSite(id, c.ids, opts, marks)
 		c.stores[id] = st
 		if dir != nil {
 			c.dirs[id] = dir
+		}
+		if reg != nil {
+			c.regs[id] = reg
 		}
 		ls := &localSite{
 			c:    c,
@@ -145,6 +151,23 @@ func (c *LocalCluster) Store(id object.SiteID) *store.Store { return c.stores[id
 
 // Directory returns a site's naming directory (nil unless UseNaming).
 func (c *LocalCluster) Directory(id object.SiteID) *naming.Directory { return c.dirs[id] }
+
+// Metrics returns a site's metrics registry (nil unless Options.Metrics).
+// Snapshot it rather than reading instruments while queries run.
+func (c *LocalCluster) Metrics(id object.SiteID) *metrics.Registry { return c.regs[id] }
+
+// PeerIsDown reports whether site at currently suspects peer dead (always
+// false without the failure detector). Tests poll this instead of sleeping
+// for a detector interval.
+func (c *LocalCluster) PeerIsDown(at, peer object.SiteID) bool {
+	ls, ok := c.sites[at]
+	if !ok {
+		return false
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.suspected[peer]
+}
 
 // Put stores an object at a site (setup time), registering it with naming.
 func (c *LocalCluster) Put(at object.SiteID, o *object.Object) error {

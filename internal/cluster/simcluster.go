@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
 	"hyperfile/internal/sim"
@@ -44,6 +45,8 @@ type simSite struct {
 	down      bool
 	// Counters for experiment reporting.
 	msgsIn, msgsOut int
+	// reg is the site's metrics registry (nil unless Options.Metrics).
+	reg *metrics.Registry
 }
 
 type inMsg struct {
@@ -65,8 +68,8 @@ func NewSim(n int, opts Options) *SimCluster {
 		marks = site.NewGlobalMarks()
 	}
 	for _, id := range c.ids {
-		s, st, dir := buildSite(id, c.ids, opts, marks)
-		c.sites[id] = &simSite{c: c, s: s, id: id, store: st}
+		s, st, dir, reg := buildSite(id, c.ids, opts, marks)
+		c.sites[id] = &simSite{c: c, s: s, id: id, store: st, reg: reg}
 		if dir != nil {
 			c.dirs[id] = dir
 		}
@@ -76,6 +79,15 @@ func NewSim(n int, opts Options) *SimCluster {
 
 // Sites returns the site ids (1..n).
 func (c *SimCluster) Sites() []object.SiteID { return c.ids }
+
+// Metrics returns a site's metrics registry (nil unless Options.Metrics).
+func (c *SimCluster) Metrics(id object.SiteID) *metrics.Registry {
+	ss, ok := c.sites[id]
+	if !ok {
+		return nil
+	}
+	return ss.reg
+}
 
 // Store returns the object store of a site, for loading data. It must only
 // be used for setup and inspection, not while the simulation is running.

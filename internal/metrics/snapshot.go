@@ -1,0 +1,180 @@
+package metrics
+
+import "math"
+
+// Bucket is one non-empty histogram bucket: N observations with value <= Le
+// (and greater than the previous bucket's bound).
+type Bucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Only non-empty
+// buckets are kept.
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
+// bucket upper bounds; with log2 buckets the answer is within 2x of the true
+// value, which is all a latency histogram needs.
+func (h HistSnapshot) Quantile(q float64) uint64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: round up, so the p99 of 4 samples is the max, not the
+	// 3rd — truncating here silently hides outliers.
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for _, b := range h.Buckets {
+		seen += b.N
+		if seen >= rank {
+			return b.Le
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1].Le
+}
+
+// delta returns h - earlier bucket-wise. Counters inside a histogram are
+// monotone, so saturating subtraction guards only against snapshots taken
+// out of order.
+func (h HistSnapshot) delta(earlier HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Count: sub(h.Count, earlier.Count), Sum: sub(h.Sum, earlier.Sum)}
+	prev := map[uint64]uint64{}
+	for _, b := range earlier.Buckets {
+		prev[b.Le] = b.N
+	}
+	for _, b := range h.Buckets {
+		if n := sub(b.N, prev[b.Le]); n > 0 {
+			d.Buckets = append(d.Buckets, Bucket{Le: b.Le, N: n})
+		}
+	}
+	return d
+}
+
+// add returns h + other bucket-wise.
+func (h HistSnapshot) add(other HistSnapshot) HistSnapshot {
+	sum := HistSnapshot{Count: h.Count + other.Count, Sum: h.Sum + other.Sum}
+	merged := map[uint64]uint64{}
+	for _, b := range h.Buckets {
+		merged[b.Le] += b.N
+	}
+	for _, b := range other.Buckets {
+		merged[b.Le] += b.N
+	}
+	for i := 0; i < NumBuckets; i++ {
+		le := BucketBound(i)
+		if n := merged[le]; n > 0 {
+			sum.Buckets = append(sum.Buckets, Bucket{Le: le, N: n})
+		}
+	}
+	return sum
+}
+
+// Snapshot is a point-in-time copy of a registry. Snapshots support interval
+// arithmetic: Delta(earlier) isolates the activity between two snapshots and
+// Add recombines adjacent intervals, with delta(a,c) == delta(a,b)+delta(b,c)
+// for snapshots taken in order a, b, c.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Delta returns the activity between earlier and s. Zero-valued entries are
+// dropped so that equal intervals compare equal regardless of which
+// instruments happened to exist at snapshot time. Gauges are not monotone;
+// their delta is a plain signed difference (and kept only when non-zero).
+func (s Snapshot) Delta(earlier Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for name, v := range s.Counters {
+		if dv := sub(v, earlier.Counters[name]); dv > 0 {
+			d.Counters[name] = dv
+		}
+	}
+	for name, v := range s.Gauges {
+		if dv := v - earlier.Gauges[name]; dv != 0 {
+			d.Gauges[name] = dv
+		}
+	}
+	for name, h := range s.Histograms {
+		if dh := h.delta(earlier.Histograms[name]); dh.Count > 0 {
+			d.Histograms[name] = dh
+		}
+	}
+	return d
+}
+
+// Add returns s + other entry-wise, the inverse of Delta for adjacent
+// intervals. Zero-valued entries are dropped, matching Delta.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	t := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for name, v := range s.Counters {
+		t.Counters[name] += v
+	}
+	for name, v := range other.Counters {
+		t.Counters[name] += v
+	}
+	for name := range t.Counters {
+		if t.Counters[name] == 0 {
+			delete(t.Counters, name)
+		}
+	}
+	for name, v := range s.Gauges {
+		t.Gauges[name] += v
+	}
+	for name, v := range other.Gauges {
+		t.Gauges[name] += v
+	}
+	for name := range t.Gauges {
+		if t.Gauges[name] == 0 {
+			delete(t.Gauges, name)
+		}
+	}
+	for name, h := range s.Histograms {
+		t.Histograms[name] = t.Histograms[name].add(h)
+	}
+	for name, h := range other.Histograms {
+		t.Histograms[name] = t.Histograms[name].add(h)
+	}
+	for name := range t.Histograms {
+		if t.Histograms[name].Count == 0 {
+			delete(t.Histograms, name)
+		}
+	}
+	return t
+}

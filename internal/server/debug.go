@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"hyperfile/internal/metrics"
+	"hyperfile/internal/site"
+)
+
+// DebugSnapshot is the JSON document served at /debug/hyperfile: one site's
+// metrics registry plus its ring of completed query traces. The schema is
+// documented in docs/OBSERVABILITY.md and pinned by a golden test.
+type DebugSnapshot struct {
+	// Site is the serving site's id.
+	Site string `json:"site"`
+	// Metrics is a point-in-time snapshot of every registered instrument.
+	Metrics metrics.Snapshot `json:"metrics"`
+	// Traces holds the most recent completed-query timelines, oldest first.
+	Traces []site.TraceEntry `json:"traces,omitempty"`
+}
+
+// DebugSnapshot captures the server's current metrics and traces.
+func (srv *Server) DebugSnapshot() DebugSnapshot {
+	return DebugSnapshot{
+		Site:    srv.tr.Self().String(),
+		Metrics: srv.reg.Snapshot(),
+		Traces:  srv.traces.Entries(),
+	}
+}
+
+// DebugHandler serves the debug snapshot as JSON. Mount it wherever the
+// operator wants; ServeDebug is the batteries-included variant.
+func (srv *Server) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(srv.DebugSnapshot()); err != nil {
+			srv.lg.Warn("debug snapshot encode failed", "err", err)
+		}
+	})
+}
+
+// ServeDebug starts an HTTP listener on addr exposing /debug/hyperfile and
+// returns the bound address. The listener closes when the server does.
+func (srv *Server) ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/hyperfile", srv.DebugHandler())
+	hs := &http.Server{Handler: mux}
+	srv.wg.Add(1)
+	go func() {
+		defer srv.wg.Done()
+		_ = hs.Serve(ln)
+	}()
+	go func() {
+		<-srv.quit
+		_ = hs.Close()
+	}()
+	srv.lg.Info("debug endpoint listening", "addr", ln.Addr().String())
+	return ln.Addr().String(), nil
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/object"
 	"hyperfile/internal/site"
 	"hyperfile/internal/transport"
@@ -29,6 +30,14 @@ type Options struct {
 	// SuspectAfter is the silence threshold before a peer is declared down
 	// (default 4 × HeartbeatInterval).
 	SuspectAfter time.Duration
+	// Metrics receives the server's instrumentation: site, transport, and
+	// termination counters all land in this one registry. Nil gets a fresh
+	// registry (a server is always observable; sharing one registry across
+	// servers in a test is why this is injectable).
+	Metrics *metrics.Registry
+	// TraceCap bounds the per-server ring of completed query traces
+	// (default site.DefaultTraceCap).
+	TraceCap int
 }
 
 // Server owns one Site on its own goroutine, fed by the TCP transport.
@@ -38,6 +47,9 @@ type Server struct {
 	tr   *transport.TCP
 	lg   *slog.Logger
 	opts Options
+
+	reg    *metrics.Registry
+	traces *site.TraceBuffer
 
 	mu      sync.Mutex
 	mailbox []mail
@@ -71,13 +83,24 @@ func NewOpts(cfg site.Config, addr string, logger *slog.Logger, opts Options) (*
 	if opts.HeartbeatInterval > 0 && opts.SuspectAfter <= 0 {
 		opts.SuspectAfter = 4 * opts.HeartbeatInterval
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	// Site, transport, and termination all write into the same registry.
+	cfg.Metrics = opts.Metrics
+	opts.Transport.Metrics = opts.Metrics
+	if cfg.Traces == nil {
+		cfg.Traces = site.NewTraceBuffer(opts.TraceCap)
+	}
 	srv := &Server{
-		cfg:  cfg,
-		s:    site.New(cfg),
-		lg:   logger.With("site", cfg.ID.String()),
-		opts: opts,
-		wake: make(chan struct{}, 1),
-		quit: make(chan struct{}),
+		cfg:    cfg,
+		s:      site.New(cfg),
+		lg:     logger.With("site", cfg.ID.String()),
+		opts:   opts,
+		reg:    opts.Metrics,
+		traces: cfg.Traces,
+		wake:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
 	}
 	if opts.HeartbeatInterval > 0 {
 		srv.heard = make(map[object.SiteID]time.Time, len(cfg.Peers))
@@ -109,6 +132,12 @@ func (srv *Server) ID() object.SiteID { return srv.tr.Self() }
 
 // AddPeer registers another site's (or a client's) address.
 func (srv *Server) AddPeer(id object.SiteID, addr string) { srv.tr.AddPeer(id, addr) }
+
+// Metrics returns the server's metrics registry (never nil).
+func (srv *Server) Metrics() *metrics.Registry { return srv.reg }
+
+// Traces returns the server's ring of completed query traces (never nil).
+func (srv *Server) Traces() *site.TraceBuffer { return srv.traces }
 
 // Stats snapshots the underlying site's statistics. Values are exact only
 // while the server is idle.

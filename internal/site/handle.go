@@ -87,7 +87,7 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 			QID: m.QID, Err: err.Error(),
 		}}}, nil
 	}
-	ctx := s.newCtx(m.QID, s.cfg.ID, m.Body, compiled)
+	ctx := s.newCtx(m.QID, s.cfg.ID, m.Body, compiled, 0)
 	ctx.client = m.Client
 
 	var out []wire.Envelope
@@ -108,9 +108,10 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 			}
 			ctx.engage(peer)
 			s.stats.SeedsSent++
+			s.met.seedsSent.Inc()
 			out = append(out, wire.Envelope{To: peer, Msg: &wire.Seed{
 				QID: m.QID, Origin: s.cfg.ID, Body: m.Body,
-				FromQID: m.InitialFromResultOf, Token: tok,
+				FromQID: m.InitialFromResultOf, Token: tok, Hop: 1,
 			}})
 		}
 	} else {
@@ -140,11 +141,12 @@ func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, 
 		// token is abandoned — the originator is done and no longer counts.
 		return nil, nil
 	}
-	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body)
+	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body, m.Hop)
 	if err != nil {
 		return nil, err
 	}
 	s.stats.DerefsReceived++
+	s.met.derefsReceived.Inc()
 	out, err := s.ingestToken(ctx, from, m.Token)
 	if err != nil {
 		return out, err
@@ -163,9 +165,12 @@ func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, 
 			}
 			s.stats.Forwards++
 			s.stats.DerefsSent++
+			s.met.forwards.Inc()
+			s.met.derefsSent.Inc()
 			out = append(out, wire.Envelope{To: owner, Msg: &wire.Deref{
 				QID: m.QID, Origin: m.Origin, Body: m.Body,
 				ObjID: m.ObjID, Start: m.Start, Iters: m.Iters, Token: tok,
+				Hop: m.Hop,
 			}})
 			return s.afterEvent(ctx, out)
 		}
@@ -181,11 +186,12 @@ func (s *Site) handleSeed(from object.SiteID, m *wire.Seed) ([]wire.Envelope, er
 	if s.tombstoned(m.QID) {
 		return nil, nil
 	}
-	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body)
+	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body, m.Hop)
 	if err != nil {
 		return nil, err
 	}
 	s.stats.SeedsReceived++
+	s.met.seedsReceived.Inc()
 	out, err := s.ingestToken(ctx, from, m.Token)
 	if err != nil {
 		return out, err
@@ -210,6 +216,7 @@ func (s *Site) controlEnvelopes(ctx *qctx, ctls []termination.ControlMsg) []wire
 	var out []wire.Envelope
 	for _, c := range ctls {
 		s.stats.ControlsSent++
+		s.met.controlsSent.Inc()
 		out = append(out, wire.Envelope{To: c.To, Msg: &wire.Control{
 			QID: ctx.qid, Token: c.Token,
 		}})
@@ -230,6 +237,8 @@ func (s *Site) handleResult(from object.SiteID, m *wire.Result) ([]wire.Envelope
 		return nil, fmt.Errorf("%w: result for %v at non-originator %v", ErrProtocol, m.QID, s.cfg.ID)
 	}
 	s.stats.ResultsReceived++
+	s.met.resultsReceived.Inc()
+	ctx.ingestSpans(m.Spans)
 	for _, id := range m.IDs {
 		ctx.results.Add(id)
 	}
@@ -258,6 +267,10 @@ func (s *Site) handleControl(from object.SiteID, m *wire.Control) ([]wire.Envelo
 		return nil, nil
 	}
 	s.stats.ControlsReceived++
+	s.met.controlsReceived.Inc()
+	if ctx.isOrigin {
+		ctx.ingestSpans(m.Spans)
+	}
 	if err := ctx.det.OnControl(from, m.Token); err != nil {
 		return nil, err
 	}

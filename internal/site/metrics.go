@@ -1,0 +1,91 @@
+package site
+
+import (
+	"fmt"
+
+	"hyperfile/internal/metrics"
+)
+
+// siteMetrics caches the site's instruments so hot paths never take the
+// registry lock. With no registry configured every field is nil and every
+// update is a no-op (the instruments are nil-safe).
+type siteMetrics struct {
+	reg *metrics.Registry
+
+	steps        *metrics.Counter
+	processed    *metrics.Counter
+	resultsAdded *metrics.Counter
+	marksSkipped *metrics.Counter
+	missing      *metrics.Counter
+	localDerefs  *metrics.Counter
+
+	derefsSent       *metrics.Counter
+	derefsReceived   *metrics.Counter
+	resultsSent      *metrics.Counter
+	resultsReceived  *metrics.Counter
+	controlsSent     *metrics.Counter
+	controlsReceived *metrics.Counter
+	seedsSent        *metrics.Counter
+	seedsReceived    *metrics.Counter
+	forwards         *metrics.Counter
+	completed        *metrics.Counter
+
+	termSplits  *metrics.Counter
+	termReturns *metrics.Counter
+
+	liveContexts *metrics.Gauge
+	stepUS       *metrics.Histogram
+	quiescenceUS *metrics.Histogram
+
+	// filterSteps[i] counts engine steps that started at filter i, grown
+	// lazily (queries rarely exceed a handful of filters).
+	filterSteps []*metrics.Counter
+}
+
+func newSiteMetrics(reg *metrics.Registry) siteMetrics {
+	m := siteMetrics{reg: reg}
+	if reg == nil {
+		return m
+	}
+	m.steps = reg.Counter("site_steps")
+	m.processed = reg.Counter("site_objects_processed")
+	m.resultsAdded = reg.Counter("site_results_added")
+	m.marksSkipped = reg.Counter("site_marks_skipped")
+	m.missing = reg.Counter("site_missing_objects")
+	m.localDerefs = reg.Counter("site_local_derefs")
+	m.derefsSent = reg.Counter("site_derefs_sent")
+	m.derefsReceived = reg.Counter("site_derefs_received")
+	m.resultsSent = reg.Counter("site_results_sent")
+	m.resultsReceived = reg.Counter("site_results_received")
+	m.controlsSent = reg.Counter("site_controls_sent")
+	m.controlsReceived = reg.Counter("site_controls_received")
+	m.seedsSent = reg.Counter("site_seeds_sent")
+	m.seedsReceived = reg.Counter("site_seeds_received")
+	m.forwards = reg.Counter("site_forwards")
+	m.completed = reg.Counter("site_completed")
+	m.termSplits = reg.Counter("termination_weight_splits")
+	m.termReturns = reg.Counter("termination_weight_returns")
+	m.liveContexts = reg.Gauge("site_live_contexts")
+	m.stepUS = reg.Histogram("site_step_us")
+	m.quiescenceUS = reg.Histogram("site_query_quiescence_us")
+	return m
+}
+
+// filterStep returns the per-filter step counter for filter index i.
+func (m *siteMetrics) filterStep(i int) *metrics.Counter {
+	if m.reg == nil || i < 0 {
+		return nil
+	}
+	for len(m.filterSteps) <= i {
+		m.filterSteps = append(m.filterSteps,
+			m.reg.Counter(fmt.Sprintf("site_filter_%d_steps", len(m.filterSteps))))
+	}
+	return m.filterSteps[i]
+}
+
+func d(post, pre int) uint64 {
+	if post <= pre {
+		return 0
+	}
+	return uint64(post - pre)
+}

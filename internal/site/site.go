@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"hyperfile/internal/engine"
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
 	"hyperfile/internal/query"
@@ -70,6 +72,14 @@ type Config struct {
 	// table would outweigh the cost of the extra messages") as a zero-cost
 	// oracle, for ablation measurements.
 	GlobalMarks *GlobalMarks
+	// Metrics, when non-nil, receives runtime counters, gauges, and
+	// histograms (per-filter-step work, protocol message counts, termination
+	// weight flow, time to quiescence). Nil disables metric accounting at
+	// zero cost; query tracing is independent of it and always on.
+	Metrics *metrics.Registry
+	// Traces, when non-nil, retains the assembled cross-site timeline of
+	// each query completed at this site (as originator) for debugging.
+	Traces *TraceBuffer
 }
 
 // Stats counts a site's protocol activity.
@@ -108,6 +118,9 @@ type Site struct {
 	// is FIFO eviction order.
 	tombs     map[wire.QueryID]struct{}
 	tombOrder []wire.QueryID
+
+	// met caches the metric instruments (all nil when Config.Metrics is).
+	met siteMetrics
 }
 
 // maxTombstones bounds the finished-query tombstone set; old entries are
@@ -147,6 +160,37 @@ type qctx struct {
 	// to the originator on the next Result; at the originator, it annotates
 	// the final Complete.
 	unreachable map[object.SiteID]struct{}
+
+	// Trace context (section "cross-site query tracing"). created is when
+	// this site joined the query; hop is the dereference depth at which it
+	// joined (0 at the originator); spanSeq numbers the spans this site
+	// emits for the query, so the originator can dedup retransmissions.
+	created time.Time
+	hop     uint32
+	spanSeq uint64
+	// stepAgg accumulates per-filter object counts between drains; filters
+	// is its insertion order so span emission is deterministic.
+	stepAgg map[int]*spanAgg
+	filters []int
+	// pendingSpans holds emitted spans awaiting an origin-bound message
+	// (participant side).
+	pendingSpans []wire.Span
+	// Originator side: timeline accumulates every span (own and remote),
+	// seenSpans dedups remote spans by (site, seq).
+	timeline  []wire.Span
+	seenSpans map[spanKey]struct{}
+}
+
+// spanAgg accumulates one filter's work between drains.
+type spanAgg struct {
+	in, out uint32
+	dur     time.Duration
+}
+
+// spanKey identifies a span for originator-side dedup.
+type spanKey struct {
+	site object.SiteID
+	seq  uint64
 }
 
 // engage records that this (originator) context sent work to peer.
@@ -162,7 +206,11 @@ func New(cfg Config) *Site {
 	if cfg.Router == nil {
 		cfg.Router = BirthRouter{}
 	}
-	return &Site{cfg: cfg, contexts: make(map[wire.QueryID]*qctx)}
+	return &Site{
+		cfg:      cfg,
+		contexts: make(map[wire.QueryID]*qctx),
+		met:      newSiteMetrics(cfg.Metrics),
+	}
 }
 
 // ID returns the site's identity.
@@ -236,8 +284,9 @@ func (l routerLocator) IsLocal(id object.ID) bool {
 }
 
 // newCtx builds a context for a query. body must already be validated when
-// isOrigin; participants trust the originator's body.
-func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, compiled *query.Compiled) *qctx {
+// isOrigin; participants trust the originator's body. hop is the trace
+// context's dereference depth at which this site joined (0 at the origin).
+func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, compiled *query.Compiled, hop uint32) *qctx {
 	ctx := &qctx{
 		qid:    qid,
 		origin: origin,
@@ -245,19 +294,23 @@ func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, compi
 		eng: engine.New(compiled, s.cfg.Store,
 			engine.WithLocator(routerLocator{r: s.cfg.Router, self: s.cfg.ID}),
 			engine.WithOrder(s.cfg.Order)),
-		det:      termination.New(s.cfg.TermMode, s.cfg.ID, origin),
+		det: termination.NewInstrumented(s.cfg.TermMode, s.cfg.ID, origin,
+			termination.Metrics{Splits: s.met.termSplits, Returns: s.met.termReturns}),
 		isOrigin: origin == s.cfg.ID,
 		results:  make(object.IDSet),
+		created:  time.Now(),
+		hop:      hop,
 	}
 	s.contexts[qid] = ctx
 	s.order = append(s.order, qid)
+	s.met.liveContexts.Set(int64(len(s.contexts)))
 	return ctx
 }
 
 // ctxFor returns the context for qid, creating it from a Deref/Seed message
 // when this site sees the query for the first time ("the setup cost
 // associated with the query is only required once at each involved site").
-func (s *Site) ctxFor(qid wire.QueryID, origin object.SiteID, body string) (*qctx, error) {
+func (s *Site) ctxFor(qid wire.QueryID, origin object.SiteID, body string, hop uint32) (*qctx, error) {
 	if ctx, ok := s.contexts[qid]; ok {
 		return ctx, nil
 	}
@@ -269,7 +322,7 @@ func (s *Site) ctxFor(qid wire.QueryID, origin object.SiteID, body string) (*qct
 	if err != nil {
 		return nil, fmt.Errorf("%w: query %v body does not compile: %v", ErrProtocol, qid, err)
 	}
-	return s.newCtx(qid, origin, body, compiled), nil
+	return s.newCtx(qid, origin, body, compiled, hop), nil
 }
 
 // dropCtx removes a context, folding its engine statistics into the site's
@@ -281,6 +334,7 @@ func (s *Site) dropCtx(qid wire.QueryID) {
 	}
 	s.stats.Engine.Add(ctx.eng.Stats())
 	delete(s.contexts, qid)
+	s.met.liveContexts.Set(int64(len(s.contexts)))
 	for i, id := range s.order {
 		if id == qid {
 			s.order = append(s.order[:i], s.order[i+1:]...)

@@ -1,6 +1,8 @@
 package site
 
 import (
+	"time"
+
 	"hyperfile/internal/engine"
 	"hyperfile/internal/object"
 	"hyperfile/internal/wire"
@@ -27,7 +29,20 @@ func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
 	if ctx == nil {
 		return StepOutcome{}, nil, false, nil
 	}
+	pre := ctx.eng.Stats()
+	start := time.Now()
 	res, _ := ctx.eng.Step()
+	stepDur := time.Since(start)
+	post := ctx.eng.Stats()
+	s.met.steps.Inc()
+	s.met.processed.Add(d(post.Processed, pre.Processed))
+	s.met.resultsAdded.Add(d(post.Results, pre.Results))
+	s.met.marksSkipped.Add(d(post.Skipped, pre.Skipped))
+	s.met.missing.Add(d(post.Missing, pre.Missing))
+	s.met.localDerefs.Add(d(post.LocalDerefs, pre.LocalDerefs))
+	s.met.stepUS.ObserveDuration(stepDur)
+	s.met.filterStep(res.Item.Start).Inc()
+	ctx.noteStep(res, stepDur)
 	outcome := StepOutcome{
 		Query:       ctx.qid,
 		Processed:   res.Processed,
@@ -84,9 +99,11 @@ func (s *Site) sendDeref(ctx *qctx, ref engine.RemoteRef) (env wire.Envelope, ok
 		ctx.engage(owner)
 	}
 	s.stats.DerefsSent++
+	s.met.derefsSent.Inc()
 	return wire.Envelope{To: owner, Msg: &wire.Deref{
 		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body,
 		ObjID: ref.ID, Start: ref.Start, Iters: ref.Iters, Token: tok,
+		Hop: ctx.hop + 1,
 	}}, true, nil
 }
 
@@ -100,12 +117,14 @@ func (s *Site) afterEvent(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, erro
 	results, fetches := ctx.eng.TakeResults()
 
 	if ctx.isOrigin {
-		// The originator accumulates its own results directly.
+		// The originator accumulates its own results — and its own trace
+		// spans — directly.
 		ctx.results.AddAll(results)
 		ctx.count += len(results)
 		for _, f := range fetches {
 			ctx.fetches = append(ctx.fetches, wire.FetchVal{Var: f.Var, From: f.From, Val: f.Val})
 		}
+		ctx.timeline = append(ctx.timeline, s.takeSpans(ctx)...)
 		ctx.det.OnIdle() // recovers the originator's own credit internally
 		return s.checkDone(ctx, out)
 	}
@@ -114,7 +133,10 @@ func (s *Site) afterEvent(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, erro
 	// tokens (piggybacking the origin-bound token on the last result
 	// message, as the paper piggybacks credit on results). Sites this
 	// participant skipped as unreachable ride along so the originator can
-	// annotate the final answer.
+	// annotate the final answer. Trace spans ride the same way: on the last
+	// result message, or on an origin-bound control — tracing never adds a
+	// message of its own.
+	ctx.pendingSpans = append(ctx.pendingSpans, s.takeSpans(ctx)...)
 	msgs := s.buildResultMsgs(ctx, results, fetches)
 	if unr := s.takeUnreachable(ctx); len(unr) > 0 {
 		if len(msgs) == 0 {
@@ -130,12 +152,23 @@ func (s *Site) afterEvent(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, erro
 			continue
 		}
 		s.stats.ControlsSent++
-		out = append(out, wire.Envelope{To: t.To, Msg: &wire.Control{QID: ctx.qid, Token: t.Token}})
+		s.met.controlsSent.Inc()
+		ctl := &wire.Control{QID: ctx.qid, Token: t.Token}
+		if t.To == ctx.origin && len(msgs) == 0 && len(ctx.pendingSpans) > 0 {
+			ctl.Spans = ctx.pendingSpans
+			ctx.pendingSpans = nil
+		}
+		out = append(out, wire.Envelope{To: t.To, Msg: ctl})
 	}
 	if len(msgs) > 0 {
 		msgs[len(msgs)-1].Token = originTok
+		if len(ctx.pendingSpans) > 0 {
+			msgs[len(msgs)-1].Spans = ctx.pendingSpans
+			ctx.pendingSpans = nil
+		}
 		for _, m := range msgs {
 			s.stats.ResultsSent++
+			s.met.resultsSent.Inc()
 			out = append(out, wire.Envelope{To: ctx.origin, Msg: m})
 		}
 	}
@@ -192,6 +225,7 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 	}
 	ctx.finished = true
 	s.stats.Completed++
+	s.met.completed.Inc()
 	unr := unreachableList(ctx)
 	retain := ctx.distributed
 	for _, peer := range s.cfg.Peers {
@@ -200,6 +234,8 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 		}
 		out = append(out, wire.Envelope{To: peer, Msg: &wire.Finish{QID: ctx.qid, Retain: retain}})
 	}
+	spans := s.assembleTimeline(ctx)
+	s.recordTrace(ctx, spans, len(unr) > 0)
 	out = append(out, wire.Envelope{To: ctx.client, Msg: &wire.Complete{
 		QID:         ctx.qid,
 		IDs:         ctx.results.Sorted(),
@@ -208,6 +244,7 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 		Distributed: ctx.distributed,
 		Partial:     len(unr) > 0,
 		Unreachable: unr,
+		Spans:       spans,
 	}})
 	if retain {
 		// Keep the context: its results (all ids known at the originator)
@@ -244,6 +281,7 @@ func (s *Site) forceComplete(ctx *qctx) []wire.Envelope {
 	}
 	ctx.finished = true
 	s.stats.Completed++
+	s.met.completed.Inc()
 	var out []wire.Envelope
 	for _, peer := range s.cfg.Peers {
 		if s.down[peer] {
@@ -251,6 +289,10 @@ func (s *Site) forceComplete(ctx *qctx) []wire.Envelope {
 		}
 		out = append(out, wire.Envelope{To: peer, Msg: &wire.Finish{QID: ctx.qid}})
 	}
+	// The timeline is whatever arrived before the abort — a partial trace
+	// is better than none, exactly like the partial answer it accompanies.
+	spans := s.assembleTimeline(ctx)
+	s.recordTrace(ctx, spans, true)
 	out = append(out, wire.Envelope{To: ctx.client, Msg: &wire.Complete{
 		QID:         ctx.qid,
 		IDs:         ctx.results.Sorted(),
@@ -259,6 +301,7 @@ func (s *Site) forceComplete(ctx *qctx) []wire.Envelope {
 		Distributed: ctx.distributed,
 		Partial:     true,
 		Unreachable: unreachableList(ctx),
+		Spans:       spans,
 	}})
 	s.dropCtx(ctx.qid)
 	return out

@@ -14,12 +14,13 @@ type ds struct {
 	parent       object.SiteID
 	deficit      int // own work messages not yet acknowledged
 	done         bool
+	m            Metrics
 }
 
 var _ Detector = (*ds)(nil)
 
-func newDS(self, origin object.SiteID) *ds {
-	d := &ds{self: self, origin: origin}
+func newDS(self, origin object.SiteID, m Metrics) *ds {
+	d := &ds{self: self, origin: origin, m: m}
 	if self == origin {
 		// The originator is the root of the engagement tree, engaged for the
 		// whole computation.
@@ -33,6 +34,7 @@ func (d *ds) isOrigin() bool { return d.self == d.origin }
 // OnSend counts an outstanding acknowledgement; the token is empty.
 func (d *ds) OnSend(object.SiteID) ([]byte, error) {
 	d.deficit++
+	d.m.Splits.Inc()
 	return nil, nil
 }
 
@@ -44,6 +46,7 @@ func (d *ds) OnWorkReceived(from object.SiteID, _ []byte) ([]ControlMsg, error) 
 			// Self-delivered work never needs an acknowledgement message.
 			return nil, nil
 		}
+		d.m.Returns.Inc()
 		return []ControlMsg{{To: from}}, nil
 	}
 	d.engaged = true
@@ -65,6 +68,7 @@ func (d *ds) OnIdle() []ControlMsg {
 	if d.parent == d.self {
 		return nil
 	}
+	d.m.Returns.Inc()
 	return []ControlMsg{{To: d.parent}}
 }
 

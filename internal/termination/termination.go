@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/object"
 )
 
@@ -79,14 +80,31 @@ type Detector interface {
 // ErrToken is the base error for malformed or impossible detection tokens.
 var ErrToken = errors.New("termination: bad token")
 
+// Metrics holds the detection counters a detector increments. Both fields
+// are nil-safe no-ops when unset, so the zero Metrics disables accounting.
+type Metrics struct {
+	// Splits counts weight splits: each work message that carries away a
+	// share of the sender's credit (or, for Dijkstra-Scholten, each message
+	// adding to the sender's deficit).
+	Splits *metrics.Counter
+	// Returns counts weight returns: credit flowing back toward the
+	// originator (or acknowledgements shrinking a deficit).
+	Returns *metrics.Counter
+}
+
 // New returns a detector of the given mode for site self processing a query
 // originated at origin.
 func New(mode Mode, self, origin object.SiteID) Detector {
+	return NewInstrumented(mode, self, origin, Metrics{})
+}
+
+// NewInstrumented is New with detection counters attached.
+func NewInstrumented(mode Mode, self, origin object.SiteID, m Metrics) Detector {
 	switch mode {
 	case DijkstraScholten:
-		return newDS(self, origin)
+		return newDS(self, origin, m)
 	default:
-		return newWeighted(self, origin)
+		return newWeighted(self, origin, m)
 	}
 }
 

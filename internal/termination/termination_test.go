@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/object"
 )
 
@@ -43,7 +44,7 @@ func TestRatTokenErrors(t *testing.T) {
 }
 
 func TestWeightedSendWithoutCreditFails(t *testing.T) {
-	w := newWeighted(2, 1) // participant, no credit yet
+	w := newWeighted(2, 1, Metrics{}) // participant, no credit yet
 	if _, err := w.OnSend(3); !errors.Is(err, ErrToken) {
 		t.Errorf("OnSend without credit: %v", err)
 	}
@@ -52,7 +53,7 @@ func TestWeightedSendWithoutCreditFails(t *testing.T) {
 func TestWeightedTrivialQuery(t *testing.T) {
 	// Originator does all the work locally: idle immediately recovers its
 	// own credit.
-	w := newWeighted(1, 1)
+	w := newWeighted(1, 1, Metrics{})
 	if w.Done() {
 		t.Fatal("done before idle")
 	}
@@ -65,8 +66,8 @@ func TestWeightedTrivialQuery(t *testing.T) {
 }
 
 func TestWeightedTwoSiteExchange(t *testing.T) {
-	origin := newWeighted(1, 1)
-	remote := newWeighted(2, 1)
+	origin := newWeighted(1, 1, Metrics{})
+	remote := newWeighted(2, 1, Metrics{})
 
 	tok, err := origin.OnSend(2)
 	if err != nil {
@@ -96,7 +97,7 @@ func TestWeightedTwoSiteExchange(t *testing.T) {
 }
 
 func TestWeightedOverRecoveryDetected(t *testing.T) {
-	origin := newWeighted(1, 1)
+	origin := newWeighted(1, 1, Metrics{})
 	origin.OnIdle() // recovers 1
 	if err := origin.OnControl(2, encodeRat(big.NewRat(1, 2))); !errors.Is(err, ErrToken) {
 		t.Errorf("over-recovery: %v", err)
@@ -104,22 +105,22 @@ func TestWeightedOverRecoveryDetected(t *testing.T) {
 }
 
 func TestControlAtNonOriginatorRejected(t *testing.T) {
-	w := newWeighted(2, 1)
+	w := newWeighted(2, 1, Metrics{})
 	if err := w.OnControl(1, encodeRat(big.NewRat(1, 2))); !errors.Is(err, ErrToken) {
 		t.Errorf("OnControl at participant: %v", err)
 	}
 }
 
 func TestDSUnexpectedAckRejected(t *testing.T) {
-	d := newDS(1, 1)
+	d := newDS(1, 1, Metrics{})
 	if err := d.OnControl(2, nil); !errors.Is(err, ErrToken) {
 		t.Errorf("unexpected ack: %v", err)
 	}
 }
 
 func TestDSTwoSiteExchange(t *testing.T) {
-	root := newDS(1, 1)
-	leaf := newDS(2, 1)
+	root := newDS(1, 1, Metrics{})
+	leaf := newDS(2, 1, Metrics{})
 
 	if _, err := root.OnSend(2); err != nil {
 		t.Fatal(err)
@@ -272,14 +273,14 @@ func TestDeepChainCreditsStayExact(t *testing.T) {
 	// A long chain of sites each halving the credit: denominators reach
 	// 2^depth; detection must still be exact.
 	const depth = 300
-	origin := newWeighted(1, 1)
+	origin := newWeighted(1, 1, Metrics{})
 	tok, err := origin.OnSend(2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	origin.OnIdle()
 	for i := 0; i < depth; i++ {
-		site := newWeighted(2, 1)
+		site := newWeighted(2, 1, Metrics{})
 		if _, err := site.OnWorkReceived(1, tok); err != nil {
 			t.Fatal(err)
 		}
@@ -299,7 +300,7 @@ func TestDeepChainCreditsStayExact(t *testing.T) {
 	if origin.Done() {
 		t.Fatal("done while final credit share outstanding")
 	}
-	last := newWeighted(3, 1)
+	last := newWeighted(3, 1, Metrics{})
 	if _, err := last.OnWorkReceived(2, tok); err != nil {
 		t.Fatal(err)
 	}
@@ -315,5 +316,36 @@ func TestDeepChainCreditsStayExact(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if Weighted.String() != "weighted" || DijkstraScholten.String() != "dijkstra-scholten" {
 		t.Errorf("mode names wrong")
+	}
+}
+
+// TestInstrumentedCounters checks that weight splits and returns are counted
+// for both detector families (and that the zero Metrics stays a no-op, which
+// every other test in this file exercises implicitly).
+func TestInstrumentedCounters(t *testing.T) {
+	for _, mode := range []Mode{Weighted, DijkstraScholten} {
+		reg := metrics.NewRegistry()
+		m := Metrics{Splits: reg.Counter("splits"), Returns: reg.Counter("returns")}
+		origin := NewInstrumented(mode, 1, 1, m)
+		remote := NewInstrumented(mode, 2, 1, m)
+		tok, err := origin.OnSend(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := remote.OnWorkReceived(1, tok); err != nil {
+			t.Fatal(err)
+		}
+		for _, cm := range remote.OnIdle() {
+			if err := origin.OnControl(2, cm.Token); err != nil {
+				t.Fatal(err)
+			}
+		}
+		origin.OnIdle()
+		if got := m.Splits.Load(); got == 0 {
+			t.Errorf("%v: splits = 0, want > 0", mode)
+		}
+		if got := m.Returns.Load(); got == 0 {
+			t.Errorf("%v: returns = 0, want > 0", mode)
+		}
 	}
 }

@@ -14,16 +14,18 @@ type weighted struct {
 	self, origin object.SiteID
 	held         *big.Rat
 	recovered    *big.Rat // originator only
+	m            Metrics
 }
 
 var _ Detector = (*weighted)(nil)
 
-func newWeighted(self, origin object.SiteID) *weighted {
+func newWeighted(self, origin object.SiteID, m Metrics) *weighted {
 	w := &weighted{
 		self:      self,
 		origin:    origin,
 		held:      new(big.Rat),
 		recovered: new(big.Rat),
+		m:         m,
 	}
 	if self == origin {
 		w.held.SetInt64(1)
@@ -42,6 +44,7 @@ func (w *weighted) OnSend(object.SiteID) ([]byte, error) {
 	}
 	half := new(big.Rat).Quo(w.held, big.NewRat(2, 1))
 	w.held.Sub(w.held, half)
+	w.m.Splits.Inc()
 	return encodeRat(half), nil
 }
 
@@ -66,6 +69,7 @@ func (w *weighted) OnIdle() []ControlMsg {
 	}
 	c := new(big.Rat).Set(w.held)
 	w.held.SetInt64(0)
+	w.m.Returns.Inc()
 	if w.isOrigin() {
 		w.recovered.Add(w.recovered, c)
 		return nil

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/object"
 	"hyperfile/internal/wire"
 )
@@ -95,6 +96,45 @@ type Options struct {
 	// Fault, when non-nil, injects faults on outbound frames (drop /
 	// duplicate / delay) below the reliability layer, for chaos testing.
 	Fault Fault
+	// Metrics, when non-nil, receives transport counters (frames sent /
+	// retransmitted / deduped / abandoned, connects, dial failures) and the
+	// ack round-trip histogram. Nil disables accounting.
+	Metrics *metrics.Registry
+}
+
+// tcpMetrics caches the transport instruments; all fields are nil (no-op)
+// without a registry.
+type tcpMetrics struct {
+	framesSent          *metrics.Counter
+	framesRetransmitted *metrics.Counter
+	framesUnreliable    *metrics.Counter
+	framesReceived      *metrics.Counter
+	framesDeduped       *metrics.Counter
+	framesAbandoned     *metrics.Counter
+	acksReceived        *metrics.Counter
+	connects            *metrics.Counter
+	reconnects          *metrics.Counter
+	dialFails           *metrics.Counter
+	ackRTTUS            *metrics.Histogram
+}
+
+func newTCPMetrics(reg *metrics.Registry) tcpMetrics {
+	if reg == nil {
+		return tcpMetrics{}
+	}
+	return tcpMetrics{
+		framesSent:          reg.Counter("transport_frames_sent"),
+		framesRetransmitted: reg.Counter("transport_frames_retransmitted"),
+		framesUnreliable:    reg.Counter("transport_frames_unreliable"),
+		framesReceived:      reg.Counter("transport_frames_received"),
+		framesDeduped:       reg.Counter("transport_frames_deduped"),
+		framesAbandoned:     reg.Counter("transport_frames_abandoned"),
+		acksReceived:        reg.Counter("transport_acks_received"),
+		connects:            reg.Counter("transport_connects"),
+		reconnects:          reg.Counter("transport_reconnects"),
+		dialFails:           reg.Counter("transport_dial_fails"),
+		ackRTTUS:            reg.Histogram("transport_ack_rtt_us"),
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +173,7 @@ type TCP struct {
 	ln      net.Listener
 	handler Handler
 	opts    Options
+	met     tcpMetrics
 
 	closed  atomic.Bool
 	spawnMu sync.RWMutex // serializes goroutine spawn against Close
@@ -157,6 +198,9 @@ type peer struct {
 	dialing bool
 	nextSeq uint64
 	pending []*pendingFrame // unacked frames, ascending seq
+	// everConnected distinguishes a first connect from a reconnect in the
+	// metrics.
+	everConnected bool
 
 	// Dial backoff cache: a failed dial records when the next attempt may
 	// run, so messages to a down peer don't re-dial on the hot path.
@@ -171,6 +215,9 @@ type pendingFrame struct {
 	data     []byte // fully framed bytes, header included
 	attempts int
 	nextAt   time.Time // earliest retransmission time
+	// firstSent anchors the ack round-trip measurement; it includes any
+	// time the frame spent queued behind a down link.
+	firstSent time.Time
 }
 
 // dedupWindow tracks delivered sequence numbers from one sender epoch:
@@ -208,6 +255,7 @@ func ListenTCPOpts(self object.SiteID, addr string, handler Handler, opts Option
 		inbound: make(map[net.Conn]struct{}),
 		dedup:   make(map[object.SiteID]*dedupWindow),
 	}
+	t.met = newTCPMetrics(t.opts.Metrics)
 	t.spawn(t.acceptLoop)
 	t.spawn(t.retransmitLoop)
 	return t, nil
@@ -285,7 +333,9 @@ func (t *TCP) Send(to object.SiteID, m wire.Msg) error {
 	p.nextSeq++
 	data := wire.AppendFrame(make([]byte, 0, len(payload)+32),
 		wire.Frame{From: t.self, Epoch: t.epoch, Seq: p.nextSeq, Payload: payload})
-	pf := &pendingFrame{seq: p.nextSeq, data: data, attempts: 1, nextAt: time.Now().Add(t.backoff(1))}
+	now := time.Now()
+	pf := &pendingFrame{seq: p.nextSeq, data: data, attempts: 1, nextAt: now.Add(t.backoff(1)), firstSent: now}
+	t.met.framesSent.Inc()
 	p.pending = append(p.pending, pf)
 	if t.ensureConnLocked(p) != nil {
 		t.writeLocked(p, data)
@@ -307,6 +357,7 @@ func (t *TCP) SendUnreliable(to object.SiteID, m wire.Msg) error {
 		return fmt.Errorf("%w: %v", ErrUnknownPeer, to)
 	}
 	data := wire.AppendFrame(nil, wire.Frame{From: t.self, Epoch: t.epoch, Seq: 0, Payload: wire.Encode(m)})
+	t.met.framesUnreliable.Inc()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if t.ensureConnLocked(p) != nil {
@@ -372,6 +423,7 @@ func (t *TCP) dialPeer(p *peer, addr string) {
 	if err != nil {
 		p.dialFails++
 		p.lastDialErr = err
+		t.met.dialFails.Inc()
 		b := t.opts.DialBackoffBase << min(p.dialFails-1, 10)
 		if b <= 0 || b > t.opts.DialBackoffMax {
 			b = t.opts.DialBackoffMax
@@ -385,6 +437,12 @@ func (t *TCP) dialPeer(p *peer, addr string) {
 	}
 	p.dialFails, p.nextDialAt, p.lastDialErr = 0, time.Time{}, nil
 	p.conn = c
+	if p.everConnected {
+		t.met.reconnects.Inc()
+	} else {
+		t.met.connects.Inc()
+		p.everConnected = true
+	}
 	if !t.spawn(func() { t.ackLoop(p, c) }) {
 		_ = c.Close()
 		p.conn = nil
@@ -396,6 +454,7 @@ func (t *TCP) dialPeer(p *peer, addr string) {
 	for _, pf := range p.pending {
 		pf.attempts++
 		pf.nextAt = now.Add(t.backoff(pf.attempts))
+		t.met.framesRetransmitted.Inc()
 		t.writeLocked(p, pf.data)
 	}
 }
@@ -498,12 +557,14 @@ func (t *TCP) retransmitLoop() {
 			keep := p.pending[:0]
 			for _, pf := range p.pending {
 				if pf.attempts >= t.opts.MaxAttempts {
+					t.met.framesAbandoned.Inc()
 					continue // abandoned; the failure detector takes over
 				}
 				keep = append(keep, pf)
 				if c != nil && now.After(pf.nextAt) {
 					pf.attempts++
 					pf.nextAt = now.Add(t.backoff(pf.attempts))
+					t.met.framesRetransmitted.Inc()
 					t.writeLocked(p, pf.data)
 				}
 			}
@@ -534,6 +595,8 @@ func (t *TCP) ackLoop(p *peer, c net.Conn) {
 		for i, pf := range p.pending {
 			if pf.seq == ack.Seq {
 				p.pending = append(p.pending[:i], p.pending[i+1:]...)
+				t.met.acksReceived.Inc()
+				t.met.ackRTTUS.ObserveDuration(time.Since(pf.firstSent))
 				break
 			}
 		}
@@ -598,7 +661,10 @@ func (t *TCP) readLoop(c net.Conn) {
 		// Always ack, even duplicates: the earlier ack may have been lost.
 		t.writeAck(c, fr.From, fr.Seq)
 		if t.dedupAdmit(fr.From, fr.Epoch, fr.Seq) {
+			t.met.framesReceived.Inc()
 			t.handler(fr.From, m)
+		} else {
+			t.met.framesDeduped.Inc()
 		}
 	}
 }

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"hyperfile/internal/chaos"
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/object"
+	"hyperfile/internal/waitfor"
 	"hyperfile/internal/wire"
 )
 
@@ -325,8 +327,14 @@ func TestExactlyOnceUnderDropsAndDups(t *testing.T) {
 		}
 	}
 	c2.wait(t, total)
-	// Allow stray duplicates to surface, then assert exactly-once.
-	time.Sleep(100 * time.Millisecond)
+	// Let the retransmission queue drain and stray duplicates surface (the
+	// count must hold still), then assert exactly-once.
+	if err := waitfor.Until(10*time.Second, func() bool { return t1.Pending(2) == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := waitfor.Stable(10*time.Second, 100*time.Millisecond, c2.count); err != nil {
+		t.Fatal(err)
+	}
 	c2.mu.Lock()
 	defer c2.mu.Unlock()
 	seen := make(map[uint64]int)
@@ -372,5 +380,63 @@ func TestUnreliableSendBestEffort(t *testing.T) {
 	}
 	if got := t1.Pending(2); got != 0 {
 		t.Errorf("unreliable send queued %d frames", got)
+	}
+}
+
+// TestTransportMetrics: under drop/dup chaos the registry reports frames
+// sent, retransmitted, deduped, and ack round trips; a clean second endpoint
+// records a first connect but no reconnects.
+func TestTransportMetrics(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Config{Seed: 7, DropRate: 0.3, DupRate: 0.3})
+	reg := metrics.NewRegistry()
+	opts := Options{
+		RetransmitBase: 3 * time.Millisecond,
+		RetransmitMax:  30 * time.Millisecond,
+		MaxAttempts:    200,
+		Fault:          inj,
+		Metrics:        reg,
+	}
+	t1, _, _, c2 := pairOpts(t, opts)
+
+	const total = 50
+	for i := 0; i < total; i++ {
+		if err := t1.Send(2, &wire.Finish{QID: wire.QueryID{Origin: 1, Seq: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2.wait(t, total)
+	if err := waitfor.Until(10*time.Second, func() bool { return t1.Pending(2) == 0 }); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["transport_frames_sent"]; got != total {
+		t.Errorf("frames_sent = %d, want %d", got, total)
+	}
+	// 30% drop over 50 frames makes a run with zero retransmissions
+	// (p = 0.7^50) and a run with zero duplicate arrivals astronomically
+	// unlikely; the seed is fixed anyway.
+	if s.Counters["transport_frames_retransmitted"] == 0 {
+		t.Error("no retransmissions recorded under 30% drop chaos")
+	}
+	if s.Counters["transport_frames_deduped"] == 0 {
+		t.Error("no deduped frames recorded under 30% dup chaos")
+	}
+	// Both endpoints share the registry: c2's side admitted the 50 frames.
+	if got := s.Counters["transport_frames_received"]; got != total {
+		t.Errorf("frames_received = %d, want %d", got, total)
+	}
+	if s.Counters["transport_acks_received"] == 0 {
+		t.Error("no acks recorded")
+	}
+	if s.Counters["transport_connects"] == 0 {
+		t.Error("no connects recorded")
+	}
+	rtt := s.Histograms["transport_ack_rtt_us"]
+	if rtt.Count == 0 {
+		t.Error("ack RTT histogram empty")
+	}
+	if rtt.Count != s.Counters["transport_acks_received"] {
+		t.Errorf("rtt count %d != acks %d", rtt.Count, s.Counters["transport_acks_received"])
 	}
 }

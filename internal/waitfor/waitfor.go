@@ -1,0 +1,61 @@
+// Package waitfor provides condition-polling helpers so tests (and tools)
+// can wait on asynchronous state with a deadline and backoff instead of a
+// bare time.Sleep — fixed sleeps are either too short on a loaded CI box or
+// waste wall time everywhere else.
+package waitfor
+
+import (
+	"fmt"
+	"time"
+)
+
+// pollFloor and pollCeil bound the backoff between condition checks.
+const (
+	pollFloor = time.Millisecond
+	pollCeil  = 50 * time.Millisecond
+)
+
+// Until polls cond with exponential backoff (1ms doubling to 50ms) until it
+// reports true, failing with an error once deadline has elapsed.
+func Until(deadline time.Duration, cond func() bool) error {
+	limit := time.Now().Add(deadline)
+	delay := pollFloor
+	for {
+		if cond() {
+			return nil
+		}
+		if time.Now().After(limit) {
+			return fmt.Errorf("waitfor: condition not met within %v", deadline)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > pollCeil {
+			delay = pollCeil
+		}
+	}
+}
+
+// Stable polls value until it has not changed for quiet, returning the
+// settled value. It fails once deadline has elapsed without the value
+// holding still. Use it where a test must let stragglers (duplicate frames,
+// late retransmissions) surface before asserting a final count.
+func Stable[T comparable](deadline, quiet time.Duration, value func() T) (T, error) {
+	limit := time.Now().Add(deadline)
+	last := value()
+	settledAt := time.Now()
+	for {
+		time.Sleep(pollFloor * 4)
+		cur := value()
+		if cur != last {
+			last = cur
+			settledAt = time.Now()
+			continue
+		}
+		if time.Since(settledAt) >= quiet {
+			return last, nil
+		}
+		if time.Now().After(limit) {
+			var zero T
+			return zero, fmt.Errorf("waitfor: value still changing after %v", deadline)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package waitfor
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestUntilImmediate(t *testing.T) {
+	if err := Until(time.Second, func() bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUntilEventually(t *testing.T) {
+	var n atomic.Int64
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		n.Store(1)
+	}()
+	if err := Until(5*time.Second, func() bool { return n.Load() == 1 }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUntilTimesOut(t *testing.T) {
+	start := time.Now()
+	if err := Until(30*time.Millisecond, func() bool { return false }); err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout far exceeded the deadline")
+	}
+}
+
+func TestStableSettles(t *testing.T) {
+	var n atomic.Int64
+	go func() {
+		for i := 0; i < 5; i++ {
+			n.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	v, err := Stable(5*time.Second, 50*time.Millisecond, func() int64 { return n.Load() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("settled at %d, want 5", v)
+	}
+}
+
+func TestStableTimesOut(t *testing.T) {
+	var n atomic.Int64
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	if _, err := Stable(50*time.Millisecond, 40*time.Millisecond, func() int64 { return n.Load() }); err == nil {
+		t.Fatal("expected timeout error for ever-changing value")
+	}
+}

@@ -41,6 +41,7 @@ func Encode(m Msg) []byte {
 			e.u64(uint64(it))
 		}
 		e.bytes(m.Token)
+		e.u64(uint64(m.Hop))
 	case *Result:
 		e.qid(m.QID)
 		e.ids(m.IDs)
@@ -49,9 +50,11 @@ func Encode(m Msg) []byte {
 		e.bool(m.Retained)
 		e.bytes(m.Token)
 		e.sites(m.Unreachable)
+		e.spans(m.Spans)
 	case *Control:
 		e.qid(m.QID)
 		e.bytes(m.Token)
+		e.spans(m.Spans)
 	case *Finish:
 		e.qid(m.QID)
 		e.bool(m.Retain)
@@ -64,12 +67,14 @@ func Encode(m Msg) []byte {
 		e.bool(m.Partial)
 		e.str(m.Err)
 		e.sites(m.Unreachable)
+		e.spans(m.Spans)
 	case *Seed:
 		e.qid(m.QID)
 		e.u64(uint64(m.Origin))
 		e.str(m.Body)
 		e.qid(m.FromQID)
 		e.bytes(m.Token)
+		e.u64(uint64(m.Hop))
 	case *Migrate:
 		e.u64(m.Seq)
 		e.id(m.ID)
@@ -141,6 +146,7 @@ func Decode(data []byte) (Msg, error) {
 			}
 		}
 		r.Token = d.bytes()
+		r.Hop = uint32(d.u64())
 		m = r
 	case KResult:
 		r := &Result{}
@@ -151,11 +157,13 @@ func Decode(data []byte) (Msg, error) {
 		r.Retained = d.bool()
 		r.Token = d.bytes()
 		r.Unreachable = d.sites()
+		r.Spans = d.spans()
 		m = r
 	case KControl:
 		c := &Control{}
 		c.QID = d.qid()
 		c.Token = d.bytes()
+		c.Spans = d.spans()
 		m = c
 	case KFinish:
 		f := &Finish{}
@@ -172,6 +180,7 @@ func Decode(data []byte) (Msg, error) {
 		c.Partial = d.bool()
 		c.Err = d.str()
 		c.Unreachable = d.sites()
+		c.Spans = d.spans()
 		m = c
 	case KSeed:
 		s := &Seed{}
@@ -180,6 +189,7 @@ func Decode(data []byte) (Msg, error) {
 		s.Body = d.str()
 		s.FromQID = d.qid()
 		s.Token = d.bytes()
+		s.Hop = uint32(d.u64())
 		m = s
 	case KMigrate:
 		mg := &Migrate{}
@@ -291,6 +301,18 @@ func (e *encoder) value(v object.Value) {
 		e.id(v.Ptr)
 	case object.KindBytes:
 		e.bytes(v.Bytes)
+	}
+}
+func (e *encoder) spans(ss []Span) {
+	e.u64(uint64(len(ss)))
+	for _, s := range ss {
+		e.u64(uint64(s.Site))
+		e.u64(s.Seq)
+		e.u64(uint64(s.Hop))
+		e.u64(uint64(s.Filter))
+		e.u64(uint64(s.In))
+		e.u64(uint64(s.Out))
+		e.u64(s.DurationUS)
 	}
 }
 func (e *encoder) fetches(fs []FetchVal) {
@@ -434,6 +456,24 @@ func (d *decoder) value() object.Value {
 		d.fail("unknown value kind")
 		return object.Value{}
 	}
+}
+
+func (d *decoder) spans() []Span {
+	n := d.len()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	ss := make([]Span, n)
+	for i := range ss {
+		ss[i].Site = object.SiteID(d.u64())
+		ss[i].Seq = d.u64()
+		ss[i].Hop = uint32(d.u64())
+		ss[i].Filter = uint32(d.u64())
+		ss[i].In = uint32(d.u64())
+		ss[i].Out = uint32(d.u64())
+		ss[i].DurationUS = d.u64()
+	}
+	return ss
 }
 
 func (d *decoder) fetches() []FetchVal {

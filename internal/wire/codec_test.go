@@ -39,6 +39,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		QID: qid, Origin: 2,
 		Body:  `S [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
 		ObjID: id1, Start: 2, Iters: []int{3, 1}, Token: []byte{1, 2, 3},
+		Hop: 4,
 	})
 	roundTrip(t, &Deref{QID: qid, Origin: 2, ObjID: id2})
 	roundTrip(t, &Result{
@@ -53,18 +54,25 @@ func TestRoundTripAllKinds(t *testing.T) {
 			{Var: "none", From: id2, Val: object.Value{}},
 		},
 		Count: 1, Retained: true, Token: []byte{9},
+		Spans: []Span{
+			{Site: 3, Seq: 1, Hop: 2, Filter: 0, In: 10, Out: 4, DurationUS: 120},
+			{Site: 3, Seq: 2, Hop: 2, Filter: 1, In: 4, Out: 4, DurationUS: 33},
+		},
 	})
 	roundTrip(t, &Result{QID: qid, Count: 0})
 	roundTrip(t, &Control{QID: qid, Token: []byte("credit")})
+	roundTrip(t, &Control{QID: qid, Token: []byte{1},
+		Spans: []Span{{Site: 5, Seq: 9, Hop: 1, Filter: 2, In: 1, Out: 0, DurationUS: 7}}})
 	roundTrip(t, &Finish{QID: qid, Retain: true})
 	roundTrip(t, &Finish{QID: qid})
 	roundTrip(t, &Complete{
 		QID: qid, IDs: []object.ID{id1, id2}, Count: 2,
 		Distributed: true, Partial: true, Err: "boom",
+		Spans: []Span{{Site: 2, Seq: 1, Hop: 0, Filter: 0, In: 2, Out: 2, DurationUS: 55}},
 	})
 	roundTrip(t, &Seed{
 		QID: qid, Origin: 2, Body: `S (a, ?, ?) -> T`,
-		FromQID: QueryID{Origin: 2, Seq: 41}, Token: []byte{4},
+		FromQID: QueryID{Origin: 2, Seq: 41}, Token: []byte{4}, Hop: 1,
 	})
 	roundTrip(t, &StatsReq{Seq: 77, ClientAddr: "127.0.0.1:8080"})
 	roundTrip(t, &Migrate{Seq: 5, ID: id1, To: 3, Client: 9, ClientAddr: "c:1", Hops: 2})

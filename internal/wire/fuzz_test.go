@@ -27,6 +27,14 @@ func FuzzDecode(f *testing.F) {
 		&Seed{QID: qid, Origin: 1, Body: "S -> T", FromQID: qid, Token: []byte{3}},
 		&Result{QID: qid, Count: 0, Unreachable: []object.SiteID{2, 5}},
 		&Complete{QID: qid, Partial: true, Unreachable: []object.SiteID{3}},
+		&Deref{QID: qid, Origin: 1, ObjID: id, Hop: 3},
+		&Result{QID: qid, Count: 2,
+			Spans: []Span{{Site: 2, Seq: 1, Hop: 1, Filter: 0, In: 3, Out: 2, DurationUS: 40}}},
+		&Control{QID: qid, Token: []byte{1},
+			Spans: []Span{{Site: 4, Seq: 2, Hop: 2, Filter: 1, In: 1, Out: 1, DurationUS: 9}}},
+		&Complete{QID: qid, Count: 1,
+			Spans: []Span{{Site: 1, Seq: 1, In: 1, Out: 1, DurationUS: 5}}},
+		&Seed{QID: qid, Origin: 1, Body: "S -> T", FromQID: qid, Hop: 1},
 		&Migrate{Seq: 4, ID: id, To: 2, Client: 9, ClientAddr: "a:1", Hops: 1},
 		&MigrateData{Seq: 4, Obj: []byte{1, 2}, Client: 9, ClientAddr: "a:1"},
 		&MigrateDone{ID: id, NewSite: 2},

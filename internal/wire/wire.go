@@ -89,6 +89,31 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", k)
 }
 
+// Span is one cross-site trace record: while executing a query, each site
+// aggregates the objects it processed per filter step over a drain interval
+// and emits one span per (filter, interval). Spans ride on messages already
+// bound for the originator (Result and Control), which assembles them into a
+// single per-query timeline — tracing adds no messages of its own.
+type Span struct {
+	// Site is where the work happened.
+	Site object.SiteID
+	// Seq orders and dedups spans per (site, query): the reliable transport
+	// may retransmit a frame after a site restart, and the originator drops
+	// any (Site, Seq) pair it has already recorded.
+	Seq uint64
+	// Hop is the remote-dereference depth at which this site joined the
+	// query (0 = originator), so a timeline shows how far the pointer chase
+	// travelled.
+	Hop uint32
+	// Filter is the index of the filter step the objects were processed
+	// under (the paper's per-filter working sets).
+	Filter uint32
+	// In and Out count objects entering the step and passing it.
+	In, Out uint32
+	// DurationUS is the wall time spent in this span's steps, microseconds.
+	DurationUS uint64
+}
+
 // Msg is implemented by every message type.
 type Msg interface {
 	Kind() Kind
@@ -138,6 +163,9 @@ type Deref struct {
 	// Token is the termination-detection payload (a credit share for the
 	// weighted-message algorithm; empty for Dijkstra-Scholten).
 	Token []byte
+	// Hop is the trace context's dereference depth: the sender's own hop
+	// plus one. The receiving site stamps it on the spans it emits.
+	Hop uint32
 }
 
 // Kind returns KDeref.
@@ -173,6 +201,9 @@ type Result struct {
 	// because its failure detector declared them dead; the originator folds
 	// them into the final answer's unreachable set.
 	Unreachable []object.SiteID
+	// Spans carries the sender's trace records accumulated since its last
+	// flush to the originator.
+	Spans []Span
 }
 
 // Kind returns KResult.
@@ -186,6 +217,9 @@ func (m *Result) Query() QueryID { return m.QID }
 type Control struct {
 	QID   QueryID
 	Token []byte
+	// Spans piggybacks trace records exactly as on Result, for drains that
+	// return only credit.
+	Spans []Span
 }
 
 // Kind returns KControl.
@@ -228,6 +262,10 @@ type Complete struct {
 	// because they were declared dead — the answer covers only the live
 	// portion of the database. Non-empty Unreachable implies Partial.
 	Unreachable []object.SiteID
+	// Spans is the assembled cross-site query timeline, sorted by
+	// (Hop, Site, Seq). It may be partial when participants were
+	// unreachable or the query was aborted.
+	Spans []Span
 }
 
 // Kind returns KComplete.
@@ -248,6 +286,8 @@ type Seed struct {
 	FromQID QueryID
 	// Token is the termination-detection payload, exactly as on Deref.
 	Token []byte
+	// Hop is the trace context's dereference depth, exactly as on Deref.
+	Hop uint32
 }
 
 // Kind returns KSeed.
