@@ -18,11 +18,29 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"hyperfile/internal/bench"
+	"hyperfile/internal/leaktest"
 )
 
 func main() {
+	code := run()
+	// Teardown check: a clean benchmark run must not strand goroutines —
+	// the observability experiment in particular spins up real local
+	// clusters, and a leak here means some site or transport survived its
+	// Close.
+	if code == 0 {
+		if leaked := leaktest.Check(5 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "hfbench: %d goroutine(s) still running after teardown:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run() int {
 	exp := flag.String("exp", "", "run only this experiment id (E1..E9, A1..A4)")
 	objects := flag.Int("objects", 270, "dataset size (paper: 270)")
 	queries := flag.Int("queries", 20, "randomized queries per data point (paper: 100)")
@@ -38,26 +56,26 @@ func main() {
 		r, err := bench.RunObservability(3, 60, 20, 3)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hfbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		b, err := r.JSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hfbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*obs, b, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "hfbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (overhead %.2f%%)\n", *obs, r.OverheadPct)
-		return
+		return 0
 	}
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	cfg := bench.Default()
@@ -70,12 +88,12 @@ func main() {
 		e, ok := bench.Get(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "hfbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+			return 1
 		}
 		r, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hfbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		reports = []*bench.Report{r}
 	} else {
@@ -83,7 +101,7 @@ func main() {
 		reports, err = bench.RunAll(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hfbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -96,18 +114,18 @@ func main() {
 			chart, err := bench.RenderFigure4SVG(r)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "hfbench:", err)
-				os.Exit(1)
+				return 1
 			}
 			if err := os.WriteFile(*svg, []byte(chart), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "hfbench:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *svg)
 			wrote = true
 		}
 		if !wrote {
 			fmt.Fprintln(os.Stderr, "hfbench: -svg needs experiment E5 in the run")
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -123,7 +141,7 @@ func main() {
 				fmt.Printf("%s,%s,%g\n", r.ID, k, r.Values[k])
 			}
 		}
-		return
+		return 0
 	}
 	if *md {
 		fmt.Printf("## HyperFile evaluation (objects=%d, queries/point=%d, seed=%d)\n\n",
@@ -131,11 +149,12 @@ func main() {
 		for _, r := range reports {
 			fmt.Println(r.Markdown())
 		}
-		return
+		return 0
 	}
 	fmt.Printf("HyperFile evaluation — objects=%d queries/point=%d seed=%d\n%s\n",
 		cfg.Objects, cfg.Queries, cfg.Seed, strings.Repeat("-", 64))
 	for _, r := range reports {
 		fmt.Println(r.String())
 	}
+	return 0
 }

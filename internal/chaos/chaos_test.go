@@ -6,18 +6,15 @@ import (
 	"time"
 
 	"hyperfile/internal/object"
+	"hyperfile/internal/waitfor"
 	"hyperfile/internal/wire"
 )
 
 // waitQuiesce polls until the network has no in-flight traffic.
 func waitQuiesce(t *testing.T, n *Network) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !n.Quiesce() {
-		if time.Now().After(deadline) {
-			t.Fatal("network never quiesced")
-		}
-		time.Sleep(time.Millisecond)
+	if err := waitfor.Until(10*time.Second, n.Quiesce); err != nil {
+		t.Fatal("network never quiesced")
 	}
 }
 

@@ -811,19 +811,17 @@ func TestLocalClusterPartitionHealRecovers(t *testing.T) {
 		t.Fatalf("expected a partial answer during the partition, got %+v", res)
 	}
 	inj.HealAll()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	if werr := waitfor.Until(10*time.Second, func() bool {
 		res, err = c.Exec(1, closureQuery, ids[:1], 15*time.Second)
 		if err != nil {
-			t.Fatal(err)
+			return true // surface the error outside the poll
 		}
-		if !res.Partial && len(res.IDs) == 15 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("cluster never recovered after heal: %+v", res)
-		}
-		time.Sleep(50 * time.Millisecond)
+		return !res.Partial && len(res.IDs) == 15
+	}); werr != nil {
+		t.Fatalf("cluster never recovered after heal: %+v", res)
+	}
+	if err != nil {
+		t.Fatal(err)
 	}
 	if err := c.Err(); err != nil {
 		t.Errorf("internal error: %v", err)

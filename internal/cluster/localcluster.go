@@ -393,6 +393,12 @@ func (ls *localSite) dispatch(envs []wire.Envelope) {
 				ls.c.complete(cm)
 			case *wire.Migrated:
 				ls.c.migrated(cm)
+			default:
+				// Sites address only completions and migration acks to the
+				// client; anything else here is a protocol bug. Count it so
+				// hfstat and the debug endpoint surface it instead of the
+				// message vanishing.
+				ls.c.regs[ls.id].Counter("hf_wire_unknown_msgs").Inc()
 			}
 			continue
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hyperfile/internal/object"
+	"hyperfile/internal/waitfor"
 )
 
 // liveBed builds a 3-site naming-enabled cluster with a 9-object cross-site
@@ -22,16 +23,13 @@ func liveBed(t *testing.T) (*LocalCluster, []object.ID) {
 // acknowledgement.
 func awaitAuthority(t *testing.T, c *LocalCluster, id object.ID, want object.SiteID) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		owner, auth := c.Directory(id.Birth).Owner(id)
-		if owner == want && auth {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("authority = %v (auth %v), want %v", owner, auth, want)
-		}
-		time.Sleep(2 * time.Millisecond)
+	var owner object.SiteID
+	var auth bool
+	if err := waitfor.Until(5*time.Second, func() bool {
+		owner, auth = c.Directory(id.Birth).Owner(id)
+		return owner == want && auth
+	}); err != nil {
+		t.Fatalf("authority = %v (auth %v), want %v", owner, auth, want)
 	}
 }
 

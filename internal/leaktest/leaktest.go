@@ -1,0 +1,158 @@
+// Package leaktest detects goroutines that outlive the code that spawned
+// them. Every long-lived component in HyperFile (sites, transports,
+// clusters, servers) owns goroutines that must exit when the component is
+// closed; a goroutine that survives Close keeps touching freed state, holds
+// sockets open, and makes later tests flake in ways that point everywhere
+// but at the leak. The detector snapshots the full goroutine stack dump
+// (runtime.Stack with all=true), filters frames that belong to the runtime,
+// the testing framework, and the detector itself, and gives the remainder a
+// settle window — goroutines legitimately mid-exit after a Close need a
+// moment to unwind — before declaring a leak.
+//
+// Wire it into a package with
+//
+//	func TestMain(m *testing.M) { leaktest.Main(m) }
+//
+// which runs the package's tests and fails the binary if goroutines are
+// still running once every test has finished, or call Check at the end of
+// an individual test or benchmark for a tighter scope.
+package leaktest
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperfile/internal/waitfor"
+)
+
+// settle is how long stray goroutines get to finish unwinding before they
+// count as leaks. Polling stops as soon as the dump comes back clean.
+const settle = 5 * time.Second
+
+// benignPrefixes mark goroutines that are allowed to outlive a test: the
+// runtime's own workers, the testing framework, signal handling, and the
+// program's entry goroutine (main.main still on the stack means the program
+// is running, not leaking). The checker's own goroutine needs no entry here:
+// it is always the first stanza in the dump and stacks drops it.
+var benignPrefixes = []string{
+	"testing.",
+	"runtime.",
+	"os/signal.",
+	"main.main",
+	"created by runtime",
+	"created by testing",
+	"created by os/signal",
+}
+
+// Main wraps testing.M.Run with a package-wide leak check: it runs the
+// tests, then fails the test binary if non-benign goroutines survive the
+// settle window. Use from TestMain.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(settle); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leaktest: %d goroutine(s) still running after all tests:\n\n%s\n", len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls the goroutine dump until it is free of non-benign goroutines
+// or deadline elapses, returning the stacks of the leaked goroutines (nil
+// when clean). Call it after tearing down the component under test.
+func Check(deadline time.Duration) []string {
+	var leaked []string
+	err := waitfor.Until(deadline, func() bool {
+		leaked = Running()
+		return len(leaked) == 0
+	})
+	if err == nil {
+		return nil
+	}
+	return leaked
+}
+
+// Running returns the stacks of all currently running non-benign
+// goroutines. It takes a single snapshot with no settle window; most
+// callers want Check.
+func Running() []string {
+	var out []string
+	for _, g := range stacks() {
+		if !benign(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// stacks captures a full goroutine dump and splits it into one stanza per
+// goroutine. The first stanza — always the goroutine calling runtime.Stack,
+// i.e. the one running the leak check — is dropped: the checker is not a
+// leak.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue
+		}
+		if g = strings.TrimSpace(g); g != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// benign reports whether a goroutine stanza belongs to infrastructure that
+// legitimately outlives tests: every function frame (and the created-by
+// line) must match a benign prefix.
+func benign(g string) bool {
+	lines := strings.Split(g, "\n")
+	if len(lines) < 2 {
+		return true
+	}
+	for _, line := range lines[1:] {
+		if strings.HasPrefix(line, "\t") {
+			continue // tab-indented source location, not a function name
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		frame := line
+		if i := strings.Index(frame, "("); i > 0 && !strings.HasPrefix(frame, "created by") {
+			frame = frame[:i]
+		}
+		if !benignFrame(frame) {
+			return false
+		}
+	}
+	return true
+}
+
+// benignFrame reports whether a single function name (or "created by" line)
+// belongs to the benign set.
+func benignFrame(frame string) bool {
+	for _, p := range benignPrefixes {
+		if strings.HasPrefix(frame, p) {
+			return true
+		}
+		if strings.HasPrefix(frame, "created by ") && strings.HasPrefix(strings.TrimPrefix(frame, "created by "), p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hyperfile/internal/waitfor"
+)
+
+// TestCleanWhenNothingRuns: with no stray goroutines, Check comes back nil
+// immediately.
+func TestCleanWhenNothingRuns(t *testing.T) {
+	if leaked := Check(2 * time.Second); len(leaked) > 0 {
+		t.Fatalf("expected clean dump, got %d goroutines:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestDetectsLeak: a goroutine parked on a channel nobody closes must show
+// up in Running with its stack.
+func TestDetectsLeak(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() { // deliberately leaked until the test releases it
+		close(started)
+		<-block
+	}()
+	<-started
+
+	var leaked []string
+	// The spawned goroutine may not be parked on the channel yet; poll until
+	// the dump shows it.
+	err := waitfor.Until(2*time.Second, func() bool {
+		leaked = Running()
+		return len(leaked) > 0
+	})
+	if err != nil {
+		t.Fatal("leaked goroutine never appeared in Running()")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestDetectsLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report does not name the leaking test:\n%s", strings.Join(leaked, "\n\n"))
+	}
+
+	// Release it and confirm the dump settles clean again.
+	close(block)
+	if leaked := Check(2 * time.Second); len(leaked) > 0 {
+		t.Fatalf("goroutine still reported after release:\n%s", strings.Join(leaked, "\n\n"))
+	}
+}
+
+// TestBenignFiltering: the frames the runtime and testing framework leave
+// running must not count as leaks.
+func TestBenignFiltering(t *testing.T) {
+	for frame, want := range map[string]bool{
+		"testing.tRunner":                      true,
+		"runtime.goparkunlock":                 true,
+		"os/signal.loop":                       true,
+		"created by testing.(*T).Run":          true,
+		"hyperfile/internal/transport.ackLoop": false,
+		"main.run":                             false,
+	} {
+		if got := benignFrame(frame); got != want {
+			t.Errorf("benignFrame(%q) = %v, want %v", frame, got, want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Baresleep forbids time.Sleep in test files. A fixed sleep is either too
+// short on a loaded CI box (flaky) or too long everywhere else (slow);
+// internal/waitfor polls the actual condition with a deadline instead. The
+// few sleeps that ARE the mechanism under test (waitfor's own backoff tests)
+// carry lint:ignore directives with reasons.
+var Baresleep = &Analyzer{
+	Name: "baresleep",
+	Doc:  "no bare time.Sleep in _test.go files; poll with internal/waitfor",
+	Run:  runBaresleep,
+}
+
+func runBaresleep(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if !isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info(), call)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pass.Reportf(call.Pos(), "bare time.Sleep in a test; poll the condition with internal/waitfor")
+			}
+			return true
+		})
+	}
+}

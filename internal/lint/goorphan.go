@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// typeOf is info.TypeOf with the underlying type resolved (nil-safe).
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// Goorphan requires every goroutine spawned in non-test code to be joinable.
+// An orphaned goroutine outlives its owner: Close() returns while the
+// goroutine still touches freed state, tests pass while work leaks, and the
+// leak harness (internal/leaktest) fails long after the true cause. A spawn
+// site passes if any of these join mechanisms is visible:
+//
+//   - a sync.WaitGroup.Add call in the enclosing function (the spawned body
+//     is then expected to Done it — the Add/spawn pairing is the contract),
+//   - a sync.WaitGroup.Done call inside the spawned body,
+//   - a receive, send, or select on a channel inside the spawned body (the
+//     done-channel / result-channel patterns, including <-ctx.Done()).
+//
+// Test files are exempt: tests join through the test framework's own
+// lifetime and the leaktest TestMain harness.
+var Goorphan = &Analyzer{
+	Name: "goorphan",
+	Doc:  "goroutines in non-test code must be joined (WaitGroup, done-channel, or context)",
+	Run:  runGoorphan,
+}
+
+func runGoorphan(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpawns(pass, info, fd.Body)
+		}
+	}
+}
+
+// checkSpawns flags unjoined go statements anywhere under body. body is an
+// enclosing-function body: one WaitGroup.Add anywhere in it vouches for
+// every spawn in it (the Add-before-go pairing).
+func checkSpawns(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	addsWG := containsWaitGroupAdd(info, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if addsWG || joinedBody(info, g) {
+			return true
+		}
+		pass.Reportf(g.Pos(), "goroutine is never joined: no WaitGroup.Add in the spawning function, and no Done/channel op in the spawned body")
+		return true
+	})
+}
+
+// containsWaitGroupAdd reports whether any call to (*sync.WaitGroup).Add
+// appears under n (outside nested function literals it would still count —
+// imprecision in the safe direction is fine for a spawn-site heuristic).
+func containsWaitGroupAdd(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isWaitGroupMethod(info, call, "Add") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// joinedBody reports whether the spawned function's body shows a join
+// mechanism of its own. Only function literals can be inspected; a go call
+// to a named function relies on the Add-before-go pairing.
+func joinedBody(info *types.Info, g *ast.GoStmt) bool {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			joined = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joined = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if _, ok := typeOf(info, n.X).(*types.Chan); ok {
+				joined = true
+				return false
+			}
+		case *ast.CallExpr:
+			if isWaitGroupMethod(info, n, "Done") {
+				joined = true
+				return false
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// isWaitGroupMethod reports whether call invokes the named method on
+// sync.WaitGroup.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	return isFrom(funcRecvNamed(fn), "sync", "WaitGroup")
+}

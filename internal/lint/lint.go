@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name is the check name used in diagnostics and lint:ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer encodes.
+	Doc string
+	// Run inspects one package and reports violations through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Info is shorthand for the package's type information.
+func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Check   string         `json:"check"`
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Column  int            `json:"column"`
+	Message string         `json:"message"`
+}
+
+// String renders "file:line:col: message [check]".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Column, d.Message, d.Check)
+}
+
+// All returns the full analyzer set, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Lockhold, Baresleep, Wireswitch, Goorphan, Nakedmetric}
+}
+
+// Run executes the analyzers over every package of the module and returns
+// the surviving diagnostics sorted by position. Findings on lines covered by
+// a well-formed "lint:ignore <check> <reason>" directive are dropped;
+// malformed directives are themselves findings (check "ignore").
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Fset: mod.Fset, diags: &diags})
+		}
+	}
+	ig, bad := collectIgnores(mod)
+	diags = append(diags, bad...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ig.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Check < b.Check
+	})
+	return kept
+}
+
+// ignoreSet maps (file, line, check) to a suppression. A directive covers
+// its own line and the line below it, so both trailing comments and
+// comments-above work.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (ig ignoreSet) add(file string, line int, check string) {
+	lines := ig[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		ig[file] = lines
+	}
+	for _, l := range [2]int{line, line + 1} {
+		checks := lines[l]
+		if checks == nil {
+			checks = map[string]bool{}
+			lines[l] = checks
+		}
+		checks[check] = true
+	}
+}
+
+func (ig ignoreSet) covers(d Diagnostic) bool {
+	return ig[d.File][d.Line][d.Check]
+}
+
+// collectIgnores scans every file's comments for lint:ignore directives.
+// Malformed directives (no check name, or no reason) are returned as
+// diagnostics so a suppression can never silently widen.
+func collectIgnores(mod *Module) (ignoreSet, []Diagnostic) {
+	ig := ignoreSet{}
+	var bad []Diagnostic
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	seen := map[string]bool{}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					if seen[key] {
+						continue // augmented + pure package views share files
+					}
+					seen[key] = true
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0 || !known[fields[0]]:
+						bad = append(bad, Diagnostic{
+							Check: "ignore", Pos: pos,
+							File: pos.Filename, Line: pos.Line, Column: pos.Column,
+							Message: "lint:ignore needs a known check name (one of " + checkNames() + ")",
+						})
+					case len(fields) < 2:
+						bad = append(bad, Diagnostic{
+							Check: "ignore", Pos: pos,
+							File: pos.Filename, Line: pos.Line, Column: pos.Column,
+							Message: fmt.Sprintf("lint:ignore %s needs a reason", fields[0]),
+						})
+					default:
+						ig.add(pos.Filename, pos.Line, fields[0])
+					}
+				}
+			}
+		}
+	}
+	return ig, bad
+}
+
+func checkNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// ---- shared type-lookup helpers used by several analyzers ----
+
+// wirePath is the package whose message vocabulary wireswitch enforces.
+const wirePath = "hyperfile/internal/wire"
+
+// metricsPath is the package whose constructors nakedmetric enforces.
+const metricsPath = "hyperfile/internal/metrics"
+
+// findImport returns the named package if pkg is it or imports it
+// (directly), else nil.
+func findImport(pkg *types.Package, path string) *types.Package {
+	if pkg.Path() == path || strings.TrimSuffix(pkg.Path(), "_test") == path {
+		return pkg
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+	}
+	return nil
+}
+
+// namedObj resolves a package-scope object, nil if absent.
+func namedObj(pkg *types.Package, name string) types.Object {
+	if pkg == nil {
+		return nil
+	}
+	return pkg.Scope().Lookup(name)
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (method or function), nil for builtins, conversions, and func values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// funcRecvNamed returns the named type of f's receiver, following pointers,
+// or nil for plain functions.
+func funcRecvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isFrom reports whether the named type is pkgPath.name.
+func isFrom(n *types.Named, pkgPath, name string) bool {
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

@@ -1,0 +1,294 @@
+// Package lint is a from-scratch, stdlib-only static-analysis driver for the
+// HyperFile tree. It loads every package in the module with go/parser and
+// type-checks them with go/types (standard-library imports are type-checked
+// from source via go/importer's "source" compiler — no golang.org/x/tools
+// dependency), then runs project-specific analyzers that encode the
+// concurrency and protocol invariants reviewers used to carry in their
+// heads: no blocking on the network while holding a lock, exhaustive wire
+// message dispatch, joined goroutines, registry-constructed metrics, and
+// waitfor-based polling instead of bare sleeps in tests.
+//
+// Diagnostics can be suppressed, one line at a time, with
+//
+//	// lint:ignore <check> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory: a suppression is a documented exception to an invariant, not an
+// off switch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Packages
+// with in-package test files are type-checked twice: once without them (the
+// version other packages import) and once augmented (the version analyzed),
+// so test-only violations are still visible to analyzers.
+type Package struct {
+	// Path is the import path ("hyperfile/internal/wire"); external test
+	// packages get the "_test" suffix Go gives them.
+	Path string
+	// Dir is the directory the files came from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a fully loaded module: every package, sharing one FileSet and
+// one type-checked import graph.
+type Module struct {
+	Root string
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// dirFiles is the parsed content of one directory, split the way the go
+// tool splits it.
+type dirFiles struct {
+	dir     string
+	path    string      // import path of the primary package
+	name    string      // primary package name
+	pure    []*ast.File // non-test files
+	inTest  []*ast.File // _test.go files in the primary package
+	extTest []*ast.File // _test.go files in package <name>_test
+}
+
+// loader type-checks module packages on demand, chaining to the from-source
+// standard-library importer for everything outside the module.
+type loader struct {
+	fset     *token.FileSet
+	std      types.Importer
+	dirs     map[string]*dirFiles
+	cache    map[string]*types.Package
+	infos    map[string]*types.Info
+	checking map[string]bool
+}
+
+// Import implements types.Importer over module packages first, stdlib second.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if df, ok := l.dirs[path]; ok {
+		return l.checkPure(df)
+	}
+	return l.std.Import(path)
+}
+
+// checkPure type-checks a module package without its test files and caches
+// the result for importers.
+func (l *loader) checkPure(df *dirFiles) (*types.Package, error) {
+	if l.checking[df.path] {
+		return nil, fmt.Errorf("import cycle through %s", df.path)
+	}
+	l.checking[df.path] = true
+	defer delete(l.checking, df.path)
+	if len(df.pure) == 0 {
+		// Package declared only in test files; importers see an empty shell.
+		pkg := types.NewPackage(df.path, df.name)
+		pkg.MarkComplete()
+		l.cache[df.path] = pkg
+		l.infos[df.path] = newInfo()
+		return pkg, nil
+	}
+	conf := types.Config{Importer: l}
+	info := newInfo()
+	pkg, err := conf.Check(df.path, l.fset, df.pure, info)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[df.path] = pkg
+	l.infos[df.path] = info
+	return pkg, nil
+}
+
+// newInfo allocates the full set of type-checker fact maps.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load parses and type-checks every package under root (the module
+// directory). Test files are included in the returned packages; directories
+// named testdata and hidden directories are skipped.
+func Load(root string) (*Module, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		dirs:     map[string]*dirFiles{},
+		cache:    map[string]*types.Package{},
+		infos:    map[string]*types.Info{},
+		checking: map[string]bool{},
+	}
+	if err := discover(fset, root, modPath, l.dirs); err != nil {
+		return nil, err
+	}
+
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	mod := &Module{Root: root, Fset: fset}
+	for _, path := range paths {
+		df := l.dirs[path]
+		if len(df.pure) == 0 && len(df.inTest) == 0 {
+			// Directory holding only an external test package.
+			info := newInfo()
+			conf := types.Config{Importer: l}
+			tpkg, err := conf.Check(df.path+"_test", fset, df.extTest, info)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s_test: %w", path, err)
+			}
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				Path: df.path + "_test", Dir: df.dir, Files: df.extTest,
+				Types: tpkg, Info: info,
+			})
+			continue
+		}
+		if _, err := l.Import(path); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, err)
+		}
+		if len(df.inTest) == 0 {
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				Path: df.path, Dir: df.dir, Files: df.pure,
+				Types: l.cache[path], Info: l.infos[path],
+			})
+		} else {
+			// The analyzed variant includes in-package test files; re-check
+			// with full type info. Importers keep seeing the cached pure
+			// variant, so test-only imports can never create cycles.
+			files := append(append([]*ast.File{}, df.pure...), df.inTest...)
+			info := newInfo()
+			conf := types.Config{Importer: l}
+			tpkg, err := conf.Check(df.path, fset, files, info)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s (with tests): %w", path, err)
+			}
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				Path: df.path, Dir: df.dir, Files: files, Types: tpkg, Info: info,
+			})
+		}
+		if len(df.extTest) > 0 {
+			info := newInfo()
+			conf := types.Config{Importer: l}
+			tpkg, err := conf.Check(df.path+"_test", fset, df.extTest, info)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s_test: %w", path, err)
+			}
+			mod.Pkgs = append(mod.Pkgs, &Package{
+				Path: df.path + "_test", Dir: df.dir, Files: df.extTest,
+				Types: tpkg, Info: info,
+			})
+		}
+	}
+	return mod, nil
+}
+
+// modulePath reads the module directive from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// discover walks the tree parsing every Go source directory into dirs.
+func discover(fset *token.FileSet, root, modPath string, dirs map[string]*dirFiles) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		df, err := parseDir(fset, p, root, modPath)
+		if err != nil {
+			return err
+		}
+		if df != nil {
+			dirs[df.path] = df
+		}
+		return nil
+	})
+}
+
+// parseDir parses one directory's Go files, splitting them into the primary
+// package, its in-package tests, and the external test package.
+func parseDir(fset *token.FileSet, dir, root, modPath string) (*dirFiles, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	df := &dirFiles{dir: dir, path: importPath}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fn := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		name := f.Name.Name
+		switch {
+		case !strings.HasSuffix(e.Name(), "_test.go"):
+			if df.name == "" {
+				df.name = name
+			}
+			df.pure = append(df.pure, f)
+		case strings.HasSuffix(name, "_test"):
+			df.extTest = append(df.extTest, f)
+		default:
+			df.inTest = append(df.inTest, f)
+		}
+	}
+	if df.name == "" && len(df.inTest) == 0 && len(df.extTest) == 0 {
+		return nil, nil
+	}
+	if df.name == "" {
+		df.name = strings.TrimSuffix(df.inTest[0].Name.Name, "_test")
+	}
+	return df, nil
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Nakedmetric forbids constructing metrics instruments outside the registry.
+// Counters, gauges, and histograms must come from Registry.Counter/Gauge/
+// Histogram (get-or-create, snapshot-visible, nil-safe), and registries from
+// NewRegistry (a literal Registry has nil maps and panics on first use). A
+// struct-literal instrument would silently never appear in any snapshot —
+// the debug endpoint and hfstat would swear the event never happened.
+var Nakedmetric = &Analyzer{
+	Name: "nakedmetric",
+	Doc:  "metrics instruments only via the nil-safe registry constructors",
+	Run:  runNakedmetric,
+}
+
+// instrumentNames are the metrics types that must never be built by hand.
+var instrumentNames = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Registry": true,
+}
+
+func runNakedmetric(pass *Pass) {
+	if strings.TrimSuffix(pass.Pkg.Path, "_test") == metricsPath {
+		return // the registry itself is the one legitimate constructor
+	}
+	info := pass.Info()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name := instrumentOf(info.TypeOf(n)); name != "" {
+					pass.Reportf(n.Pos(), "metrics.%s built as a literal; obtain it from a Registry (nil-safe, snapshot-visible)", name)
+				}
+			case *ast.CallExpr:
+				// new(metrics.Counter) and friends.
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+					if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+						if name := instrumentOf(info.TypeOf(n.Args[0])); name != "" {
+							pass.Reportf(n.Pos(), "metrics.%s built with new(); obtain it from a Registry (nil-safe, snapshot-visible)", name)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				// var c metrics.Counter declares a value-typed instrument
+				// invisible to every snapshot.
+				if n.Type == nil {
+					return true
+				}
+				if name := instrumentOf(info.TypeOf(n.Type)); name != "" {
+					pass.Reportf(n.Pos(), "metrics.%s declared as a zero value; obtain it from a Registry (nil-safe, snapshot-visible)", name)
+				}
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if name := instrumentOf(info.TypeOf(field.Type)); name != "" {
+						pass.Reportf(field.Pos(), "metrics.%s embedded by value; store a registry-obtained *metrics.%s instead", name, name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// instrumentOf returns the instrument type name when t is a (non-pointer)
+// metrics instrument type, else "".
+func instrumentOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != metricsPath {
+		return ""
+	}
+	if instrumentNames[n.Obj().Name()] {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,9 @@
+// Package baresleepcase exercises the baresleep analyzer. Sleeps in
+// non-test files are out of scope — this one must NOT be flagged.
+package baresleepcase
+
+import "time"
+
+func Backoff() {
+	time.Sleep(time.Millisecond)
+}

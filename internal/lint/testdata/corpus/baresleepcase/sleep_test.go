@@ -1,0 +1,13 @@
+package baresleepcase
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPolls(t *testing.T) {
+	time.Sleep(10 * time.Millisecond) // want "bare time.Sleep in a test"
+	// Calling a helper that sleeps is out of scope: the analyzer flags the
+	// sleep expression itself, which lives in a non-test file here.
+	Backoff()
+}

@@ -1,0 +1,3 @@
+module hyperfile
+
+go 1.22

@@ -1,0 +1,44 @@
+// Package goorphancase exercises the goorphan analyzer: spawns with no
+// visible join are flagged; WaitGroup- and channel-joined spawns are clean.
+package goorphancase
+
+import "sync"
+
+type worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// orphan spawns fire-and-forget: flagged.
+func (w *worker) orphan() {
+	go func() { // want "goroutine is never joined"
+		work()
+	}()
+}
+
+// waitGroupJoined pairs Add with the spawn: clean.
+func (w *worker) waitGroupJoined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		work()
+	}()
+}
+
+// doneChannelJoined signals completion on a channel: clean.
+func (w *worker) doneChannelJoined() {
+	go func() {
+		work()
+		close(w.done)
+		w.done <- struct{}{}
+	}()
+}
+
+// contextStyleJoined blocks on a quit channel: clean.
+func (w *worker) contextStyleJoined() {
+	go func() {
+		<-w.done
+	}()
+}
+
+func work() {}

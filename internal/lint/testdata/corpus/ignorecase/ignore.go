@@ -1,0 +1,40 @@
+// Package ignorecase exercises the suppression machinery: a well-formed
+// ignore directive silences the finding on its line and the next; a
+// directive without a reason (or without a known check name) is itself a
+// finding and suppresses nothing.
+package ignorecase
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// suppressedSend carries a directive with a reason: no lockhold finding.
+func (b *box) suppressedSend() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// lint:ignore lockhold the receiver is buffered and drained by the owner; bounded by construction
+	b.ch <- 1
+}
+
+// missingReason omits the reason: the directive itself is flagged and the
+// underlying finding still fires.
+func (b *box) missingReason() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// lint:ignore lockhold
+	// want(-1) "needs a reason"
+	b.ch <- 1 // want "channel send while b.mu is held"
+}
+
+// unknownCheck names a check that does not exist: flagged, nothing
+// suppressed.
+func (b *box) unknownCheck() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// lint:ignore bogus sounded plausible at the time
+	// want(-1) "needs a known check name"
+	b.ch <- 1 // want "channel send while b.mu is held"
+}

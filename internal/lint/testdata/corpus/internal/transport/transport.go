@@ -1,0 +1,8 @@
+// Package transport is a corpus stub: Send/SendUnreliable on a type in this
+// import path are blocking operations to the lockhold analyzer.
+package transport
+
+type TCP struct{}
+
+func (t *TCP) Send(to int, m any) error           { return nil }
+func (t *TCP) SendUnreliable(to int, m any) error { return nil }

@@ -1,0 +1,94 @@
+// Package lockholdcase exercises the lockhold analyzer: blocking operations
+// inside Lock/Unlock spans must be flagged; the same operations outside the
+// span, or under a released lock, must not.
+package lockholdcase
+
+import (
+	"sync"
+	"time"
+
+	"hyperfile/internal/transport"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	tr *transport.TCP
+}
+
+func (g *guarded) sendUnderLock() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while g.mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) sleepUnderDeferredUnlock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while g.mu is held"
+}
+
+func (g *guarded) receiveUnderRLock() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return <-g.ch // want "channel receive while g.rw is held"
+}
+
+func (g *guarded) selectUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "blocking select while g.mu is held"
+	case v := <-g.ch:
+		_ = v
+	}
+}
+
+func (g *guarded) transportSendUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_ = g.tr.Send(2, nil) // want "TCP.Send while g.mu is held"
+}
+
+// blockingHelper gives the transitive closure something to find: it blocks
+// on its synchronous path.
+func (g *guarded) blockingHelper() {
+	g.ch <- 7
+}
+
+func (g *guarded) transitiveBlockUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.blockingHelper() // want "blockingHelper .may block. while g.mu is held"
+}
+
+// sendAfterUnlock releases the lock before blocking: clean.
+func (g *guarded) sendAfterUnlock() {
+	g.mu.Lock()
+	v := len(g.ch)
+	g.mu.Unlock()
+	g.ch <- v
+}
+
+// nonBlockingUnderLock does only CPU work under the lock: clean.
+func (g *guarded) nonBlockingUnderLock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// spawnUnderLock starts a goroutine while holding the lock; the spawned
+// body blocks, but not while the spawner's lock is held: clean for
+// lockhold. (It joins via the channel send, so goorphan is happy too.)
+func (g *guarded) spawnUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.ch <- 1
+	}()
+}

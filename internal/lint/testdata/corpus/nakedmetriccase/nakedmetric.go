@@ -1,0 +1,34 @@
+// Package nakedmetriccase exercises the nakedmetric analyzer: instruments
+// must come from a registry, never from literals, new(), zero-value
+// declarations, or by-value struct fields.
+package nakedmetriccase
+
+import "hyperfile/internal/metrics"
+
+// literalCounter: flagged.
+var literalCounter = metrics.Counter{} // want "metrics.Counter built as a literal"
+
+// newGauge: flagged.
+var newGauge = new(metrics.Gauge) // want "metrics.Gauge built with new"
+
+// zeroHistogram: flagged.
+var zeroHistogram metrics.Histogram // want "metrics.Histogram declared as a zero value"
+
+// byValueField embeds an instrument by value: flagged.
+type byValueField struct {
+	hits metrics.Counter // want "metrics.Counter embedded by value"
+}
+
+// registryLiteral bypasses NewRegistry: flagged.
+var registryLiteral = &metrics.Registry{} // want "metrics.Registry built as a literal"
+
+// fromRegistry is the sanctioned path: clean.
+type fromRegistry struct {
+	reg  *metrics.Registry
+	hits *metrics.Counter
+}
+
+func newFromRegistry() *fromRegistry {
+	reg := metrics.NewRegistry()
+	return &fromRegistry{reg: reg, hits: reg.Counter("hits")}
+}

@@ -1,0 +1,66 @@
+// Package wireswitchcase exercises the wireswitch analyzer against the
+// corpus wire stub (Submit, Result, Complete).
+package wireswitchcase
+
+import (
+	"errors"
+
+	"hyperfile/internal/wire"
+)
+
+// kindMissingNoDefault omits KComplete with no default: flagged.
+func kindMissingNoDefault(k wire.Kind) int {
+	switch k { // want "wire.Kind switch is missing KComplete and has no default clause"
+	case wire.KSubmit:
+		return 1
+	case wire.KResult:
+		return 2
+	}
+	return 0
+}
+
+// kindExhaustive covers every kind except the KInvalid sentinel: clean.
+func kindExhaustive(k wire.Kind) int {
+	switch k {
+	case wire.KSubmit:
+		return 1
+	case wire.KResult:
+		return 2
+	case wire.KComplete:
+		return 3
+	}
+	return 0
+}
+
+// kindErrorDefault handles the remainder observably: clean.
+func kindErrorDefault(k wire.Kind) (int, error) {
+	switch k {
+	case wire.KSubmit:
+		return 1, nil
+	default:
+		return 0, errors.New("unhandled kind")
+	}
+}
+
+// msgSilentDefault drops unknown messages on the floor: flagged.
+func msgSilentDefault(m wire.Msg) int {
+	switch m.(type) {
+	case *wire.Submit:
+		return 1
+	default: // want "silent default clause that drops unhandled messages"
+		return 0
+	}
+}
+
+// msgExhaustive enumerates every implementation: clean.
+func msgExhaustive(m wire.Msg) int {
+	switch m.(type) {
+	case *wire.Submit:
+		return 1
+	case *wire.Result:
+		return 2
+	case *wire.Complete:
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Wireswitch keeps wire-message dispatch exhaustive. Every switch over the
+// wire.Kind type and every type switch over a wire.Msg value must either
+// enumerate the full message vocabulary declared in internal/wire, or carry
+// a default clause that observably handles the remainder (returns an error,
+// counts a metric, logs — anything but an empty body or a bare zero-value
+// return). Silent defaults are how unknown messages get dropped on the
+// floor; missing cases are how adding a message kind skips a handler.
+// Adding a message to internal/wire therefore flags every handler that
+// enumerated the old vocabulary, forcing a decision at each one.
+//
+// Test files are exempt: test doubles legitimately handle narrow slices of
+// the protocol.
+var Wireswitch = &Analyzer{
+	Name: "wireswitch",
+	Doc:  "switches over wire message kinds must be exhaustive or handle the remainder",
+	Run:  runWireswitch,
+}
+
+func runWireswitch(pass *Pass) {
+	wire := findImport(pass.Pkg.Types, wirePath)
+	if wire == nil {
+		return
+	}
+	kindType, _ := namedObj(wire, "Kind").(*types.TypeName)
+	msgObj, _ := namedObj(wire, "Msg").(*types.TypeName)
+	if kindType == nil || msgObj == nil {
+		return
+	}
+	msgIface, _ := msgObj.Type().Underlying().(*types.Interface)
+	if msgIface == nil {
+		return
+	}
+	kinds := kindConstants(wire, kindType)
+	impls := msgImpls(wire, msgIface)
+	info := pass.Info()
+
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if t := info.TypeOf(n.Tag); t != nil && types.Identical(t, kindType.Type()) {
+					checkKindSwitch(pass, n, kinds, info)
+				}
+			case *ast.TypeSwitchStmt:
+				if subj := typeSwitchSubject(n, info); subj != nil && types.Identical(subj, msgObj.Type()) {
+					checkMsgSwitch(pass, n, impls, info)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// kindConstants returns every constant of type wire.Kind except the zero
+// KInvalid sentinel (which is never a real message on the wire).
+func kindConstants(wire *types.Package, kind *types.TypeName) map[string]bool {
+	out := map[string]bool{}
+	scope := wire.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), kind.Type()) {
+			continue
+		}
+		if c.Val().String() == "0" {
+			continue
+		}
+		out[name] = true
+	}
+	return out
+}
+
+// msgImpls returns every concrete type in the wire package whose pointer
+// implements wire.Msg, keyed by type name.
+func msgImpls(wire *types.Package, msg *types.Interface) map[string]bool {
+	out := map[string]bool{}
+	scope := wire.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(types.NewPointer(named), msg) || types.Implements(named, msg) {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// typeSwitchSubject extracts the static type of the type-switch operand.
+func typeSwitchSubject(n *ast.TypeSwitchStmt, info *types.Info) types.Type {
+	var x ast.Expr
+	switch assign := n.Assign.(type) {
+	case *ast.AssignStmt: // switch m := x.(type)
+		if len(assign.Rhs) == 1 {
+			if ta, ok := ast.Unparen(assign.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt: // switch x.(type)
+		if ta, ok := ast.Unparen(assign.X).(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return nil
+	}
+	return info.TypeOf(x)
+}
+
+func checkKindSwitch(pass *Pass, n *ast.SwitchStmt, kinds map[string]bool, info *types.Info) {
+	seen := map[string]bool{}
+	var def *ast.CaseClause
+	for _, stmt := range n.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			def = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if obj := usedObj(info, e); obj != nil {
+				seen[obj.Name()] = true
+			}
+		}
+	}
+	finish(pass, n.Pos(), "wire.Kind switch", kinds, seen, def)
+}
+
+func checkMsgSwitch(pass *Pass, n *ast.TypeSwitchStmt, impls map[string]bool, info *types.Info) {
+	seen := map[string]bool{}
+	var def *ast.CaseClause
+	for _, stmt := range n.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			def = cc
+			continue
+		}
+		for _, e := range cc.List {
+			t := info.TypeOf(e)
+			if t == nil {
+				continue
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == wirePath {
+				seen[named.Obj().Name()] = true
+			}
+		}
+	}
+	finish(pass, n.Pos(), "wire.Msg type switch", impls, seen, def)
+}
+
+// finish applies the shared rule: without a default the switch must cover
+// everything; with one, the default must not be silent.
+func finish(pass *Pass, pos token.Pos, what string, all, seen map[string]bool, def *ast.CaseClause) {
+	var missing []string
+	for name := range all {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	switch {
+	case def == nil && len(missing) > 0:
+		pass.Reportf(pos, "%s is missing %s and has no default clause; handle them or add a default that counts/rejects the remainder", what, strings.Join(missing, ", "))
+	case def != nil && silentBody(def.Body):
+		pass.Reportf(def.Pos(), "%s has a silent default clause that drops unhandled messages; count them (e.g. hf_wire_unknown_msgs), reject them, or enumerate the kinds", what)
+	}
+}
+
+// silentBody reports whether a default clause does nothing observable:
+// empty, or only bare returns / returns of zero values / break / continue.
+func silentBody(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return true
+	}
+	for _, s := range body {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if !zeroExpr(r) {
+					return false
+				}
+			}
+		case *ast.BranchStmt:
+			// break / continue only
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// zeroExpr reports whether e is a literal zero value (nil, 0, "", false).
+func zeroExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "nil" || e.Name == "false"
+	case *ast.BasicLit:
+		return e.Value == "0" || e.Value == `""` || e.Value == "``" || e.Value == "0.0"
+	}
+	return false
+}
+
+// usedObj resolves an identifier or selector case expression to its object.
+func usedObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

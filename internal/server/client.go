@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hyperfile/internal/metrics"
 	"hyperfile/internal/object"
 	"hyperfile/internal/transport"
 	"hyperfile/internal/wire"
@@ -21,7 +22,8 @@ var ErrTimeout = errors.New("server: query timed out")
 // its own site id and listener so originators can send Complete messages
 // directly to it.
 type Client struct {
-	tr *transport.TCP
+	tr  *transport.TCP
+	reg *metrics.Registry
 
 	mu           sync.Mutex
 	next         uint64
@@ -34,6 +36,7 @@ type Client struct {
 // listening on addr ("127.0.0.1:0" for ephemeral).
 func NewClient(id object.SiteID, addr string) (*Client, error) {
 	c := &Client{
+		reg: metrics.NewRegistry(),
 		// Seed the id counter from the clock so query ids from successive
 		// client processes sharing a site id never collide: sites tombstone
 		// finished query ids, and a reused id would make a fresh query look
@@ -64,6 +67,10 @@ func (c *Client) AddServer(id object.SiteID, addr string) { c.tr.AddPeer(id, add
 // Close shuts the client down.
 func (c *Client) Close() { _ = c.tr.Close() }
 
+// Metrics returns the client's metrics registry (hf_wire_unknown_msgs
+// counts wire messages the client had no handler for).
+func (c *Client) Metrics() *metrics.Registry { return c.reg }
+
 func (c *Client) onMessage(_ object.SiteID, m wire.Msg) {
 	switch m := m.(type) {
 	case *wire.Complete:
@@ -90,6 +97,11 @@ func (c *Client) onMessage(_ object.SiteID, m wire.Msg) {
 		if ch != nil {
 			ch <- m
 		}
+	default:
+		// The client endpoint only ever receives completions and reply
+		// messages it solicited; anything else means a server addressed the
+		// wrong site. Count it rather than dropping it invisibly.
+		c.reg.Counter("hf_wire_unknown_msgs").Inc()
 	}
 }
 

@@ -184,6 +184,15 @@ func (srv *Server) noteHeard(from object.SiteID) {
 	}
 }
 
+// PeerIsDown reports whether the failure detector currently suspects peer.
+// Tests (and operators) poll it instead of guessing how long detection
+// takes.
+func (srv *Server) PeerIsDown(peer object.SiteID) bool {
+	srv.hbMu.Lock()
+	defer srv.hbMu.Unlock()
+	return srv.suspected[peer]
+}
+
 // heartbeatLoop probes peers every HeartbeatInterval and declares any peer
 // silent for longer than SuspectAfter dead: the site skips it for new work
 // and force-completes queries already engaged with it, returning partial
@@ -271,7 +280,11 @@ func (srv *Server) loop() {
 				th.f()
 				continue
 			}
-			// Learn client addresses from messages that carry them.
+			// Learn client addresses from messages that carry them. This is
+			// a peek, not the dispatch: every message — matched here or not
+			// — falls through to HandleMessage below, which rejects unknown
+			// kinds with an error.
+			// lint:ignore wireswitch address-learning peek; full dispatch with error default is site.HandleMessage
 			switch cm := m.msg.(type) {
 			case *wire.Submit:
 				if cm.ClientAddr != "" {

@@ -11,6 +11,7 @@ import (
 	"hyperfile/internal/site"
 	"hyperfile/internal/store"
 	"hyperfile/internal/transport"
+	"hyperfile/internal/waitfor"
 )
 
 // testDeployment spins n servers plus a client on loopback, fully meshed.
@@ -156,10 +157,19 @@ func TestTCPClientRestartSameSiteID(t *testing.T) {
 		t.Fatalf("first client: results = %d, want 9", len(cm.IDs))
 	}
 	client.Close()
-	// Let the first query's Finish messages settle so every participant has
-	// dropped its context and laid a tombstone — the window where a reused
-	// query id would be mistaken for a straggler.
-	time.Sleep(200 * time.Millisecond)
+	// Wait until the first query's Finish messages have settled: every
+	// participant has dropped its context and laid a tombstone — the window
+	// where a reused query id would be mistaken for a straggler.
+	if err := waitfor.Until(5*time.Second, func() bool {
+		for _, s := range servers {
+			if s.Metrics().Snapshot().Gauges["site_live_contexts"] != 0 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatalf("query contexts never drained: %v", err)
+	}
 
 	second, err := NewClient(client.ID(), "127.0.0.1:0")
 	if err != nil {
@@ -241,8 +251,12 @@ func TestTCPPeerFailureDetectedPartialAnswer(t *testing.T) {
 	})
 	ids := loadServerRing(t, stores, 12)
 	servers[2].Close() // site 3 crashes
-	// Let the survivors' detectors fire.
-	time.Sleep(500 * time.Millisecond)
+	// Wait for the survivors' detectors to declare site 3 dead.
+	if err := waitfor.Until(5*time.Second, func() bool {
+		return servers[0].PeerIsDown(3) && servers[1].PeerIsDown(3)
+	}); err != nil {
+		t.Fatalf("survivors never suspected the dead site: %v", err)
+	}
 	cm, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -478,15 +492,11 @@ func TestTCPLiveMigration(t *testing.T) {
 	}
 	// Second move goes through the birth site's (eventually updated)
 	// authority chain.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if err = client.Migrate(ids[1], 1, 5*time.Second); err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("second migration never succeeded: %v", err)
-		}
-		time.Sleep(10 * time.Millisecond)
+	if werr := waitfor.Until(5*time.Second, func() bool {
+		err = client.Migrate(ids[1], 1, 5*time.Second)
+		return err == nil
+	}); werr != nil {
+		t.Fatalf("second migration never succeeded: %v", err)
 	}
 	if _, ok := stores[0].Get(ids[1]); !ok {
 		t.Error("object missing after second migration")

@@ -1,0 +1,13 @@
+package site
+
+import (
+	"testing"
+
+	"hyperfile/internal/leaktest"
+)
+
+// TestMain fails the package if any test leaves goroutines running; see
+// internal/leaktest.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

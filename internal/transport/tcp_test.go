@@ -181,16 +181,14 @@ func TestSendQueuesWhilePeerDown(t *testing.T) {
 	}
 	// The failed dial must leave cached backoff state (satellite fix: no
 	// synchronous re-dial per message on the hot path).
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		fails, next, lastErr := t1.DialState(2)
-		if fails > 0 && lastErr != nil && next.After(time.Now().Add(-time.Second)) {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("dial backoff never cached: fails=%d err=%v", fails, lastErr)
-		}
-		time.Sleep(5 * time.Millisecond)
+	var fails int
+	var lastErr error
+	if err := waitfor.Until(5*time.Second, func() bool {
+		var next time.Time
+		fails, next, lastErr = t1.DialState(2)
+		return fails > 0 && lastErr != nil && next.After(time.Now().Add(-time.Second))
+	}); err != nil {
+		t.Fatalf("dial backoff never cached: fails=%d err=%v", fails, lastErr)
 	}
 
 	// Peer comes back on the same address: queued frames are delivered.
@@ -359,14 +357,15 @@ func TestUnreliableSendBestEffort(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First unreliable send races the async dial; once the link is up
-	// heartbeats flow.
-	deadline := time.Now().Add(5 * time.Second)
-	for c2.count() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("heartbeat never delivered on live link")
+	// heartbeats flow. Keep nudging until one lands.
+	if err := waitfor.Until(5*time.Second, func() bool {
+		if c2.count() > 0 {
+			return true
 		}
 		t1.SendUnreliable(2, &wire.Heartbeat{Seq: 2})
-		time.Sleep(5 * time.Millisecond)
+		return false
+	}); err != nil {
+		t.Fatal("heartbeat never delivered on live link")
 	}
 	if _, ok := c2.msgs[0].(*wire.Heartbeat); !ok {
 		t.Fatalf("got %#v", c2.msgs[0])

@@ -48,11 +48,11 @@ func Stable[T comparable](deadline, quiet time.Duration, value func() T) (T, err
 		if cur != last {
 			last = cur
 			settledAt = time.Now()
-			continue
-		}
-		if time.Since(settledAt) >= quiet {
+		} else if time.Since(settledAt) >= quiet {
 			return last, nil
 		}
+		// Checked on every iteration — including ones where the value just
+		// changed — so a value that never holds still cannot loop forever.
 		if time.Now().After(limit) {
 			var zero T
 			return zero, fmt.Errorf("waitfor: value still changing after %v", deadline)
