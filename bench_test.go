@@ -202,8 +202,8 @@ func BenchmarkQueryParse(b *testing.B) {
 func BenchmarkWireEncodeDeref(b *testing.B) {
 	m := &wire.Deref{
 		QID: wire.QueryID{Origin: 1, Seq: 7}, Origin: 1,
-		Body:  workload.ClosureQuery("Tree", "Rand10", 5),
-		ObjID: object.ID{Birth: 3, Seq: 99}, Start: 2, Iters: []int{4},
+		Body:   workload.ClosureQuery("Tree", "Rand10", 5),
+		ObjIDs: []object.ID{{Birth: 3, Seq: 99}}, Start: 2, Iters: []int{4},
 		Token: make([]byte, 12),
 	}
 	b.ResetTimer()
@@ -216,8 +216,8 @@ func BenchmarkWireEncodeDeref(b *testing.B) {
 func BenchmarkWireDecodeDeref(b *testing.B) {
 	m := &wire.Deref{
 		QID: wire.QueryID{Origin: 1, Seq: 7}, Origin: 1,
-		Body:  workload.ClosureQuery("Tree", "Rand10", 5),
-		ObjID: object.ID{Birth: 3, Seq: 99}, Start: 2, Iters: []int{4},
+		Body:   workload.ClosureQuery("Tree", "Rand10", 5),
+		ObjIDs: []object.ID{{Birth: 3, Seq: 99}}, Start: 2, Iters: []int{4},
 		Token: make([]byte, 12),
 	}
 	data := wire.Encode(m)

@@ -50,7 +50,46 @@ func run() int {
 	svg := flag.String("svg", "", "also write Figure 4 as an SVG chart to this path (requires running E5)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	obs := flag.String("observability", "", "measure metrics-layer overhead on a local cluster and write JSON here (runs only this)")
+	batching := flag.String("batching", "", "compare deref batching off/on over the standard workloads and write JSON here (runs only this; exits 1 if batching does not cut scattered-tree messages at least 2x or changes any result)")
+	batchSize := flag.Int("batch-size", 8, "deref batch size for -batching")
 	flag.Parse()
+
+	if *batching != "" {
+		cfg := bench.Default()
+		cfg.Objects = *objects
+		cfg.Queries = *queries
+		cfg.Seed = *seed
+		r, err := bench.RunBatching(cfg, *batchSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			return 1
+		}
+		b, err := r.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			return 1
+		}
+		if err := os.WriteFile(*batching, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			return 1
+		}
+		code := 0
+		for _, row := range r.Rows {
+			fmt.Fprintf(os.Stderr, "%-15s msgs %5d -> %5d (%.2fx), rt %.1fs -> %.1fs (%.2fx), match=%v\n",
+				row.Workload, row.DerefMsgsOff, row.DerefMsgsOn, row.MsgRatio,
+				row.AvgRTOffSec, row.AvgRTOnSec, row.Speedup, row.ResultsMatch)
+			if !row.ResultsMatch {
+				fmt.Fprintf(os.Stderr, "hfbench: batching changed the %s result set\n", row.Workload)
+				code = 1
+			}
+		}
+		if tree := r.Row("tree_scattered"); tree == nil || tree.MsgRatio < 2.0 {
+			fmt.Fprintln(os.Stderr, "hfbench: batching did not cut scattered-tree Deref messages at least 2x")
+			code = 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *batching)
+		return code
+	}
 
 	if *obs != "" {
 		r, err := bench.RunObservability(3, 60, 20, 3)

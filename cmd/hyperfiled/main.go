@@ -40,6 +40,7 @@ type config struct {
 	Save          string
 	ResultBatch   int
 	DistThreshold int
+	DerefBatch    int
 	TermMode      string
 
 	// MetricsAddr exposes /debug/hyperfile (metrics + query traces) over
@@ -70,6 +71,7 @@ func main() {
 	flag.StringVar(&cfg.Save, "save", "", "write a snapshot of the store here on shutdown")
 	flag.IntVar(&cfg.ResultBatch, "result-batch", 0, "max result ids per message (0 = unbounded)")
 	flag.IntVar(&cfg.DistThreshold, "dist-threshold", 0, "distributed-set retention threshold (0 = off)")
+	flag.IntVar(&cfg.DerefBatch, "deref-batch", 0, "max object ids per outgoing Deref message, with sender-side duplicate suppression (0 = one per message)")
 	flag.StringVar(&cfg.TermMode, "termination", "weighted", "termination detector: weighted | dijkstra-scholten")
 	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "serve /debug/hyperfile on this address (empty = off)")
 	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 0, "peer heartbeat interval (0 = no failure detector)")
@@ -173,7 +175,7 @@ func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string
 	srv, err := server.NewOpts(site.Config{
 		ID: id, Store: st, Peers: peerIDs,
 		ResultBatch: cfg.ResultBatch, DistributedSetThreshold: cfg.DistThreshold,
-		TermMode: mode,
+		DerefBatch: cfg.DerefBatch, TermMode: mode,
 	}, cfg.Listen, lg, opts)
 	if err != nil {
 		return err

@@ -234,6 +234,60 @@ func TestA6BatchingAmortizes(t *testing.T) {
 	}
 }
 
+func TestA8DerefBatchingShape(t *testing.T) {
+	r := report(t, "A8")
+	// Batch size 1 is the protocol of the paper with extra framing — it must
+	// change nothing; batch 8 must cut scattered-tree messages at least 2x.
+	if got := r.Values["tree_scattered_b1_msg_ratio"]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("batch=1 msg ratio = %v, want exactly 1", got)
+	}
+	if got := r.Values["tree_scattered_b8_msg_ratio"]; got < 2 {
+		t.Errorf("batch=8 scattered-tree msg ratio = %.2f, want >= 2", got)
+	}
+	// Larger batches never send more messages than smaller ones.
+	if r.Values["tree_scattered_b16_msg_ratio"] < r.Values["tree_scattered_b4_msg_ratio"] {
+		t.Errorf("msg ratio fell from batch 4 (%v) to batch 16 (%v)",
+			r.Values["tree_scattered_b4_msg_ratio"], r.Values["tree_scattered_b16_msg_ratio"])
+	}
+}
+
+func TestRunBatchingSweep(t *testing.T) {
+	r, err := RunBatching(testCfg(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if !row.ResultsMatch {
+			t.Errorf("%s: batching changed the result set", row.Workload)
+		}
+		if row.MsgRatio < 1-1e-9 {
+			t.Errorf("%s: batching sent more messages (ratio %.2f)", row.Workload, row.MsgRatio)
+		}
+	}
+	tree := r.Row("tree_scattered")
+	if tree == nil {
+		t.Fatal("no tree_scattered row")
+	}
+	if tree.MsgRatio < 2 {
+		t.Errorf("scattered-tree msg ratio = %.2f, want >= 2", tree.MsgRatio)
+	}
+	if tree.BatchedOn == 0 {
+		t.Errorf("scattered tree sent no batched messages")
+	}
+	// Tree pointers never revisit a target, so suppression shows up on the
+	// random-pointer rows instead.
+	suppressed := 0
+	for _, row := range r.Rows {
+		suppressed += row.SuppressedOn
+	}
+	if suppressed == 0 {
+		t.Error("no row suppressed a duplicate dereference")
+	}
+	if b, err := r.JSON(); err != nil || len(b) == 0 {
+		t.Errorf("JSON rendering failed: %v", err)
+	}
+}
+
 func TestA7LoadScaling(t *testing.T) {
 	r := report(t, "A7")
 	// Response time grows with load but sub-linearly (queries overlap).

@@ -74,8 +74,8 @@ func RunE1(cfg Config) (*Report, error) {
 	// Query message size on the wire.
 	deref := &wire.Deref{
 		QID: wire.QueryID{Origin: 1, Seq: 42}, Origin: 1,
-		Body:  workload.ClosureQuery("Tree", "Rand10", 5),
-		ObjID: object.ID{Birth: 3, Seq: 123}, Start: 2, Iters: []int{7},
+		Body:   workload.ClosureQuery("Tree", "Rand10", 5),
+		ObjIDs: []object.ID{{Birth: 3, Seq: 123}}, Start: 2, Iters: []int{7},
 		Token: make([]byte, 12),
 	}
 	size := len(wire.Encode(deref))
@@ -348,8 +348,8 @@ func RunE9(cfg Config) (*Report, error) {
 	st := c.TotalStats()
 	derefBytes := len(wire.Encode(&wire.Deref{
 		QID: wire.QueryID{Origin: 1, Seq: 1}, Origin: 1,
-		Body:  workload.ClosureQuery("Tree", "Rand10", 5),
-		ObjID: d.Root, Token: make([]byte, 12),
+		Body:   workload.ClosureQuery("Tree", "Rand10", 5),
+		ObjIDs: []object.ID{d.Root}, Token: make([]byte, 12),
 	}))
 	hfBytes := st.DerefsSent * derefBytes
 	r.addf("HyperFile: %4d deref messages x %d bytes = %8d bytes shipped",

@@ -118,6 +118,7 @@ func All() []Experiment {
 		{"A5", "ablation: shared-memory multiprocessor processing", RunA5},
 		{"A6", "ablation: result-message batch size", RunA6},
 		{"A7", "ablation: concurrent query load", RunA7},
+		{"A8", "ablation: remote-dereference batch size", RunA8},
 	}
 }
 

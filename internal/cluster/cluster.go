@@ -40,6 +40,13 @@ type Options struct {
 	ResultBatch int
 	// DistributedSetThreshold enables the section-5 refinement (0 = off).
 	DistributedSetThreshold int
+	// DerefBatch coalesces outgoing remote dereferences into per-destination
+	// Deref messages of up to this many object ids, with sender-side
+	// duplicate suppression (0 = the paper's one-object-per-message protocol).
+	DerefBatch int
+	// TermAudit, when non-nil, wraps every site's termination detectors in
+	// the conservation checker (test-only).
+	TermAudit *termination.Audit
 	// UseNaming replaces the static birth-site router with per-site naming
 	// directories supporting object migration and forwarding.
 	UseNaming bool
@@ -103,6 +110,8 @@ func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.
 		TermMode:                opts.TermMode,
 		ResultBatch:             opts.ResultBatch,
 		DistributedSetThreshold: opts.DistributedSetThreshold,
+		DerefBatch:              opts.DerefBatch,
+		TermAudit:               opts.TermAudit,
 		GlobalMarks:             marks,
 		Metrics:                 reg,
 	})

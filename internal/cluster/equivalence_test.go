@@ -7,8 +7,10 @@ import (
 	"testing"
 	"time"
 
+	"hyperfile/internal/chaos"
 	"hyperfile/internal/object"
 	"hyperfile/internal/sim"
+	"hyperfile/internal/termination"
 	"hyperfile/internal/workload"
 )
 
@@ -58,6 +60,238 @@ func TestSimAndLocalRunnersAgree(t *testing.T) {
 			}
 		}
 	}
+}
+
+// equivCases is one query per workload pointer class, rotating over the
+// selection classes, so the equivalence suite exercises every traversal the
+// generator can produce: the spanning tree, the cross-machine chain, and all
+// seven random-pointer locality classes.
+func equivCases() []string {
+	return []string{
+		workload.ClosureQuery("Tree", "Rand10", 5),
+		workload.ClosureQuery("Chain", "Rand100", 17),
+		workload.ClosureQuery("Rand05", "Rand10", 3),
+		workload.ClosureQueryKeyword("Rand20", "Common", "all"),
+		workload.ClosureQuery("Rand35", "Rand100", 42),
+		workload.ClosureQuery("Rand50", "Rand10", 7),
+		workload.ClosureQueryKeyword("Rand65", "Unique", "u13"),
+		workload.ClosureQuery("Rand80", "Rand10", 1),
+		workload.ClosureQueryKeyword("Rand95", "Common", "all"),
+	}
+}
+
+// TestCrossTopologyBatchingEquivalence is the batching acceptance suite:
+// the same logical graph (StructureMachines pins the structure) is placed on
+// 1, 3, and 9 sites, and every query class runs with deref batching off and
+// on. Within a topology the two modes must return byte-identical sorted
+// result-id sets and identical unreachable annotations; across topologies
+// the *logical* result sets (ids mapped back to generator indices) must
+// match, since placement cannot change a query's answer. On the 3-site row
+// the goroutine runner must agree with the simulator in both modes.
+func TestCrossTopologyBatchingEquivalence(t *testing.T) {
+	const (
+		nObjects  = 120
+		structure = 9
+		seed      = 11
+		batchSize = 8
+	)
+	queries := equivCases()
+
+	// logical[q] is the query's answer as a set of generator indices,
+	// established by the first topology and checked against all others.
+	logical := make([]map[int]bool, len(queries))
+
+	for _, machines := range []int{1, 3, 9} {
+		spec := workload.Spec{
+			N: nObjects, Machines: machines,
+			StructureMachines: structure, Seed: seed,
+		}
+
+		build := func(batch int) (*SimCluster, *workload.Dataset) {
+			c := NewSim(machines, Options{Cost: sim.Free(), DerefBatch: batch})
+			d, err := workload.Build(c, spec)
+			if err != nil {
+				t.Fatalf("%d sites: %v", machines, err)
+			}
+			return c, d
+		}
+		plain, dPlain := build(0)
+		batched, dBatched := build(batchSize)
+
+		// id -> logical index, for the cross-topology comparison.
+		idx := make(map[object.ID]int, len(dPlain.IDs))
+		for i, id := range dPlain.IDs {
+			idx[id] = i
+		}
+
+		var locPlain, locBatched *LocalCluster
+		var dLocP, dLocB *workload.Dataset
+		if machines == 3 {
+			locPlain = NewLocal(machines, Options{})
+			defer locPlain.Close()
+			locBatched = NewLocal(machines, Options{DerefBatch: batchSize})
+			defer locBatched.Close()
+			var err error
+			if dLocP, err = workload.Build(locPlain, spec); err != nil {
+				t.Fatal(err)
+			}
+			if dLocB, err = workload.Build(locBatched, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for qi, q := range queries {
+			name := fmt.Sprintf("%d sites, query %d (%s)", machines, qi, q)
+			resP, _, err := plain.Exec(1, q, []object.ID{dPlain.Root})
+			if err != nil {
+				t.Fatalf("%s: unbatched: %v", name, err)
+			}
+			resB, _, err := batched.Exec(1, q, []object.ID{dBatched.Root})
+			if err != nil {
+				t.Fatalf("%s: batched: %v", name, err)
+			}
+			// Complete messages carry sorted ids, so slice equality is the
+			// byte-identical check.
+			if !equalIDs(resP.IDs, resB.IDs) {
+				t.Fatalf("%s: batching changed the answer: %d ids vs %d",
+					name, len(resP.IDs), len(resB.IDs))
+			}
+			if !equalSites(resP.Unreachable, resB.Unreachable) ||
+				resP.Partial != resB.Partial {
+				t.Fatalf("%s: batching changed unreachable annotations: %v/%v vs %v/%v",
+					name, resP.Unreachable, resP.Partial, resB.Unreachable, resB.Partial)
+			}
+
+			// Cross-topology: same logical answer regardless of placement.
+			got := make(map[int]bool, len(resP.IDs))
+			for _, id := range resP.IDs {
+				li, ok := idx[id]
+				if !ok {
+					t.Fatalf("%s: result %v is not a generated object", name, id)
+				}
+				got[li] = true
+			}
+			if logical[qi] == nil {
+				logical[qi] = got
+			} else if !equalIndexSets(logical[qi], got) {
+				t.Fatalf("%s: logical answer differs from previous topology: %d vs %d indices",
+					name, len(got), len(logical[qi]))
+			}
+
+			if machines == 3 {
+				lp, err := locPlain.Exec(1, q, []object.ID{dLocP.Root}, 30*time.Second)
+				if err != nil {
+					t.Fatalf("%s: local unbatched: %v", name, err)
+				}
+				lb, err := locBatched.Exec(1, q, []object.ID{dLocB.Root}, 30*time.Second)
+				if err != nil {
+					t.Fatalf("%s: local batched: %v", name, err)
+				}
+				if !equalIDs(resP.IDs, lp.IDs) || !equalIDs(resP.IDs, lb.IDs) {
+					t.Fatalf("%s: goroutine runner disagrees with simulator (%d/%d vs %d ids)",
+						name, len(lp.IDs), len(lb.IDs), len(resP.IDs))
+				}
+			}
+		}
+
+		// The suite must actually exercise the batched path: on a
+		// multi-machine topology the batched cluster has to have coalesced
+		// or suppressed something over nine query classes.
+		if machines > 1 {
+			st := batched.TotalStats()
+			if st.DerefsBatched == 0 && st.DerefsSuppressed == 0 {
+				t.Errorf("%d sites: batching enabled but no Deref was ever batched or suppressed", machines)
+			}
+			if st.DerefEntriesSent < st.DerefsSent {
+				t.Errorf("%d sites: entries %d < messages %d", machines, st.DerefEntriesSent, st.DerefsSent)
+			}
+			pst := plain.TotalStats()
+			if pst.DerefsSent > 0 && st.DerefsSent >= pst.DerefsSent+pst.DerefsSent/10 {
+				t.Errorf("%d sites: batching sent more Deref messages (%d) than the unbatched run (%d)",
+					machines, st.DerefsSent, pst.DerefsSent)
+			}
+		}
+	}
+}
+
+// TestBatchingConservesTerminationWeightUnderChaos wraps every detector in
+// the conservation checker and runs batched queries over a lossy, duplicating,
+// reordering network. Reliable delivery retransmits drops and dedups
+// duplicates before site logic, so the weighted credits must sum to exactly 1
+// after every single detector event — in particular, each batch message must
+// carry exactly one credit share, and the flush-before-idle rule must hold
+// (queued work while a site reports idle would show up here as a dip below 1).
+func TestBatchingConservesTerminationWeightUnderChaos(t *testing.T) {
+	audit := termination.NewAudit()
+	c := NewLocal(3, Options{
+		DerefBatch: 4,
+		TermAudit:  audit,
+		Chaos: &chaos.Config{
+			Seed: 21, DropRate: 0.10, DupRate: 0.10,
+			DelayRate: 0.30, MinDelay: time.Millisecond, MaxDelay: 3 * time.Millisecond,
+			ReorderRate: 0.20,
+		},
+	})
+	defer c.Close()
+	d, err := workload.Build(c, workload.Spec{N: 60, Machines: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range equivCases()[:5] {
+		res, err := c.Exec(object.SiteID(qi%3+1), q, []object.ID{d.Root}, 30*time.Second)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if res.Partial {
+			t.Fatalf("query %d: partial answer with no dead sites", qi)
+		}
+		if err := audit.Err(); err != nil {
+			t.Fatalf("after query %d: %v", qi, err)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("internal error: %v", err)
+	}
+	if audit.Events() == 0 {
+		t.Fatal("audit never saw a detector event")
+	}
+	t.Logf("conservation held across %d detector events", audit.Events())
+}
+
+func equalIDs(a, b []object.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSites(a, b []object.SiteID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalIndexSets(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestSimScale runs a closure over a 5000-object dataset on 9 sites: a

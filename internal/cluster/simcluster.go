@@ -135,6 +135,9 @@ func (c *SimCluster) TotalStats() site.Stats {
 	for _, id := range c.ids {
 		st := c.sites[id].s.Stats()
 		t.DerefsSent += st.DerefsSent
+		t.DerefEntriesSent += st.DerefEntriesSent
+		t.DerefsBatched += st.DerefsBatched
+		t.DerefsSuppressed += st.DerefsSuppressed
 		t.DerefsReceived += st.DerefsReceived
 		t.ResultsSent += st.ResultsSent
 		t.ResultsReceived += st.ResultsReceived
@@ -241,6 +244,14 @@ func (ss *simSite) recvCost(m wire.Msg) time.Duration {
 	case *wire.Result:
 		// Installing returned ids into the originator's result set.
 		return ss.c.cost.RecvMsg + time.Duration(len(m.IDs))*ss.c.cost.ResultItem
+	case *wire.Deref:
+		// A single-id Deref costs exactly RecvMsg (the unbatched protocol);
+		// each extra batched id adds only the per-entry charge.
+		extra := len(m.ObjIDs) - 1
+		if extra < 0 {
+			extra = 0
+		}
+		return ss.c.cost.RecvMsg + time.Duration(extra)*ss.c.cost.DerefItem
 	case *wire.Control, *wire.Finish:
 		return ss.c.cost.CtlRecv
 	default:

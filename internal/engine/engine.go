@@ -194,6 +194,33 @@ func (e *Engine) TakeResults() (object.IDSet, []Fetch) {
 // Stats returns cumulative statistics.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// ReleaseMarks drops the engine-owned mark table. Only valid once the query
+// is finished at this site: a retained context keeps its engine alive for
+// the distributed-set seed list but never processes again, and its marks
+// would otherwise pin one entry per (object, filter) pair the query ever
+// touched. A table shared via WithMarks is left alone — its owner decides
+// its lifetime.
+func (e *Engine) ReleaseMarks() {
+	if _, owned := e.marks.(mapMarks); owned {
+		e.marks = make(mapMarks)
+	}
+}
+
+// MarkCount returns the number of marked (object, filter) pairs in an
+// engine-owned mark table, or -1 for a shared table installed via
+// WithMarks (whose size is not this engine's to report).
+func (e *Engine) MarkCount() int {
+	m, owned := e.marks.(mapMarks)
+	if !owned {
+		return -1
+	}
+	n := 0
+	for _, set := range m {
+		n += len(set)
+	}
+	return n
+}
+
 func (e *Engine) push(it Item) { e.work = append(e.work, it) }
 
 func (e *Engine) pop() Item {

@@ -22,6 +22,12 @@ func testDeployment(t *testing.T, n int) ([]*Server, []*store.Store, *Client) {
 // testDeploymentOpts is testDeployment with explicit server options.
 func testDeploymentOpts(t *testing.T, n int, opts Options) ([]*Server, []*store.Store, *Client) {
 	t.Helper()
+	return testDeploymentCfg(t, n, opts, nil)
+}
+
+// testDeploymentCfg additionally lets the caller tweak each site's Config.
+func testDeploymentCfg(t *testing.T, n int, opts Options, tweak func(*site.Config)) ([]*Server, []*store.Store, *Client) {
+	t.Helper()
 	servers := make([]*Server, n)
 	stores := make([]*store.Store, n)
 	ids := make([]object.SiteID, n)
@@ -36,7 +42,11 @@ func testDeploymentOpts(t *testing.T, n int, opts Options) ([]*Server, []*store.
 			}
 		}
 		stores[i] = store.New(id)
-		srv, err := NewOpts(site.Config{ID: id, Store: stores[i], Peers: peers}, "127.0.0.1:0", nil, opts)
+		cfg := site.Config{ID: id, Store: stores[i], Peers: peers}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		srv, err := NewOpts(cfg, "127.0.0.1:0", nil, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,6 +99,22 @@ const tcpClosure = `S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, "hot", ?) -
 
 func TestTCPQueryEndToEnd(t *testing.T) {
 	_, stores, client := testDeployment(t, 3)
+	ids := loadServerRing(t, stores, 30)
+	cm, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.IDs) != 15 || cm.Count != 15 {
+		t.Errorf("results = %d ids count %d, want 15", len(cm.IDs), cm.Count)
+	}
+}
+
+// TestTCPBatchedDerefEndToEnd is TestTCPQueryEndToEnd with deref batching
+// on: the batched frame must cross the real TCP transport and leave the
+// answer unchanged.
+func TestTCPBatchedDerefEndToEnd(t *testing.T) {
+	_, stores, client := testDeploymentCfg(t, 3, Options{},
+		func(cfg *site.Config) { cfg.DerefBatch = 4 })
 	ids := loadServerRing(t, stores, 30)
 	cm, err := client.Exec(1, tcpClosure, ids[:1], 10*time.Second)
 	if err != nil {

@@ -30,6 +30,11 @@ type CostModel struct {
 	// unmarshalling. This is what makes "sending results expensive" for
 	// low-selectivity queries (paper section 5).
 	ResultItem time.Duration
+	// DerefItem is the per-id receiver charge for each object id beyond the
+	// first in a batched Deref message: unmarshalling and working-set
+	// insertion, without the per-message overhead the batch amortizes. A
+	// single-id Deref costs exactly RecvMsg, matching the unbatched protocol.
+	DerefItem time.Duration
 	// CtlSend/CtlRecv are the CPU shares for tiny control messages
 	// (termination credits, acknowledgements), much smaller than full
 	// dereference processing.
@@ -51,6 +56,7 @@ func Paper() CostModel {
 		RecvMsg:       20 * time.Millisecond,
 		Latency:       10 * time.Millisecond,
 		ResultItem:    26 * time.Millisecond,
+		DerefItem:     2 * time.Millisecond,
 		CtlSend:       5 * time.Millisecond,
 		CtlRecv:       5 * time.Millisecond,
 		ResultBatch:   8,

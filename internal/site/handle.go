@@ -54,6 +54,9 @@ func (s *Site) statsResp(seq uint64) *wire.StatsResp {
 		Objects:  uint64(s.cfg.Store.Len()),
 		Counters: []wire.Counter{
 			{Name: "derefs_sent", Value: uint64(st.DerefsSent)},
+			{Name: "deref_entries_sent", Value: uint64(st.DerefEntriesSent)},
+			{Name: "derefs_batched", Value: uint64(st.DerefsBatched)},
+			{Name: "derefs_suppressed", Value: uint64(st.DerefsSuppressed)},
 			{Name: "derefs_received", Value: uint64(st.DerefsReceived)},
 			{Name: "results_sent", Value: uint64(st.ResultsSent)},
 			{Name: "results_received", Value: uint64(st.ResultsReceived)},
@@ -120,13 +123,11 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 				ctx.eng.AddInitial(id)
 				continue
 			}
-			env, ok, err := s.sendDeref(ctx, engine.RemoteRef{ID: id, Start: 0})
+			envs, err := s.emitDeref(ctx, engine.RemoteRef{ID: id, Start: 0})
 			if err != nil {
 				return out, err
 			}
-			if ok {
-				out = append(out, env)
-			}
+			out = append(out, envs...)
 		}
 	}
 	return s.afterEvent(ctx, out)
@@ -155,29 +156,46 @@ func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, 
 		// Late work for a finished (retained) query: nothing to process.
 		return s.afterEvent(ctx, out)
 	}
-	if _, ok := s.cfg.Store.Get(m.ObjID); !ok {
-		if owner, _ := s.cfg.Router.Owner(m.ObjID); owner != s.cfg.ID {
-			// The object lives elsewhere (moved, or the sender's presumed
-			// location was stale): forward the dereference.
-			tok, err := ctx.det.OnSend(owner)
-			if err != nil {
-				return out, err
+	// A batch's ids may have diverged since the sender grouped them: some
+	// live here, some have moved. Moved ones are forwarded, grouped per
+	// current owner so a batch stays a batch (first-appearance order keeps
+	// the simulator deterministic).
+	var fwdOrder []object.SiteID
+	fwd := make(map[object.SiteID][]object.ID)
+	for _, objID := range m.ObjIDs {
+		if _, ok := s.cfg.Store.Get(objID); !ok {
+			if owner, _ := s.cfg.Router.Owner(objID); owner != s.cfg.ID {
+				// The object lives elsewhere (moved, or the sender's presumed
+				// location was stale): forward the dereference.
+				if _, seen := fwd[owner]; !seen {
+					fwdOrder = append(fwdOrder, owner)
+				}
+				fwd[owner] = append(fwd[owner], objID)
+				continue
 			}
-			s.stats.Forwards++
-			s.stats.DerefsSent++
-			s.met.forwards.Inc()
-			s.met.derefsSent.Inc()
-			out = append(out, wire.Envelope{To: owner, Msg: &wire.Deref{
-				QID: m.QID, Origin: m.Origin, Body: m.Body,
-				ObjID: m.ObjID, Start: m.Start, Iters: m.Iters, Token: tok,
-				Hop: m.Hop,
-			}})
-			return s.afterEvent(ctx, out)
+			// Born/owned here but gone: enqueue anyway; the engine records it
+			// missing and the query proceeds with partial results.
 		}
-		// Born/owned here but gone: enqueue anyway; the engine records it
-		// missing and the query proceeds with partial results.
+		ctx.eng.Enqueue(engine.Item{ID: objID, Start: m.Start, Iters: m.Iters})
 	}
-	ctx.eng.Enqueue(engine.Item{ID: m.ObjID, Start: m.Start, Iters: m.Iters})
+	for _, owner := range fwdOrder {
+		ids := fwd[owner]
+		tok, err := ctx.det.OnSend(owner)
+		if err != nil {
+			return out, err
+		}
+		s.stats.Forwards += len(ids)
+		s.stats.DerefsSent++
+		s.stats.DerefEntriesSent += len(ids)
+		s.met.forwards.Add(uint64(len(ids)))
+		s.met.derefsSent.Inc()
+		s.met.derefEntriesSent.Add(uint64(len(ids)))
+		out = append(out, wire.Envelope{To: owner, Msg: &wire.Deref{
+			QID: m.QID, Origin: m.Origin, Body: m.Body,
+			ObjIDs: ids, Start: m.Start, Iters: m.Iters, Token: tok,
+			Hop: m.Hop,
+		}})
+	}
 	return s.afterEvent(ctx, out)
 }
 
@@ -290,7 +308,11 @@ func (s *Site) handleFinish(from object.SiteID, m *wire.Finish) []wire.Envelope 
 		return s.Abort(m.QID)
 	}
 	if m.Retain {
+		// The retained context only answers future seeds from ctx.retained;
+		// its dedup state can never be consulted again.
 		ctx.finished = true
+		s.releaseQueryResources(ctx)
+		ctx.eng.ReleaseMarks()
 		return nil
 	}
 	s.dropCtx(m.QID)

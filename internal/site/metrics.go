@@ -20,6 +20,9 @@ type siteMetrics struct {
 	localDerefs  *metrics.Counter
 
 	derefsSent       *metrics.Counter
+	derefEntriesSent *metrics.Counter
+	derefsBatched    *metrics.Counter
+	derefsSuppressed *metrics.Counter
 	derefsReceived   *metrics.Counter
 	resultsSent      *metrics.Counter
 	resultsReceived  *metrics.Counter
@@ -33,9 +36,10 @@ type siteMetrics struct {
 	termSplits  *metrics.Counter
 	termReturns *metrics.Counter
 
-	liveContexts *metrics.Gauge
-	stepUS       *metrics.Histogram
-	quiescenceUS *metrics.Histogram
+	liveContexts   *metrics.Gauge
+	stepUS         *metrics.Histogram
+	quiescenceUS   *metrics.Histogram
+	batchOccupancy *metrics.Histogram
 
 	// filterSteps[i] counts engine steps that started at filter i, grown
 	// lazily (queries rarely exceed a handful of filters).
@@ -54,6 +58,9 @@ func newSiteMetrics(reg *metrics.Registry) siteMetrics {
 	m.missing = reg.Counter("site_missing_objects")
 	m.localDerefs = reg.Counter("site_local_derefs")
 	m.derefsSent = reg.Counter("site_derefs_sent")
+	m.derefEntriesSent = reg.Counter("site_deref_entries_sent")
+	m.derefsBatched = reg.Counter("hf_deref_batched")
+	m.derefsSuppressed = reg.Counter("hf_deref_suppressed")
 	m.derefsReceived = reg.Counter("site_derefs_received")
 	m.resultsSent = reg.Counter("site_results_sent")
 	m.resultsReceived = reg.Counter("site_results_received")
@@ -68,6 +75,7 @@ func newSiteMetrics(reg *metrics.Registry) siteMetrics {
 	m.liveContexts = reg.Gauge("site_live_contexts")
 	m.stepUS = reg.Histogram("site_step_us")
 	m.quiescenceUS = reg.Histogram("site_query_quiescence_us")
+	m.batchOccupancy = reg.Histogram("hf_deref_batch_occupancy")
 	return m
 }
 

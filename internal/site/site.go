@@ -65,6 +65,16 @@ type Config struct {
 	// its local result ids and report only a count whenever a drain yields
 	// more than this many results (the paper's distributed-set refinement).
 	DistributedSetThreshold int
+	// DerefBatch, when positive, coalesces outgoing remote dereferences into
+	// per-destination batches of up to this many object ids per Deref
+	// message, and enables the sender-side sent-cache that suppresses
+	// re-sends the destination's mark table would reject anyway. Zero keeps
+	// the paper's one-object-per-message protocol exactly.
+	DerefBatch int
+	// TermAudit, when non-nil, wraps every query's termination detector in
+	// the conservation checker (test-only): the sum of held, recovered, and
+	// in-flight credit must stay exactly 1 after every detector event.
+	TermAudit *termination.Audit
 	// GlobalMarks, when non-nil, is a shared global mark table consulted
 	// before sending any dereference: a (query, object, start) already sent
 	// by anyone is suppressed. This models the design alternative the paper
@@ -84,7 +94,15 @@ type Config struct {
 
 // Stats counts a site's protocol activity.
 type Stats struct {
-	DerefsSent       int
+	DerefsSent int
+	// DerefEntriesSent counts object ids shipped inside Deref messages; it
+	// equals DerefsSent without batching and exceeds it with batching on.
+	DerefEntriesSent int
+	// DerefsBatched counts Deref messages that carried more than one id.
+	DerefsBatched int
+	// DerefsSuppressed counts remote references never sent because the
+	// sender-side sent-cache proved the destination would drop them.
+	DerefsSuppressed int
 	DerefsReceived   int
 	ResultsSent      int
 	ResultsReceived  int
@@ -150,6 +168,15 @@ type qctx struct {
 
 	// Participant-side retention for the distributed-set refinement.
 	retained []object.ID
+
+	// Batched-deref state, active only with Config.DerefBatch > 0: queues
+	// holds the per-(destination, cursor) outgoing queues, qorder their
+	// creation order (flushes must be deterministic for the simulator), and
+	// sent the sender-side sent-cache mirroring the receivers' mark tables.
+	// All three are released when the query finishes at this site.
+	queues map[batchKey]*derefQueue
+	qorder []*derefQueue
+	sent   map[sentKey]struct{}
 
 	// engaged records the remote sites this originator context has sent
 	// work to (derefs or seeds), so a peer-death mid-query can tell which
@@ -243,33 +270,54 @@ func (s *Site) Contexts() int { return len(s.contexts) }
 var ErrProtocol = errors.New("site: protocol error")
 
 // GlobalMarks is a cluster-wide mark table for the ablation described on
-// Config.GlobalMarks. It is safe for concurrent use.
+// Config.GlobalMarks. It is safe for concurrent use. Marks are indexed per
+// query so a finished query's entries can be released instead of
+// accumulating for the life of the cluster.
 type GlobalMarks struct {
 	mu sync.Mutex
-	m  map[globalMark]struct{}
-}
-
-type globalMark struct {
-	qid   wire.QueryID
-	id    object.ID
-	start int
+	m  map[wire.QueryID]map[sentKey]struct{}
 }
 
 // NewGlobalMarks returns an empty global mark table.
 func NewGlobalMarks() *GlobalMarks {
-	return &GlobalMarks{m: make(map[globalMark]struct{})}
+	return &GlobalMarks{m: make(map[wire.QueryID]map[sentKey]struct{})}
 }
 
 // TestAndSet records the mark and reports whether it was already present.
 func (g *GlobalMarks) TestAndSet(qid wire.QueryID, id object.ID, start int) bool {
-	k := globalMark{qid: qid, id: id, start: start}
+	k := sentKey{id: id, start: start}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, ok := g.m[k]; ok {
+	per, ok := g.m[qid]
+	if !ok {
+		per = make(map[sentKey]struct{})
+		g.m[qid] = per
+	}
+	if _, ok := per[k]; ok {
 		return true
 	}
-	g.m[k] = struct{}{}
+	per[k] = struct{}{}
 	return false
+}
+
+// Release drops every mark recorded for qid. Sites call it when they drop
+// (or finish retaining) the query's context; releasing an unknown or
+// already-released query is a no-op, so every site may call it.
+func (g *GlobalMarks) Release(qid wire.QueryID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.m, qid)
+}
+
+// Len returns the total number of marks held, across all queries.
+func (g *GlobalMarks) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, per := range g.m {
+		n += len(per)
+	}
+	return n
 }
 
 // routerLocator adapts a Router to the engine's locality test.
@@ -297,9 +345,12 @@ func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, compi
 		det: termination.NewInstrumented(s.cfg.TermMode, s.cfg.ID, origin,
 			termination.Metrics{Splits: s.met.termSplits, Returns: s.met.termReturns}),
 		isOrigin: origin == s.cfg.ID,
-		results:  make(object.IDSet),
-		created:  time.Now(),
-		hop:      hop,
+	}
+	ctx.results = make(object.IDSet)
+	ctx.created = time.Now()
+	ctx.hop = hop
+	if s.cfg.TermAudit != nil {
+		ctx.det = s.cfg.TermAudit.Wrap(qid.String(), ctx.det)
 	}
 	s.contexts[qid] = ctx
 	s.order = append(s.order, qid)
@@ -332,6 +383,7 @@ func (s *Site) dropCtx(qid wire.QueryID) {
 	if !ok {
 		return
 	}
+	s.releaseQueryResources(ctx)
 	s.stats.Engine.Add(ctx.eng.Stats())
 	delete(s.contexts, qid)
 	s.met.liveContexts.Set(int64(len(s.contexts)))

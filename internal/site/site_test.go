@@ -210,8 +210,8 @@ func TestResultAtNonOriginatorRejected(t *testing.T) {
 	}
 	if _, err := h.sites[1].HandleMessage(2, &wire.Deref{
 		QID: qid, Origin: 2, Body: `S (keyword, "x", ?) -> T`,
-		ObjID: object.ID{Birth: 1, Seq: 99},
-		Token: tok,
+		ObjIDs: []object.ID{{Birth: 1, Seq: 99}},
+		Token:  tok,
 	}); err != nil {
 		t.Fatalf("deref: %v", err)
 	}
@@ -391,7 +391,7 @@ func TestPeerDownForceCompletesEngagedQuery(t *testing.T) {
 	remoteDet := termination.New(termination.Weighted, 2, 2)
 	tok, _ := remoteDet.OnSend(1)
 	if _, err := h.sites[1].HandleMessage(2, &wire.Deref{
-		QID: sub.QID, Origin: 1, Body: sub.Body, ObjID: remote.ID, Token: tok,
+		QID: sub.QID, Origin: 1, Body: sub.Body, ObjIDs: []object.ID{remote.ID}, Token: tok,
 	}); err != nil {
 		t.Errorf("straggler deref: %v", err)
 	}
@@ -412,7 +412,7 @@ func TestPeerDownDropsOrphanedParticipantContexts(t *testing.T) {
 	tok, _ := remoteDet.OnSend(1)
 	qid := wire.QueryID{Origin: 2, Seq: 1}
 	if _, err := h.sites[1].HandleMessage(2, &wire.Deref{
-		QID: qid, Origin: 2, Body: `S (keyword, "x", ?) -> T`, ObjID: o.ID, Token: tok,
+		QID: qid, Origin: 2, Body: `S (keyword, "x", ?) -> T`, ObjIDs: []object.ID{o.ID}, Token: tok,
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -50,13 +50,11 @@ func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
 	}
 	var out []wire.Envelope
 	for _, ref := range res.Remote {
-		env, ok, err := s.sendDeref(ctx, ref)
+		envs, err := s.emitDeref(ctx, ref)
 		if err != nil {
 			return outcome, out, true, err
 		}
-		if ok {
-			out = append(out, env)
-		}
+		out = append(out, envs...)
 	}
 	out, err := s.afterEvent(ctx, out)
 	return outcome, out, true, err
@@ -99,10 +97,12 @@ func (s *Site) sendDeref(ctx *qctx, ref engine.RemoteRef) (env wire.Envelope, ok
 		ctx.engage(owner)
 	}
 	s.stats.DerefsSent++
+	s.stats.DerefEntriesSent++
 	s.met.derefsSent.Inc()
+	s.met.derefEntriesSent.Inc()
 	return wire.Envelope{To: owner, Msg: &wire.Deref{
 		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body,
-		ObjID: ref.ID, Start: ref.Start, Iters: ref.Iters, Token: tok,
+		ObjIDs: []object.ID{ref.ID}, Start: ref.Start, Iters: ref.Iters, Token: tok,
 		Hop: ctx.hop + 1,
 	}}, true, nil
 }
@@ -114,6 +114,14 @@ func (s *Site) afterEvent(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, erro
 	if ctx.finished || ctx.eng.HasWork() {
 		return out, nil
 	}
+	// Going quiescent: every queued dereference must be on the wire (with
+	// its credit share) before the detector's idle hook reports this site
+	// drained, or the termination weights would not sum to 1.
+	flushed, err := s.flushAllQueues(ctx)
+	if err != nil {
+		return out, err
+	}
+	out = append(out, flushed...)
 	results, fetches := ctx.eng.TakeResults()
 
 	if ctx.isOrigin {
@@ -249,7 +257,11 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 	if retain {
 		// Keep the context: its results (all ids known at the originator)
 		// become the originator's retained portion for follow-up seeding.
+		// Everything else the finished query held — sent-cache, queues,
+		// global marks, the engine's mark table — is dead weight now.
 		ctx.retained = ctx.results.Sorted()
+		s.releaseQueryResources(ctx)
+		ctx.eng.ReleaseMarks()
 	} else {
 		s.dropCtx(ctx.qid)
 	}

@@ -90,7 +90,7 @@ func TestSendReceive(t *testing.T) {
 	t1, _, _, c2 := pair(t)
 	msg := &wire.Deref{
 		QID: wire.QueryID{Origin: 1, Seq: 7}, Origin: 1,
-		Body: `S (a, ?, ?) -> T`, ObjID: object.ID{Birth: 2, Seq: 3},
+		Body: `S (a, ?, ?) -> T`, ObjIDs: []object.ID{{Birth: 2, Seq: 3}},
 		Start: 1, Iters: []int{2}, Token: []byte{1},
 	}
 	if err := t1.Send(2, msg); err != nil {
@@ -98,7 +98,7 @@ func TestSendReceive(t *testing.T) {
 	}
 	c2.wait(t, 1)
 	got, ok := c2.msgs[0].(*wire.Deref)
-	if !ok || got.ObjID != msg.ObjID || got.Body != msg.Body {
+	if !ok || len(got.ObjIDs) != 1 || got.ObjIDs[0] != msg.ObjIDs[0] || got.Body != msg.Body {
 		t.Errorf("got %#v", c2.msgs[0])
 	}
 	if c2.from[0] != 1 {

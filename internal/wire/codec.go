@@ -21,7 +21,13 @@ const maxSliceLen = 1 << 24
 // strings/byte-slices length-prefixed.
 func Encode(m Msg) []byte {
 	e := &encoder{buf: make([]byte, 0, 64)}
-	e.u8(uint8(m.Kind()))
+	k := m.Kind()
+	// Deref frames always encode in the batched layout. KDeref stays on the
+	// wire only as a legacy single-id layout that Decode still accepts.
+	if k == KDeref {
+		k = KDerefBatch
+	}
+	e.u8(uint8(k))
 	switch m := m.(type) {
 	case *Submit:
 		e.qid(m.QID)
@@ -34,7 +40,7 @@ func Encode(m Msg) []byte {
 		e.qid(m.QID)
 		e.u64(uint64(m.Origin))
 		e.str(m.Body)
-		e.id(m.ObjID)
+		e.ids(m.ObjIDs)
 		e.u64(uint64(m.Start))
 		e.u64(uint64(len(m.Iters)))
 		for _, it := range m.Iters {
@@ -132,11 +138,29 @@ func Decode(data []byte) (Msg, error) {
 		s.InitialFromResultOf = d.qid()
 		m = s
 	case KDeref:
+		// Legacy layout: exactly one object id, not length-prefixed.
 		r := &Deref{}
 		r.QID = d.qid()
 		r.Origin = object.SiteID(d.u64())
 		r.Body = d.str()
-		r.ObjID = d.id()
+		r.ObjIDs = []object.ID{d.id()}
+		r.Start = int(d.u64())
+		n := d.len()
+		if d.err == nil && n > 0 {
+			r.Iters = make([]int, n)
+			for i := range r.Iters {
+				r.Iters[i] = int(d.u64())
+			}
+		}
+		r.Token = d.bytes()
+		r.Hop = uint32(d.u64())
+		m = r
+	case KDerefBatch:
+		r := &Deref{}
+		r.QID = d.qid()
+		r.Origin = object.SiteID(d.u64())
+		r.Body = d.str()
+		r.ObjIDs = d.ids()
 		r.Start = int(d.u64())
 		n := d.len()
 		if d.err == nil && n > 0 {

@@ -37,11 +37,16 @@ func TestRoundTripAllKinds(t *testing.T) {
 	roundTrip(t, &Submit{QID: qid, Client: 9, Body: "S -> T"})
 	roundTrip(t, &Deref{
 		QID: qid, Origin: 2,
-		Body:  `S [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
-		ObjID: id1, Start: 2, Iters: []int{3, 1}, Token: []byte{1, 2, 3},
+		Body:   `S [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
+		ObjIDs: []object.ID{id1}, Start: 2, Iters: []int{3, 1}, Token: []byte{1, 2, 3},
 		Hop: 4,
 	})
-	roundTrip(t, &Deref{QID: qid, Origin: 2, ObjID: id2})
+	roundTrip(t, &Deref{QID: qid, Origin: 2, ObjIDs: []object.ID{id2}})
+	roundTrip(t, &Deref{
+		QID: qid, Origin: 2, Body: "S -> T",
+		ObjIDs: []object.ID{id1, id2, {Birth: 5, Seq: 999}},
+		Start:  1, Iters: []int{2}, Token: []byte{8}, Hop: 2,
+	})
 	roundTrip(t, &Result{
 		QID: qid, IDs: []object.ID{id1},
 		Fetches: []FetchVal{
@@ -85,6 +90,58 @@ func TestRoundTripAllKinds(t *testing.T) {
 		Counters: []Counter{{Name: "derefs_sent", Value: 12}, {Name: "completed", Value: 3}},
 	})
 	roundTrip(t, &StatsResp{Seq: 1})
+}
+
+// legacyDerefFrame hand-encodes the pre-batching KDeref wire layout: exactly
+// one object id, not length-prefixed. Encoders no longer emit it, but frames
+// from older senders must keep decoding.
+func legacyDerefFrame(qid QueryID, origin object.SiteID, body string, id object.ID, start int, iters []int, token []byte, hop uint32) []byte {
+	e := &encoder{}
+	e.u8(uint8(KDeref))
+	e.qid(qid)
+	e.u64(uint64(origin))
+	e.str(body)
+	e.id(id)
+	e.u64(uint64(start))
+	e.u64(uint64(len(iters)))
+	for _, it := range iters {
+		e.u64(uint64(it))
+	}
+	e.bytes(token)
+	e.u64(uint64(hop))
+	return e.buf
+}
+
+func TestDecodeLegacySingleIDDeref(t *testing.T) {
+	qid := QueryID{Origin: 2, Seq: 42}
+	id := object.ID{Birth: 3, Seq: 123}
+	data := legacyDerefFrame(qid, 2, `S (a, ?, ?) -> T`, id, 2, []int{3, 1}, []byte{1, 2, 3}, 4)
+	m, err := Decode(data)
+	if err != nil {
+		t.Fatalf("legacy KDeref frame: %v", err)
+	}
+	want := &Deref{
+		QID: qid, Origin: 2, Body: `S (a, ?, ?) -> T`,
+		ObjIDs: []object.ID{id}, Start: 2, Iters: []int{3, 1},
+		Token: []byte{1, 2, 3}, Hop: 4,
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("legacy decode:\n got  %#v\n want %#v", m, want)
+	}
+	// Re-encoding emits the batched layout, which must also round-trip.
+	re, err := Decode(Encode(m))
+	if err != nil || !reflect.DeepEqual(re, want) {
+		t.Fatalf("re-encode of legacy frame: %#v, %v", re, err)
+	}
+	if Encode(m)[0] != byte(KDerefBatch) {
+		t.Fatalf("re-encode kept legacy kind byte %d", Encode(m)[0])
+	}
+	// Truncations of the legacy layout must error, never panic.
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Errorf("legacy frame truncated to %d bytes decoded successfully", n)
+		}
+	}
 }
 
 func TestDecodeErrors(t *testing.T) {
@@ -146,8 +203,8 @@ func TestDerefMessageIsSmall(t *testing.T) {
 	// experimental query body must stay the same order of magnitude.
 	m := &Deref{
 		QID: QueryID{Origin: 1, Seq: 7}, Origin: 1,
-		Body:  `R [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
-		ObjID: object.ID{Birth: 3, Seq: 123}, Start: 2, Iters: []int{4},
+		Body:   `R [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
+		ObjIDs: []object.ID{{Birth: 3, Seq: 123}}, Start: 2, Iters: []int{4},
 		Token: make([]byte, 10),
 	}
 	n := len(Encode(m))
@@ -170,13 +227,18 @@ func TestKindString(t *testing.T) {
 
 // Property: Deref messages round-trip for arbitrary cursor state.
 func TestQuickDerefRoundTrip(t *testing.T) {
-	f := func(origin uint32, seq uint64, body string, birth uint32, oseq uint64, start uint16, iters []uint8, token []byte) bool {
+	f := func(origin uint32, seq uint64, body string, birth uint32, oseqs []uint16, start uint16, iters []uint8, token []byte) bool {
 		in := &Deref{
 			QID:    QueryID{Origin: object.SiteID(origin), Seq: seq},
 			Origin: object.SiteID(origin),
 			Body:   body,
-			ObjID:  object.ID{Birth: object.SiteID(birth), Seq: oseq},
 			Start:  int(start),
+		}
+		for _, os := range oseqs {
+			in.ObjIDs = append(in.ObjIDs, object.ID{Birth: object.SiteID(birth), Seq: uint64(os)})
+		}
+		if in.ObjIDs == nil {
+			in.ObjIDs = []object.ID{{Birth: object.SiteID(birth), Seq: 1}}
 		}
 		for _, it := range iters {
 			in.Iters = append(in.Iters, int(it))

@@ -18,7 +18,7 @@ func FuzzDecode(f *testing.F) {
 	qid := QueryID{Origin: 1, Seq: 3}
 	seeds := []Msg{
 		&Submit{QID: qid, Client: 7, ClientAddr: "127.0.0.1:1", Body: "S -> T", Initial: []object.ID{id}},
-		&Deref{QID: qid, Origin: 1, Body: `S (a, ?, ?) -> T`, ObjID: id, Start: 1, Iters: []int{2}, Token: []byte{1}},
+		&Deref{QID: qid, Origin: 1, Body: `S (a, ?, ?) -> T`, ObjIDs: []object.ID{id}, Start: 1, Iters: []int{2}, Token: []byte{1}},
 		&Result{QID: qid, IDs: []object.ID{id}, Count: 1, Token: []byte{2},
 			Fetches: []FetchVal{{Var: "v", From: id, Val: object.String("x")}}},
 		&Control{QID: qid, Token: []byte{0, 1, 0, 1}},
@@ -27,7 +27,8 @@ func FuzzDecode(f *testing.F) {
 		&Seed{QID: qid, Origin: 1, Body: "S -> T", FromQID: qid, Token: []byte{3}},
 		&Result{QID: qid, Count: 0, Unreachable: []object.SiteID{2, 5}},
 		&Complete{QID: qid, Partial: true, Unreachable: []object.SiteID{3}},
-		&Deref{QID: qid, Origin: 1, ObjID: id, Hop: 3},
+		&Deref{QID: qid, Origin: 1, ObjIDs: []object.ID{id}, Hop: 3},
+		&Deref{QID: qid, Origin: 1, Body: "S -> T", ObjIDs: []object.ID{id, {Birth: 3, Seq: 1}, {Birth: 4, Seq: 2}}, Start: 1, Token: []byte{2}, Hop: 1},
 		&Result{QID: qid, Count: 2,
 			Spans: []Span{{Site: 2, Seq: 1, Hop: 1, Filter: 0, In: 3, Out: 2, DurationUS: 40}}},
 		&Control{QID: qid, Token: []byte{1},
@@ -47,6 +48,9 @@ func FuzzDecode(f *testing.F) {
 	for _, m := range seeds {
 		f.Add(Encode(m))
 	}
+	// The legacy single-id Deref layout (kind byte KDeref) is never emitted
+	// anymore but must keep decoding; seed the fuzzer with one such frame.
+	f.Add(legacyDerefFrame(qid, 1, "S -> T", id, 1, []int{2}, []byte{1}, 2))
 	f.Add([]byte{})
 	f.Add([]byte{255, 255, 255})
 

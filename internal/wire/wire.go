@@ -69,6 +69,10 @@ const (
 	// failure detector. Heartbeats are sent unreliably (no ack, no
 	// retransmission): a lost heartbeat is itself the signal.
 	KHeartbeat
+	// KDerefBatch is the batched Deref wire layout: one query/body/cursor
+	// with a slice of object ids. Encoders always emit this layout; KDeref
+	// remains decodable for legacy single-id frames.
+	KDerefBatch
 )
 
 var kindNames = [...]string{
@@ -78,7 +82,7 @@ var kindNames = [...]string{
 	KStatsReq: "stats-req", KStatsResp: "stats-resp",
 	KMigrate: "migrate", KMigrateData: "migrate-data",
 	KMigrateDone: "migrate-done", KMigrated: "migrated",
-	KAck: "ack", KHeartbeat: "heartbeat",
+	KAck: "ack", KHeartbeat: "heartbeat", KDerefBatch: "deref-batch",
 }
 
 // String names the kind.
@@ -150,14 +154,17 @@ func (m *Submit) Kind() Kind { return KSubmit }
 // Query returns the query id.
 func (m *Submit) Query() QueryID { return m.QID }
 
-// Deref asks the destination site to process one object for a query. Body is
-// included in every message (as in the paper) so any site can build the
-// context without extra round trips.
+// Deref asks the destination site to process a batch of objects for a query.
+// Every object in the batch shares the query identity and the per-object
+// cursor (Start, Iters); a sender coalesces pointers bound for the same
+// destination at the same cursor into one message, paying the ~50 ms wire
+// tax once instead of per pointer. Body is included in every message (as in
+// the paper) so any site can build the context without extra round trips.
 type Deref struct {
 	QID    QueryID
 	Origin object.SiteID // Q.originator, where results must be sent
 	Body   string
-	ObjID  object.ID
+	ObjIDs []object.ID
 	Start  int
 	Iters  []int
 	// Token is the termination-detection payload (a credit share for the
