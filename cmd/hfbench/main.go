@@ -52,7 +52,59 @@ func run() int {
 	obs := flag.String("observability", "", "measure metrics-layer overhead on a local cluster and write JSON here (runs only this)")
 	batching := flag.String("batching", "", "compare deref batching off/on over the standard workloads and write JSON here (runs only this; exits 1 if batching does not cut scattered-tree messages at least 2x or changes any result)")
 	batchSize := flag.Int("batch-size", 8, "deref batch size for -batching")
+	plan := flag.String("plan", "", "compare plan cache and index pushdown off/on and write JSON here (runs only this; exits 1 if the cache does not cut repeated-body compiles at least 2x, pushdown does not cut scans at least 2x, or either changes any result)")
+	planCache := flag.Int("plan-cache", 8, "plan-cache entries for -plan")
 	flag.Parse()
+
+	if *plan != "" {
+		cfg := bench.Default()
+		cfg.Objects = *objects
+		cfg.Queries = *queries
+		cfg.Seed = *seed
+		r, err := bench.RunPlan(cfg, *planCache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			return 1
+		}
+		b, err := r.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			return 1
+		}
+		if err := os.WriteFile(*plan, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hfbench:", err)
+			return 1
+		}
+		code := 0
+		for _, row := range r.Cache {
+			fmt.Fprintf(os.Stderr, "%-15s compiles %4d -> %4d (%.2fx), hits %4d, rt %.1fs -> %.1fs (%.2fx), match=%v\n",
+				row.Workload, row.CompilesOff, row.CompilesOn, row.CompileRatio,
+				row.CacheHitsOn, row.AvgRTOffSec, row.AvgRTOnSec, row.Speedup, row.ResultsMatch)
+			if !row.ResultsMatch {
+				fmt.Fprintf(os.Stderr, "hfbench: plan cache changed the %s result set\n", row.Workload)
+				code = 1
+			}
+		}
+		for _, row := range r.Pushdown {
+			fmt.Fprintf(os.Stderr, "%-15s scans %6d -> %6d (%.2fx), probes %5d, pruned %5d, match=%v\n",
+				row.Workload, row.TuplesScannedOff, row.TuplesScannedOn, row.ScanRatio,
+				row.IndexProbesOn, row.InitialPrunedOn, row.ResultsMatch)
+			if !row.ResultsMatch {
+				fmt.Fprintf(os.Stderr, "hfbench: index pushdown changed the %s result set\n", row.Workload)
+				code = 1
+			}
+		}
+		if rb := r.CacheRow("repeated_body"); rb == nil || rb.CompileRatio < 2.0 || rb.CacheHitsOn == 0 {
+			fmt.Fprintln(os.Stderr, "hfbench: plan cache did not cut repeated-body compiles at least 2x")
+			code = 1
+		}
+		if ss := r.PushdownRowByName("select_scan"); ss == nil || ss.ScanRatio < 2.0 {
+			fmt.Fprintln(os.Stderr, "hfbench: index pushdown did not cut select-scan tuple scans at least 2x")
+			code = 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *plan)
+		return code
+	}
 
 	if *batching != "" {
 		cfg := bench.Default()

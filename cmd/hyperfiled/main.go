@@ -24,6 +24,7 @@ import (
 
 	"hyperfile/internal/chaos"
 	"hyperfile/internal/dump"
+	"hyperfile/internal/index"
 	"hyperfile/internal/object"
 	"hyperfile/internal/server"
 	"hyperfile/internal/site"
@@ -41,6 +42,8 @@ type config struct {
 	ResultBatch   int
 	DistThreshold int
 	DerefBatch    int
+	PlanCache     int
+	Index         bool
 	TermMode      string
 
 	// MetricsAddr exposes /debug/hyperfile (metrics + query traces) over
@@ -72,6 +75,8 @@ func main() {
 	flag.IntVar(&cfg.ResultBatch, "result-batch", 0, "max result ids per message (0 = unbounded)")
 	flag.IntVar(&cfg.DistThreshold, "dist-threshold", 0, "distributed-set retention threshold (0 = off)")
 	flag.IntVar(&cfg.DerefBatch, "deref-batch", 0, "max object ids per outgoing Deref message, with sender-side duplicate suppression (0 = one per message)")
+	flag.IntVar(&cfg.PlanCache, "plan-cache", 0, "plan-cache entries: repeated query bodies reuse their compiled physical plan (0 = off)")
+	flag.BoolVar(&cfg.Index, "index", false, "maintain a keyword index and push exact-match selections down to it")
 	flag.StringVar(&cfg.TermMode, "termination", "weighted", "termination detector: weighted | dijkstra-scholten")
 	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "serve /debug/hyperfile on this address (empty = off)")
 	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 0, "peer heartbeat interval (0 = no failure detector)")
@@ -131,6 +136,13 @@ func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string
 	}
 
 	st := store.New(id)
+	var ix *index.Keyword
+	if cfg.Index {
+		// Attach before loading so the backfill stays trivially empty and
+		// every loaded object indexes through the store's Put hook.
+		ix = index.NewKeyword()
+		st.AttachIndex(ix)
+	}
 	if cfg.Data != "" {
 		f, err := os.Open(cfg.Data)
 		if err != nil {
@@ -176,6 +188,7 @@ func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string
 		ID: id, Store: st, Peers: peerIDs,
 		ResultBatch: cfg.ResultBatch, DistributedSetThreshold: cfg.DistThreshold,
 		DerefBatch: cfg.DerefBatch, TermMode: mode,
+		Index: ix, PlanCacheSize: cfg.PlanCache,
 	}, cfg.Listen, lg, opts)
 	if err != nil {
 		return err

@@ -288,6 +288,59 @@ func TestRunBatchingSweep(t *testing.T) {
 	}
 }
 
+func TestRunPlanSweep(t *testing.T) {
+	r, err := RunPlan(testCfg(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Cache {
+		if !row.ResultsMatch {
+			t.Errorf("%s: plan cache changed the result set", row.Workload)
+		}
+	}
+	rb := r.CacheRow("repeated_body")
+	if rb == nil {
+		t.Fatal("no repeated_body row")
+	}
+	if rb.CompileRatio < 2 {
+		t.Errorf("repeated-body compile ratio = %.2f, want >= 2", rb.CompileRatio)
+	}
+	if rb.CacheHitsOn == 0 {
+		t.Error("repeated-body run never hit the cache")
+	}
+	// The negative control: distinct bodies leave the cache nothing to win,
+	// so compile counts must match the uncached run exactly.
+	db := r.CacheRow("distinct_bodies")
+	if db == nil {
+		t.Fatal("no distinct_bodies row")
+	}
+	if db.CompilesOn != db.CompilesOff {
+		t.Errorf("distinct bodies: %d compiles cached vs %d uncached, want equal",
+			db.CompilesOn, db.CompilesOff)
+	}
+	for _, row := range r.Pushdown {
+		if !row.ResultsMatch {
+			t.Errorf("%s: index pushdown changed the result set", row.Workload)
+		}
+		if row.IndexProbesOn == 0 {
+			t.Errorf("%s: index enabled but never probed", row.Workload)
+		}
+	}
+	ss := r.PushdownRowByName("select_scan")
+	if ss == nil {
+		t.Fatal("no select_scan row")
+	}
+	if ss.TuplesScannedOn != 0 {
+		t.Errorf("pure-probe selection scanned %d tuples, want 0", ss.TuplesScannedOn)
+	}
+	if ss.InitialPrunedOn == 0 {
+		t.Error("select_scan pruned nothing from the initial set")
+	}
+	if b, err := r.JSON(); err != nil || len(b) == 0 {
+		t.Errorf("JSON rendering failed: %v", err)
+	}
+}
+
 func TestA7LoadScaling(t *testing.T) {
 	r := report(t, "A7")
 	// Response time grows with load but sub-linearly (queries overlap).

@@ -18,6 +18,7 @@ import (
 
 	"hyperfile/internal/chaos"
 	"hyperfile/internal/engine"
+	"hyperfile/internal/index"
 	"hyperfile/internal/metrics"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
@@ -68,6 +69,15 @@ type Options struct {
 	// cluster's Metrics(id) accessor. Off by default so benchmarks can
 	// measure the uninstrumented baseline; query tracing is always on.
 	Metrics bool
+	// PlanCache, when positive, gives every site a plan cache of this many
+	// entries: repeated query bodies reuse their compiled physical plan
+	// instead of being re-parsed per query context (0 = off).
+	PlanCache int
+	// Index gives every site a keyword index over its store (kept consistent
+	// through every mutation) and enables the planner's index-aware selection
+	// pushdown: exact-match selections probe the index instead of scanning
+	// tuples.
+	Index bool
 }
 
 // siteIDs returns 1..n.
@@ -100,6 +110,11 @@ func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.
 	if opts.Metrics {
 		reg = metrics.NewRegistry()
 	}
+	var ix *index.Keyword
+	if opts.Index {
+		ix = index.NewKeyword()
+		st.AttachIndex(ix)
+	}
 	s := site.New(site.Config{
 		ID:                      id,
 		Store:                   st,
@@ -114,6 +129,8 @@ func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.
 		TermAudit:               opts.TermAudit,
 		GlobalMarks:             marks,
 		Metrics:                 reg,
+		Index:                   ix,
+		PlanCacheSize:           opts.PlanCache,
 	})
 	return s, st, dir, reg
 }

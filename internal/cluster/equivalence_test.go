@@ -214,6 +214,94 @@ func TestCrossTopologyBatchingEquivalence(t *testing.T) {
 	}
 }
 
+// TestPlanCacheAndIndexEquivalence is the planner acceptance matrix: every
+// query class runs on 1, 3, and 9 sites with the plan cache and the keyword
+// index independently off and on, and all four configurations must return
+// byte-identical sorted result-id sets and identical unreachable annotations.
+// On the cached configurations every query runs twice — the second execution
+// is served from the cache at every involved site, so the matrix also proves
+// a cache-hit plan answers exactly like a freshly compiled one.
+func TestPlanCacheAndIndexEquivalence(t *testing.T) {
+	const (
+		nObjects  = 120
+		structure = 9
+		seed      = 11
+	)
+	queries := equivCases()
+	modes := []struct {
+		name   string
+		cache  int
+		index  bool
+		rounds int // executions per query on this cluster
+	}{
+		{"baseline", 0, false, 1},
+		{"plan-cache", 4, false, 2},
+		{"index", 0, true, 1},
+		{"cache+index", 4, true, 2},
+	}
+
+	for _, machines := range []int{1, 3, 9} {
+		spec := workload.Spec{
+			N: nObjects, Machines: machines,
+			StructureMachines: structure, Seed: seed,
+		}
+		type built struct {
+			c *SimCluster
+			d *workload.Dataset
+		}
+		clusters := make([]built, len(modes))
+		for i, m := range modes {
+			c := NewSim(machines, Options{Cost: sim.Free(), PlanCache: m.cache, Index: m.index})
+			d, err := workload.Build(c, spec)
+			if err != nil {
+				t.Fatalf("%d sites, %s: %v", machines, m.name, err)
+			}
+			clusters[i] = built{c, d}
+		}
+
+		for qi, q := range queries {
+			base, _, err := clusters[0].c.Exec(1, q, []object.ID{clusters[0].d.Root})
+			if err != nil {
+				t.Fatalf("%d sites, baseline, query %d: %v", machines, qi, err)
+			}
+			for mi := 1; mi < len(modes); mi++ {
+				m := modes[mi]
+				for round := 0; round < m.rounds; round++ {
+					res, _, err := clusters[mi].c.Exec(1, q, []object.ID{clusters[mi].d.Root})
+					if err != nil {
+						t.Fatalf("%d sites, %s, query %d round %d: %v", machines, m.name, qi, round, err)
+					}
+					if !equalIDs(base.IDs, res.IDs) {
+						t.Fatalf("%d sites, %s, query %d round %d: answer changed: %d ids vs baseline %d",
+							machines, m.name, qi, round, len(res.IDs), len(base.IDs))
+					}
+					if !equalSites(base.Unreachable, res.Unreachable) || base.Partial != res.Partial {
+						t.Fatalf("%d sites, %s, query %d round %d: unreachable annotations changed",
+							machines, m.name, qi, round)
+					}
+				}
+			}
+		}
+
+		// The matrix must actually exercise the machinery it claims to test.
+		for mi, m := range modes {
+			st := clusters[mi].c.TotalStats()
+			if m.cache > 0 && st.PlanCacheHits == 0 {
+				t.Errorf("%d sites, %s: plan cache enabled but never hit", machines, m.name)
+			}
+			if m.cache == 0 && st.PlanCacheHits != 0 {
+				t.Errorf("%d sites, %s: cache hits with no cache", machines, m.name)
+			}
+			if m.index && st.Engine.IndexProbes == 0 {
+				t.Errorf("%d sites, %s: index enabled but never probed", machines, m.name)
+			}
+			if !m.index && st.Engine.IndexProbes != 0 {
+				t.Errorf("%d sites, %s: index probes with no index", machines, m.name)
+			}
+		}
+	}
+}
+
 // TestBatchingConservesTerminationWeightUnderChaos wraps every detector in
 // the conservation checker and runs batched queries over a lossy, duplicating,
 // reordering network. Reliable delivery retransmits drops and dedups

@@ -147,6 +147,8 @@ func (c *SimCluster) TotalStats() site.Stats {
 		t.SeedsReceived += st.SeedsReceived
 		t.Forwards += st.Forwards
 		t.Completed += st.Completed
+		t.PlanCompiles += st.PlanCompiles
+		t.PlanCacheHits += st.PlanCacheHits
 		t.Engine.Add(st.Engine)
 	}
 	return t
@@ -206,11 +208,18 @@ func (ss *simSite) run() {
 		in := ss.inbox[0]
 		ss.inbox = ss.inbox[1:]
 		cost = ss.recvCost(in.msg)
+		pre := ss.s.Stats()
 		envs, err := ss.s.HandleMessage(in.from, in.msg)
 		if err != nil {
 			ss.c.err = err
 			return
 		}
+		// Charge query setup where it happened: a full compile when the
+		// message introduced a new body, a cache probe when the plan cache
+		// recognized one compiled earlier.
+		post := ss.s.Stats()
+		cost += time.Duration(post.PlanCompiles-pre.PlanCompiles) * ss.c.cost.Compile
+		cost += time.Duration(post.PlanCacheHits-pre.PlanCacheHits) * ss.c.cost.PlanCacheHit
 		out = envs
 	case ss.s.HasWork():
 		outcome, envs, _, err := ss.s.Step()

@@ -3,6 +3,7 @@ package engine
 import (
 	"hyperfile/internal/object"
 	"hyperfile/internal/pattern"
+	"hyperfile/internal/plan"
 	"hyperfile/internal/query"
 )
 
@@ -26,6 +27,15 @@ type Stats struct {
 	Missing int
 	// Fetched counts retrieved field values.
 	Fetched int
+	// TuplesScanned counts tuples examined by selection filters — the
+	// quantity index pushdown and effect-free early exit reduce.
+	TuplesScanned int
+	// IndexProbes counts O(1) index membership probes run in place of (or
+	// ahead of) tuple scans.
+	IndexProbes int
+	// InitialPruned counts initial-set objects dropped by a pure index probe
+	// before ever entering the working set.
+	InitialPruned int
 }
 
 // Add accumulates other into s.
@@ -37,6 +47,9 @@ func (s *Stats) Add(other Stats) {
 	s.Skipped += other.Skipped
 	s.Missing += other.Missing
 	s.Fetched += other.Fetched
+	s.TuplesScanned += other.TuplesScanned
+	s.IndexProbes += other.IndexProbes
+	s.InitialPruned += other.InitialPruned
 }
 
 // StepResult reports what processing one working-set item did.
@@ -97,7 +110,7 @@ func (m mapMarks) TestAndSet(id object.ID, idx int) bool {
 // each query context owns one engine. (Concurrent processing shares state
 // across engines via WithMarks and WithSpawnSink — see RunParallel.)
 type Engine struct {
-	q     *query.Compiled
+	p     *plan.Plan
 	src   Source
 	loc   Locator
 	order Order
@@ -141,9 +154,19 @@ func WithSpawnSink(sink func(Item)) Option {
 }
 
 // New returns an engine for one compiled query over the given object source.
+// The query is lowered to a default physical plan (no index pushdown); use
+// NewPlanned to execute a pre-built — possibly cached — plan.
 func New(q *query.Compiled, src Source, opts ...Option) *Engine {
+	return NewPlanned(plan.Build(q, nil, nil), src, opts...)
+}
+
+// NewPlanned returns an engine executing a pre-built physical plan. The plan
+// is read-only to the engine, so one plan (e.g. out of a site's plan cache)
+// may back any number of engines concurrently. If the plan carries index
+// probes, the index must cover the same objects src serves.
+func NewPlanned(p *plan.Plan, src Source, opts ...Option) *Engine {
 	e := &Engine{
-		q:       q,
+		p:       p,
 		src:     src,
 		loc:     AllLocal{},
 		marks:   make(mapMarks),
@@ -155,19 +178,42 @@ func New(q *query.Compiled, src Source, opts ...Option) *Engine {
 	return e
 }
 
+// Plan returns the physical plan the engine executes.
+func (e *Engine) Plan() *plan.Plan { return e.p }
+
 // AddInitial seeds the working set with initial-set objects (start = 0).
+// When the plan's first operator is a pure index probe, objects failing the
+// probe are pruned here — the probe fully decides filter 0, so a failing
+// object can never reach the result set and need not enter the working set.
 func (e *Engine) AddInitial(ids ...object.ID) {
 	for _, id := range ids {
+		if e.p.InitialProbe != nil {
+			e.stats.IndexProbes++
+			if !e.p.InitialProbe.Contains(id) {
+				e.stats.InitialPruned++
+				continue
+			}
+		}
 		e.push(NewItem(id))
 	}
 }
 
 // Enqueue adds an item arriving from another site (a remote dereference):
 // next is reset to start and the binding environment starts empty, exactly as
-// the paper specifies for messages.
+// the paper specifies for messages. Items entering at filter 0 are initial-set
+// objects the originator routed here; they go through the same pure-probe
+// pruning as local initial objects (the probe decides filter 0 outright, so a
+// pruned item is exactly one a first Step would have discarded).
 func (e *Engine) Enqueue(it Item) {
 	it.Next = it.Start
 	it.MVars = nil
+	if it.Start == 0 && e.p.InitialProbe != nil {
+		e.stats.IndexProbes++
+		if !e.p.InitialProbe.Contains(it.ID) {
+			e.stats.InitialPruned++
+			return
+		}
+	}
 	e.push(it)
 }
 
@@ -248,7 +294,7 @@ func (e *Engine) Step() (StepResult, bool) {
 	}
 	it := e.pop()
 	res := StepResult{Item: it}
-	e.emit(TraceEvent{ID: it.ID, Filter: -1, Iter: it.iterAt(maxInt(len(it.Iters)-1, 0)), Action: TraceDequeued})
+	e.emit(TraceEvent{ID: it.ID, Filter: -1, Iter: it.iterAt(max(len(it.Iters)-1, 0)), Action: TraceDequeued})
 
 	// Duplicate suppression: "if a marked object is found in the working
 	// set it is ignored" — refined by start position (the mark table stores
@@ -273,16 +319,20 @@ func (e *Engine) Step() (StepResult, bool) {
 	}
 
 	alive := true
-	for alive && it.Next < len(e.q.Filters) {
+	for alive && it.Next < e.p.Len() {
 		e.marks.TestAndSet(it.ID, it.Next)
-		f := e.q.Filters[it.Next]
-		switch f.Kind {
+		op := &e.p.Ops[it.Next]
+		switch op.Kind {
 		case query.FSelect:
-			alive = e.applySelect(f, obj, &it, &res)
+			if op.FuseDeref {
+				alive = e.applyFused(op, obj, &it, &res)
+			} else {
+				alive = e.applySelect(op, obj, &it, &res)
+			}
 		case query.FDeref:
-			alive = e.applyDeref(f, &it, &res)
+			alive = e.applyDeref(op.F, &it, &res)
 		case query.FIter:
-			e.applyIter(f, &it)
+			e.applyIter(op.F, &it)
 		}
 	}
 	if alive {
@@ -292,13 +342,6 @@ func (e *Engine) Step() (StepResult, bool) {
 		e.emit(TraceEvent{ID: it.ID, Filter: -1, Action: TraceResult})
 	}
 	return res, true
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Run drains the working set completely (single-site processing) and returns
@@ -318,32 +361,77 @@ func (e *Engine) Run() Stats {
 	d.Skipped -= before.Skipped
 	d.Missing -= before.Missing
 	d.Fetched -= before.Fetched
+	d.TuplesScanned -= before.TuplesScanned
+	d.IndexProbes -= before.IndexProbes
+	d.InitialPruned -= before.InitialPruned
 	return d
 }
 
 // applySelect implements E for selection filters: the object passes if any
 // tuple matches all three patterns; bindings and fetches are applied for
-// every matching tuple.
-func (e *Engine) applySelect(f query.Filter, obj *object.Object, it *Item, res *StepResult) bool {
-	sel := f.Sel
-	matched := false
-	for _, t := range obj.Tuples {
-		if !sel.Type.Matches(t.Type) ||
-			!sel.Key.Matches(t.Key, it.MVars) ||
-			!sel.Data.Matches(t.Data, it.MVars) {
-			continue
+// every matching tuple. The physical operator supplies specialized matchers,
+// an optional index probe run ahead of the scan, and an early exit for
+// effect-free selections.
+func (e *Engine) applySelect(op *plan.Op, obj *object.Object, it *Item, res *StepResult) bool {
+	if op.Probe != nil {
+		e.stats.IndexProbes++
+		if !op.Probe.Contains(obj.ID) {
+			// No tuple of the probed class carries the key: the selection
+			// cannot match, whatever the data pattern would have tested.
+			e.emit(TraceEvent{ID: obj.ID, Filter: it.Next, Action: TraceFailedSelect})
+			return false
 		}
-		matched = true
-		applyFieldEffects(sel.Key, t.Key, it, obj.ID, e, res)
-		applyFieldEffects(sel.Data, t.Data, it, obj.ID, e, res)
+		if op.PureProbe {
+			// The data field is a bare wildcard and nothing binds: a
+			// positive probe alone decides the filter, no scan needed.
+			e.emit(TraceEvent{ID: obj.ID, Filter: it.Next, Action: TracePassedSelect})
+			it.Next++
+			return true
+		}
 	}
-	if !matched {
+	if !e.scanSelect(op, obj, it, res) {
 		e.emit(TraceEvent{ID: obj.ID, Filter: it.Next, Action: TraceFailedSelect})
 		return false
 	}
 	e.emit(TraceEvent{ID: obj.ID, Filter: it.Next, Action: TracePassedSelect})
 	it.Next++
 	return true
+}
+
+// scanSelect runs the tuple scan of a selection, applying bind/fetch effects
+// for every matching tuple, and reports whether any tuple matched. An
+// effect-free selection stops at the first match — later matches could only
+// re-confirm the same boolean.
+func (e *Engine) scanSelect(op *plan.Op, obj *object.Object, it *Item, res *StepResult) bool {
+	sel := op.F.Sel
+	matched := false
+	for _, t := range obj.Tuples {
+		e.stats.TuplesScanned++
+		if !op.MatchTuple(t, it.MVars) {
+			continue
+		}
+		matched = true
+		if !op.HasEffects {
+			break
+		}
+		applyFieldEffects(sel.Key, t.Key, it, obj.ID, e, res)
+		applyFieldEffects(sel.Data, t.Data, it, obj.ID, e, res)
+	}
+	return matched
+}
+
+// applyFused executes a select→deref pair as one kernel: the selection part
+// (probe, scan, effects) runs first, and only if the object passes does the
+// dereference at the next slot run — marked and traced exactly as the
+// standalone two-dispatch path would have. Items entering at the deref slot
+// directly (remote arrivals, loopbacks) still execute it standalone.
+func (e *Engine) applyFused(op *plan.Op, obj *object.Object, it *Item, res *StepResult) bool {
+	if !e.applySelect(op, obj, it, res) {
+		return false
+	}
+	// it.Next now sits on the fused dereference slot.
+	e.marks.TestAndSet(it.ID, it.Next)
+	return e.applyDeref(e.p.Ops[it.Next].F, it, res)
 }
 
 func applyFieldEffects(p pattern.P, v object.Value, it *Item, from object.ID, e *Engine, res *StepResult) {

@@ -10,6 +10,8 @@
 package index
 
 import (
+	"math"
+	"strconv"
 	"sync"
 
 	"hyperfile/internal/object"
@@ -28,15 +30,51 @@ type term struct {
 	key   string
 }
 
-// keyText renders an indexable key; non-text non-numeric keys are skipped.
-func keyText(v object.Value) (string, bool) {
+// Index terms are kind-discriminated so the index's notion of equality
+// matches the pattern language's: a text literal matches both strings and
+// keywords (but never numbers), while numeric values compare cross-kind
+// (Int(5) equals Float(5)). Rendering both Int(5) and String("5") as "5" —
+// as a naive String() rendering would — makes an index probe claim matches
+// the tuple-scan path rejects.
+const (
+	textTermPrefix    = "t\x00"
+	numericTermPrefix = "n\x00"
+)
+
+// keyTerm renders an indexable key as its discriminated term; non-text
+// non-numeric keys (pointers, bytes, nil) are not indexed.
+func keyTerm(v object.Value) (string, bool) {
 	switch v.Kind {
 	case object.KindString, object.KindKeyword:
-		return v.Str, true
+		return textTermPrefix + v.Str, true
 	case object.KindInt, object.KindFloat:
-		return v.String(), true
+		return numericTermPrefix + strconv.FormatFloat(normFloat(v.AsFloat()), 'g', -1, 64), true
 	default:
 		return "", false
+	}
+}
+
+// normFloat folds negative zero into zero so -0.0 and 0.0 — numerically
+// equal — index under one term.
+func normFloat(f float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return f
+}
+
+// Indexable reports whether a literal value can be answered by the index:
+// text and (non-NaN) numbers. Value.Equal compares every numeric pair as
+// float64, so the float term rendering reproduces its semantics exactly; NaN
+// equals nothing, including itself, and is declined.
+func Indexable(v object.Value) bool {
+	switch v.Kind {
+	case object.KindString, object.KindKeyword:
+		return true
+	case object.KindInt, object.KindFloat:
+		return !math.IsNaN(v.AsFloat())
+	default:
+		return false
 	}
 }
 
@@ -61,7 +99,7 @@ func (ix *Keyword) Insert(o *object.Object) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	for _, t := range o.Tuples {
-		if k, ok := keyText(t.Key); ok {
+		if k, ok := keyTerm(t.Key); ok {
 			tm := term{class: t.Type, key: k}
 			set, ok := ix.terms[tm]
 			if !ok {
@@ -78,22 +116,55 @@ func (ix *Keyword) Remove(o *object.Object) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	for _, t := range o.Tuples {
-		if k, ok := keyText(t.Key); ok {
+		if k, ok := keyTerm(t.Key); ok {
 			if set, ok := ix.terms[term{class: t.Type, key: k}]; ok {
 				delete(set, o.ID)
+				if len(set) == 0 {
+					delete(ix.terms, term{class: t.Type, key: k})
+				}
 			}
 		}
 	}
 }
 
-// Lookup returns the objects with a (class, key) tuple. The returned set is
-// a copy.
+// Lookup returns the objects with a (class, key) tuple, matching key against
+// text keys, and — when key parses as a number — against numeric keys under
+// their decimal rendering too (so Lookup("Rand10", "5") finds Int(5) keys,
+// as it always has). The returned set is a copy.
 func (ix *Keyword) Lookup(class, key string) object.IDSet {
+	out := ix.LookupValue(class, object.String(key))
+	if f, err := strconv.ParseFloat(key, 64); err == nil {
+		out.AddAll(ix.LookupValue(class, object.Float(f)))
+	}
+	return out
+}
+
+// LookupValue returns the objects with a tuple of the given class whose key
+// equals v under the pattern language's literal semantics. The returned set
+// is a copy.
+func (ix *Keyword) LookupValue(class string, v object.Value) object.IDSet {
+	out := make(object.IDSet)
+	k, ok := keyTerm(v)
+	if !ok {
+		return out
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	out := make(object.IDSet)
-	out.AddAll(ix.terms[term{class: class, key: key}])
+	out.AddAll(ix.terms[term{class: class, key: k}])
 	return out
+}
+
+// Contains reports whether id has a tuple of the given class whose key
+// equals v — an O(1) membership probe, the index-pushdown fast path. The
+// caller must have checked Indexable(v).
+func (ix *Keyword) Contains(class string, v object.Value, id object.ID) bool {
+	k, ok := keyTerm(v)
+	if !ok {
+		return false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.terms[term{class: class, key: k}].Has(id)
 }
 
 // Terms returns the number of distinct indexed terms.

@@ -1,0 +1,114 @@
+package pattern
+
+import (
+	"strings"
+
+	"hyperfile/internal/object"
+)
+
+// Pattern specialization: the generic P.Matches re-switches on the operator
+// for every tuple of every object. A physical plan instead calls Compile once
+// per field pattern and gets back a closure that tests exactly one operator —
+// literal equality, substring scan, regex, range, or environment lookup —
+// with the dispatch already resolved.
+
+// FieldMatch is a compiled field pattern: it reports whether v satisfies the
+// pattern under env, with identical semantics to P.Matches.
+type FieldMatch func(v object.Value, env Env) bool
+
+// Compile returns the specialized matcher for p. The returned closure is
+// semantically identical to p.Matches.
+func (p P) Compile() FieldMatch {
+	switch p.Op {
+	case OpAny, OpBind, OpFetch:
+		// Bind and fetch are effects, applied by the caller after the whole
+		// tuple matches; as matchers they accept everything.
+		return matchAny
+	case OpLiteral:
+		if isText(p.Lit) {
+			// Text literals match both strings and keywords (kind-insensitive).
+			want := p.Lit.Str
+			return func(v object.Value, _ Env) bool {
+				return isText(v) && v.Str == want
+			}
+		}
+		if p.Lit.IsNumeric() {
+			want := p.Lit.AsFloat()
+			return func(v object.Value, _ Env) bool {
+				return v.IsNumeric() && v.AsFloat() == want
+			}
+		}
+		lit := p.Lit
+		return func(v object.Value, _ Env) bool { return v.Equal(lit) }
+	case OpSubstring:
+		want := p.Lit.Str
+		return func(v object.Value, _ Env) bool {
+			return isText(v) && strings.Contains(v.Str, want)
+		}
+	case OpRegex:
+		re := p.re
+		if re == nil {
+			return matchNone
+		}
+		return func(v object.Value, _ Env) bool {
+			return isText(v) && re.MatchString(v.Str)
+		}
+	case OpRange:
+		lo, hi := p.Lo, p.Hi
+		return func(v object.Value, _ Env) bool {
+			if !v.IsNumeric() {
+				return false
+			}
+			f := v.AsFloat()
+			return f >= lo && f <= hi
+		}
+	case OpUse:
+		name := p.Var
+		return func(v object.Value, env Env) bool {
+			for _, b := range env.Lookup(name) {
+				if b.Equal(v) {
+					return true
+				}
+			}
+			return false
+		}
+	default:
+		return matchNone
+	}
+}
+
+func matchAny(object.Value, Env) bool  { return true }
+func matchNone(object.Value, Env) bool { return false }
+
+// UsesVar reports whether the pattern tests against a matching variable's
+// current bindings ("$X"), returning the variable name. Such a pattern is
+// environment-dependent: its outcome can differ between tuples of the same
+// object as earlier tuples add bindings.
+func (p P) UsesVar() (string, bool) {
+	if p.Op == OpUse {
+		return p.Var, true
+	}
+	return "", false
+}
+
+// EffectFree reports whether matching the pattern has no side effects: it
+// neither binds a matching variable nor fetches a field value. A selection
+// whose field patterns are all effect-free can stop scanning tuples at the
+// first match.
+func (p P) EffectFree() bool {
+	return p.Op != OpBind && p.Op != OpFetch
+}
+
+// LiteralValue returns the literal a pattern compares against, for index
+// pushdown. Only OpLiteral patterns have one.
+func (p P) LiteralValue() (object.Value, bool) {
+	if p.Op == OpLiteral {
+		return p.Lit, true
+	}
+	return object.Value{}, false
+}
+
+// IsAny reports whether the pattern is the bare wildcard (no test, no
+// effects) — distinct from OpBind/OpFetch, which also match everything but
+// carry effects.
+func (p P) IsAny() bool { return p.Op == OpAny }

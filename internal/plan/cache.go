@@ -1,0 +1,154 @@
+package plan
+
+import (
+	"hyperfile/internal/query"
+)
+
+// Cache is a site-level plan cache keyed by the query body's fingerprint.
+// Dereference messages carry the sender's body hash, so a receiving site can
+// recognize a query body it has already compiled — across query contexts —
+// and skip lexing, parsing, and planning entirely.
+//
+// Entries are bucketed by the fingerprint's 8-byte prefix for cheap lookup,
+// but a hit is only declared after the full 32-byte fingerprint matches AND
+// the body text itself compares equal: the hash travels over the wire, and a
+// plan compiled from the wrong body would silently corrupt results, so the
+// cache never trusts a truncated or even a full hash alone when the body is
+// in hand.
+//
+// Plans in use by live query contexts are pinned (reference-counted); the
+// LRU bound only evicts unpinned entries, so the cache may temporarily hold
+// more than cap entries while many distinct queries are in flight. A Cache
+// is owned by one site and, like the site itself, is not safe for concurrent
+// use.
+type Cache struct {
+	cap     int
+	buckets map[uint64][]*cacheEntry
+	// lru orders entries from least to most recently used.
+	lru []*cacheEntry
+
+	hits, misses, evictions int
+}
+
+type cacheEntry struct {
+	fp   query.Fingerprint
+	body string
+	plan *Plan
+	pins int
+}
+
+// NewCache returns a plan cache bounded to at most cap unpinned entries.
+// cap must be positive.
+func NewCache(cap int) *Cache {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Cache{cap: cap, buckets: make(map[uint64][]*cacheEntry)}
+}
+
+// Acquire looks up the plan for (fp, body) and pins it. The body must be the
+// actual query text: a prefix or full-fingerprint collision with a different
+// body is rejected (and counted as a miss), never served.
+func (c *Cache) Acquire(fp query.Fingerprint, body string) (*Plan, bool) {
+	for _, e := range c.buckets[fp.Prefix()] {
+		if e.fp == fp && e.body == body {
+			e.pins++
+			c.touch(e)
+			c.hits++
+			return e.plan, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Install stores a freshly-built plan under (fp, body) and pins it for the
+// installing context. It returns how many unpinned entries were evicted to
+// respect the cap. Installing a (fp, body) that is already present pins the
+// existing entry instead (the freshly-built duplicate is discarded), so
+// every Acquire-or-Install pairs with exactly one Release.
+func (c *Cache) Install(fp query.Fingerprint, body string, p *Plan) int {
+	for _, e := range c.buckets[fp.Prefix()] {
+		if e.fp == fp && e.body == body {
+			e.pins++
+			c.touch(e)
+			return 0
+		}
+	}
+	e := &cacheEntry{fp: fp, body: body, plan: p, pins: 1}
+	c.buckets[fp.Prefix()] = append(c.buckets[fp.Prefix()], e)
+	c.lru = append(c.lru, e)
+	return c.evict()
+}
+
+// Release unpins one reference to (fp, body). The entry stays cached for
+// future queries unless the cap forces it out once unpinned.
+func (c *Cache) Release(fp query.Fingerprint, body string) {
+	for _, e := range c.buckets[fp.Prefix()] {
+		if e.fp == fp && e.body == body {
+			if e.pins > 0 {
+				e.pins--
+			}
+			c.evict()
+			return
+		}
+	}
+}
+
+// evict drops least-recently-used unpinned entries until at most cap remain.
+func (c *Cache) evict() int {
+	n := 0
+	for len(c.lru) > c.cap {
+		victim := (*cacheEntry)(nil)
+		vi := -1
+		for i, e := range c.lru {
+			if e.pins == 0 {
+				victim, vi = e, i
+				break
+			}
+		}
+		if victim == nil {
+			break // everything pinned; over-cap until contexts release
+		}
+		c.lru = append(c.lru[:vi], c.lru[vi+1:]...)
+		c.removeFromBucket(victim)
+		c.evictions++
+		n++
+	}
+	return n
+}
+
+func (c *Cache) removeFromBucket(victim *cacheEntry) {
+	pfx := victim.fp.Prefix()
+	b := c.buckets[pfx]
+	for i, e := range b {
+		if e == victim {
+			b = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(c.buckets, pfx)
+	} else {
+		c.buckets[pfx] = b
+	}
+}
+
+// touch moves an entry to the most-recently-used position.
+func (c *Cache) touch(e *cacheEntry) {
+	for i, x := range c.lru {
+		if x == e {
+			c.lru = append(c.lru[:i], c.lru[i+1:]...)
+			c.lru = append(c.lru, e)
+			return
+		}
+	}
+}
+
+// Len returns the number of cached entries (pinned and unpinned).
+func (c *Cache) Len() int { return len(c.lru) }
+
+// Stats returns cumulative hit, miss, and eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions int) {
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"testing"
+
+	"hyperfile/internal/query"
+)
+
+func testPlan(body string) *Plan {
+	return Build(query.MustCompile(body), nil, nil)
+}
+
+func TestCacheAcquireInstallRelease(t *testing.T) {
+	c := NewCache(4)
+	body := `S (keyword, "hot", ?) -> T`
+	fp := query.FingerprintOf(body)
+
+	if _, ok := c.Acquire(fp, body); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	p := testPlan(body)
+	c.Install(fp, body, p)
+	got, ok := c.Acquire(fp, body)
+	if !ok || got != p {
+		t.Fatal("installed plan not returned on acquire")
+	}
+	c.Release(fp, body)
+	c.Release(fp, body)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after releases, want the entry retained", c.Len())
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestCacheInstallExistingPinsInsteadOfDuplicating(t *testing.T) {
+	c := NewCache(4)
+	body := `S (a, ?, ?) -> T`
+	fp := query.FingerprintOf(body)
+	p1, p2 := testPlan(body), testPlan(body)
+	c.Install(fp, body, p1)
+	c.Install(fp, body, p2) // racing second compile of the same body
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (duplicate discarded)", c.Len())
+	}
+	if got, _ := c.Acquire(fp, body); got != p1 {
+		t.Error("duplicate install replaced the original plan")
+	}
+	// Both installs plus the acquire pinned it; three releases drain to zero
+	// without underflow.
+	for i := 0; i < 3; i++ {
+		c.Release(fp, body)
+	}
+}
+
+func TestCacheEvictsLRUUnpinnedOnly(t *testing.T) {
+	c := NewCache(2)
+	bodies := []string{
+		`S (a, "1", ?) -> T`,
+		`S (a, "2", ?) -> T`,
+		`S (a, "3", ?) -> T`,
+	}
+	fps := make([]query.Fingerprint, len(bodies))
+	for i, b := range bodies {
+		fps[i] = query.FingerprintOf(b)
+		c.Install(fps[i], b, testPlan(b))
+		c.Release(fps[i], b) // leave unpinned
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want cap 2", c.Len())
+	}
+	if _, ok := c.Acquire(fps[0], bodies[0]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Acquire(fps[2], bodies[2]); !ok {
+		t.Error("MRU entry was evicted")
+	}
+	_, _, ev := c.Stats()
+	if ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestCachePinnedEntriesOverflowCap(t *testing.T) {
+	c := NewCache(1)
+	b1, b2 := `S (a, "x", ?) -> T`, `S (a, "y", ?) -> T`
+	f1, f2 := query.FingerprintOf(b1), query.FingerprintOf(b2)
+	c.Install(f1, b1, testPlan(b1))
+	c.Install(f2, b2, testPlan(b2))
+	// Both pinned by live contexts: nothing may be evicted even over cap.
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 while both pinned", c.Len())
+	}
+	c.Release(f1, b1)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after release, want cap enforced", c.Len())
+	}
+	if _, ok := c.Acquire(f2, b2); !ok {
+		t.Error("still-pinned entry was evicted instead of the released one")
+	}
+}
+
+func TestCacheTouchKeepsHotEntryAlive(t *testing.T) {
+	c := NewCache(2)
+	b1, b2, b3 := `S (a, "1", ?) -> T`, `S (a, "2", ?) -> T`, `S (a, "3", ?) -> T`
+	f1, f2, f3 := query.FingerprintOf(b1), query.FingerprintOf(b2), query.FingerprintOf(b3)
+	for _, e := range []struct {
+		f query.Fingerprint
+		b string
+	}{{f1, b1}, {f2, b2}} {
+		c.Install(e.f, e.b, testPlan(e.b))
+		c.Release(e.f, e.b)
+	}
+	// Re-use body 1: it becomes MRU, so installing body 3 must evict body 2.
+	c.Acquire(f1, b1)
+	c.Release(f1, b1)
+	c.Install(f3, b3, testPlan(b3))
+	c.Release(f3, b3)
+	if _, ok := c.Acquire(f1, b1); !ok {
+		t.Error("recently-used entry was evicted")
+	}
+	if _, ok := c.Acquire(f2, b2); ok {
+		t.Error("least-recently-used entry survived")
+	}
+}
+
+// TestCacheRejectsTruncatedPrefixCollision is the adversarial case: two
+// fingerprints agreeing on the 8-byte bucket prefix but differing beyond it.
+// The bucket is only a lookup accelerator — a hit requires the full 32-byte
+// fingerprint AND the body text to match, so neither a prefix collision nor a
+// forged full hash with the wrong body can ever be served a foreign plan.
+func TestCacheRejectsTruncatedPrefixCollision(t *testing.T) {
+	bodyA := `S (keyword, "alpha", ?) -> T`
+	bodyB := `S (keyword, "beta", ?) -> T`
+	fpA := query.FingerprintOf(bodyA)
+
+	// Fabricate B's fingerprint to collide with A's on the truncated prefix.
+	var fpB query.Fingerprint
+	copy(fpB[:], fpA[:8])
+	for i := 8; i < len(fpB); i++ {
+		fpB[i] = ^fpA[i]
+	}
+	if fpA.Prefix() != fpB.Prefix() {
+		t.Fatal("test setup: prefixes must collide")
+	}
+	if fpA == fpB {
+		t.Fatal("test setup: full fingerprints must differ")
+	}
+
+	c := NewCache(4)
+	planA := testPlan(bodyA)
+	c.Install(fpA, bodyA, planA)
+
+	// Prefix collision, different full fingerprint: miss.
+	if _, ok := c.Acquire(fpB, bodyB); ok {
+		t.Fatal("prefix collision was served a cached plan")
+	}
+	// Forged full fingerprint with a different body (hash collision or a
+	// lying sender): the body comparison still rejects it.
+	if _, ok := c.Acquire(fpA, bodyB); ok {
+		t.Fatal("full-fingerprint forgery with mismatched body was served a cached plan")
+	}
+	// The honest pair still hits.
+	if got, ok := c.Acquire(fpA, bodyA); !ok || got != planA {
+		t.Fatal("honest lookup broken by collision handling")
+	}
+
+	// A collision may also be *installed* (site compiled B itself); both
+	// entries then coexist in one bucket and resolve exactly.
+	planB := testPlan(bodyB)
+	c.Install(fpB, bodyB, planB)
+	if got, _ := c.Acquire(fpB, bodyB); got != planB {
+		t.Fatal("colliding entries not resolved by full fingerprint")
+	}
+	if got, _ := c.Acquire(fpA, bodyA); got != planA {
+		t.Fatal("collision install corrupted the original entry")
+	}
+}

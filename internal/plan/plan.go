@@ -1,0 +1,268 @@
+// Package plan is the physical-plan layer between query.Compiled and the
+// engine: plan.Build lowers the flat filter list F_1..F_n into an array of
+// executable operators with the per-tuple dispatch resolved once, at plan
+// time, instead of re-switched per tuple at run time.
+//
+// Three lowerings happen here:
+//
+//   - Pattern specialization: each selection's field patterns compile to
+//     dedicated match funcs (literal equality, substring/regex/range "glob"
+//     tests, environment lookups), and effect-free selections are marked so
+//     the engine can stop scanning an object's tuples at the first match.
+//
+//   - Index-aware selection pushdown: a selection whose type is a literal tag
+//     and whose key is an indexable literal resolves through the site's
+//     keyword index. With a wildcard data field and no effects the probe
+//     alone decides the filter (no tuple scan at all); otherwise the probe is
+//     a prefilter that fails objects fast before any scan. A pure probe at
+//     filter 0 additionally prunes the initial set before items ever enter
+//     the working set.
+//
+//   - Select→deref fusion: a selection that binds a variable immediately
+//     dereferenced by the next filter fuses with it into one kernel, so only
+//     pointers surviving the predicate are dereferenced, without a working-
+//     set round trip between the two filters.
+//
+// The operator array stays exactly 1:1 with the compiled filter list: filter
+// indices are wire-visible (Deref.Start), key the mark table, and are
+// iterator loop-back targets, so the plan may specialize what each slot does
+// but never how the slots are numbered. Fusion therefore never removes the
+// fused dereference operator — it stays executable standalone — and is only
+// applied where the dereference slot cannot be an independent entry point.
+package plan
+
+import (
+	"hyperfile/internal/index"
+	"hyperfile/internal/object"
+	"hyperfile/internal/pattern"
+	"hyperfile/internal/query"
+	"hyperfile/internal/store"
+)
+
+// MatchClass labels the specialization a selection compiled to.
+type MatchClass uint8
+
+const (
+	// ClassLiteral: every field is a wildcard or an exact literal.
+	ClassLiteral MatchClass = iota
+	// ClassGlob: effect-free with at least one substring/regex/range test.
+	ClassGlob
+	// ClassBinding: binds or fetches a matching variable (effects present).
+	ClassBinding
+	// ClassEnv: tests against prior bindings ("$X") — environment-dependent.
+	ClassEnv
+)
+
+var classNames = [...]string{
+	ClassLiteral: "literal",
+	ClassGlob:    "glob",
+	ClassBinding: "binding",
+	ClassEnv:     "env",
+}
+
+// String names the class.
+func (c MatchClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class(?)"
+}
+
+// Probe is a compiled index membership test for one selection: does the
+// object carry a tuple of class Class whose key equals Key?
+type Probe struct {
+	Class string
+	Key   object.Value
+	ix    *index.Keyword
+}
+
+// Contains runs the probe for one object id.
+func (p *Probe) Contains(id object.ID) bool {
+	return p.ix.Contains(p.Class, p.Key, id)
+}
+
+// Op is one physical operator. Ops[i] executes compiled filter i; Kind
+// mirrors the filter kind and F carries the filter's own fields (Sel, Var,
+// Keep, BodyStart, K, Depth).
+type Op struct {
+	Kind query.FilterKind
+	F    query.Filter
+
+	// Selection fields (Kind == query.FSelect).
+
+	// Key and Data are the specialized field matchers.
+	Key, Data pattern.FieldMatch
+	// Class records which specialization the selection compiled to.
+	Class MatchClass
+	// HasEffects reports that a matching tuple binds or fetches; without
+	// effects the engine stops scanning at the first matching tuple.
+	HasEffects bool
+	// Probe, when non-nil, is the index membership test for this selection:
+	// a negative probe fails the object without scanning any tuple.
+	Probe *Probe
+	// PureProbe reports that the probe alone decides the selection — the
+	// data field is a bare wildcard and there are no effects, so a positive
+	// probe needs no tuple verification either.
+	PureProbe bool
+	// FuseDeref reports that this selection and the dereference at the next
+	// slot execute as one fused kernel: the engine runs both in a single
+	// dispatch, dereferencing only pointers bound by tuples that survived
+	// this predicate. The next slot remains a complete standalone operator.
+	FuseDeref bool
+}
+
+// MatchTuple reports whether one tuple satisfies the selection under env,
+// with semantics identical to the generic triple pattern.Matches path.
+func (op *Op) MatchTuple(t object.Tuple, env pattern.Env) bool {
+	return op.F.Sel.Type.Matches(t.Type) && op.Key(t.Key, env) && op.Data(t.Data, env)
+}
+
+// Counts aggregates what a plan compiled to, for observability.
+type Counts struct {
+	Selects, Derefs, Iters int
+	// Probes counts selections with an index probe; PureProbes the subset
+	// that need no tuple scan at all; Fused the select→deref pairs running
+	// as one kernel.
+	Probes, PureProbes, Fused int
+	// Classes[c] counts selections per specialization class.
+	Classes [len(classNames)]int
+}
+
+// Plan is the executable physical plan for one compiled query.
+type Plan struct {
+	// Compiled is the underlying flat filter list; Ops is index-aligned
+	// with Compiled.Filters.
+	Compiled *query.Compiled
+	Ops      []Op
+	// InitialProbe, when non-nil, is the pure probe of operator 0: initial-
+	// set objects failing it are pruned before entering the working set.
+	InitialProbe *Probe
+
+	counts Counts
+}
+
+// Counts returns the plan's operator statistics.
+func (p *Plan) Counts() Counts { return p.counts }
+
+// Len returns the number of operators (equal to the compiled filter count).
+func (p *Plan) Len() int { return len(p.Ops) }
+
+// Build lowers a compiled query into a physical plan. st supplies storage
+// statistics for planning decisions and may be nil; ix enables index
+// pushdown and may be nil (no probes are planned without it). The plan is
+// immutable after Build and safe for concurrent readers, which is what lets
+// a site cache one plan and share it across query contexts.
+func Build(c *query.Compiled, st *store.Store, ix *index.Keyword) *Plan {
+	_ = st // reserved for cost-based decisions (e.g. scan-vs-probe by store size)
+	p := &Plan{Compiled: c, Ops: make([]Op, len(c.Filters))}
+	bodyStarts := c.BodyStarts()
+
+	for i, f := range c.Filters {
+		op := Op{Kind: f.Kind, F: f}
+		switch f.Kind {
+		case query.FSelect:
+			buildSelect(&op, f.Sel, ix)
+			p.counts.Selects++
+			p.counts.Classes[op.Class]++
+			if op.Probe != nil {
+				p.counts.Probes++
+				if op.PureProbe {
+					p.counts.PureProbes++
+				}
+			}
+		case query.FDeref:
+			p.counts.Derefs++
+		case query.FIter:
+			p.counts.Iters++
+		}
+		p.Ops[i] = op
+	}
+
+	// Select→deref fusion. Legality: the selection must bind exactly the
+	// variable the next filter dereferences, and the dereference slot must
+	// not be an iterator body start — a looped-back item entering there must
+	// execute the dereference standalone, which fusion preserves but the
+	// fused fast path would bypass.
+	for i := 0; i+1 < len(p.Ops); i++ {
+		sel := &p.Ops[i]
+		next := &p.Ops[i+1]
+		if sel.Kind != query.FSelect || next.Kind != query.FDeref {
+			continue
+		}
+		if bodyStarts[i+1] {
+			continue
+		}
+		if bindsVar(sel.F.Sel, next.F.Var) {
+			sel.FuseDeref = true
+			p.counts.Fused++
+		}
+	}
+
+	if len(p.Ops) > 0 && p.Ops[0].PureProbe {
+		p.InitialProbe = p.Ops[0].Probe
+	}
+	return p
+}
+
+// buildSelect fills a selection operator: specialized matchers, class, and
+// (when an index is available) the pushdown probe.
+func buildSelect(op *Op, sel query.Select, ix *index.Keyword) {
+	op.Key = sel.Key.Compile()
+	op.Data = sel.Data.Compile()
+	op.HasEffects = !sel.Key.EffectFree() || !sel.Data.EffectFree()
+	op.Class = classify(sel)
+
+	if ix == nil || sel.Type.Wild {
+		return
+	}
+	lit, ok := sel.Key.LiteralValue()
+	if !ok || !index.Indexable(lit) {
+		return
+	}
+	// Any tuple matching the selection has type == Type.Name and a key equal
+	// to lit — exactly the index's term — so a negative membership probe
+	// proves no tuple can match, whatever the data pattern is.
+	op.Probe = &Probe{Class: sel.Type.Name, Key: lit, ix: ix}
+	// With a wildcard data field and no effects, a positive probe is also
+	// sufficient: some tuple has the class and key, the data field accepts
+	// anything, and nothing needs binding — no scan in either direction.
+	op.PureProbe = sel.Data.IsAny() && !op.HasEffects
+}
+
+// classify buckets a selection into its specialization class.
+func classify(sel query.Select) MatchClass {
+	if usesEnv(sel.Key) || usesEnv(sel.Data) {
+		return ClassEnv
+	}
+	if !sel.Key.EffectFree() || !sel.Data.EffectFree() {
+		return ClassBinding
+	}
+	if isGlob(sel.Key) || isGlob(sel.Data) {
+		return ClassGlob
+	}
+	return ClassLiteral
+}
+
+func usesEnv(p pattern.P) bool {
+	_, ok := p.UsesVar()
+	return ok
+}
+
+func isGlob(p pattern.P) bool {
+	switch p.Op {
+	case pattern.OpSubstring, pattern.OpRegex, pattern.OpRange:
+		return true
+	}
+	return false
+}
+
+// bindsVar reports whether the selection binds the named variable.
+func bindsVar(sel query.Select, name string) bool {
+	if v, ok := sel.Key.BindsVar(); ok && v == name {
+		return true
+	}
+	if v, ok := sel.Data.BindsVar(); ok && v == name {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package plan
+
+import (
+	"testing"
+
+	"hyperfile/internal/index"
+	"hyperfile/internal/object"
+	"hyperfile/internal/pattern"
+	"hyperfile/internal/query"
+)
+
+func TestBuildKeepsOpsAlignedWithFilters(t *testing.T) {
+	c := query.MustCompile(`S [ (pointer, "Ref", ?X) ^^X ]*3 (keyword, "hot", ?) -> T`)
+	p := Build(c, nil, nil)
+	if p.Len() != len(c.Filters) {
+		t.Fatalf("plan has %d ops for %d filters", p.Len(), len(c.Filters))
+	}
+	for i, op := range p.Ops {
+		if op.Kind != c.Filters[i].Kind {
+			t.Errorf("op %d kind %v, filter kind %v", i, op.Kind, c.Filters[i].Kind)
+		}
+	}
+	cnt := p.Counts()
+	if cnt.Selects != 2 || cnt.Derefs != 1 || cnt.Iters != 1 {
+		t.Errorf("counts = %+v, want 2 selects / 1 deref / 1 iter", cnt)
+	}
+}
+
+func TestBuildClassifiesSelections(t *testing.T) {
+	cases := []struct {
+		body    string
+		slot    int
+		class   MatchClass
+		effects bool
+	}{
+		{`S (keyword, "hot", ?) -> T`, 0, ClassLiteral, false},
+		{`S (n, 1..10, ?) -> T`, 0, ClassGlob, false},
+		{`S (a, ~"frag", ?) -> T`, 0, ClassGlob, false},
+		{`S (a, /^Hyper/, ?) -> T`, 0, ClassGlob, false},
+		{`S (pointer, "Ref", ?X) ^^X -> T`, 0, ClassBinding, true},
+		{`S (f, "Title", ->title) -> T`, 0, ClassBinding, true},
+		// $X tests against a prior binding: environment-dependent even though
+		// the tuple also passes a glob test.
+		{`S (p, "a", ?X) (b, ~"f", $X) -> T`, 1, ClassEnv, false},
+	}
+	for _, tc := range cases {
+		c := query.MustCompile(tc.body)
+		p := Build(c, nil, nil)
+		op := p.Ops[tc.slot]
+		if op.Class != tc.class {
+			t.Errorf("%s: slot %d class %v, want %v", tc.body, tc.slot, op.Class, tc.class)
+		}
+		if op.HasEffects != tc.effects {
+			t.Errorf("%s: slot %d effects %v, want %v", tc.body, tc.slot, op.HasEffects, tc.effects)
+		}
+	}
+}
+
+func TestMatchTupleAgreesWithGenericPath(t *testing.T) {
+	c := query.MustCompile(`S (keyword, ~"ot", "x") -> T`)
+	op := Build(c, nil, nil).Ops[0]
+	sel := c.Filters[0].Sel
+	tuples := []object.Tuple{
+		{Type: "keyword", Key: object.String("hot"), Data: object.String("x")},
+		{Type: "keyword", Key: object.String("cold"), Data: object.String("x")},
+		{Type: "other", Key: object.String("hot"), Data: object.String("x")},
+		{Type: "keyword", Key: object.String("hot"), Data: object.Int(7)},
+	}
+	for _, tu := range tuples {
+		env := pattern.Env{}
+		want := sel.Type.Matches(tu.Type) &&
+			sel.Key.Matches(tu.Key, env) && sel.Data.Matches(tu.Data, env)
+		if got := op.MatchTuple(tu, pattern.Env{}); got != want {
+			t.Errorf("MatchTuple(%v) = %v, generic path says %v", tu, got, want)
+		}
+	}
+}
+
+func TestBuildFusesSelectDeref(t *testing.T) {
+	c := query.MustCompile(`S [ (pointer, "Cites", ?X) ^^X ]** -> T`)
+	p := Build(c, nil, nil)
+	if !p.Ops[0].FuseDeref {
+		t.Fatal("selection binding ?X followed by ^^X did not fuse")
+	}
+	if p.Counts().Fused != 1 {
+		t.Errorf("Fused = %d, want 1", p.Counts().Fused)
+	}
+	// The deref slot must remain a complete standalone operator: remote
+	// continuations enter at that index directly.
+	if p.Ops[1].Kind != query.FDeref || p.Ops[1].F.Var != "X" {
+		t.Errorf("fused deref slot is not standalone: %+v", p.Ops[1])
+	}
+}
+
+func TestBuildDoesNotFuseUnrelatedVar(t *testing.T) {
+	c := query.MustCompile(`S (pointer, "a", ?X) (pointer, "b", ?Y) ^^X -> T`)
+	p := Build(c, nil, nil)
+	for i, op := range p.Ops {
+		if op.FuseDeref {
+			t.Errorf("op %d fused, but the adjacent select binds Y while the deref follows X", i)
+		}
+	}
+}
+
+func TestBuildDoesNotFuseAcrossIterBodyStart(t *testing.T) {
+	// The deref is the iterator's body start: items looping back enter at
+	// that slot standalone, so the preceding selection must not fuse with it.
+	c, err := query.Compile(mustParse(t, `S (pointer, "seed", ?X) [ ^^X (pointer, "next", ?X) ]*2 -> T`))
+	if err != nil {
+		t.Skipf("grammar rejects deref-led iterator body: %v", err)
+	}
+	p := Build(c, nil, nil)
+	starts := c.BodyStarts()
+	for i, op := range p.Ops {
+		if op.FuseDeref && starts[i+1] {
+			t.Fatalf("op %d fused into a deref that is an iterator body start", i)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *query.Query {
+	t.Helper()
+	q, err := query.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", src, err)
+	}
+	return q
+}
+
+func TestBuildPlansIndexProbes(t *testing.T) {
+	ix := index.NewKeyword()
+	hot := object.New(object.ID{Birth: 1, Seq: 1}).Add("keyword", object.String("hot"), object.String("v"))
+	cold := object.New(object.ID{Birth: 1, Seq: 2}).Add("keyword", object.String("cold"), object.String("v"))
+	five := object.New(object.ID{Birth: 1, Seq: 3}).Add("Rand10", object.Int(5), object.String("v"))
+	for _, o := range []*object.Object{hot, cold, five} {
+		ix.Insert(o)
+	}
+
+	// Wildcard data, no effects: the probe alone decides, and it doubles as
+	// the initial-set pruner.
+	p := Build(query.MustCompile(`S (keyword, "hot", ?) -> T`), nil, ix)
+	op := p.Ops[0]
+	if op.Probe == nil || !op.PureProbe {
+		t.Fatalf("literal keyword selection did not compile to a pure probe: %+v", op)
+	}
+	if p.InitialProbe == nil {
+		t.Fatal("pure probe at slot 0 did not become the initial-set probe")
+	}
+	if !op.Probe.Contains(hot.ID) || op.Probe.Contains(cold.ID) {
+		t.Error("probe membership disagrees with the index")
+	}
+
+	// Numeric literal keys are indexable too.
+	p = Build(query.MustCompile(`S (Rand10, 5, ?) -> T`), nil, ix)
+	if p.Ops[0].Probe == nil || !p.Ops[0].Probe.Contains(five.ID) {
+		t.Error("numeric-key selection did not plan a working probe")
+	}
+
+	// Binding data: probe is a prefilter only — a scan must still run to bind.
+	p = Build(query.MustCompile(`S (pointer, "Ref", ?X) ^^X -> T`), nil, ix)
+	if p.Ops[0].Probe == nil {
+		t.Error("binding selection with literal key lost its prefilter probe")
+	}
+	if p.Ops[0].PureProbe || p.InitialProbe != nil {
+		t.Error("binding selection must not be a pure probe")
+	}
+
+	// Non-literal pieces defeat pushdown entirely.
+	for _, body := range []string{
+		`S (?, "hot", ?) -> T`,       // wildcard type: index is typed
+		`S (keyword, ~"ho", ?) -> T`, // glob key: not a term lookup
+		`S (keyword, ?, ?) -> T`,     // wildcard key
+	} {
+		p = Build(query.MustCompile(body), nil, ix)
+		if p.Ops[0].Probe != nil {
+			t.Errorf("%s: planned a probe for a non-indexable selection", body)
+		}
+	}
+
+	// Without an index nothing probes, whatever the query looks like.
+	p = Build(query.MustCompile(`S (keyword, "hot", ?) -> T`), nil, nil)
+	if p.Ops[0].Probe != nil || p.InitialProbe != nil {
+		t.Error("probe planned with no index attached")
+	}
+}
+
+func TestBuildCountsClasses(t *testing.T) {
+	ix := index.NewKeyword()
+	c := query.MustCompile(`S (keyword, "hot", ?) (n, 1..10, ?) (pointer, "Ref", ?X) ^^X -> T`)
+	p := Build(c, nil, ix)
+	cnt := p.Counts()
+	if cnt.Classes[ClassLiteral] != 1 || cnt.Classes[ClassGlob] != 1 || cnt.Classes[ClassBinding] != 1 {
+		t.Errorf("class counts = %v", cnt.Classes)
+	}
+	if cnt.Probes != 2 || cnt.PureProbes != 1 {
+		t.Errorf("probes = %d pure = %d, want 2/1", cnt.Probes, cnt.PureProbes)
+	}
+	if cnt.Fused != 1 {
+		t.Errorf("fused = %d, want 1", cnt.Fused)
+	}
+}

@@ -1,0 +1,43 @@
+package query
+
+import "testing"
+
+func TestFingerprintRoundTrip(t *testing.T) {
+	body := `S (keyword, "hot", ?) -> T`
+	fp := FingerprintOf(body)
+	if fp != FingerprintOf(body) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if fp == FingerprintOf(body+" ") {
+		t.Fatal("distinct bodies share a fingerprint")
+	}
+	got, ok := FingerprintFromBytes(fp.Bytes())
+	if !ok || got != fp {
+		t.Fatal("wire round trip lost the fingerprint")
+	}
+}
+
+func TestFingerprintFromBytesRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 8, 31, 33} {
+		if _, ok := FingerprintFromBytes(make([]byte, n)); ok {
+			t.Errorf("accepted %d-byte hash", n)
+		}
+	}
+	if _, ok := FingerprintFromBytes(nil); ok {
+		t.Error("accepted nil hash")
+	}
+}
+
+func TestFingerprintPrefixIsLeadingBytes(t *testing.T) {
+	var fp Fingerprint
+	fp[0] = 0x01
+	fp[7] = 0xff
+	if fp.Prefix() != 0x01000000000000ff {
+		t.Errorf("Prefix() = %#x", fp.Prefix())
+	}
+	// Bytes past the prefix must not affect it.
+	fp[8] = 0xaa
+	if fp.Prefix() != 0x01000000000000ff {
+		t.Error("byte 8 leaked into the prefix")
+	}
+}

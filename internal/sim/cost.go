@@ -40,6 +40,15 @@ type CostModel struct {
 	// dereference processing.
 	CtlSend time.Duration
 	CtlRecv time.Duration
+	// Compile is charged at a site's CPU each time a query body is lexed,
+	// parsed, and lowered to a physical plan — the per-site setup cost the
+	// paper notes is "only required once at each involved site". With the
+	// plan cache enabled, repeated bodies pay PlanCacheHit instead.
+	Compile time.Duration
+	// PlanCacheHit is charged when a site reuses a cached physical plan for
+	// a query body it compiled before: a hash lookup plus verification,
+	// orders of magnitude below Compile.
+	PlanCacheHit time.Duration
 	// ResultBatch caps the number of ids per result message; a drain with
 	// more local results sends several messages. Zero means unbounded.
 	ResultBatch int
@@ -59,6 +68,8 @@ func Paper() CostModel {
 		DerefItem:     2 * time.Millisecond,
 		CtlSend:       5 * time.Millisecond,
 		CtlRecv:       5 * time.Millisecond,
+		Compile:       1 * time.Millisecond,
+		PlanCacheHit:  10 * time.Microsecond,
 		ResultBatch:   8,
 	}
 }

@@ -152,7 +152,7 @@ func (s *Site) flushQueue(ctx *qctx, q *derefQueue) ([]wire.Envelope, error) {
 		s.met.derefsBatched.Inc()
 	}
 	return []wire.Envelope{{To: q.to, Msg: &wire.Deref{
-		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body,
+		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body, BodyHash: ctx.fp.Bytes(),
 		ObjIDs: ids, Start: q.start, Iters: q.iters, Token: tok,
 		Hop: ctx.hop + 1,
 	}}}, nil
@@ -188,5 +188,12 @@ func (s *Site) releaseQueryResources(ctx *qctx) {
 	ctx.qorder = nil
 	if s.cfg.GlobalMarks != nil {
 		s.cfg.GlobalMarks.Release(ctx.qid)
+	}
+	// Unpin the context's plan-cache entry. Clearing planPinned makes the
+	// release idempotent — a retained context releases here and again when
+	// finally dropped.
+	if ctx.planPinned {
+		s.plans.Release(ctx.fp, ctx.body)
+		ctx.planPinned = false
 	}
 }

@@ -5,7 +5,6 @@ import (
 
 	"hyperfile/internal/engine"
 	"hyperfile/internal/object"
-	"hyperfile/internal/query"
 	"hyperfile/internal/termination"
 	"hyperfile/internal/wire"
 )
@@ -69,6 +68,11 @@ func (s *Site) statsResp(seq uint64) *wire.StatsResp {
 			{Name: "duplicates_skipped", Value: uint64(st.Engine.Skipped)},
 			{Name: "missing_objects", Value: uint64(st.Engine.Missing)},
 			{Name: "disk_reads", Value: uint64(s.cfg.Store.DiskReads())},
+			{Name: "plan_compiles", Value: uint64(st.PlanCompiles)},
+			{Name: "plan_cache_hits", Value: uint64(st.PlanCacheHits)},
+			{Name: "tuples_scanned", Value: uint64(st.Engine.TuplesScanned)},
+			{Name: "index_probes", Value: uint64(st.Engine.IndexProbes)},
+			{Name: "initial_pruned", Value: uint64(st.Engine.InitialPruned)},
 		},
 	}
 }
@@ -78,11 +82,7 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 	if _, ok := s.contexts[m.QID]; ok {
 		return nil, fmt.Errorf("%w: duplicate submit for %v", ErrProtocol, m.QID)
 	}
-	parsed, err := query.Parse(m.Body)
-	var compiled *query.Compiled
-	if err == nil {
-		compiled, err = query.Compile(parsed)
-	}
+	p, fp, pinned, err := s.planFor(m.Body, nil)
 	if err != nil {
 		// Reject at submission time: the client gets the error, no context
 		// is created anywhere.
@@ -90,7 +90,7 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 			QID: m.QID, Err: err.Error(),
 		}}}, nil
 	}
-	ctx := s.newCtx(m.QID, s.cfg.ID, m.Body, compiled, 0)
+	ctx := s.newCtx(m.QID, s.cfg.ID, m.Body, p, fp, pinned, 0)
 	ctx.client = m.Client
 
 	var out []wire.Envelope
@@ -130,6 +130,7 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 			out = append(out, envs...)
 		}
 	}
+	s.markReady(ctx)
 	return s.afterEvent(ctx, out)
 }
 
@@ -142,7 +143,7 @@ func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, 
 		// token is abandoned — the originator is done and no longer counts.
 		return nil, nil
 	}
-	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body, m.Hop)
+	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body, m.BodyHash, m.Hop)
 	if err != nil {
 		return nil, err
 	}
@@ -191,11 +192,12 @@ func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, 
 		s.met.derefsSent.Inc()
 		s.met.derefEntriesSent.Add(uint64(len(ids)))
 		out = append(out, wire.Envelope{To: owner, Msg: &wire.Deref{
-			QID: m.QID, Origin: m.Origin, Body: m.Body,
+			QID: m.QID, Origin: m.Origin, Body: m.Body, BodyHash: ctx.fp.Bytes(),
 			ObjIDs: ids, Start: m.Start, Iters: m.Iters, Token: tok,
 			Hop: m.Hop,
 		}})
 	}
+	s.markReady(ctx)
 	return s.afterEvent(ctx, out)
 }
 
@@ -204,7 +206,7 @@ func (s *Site) handleSeed(from object.SiteID, m *wire.Seed) ([]wire.Envelope, er
 	if s.tombstoned(m.QID) {
 		return nil, nil
 	}
-	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body, m.Hop)
+	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body, nil, m.Hop)
 	if err != nil {
 		return nil, err
 	}
@@ -217,6 +219,7 @@ func (s *Site) handleSeed(from object.SiteID, m *wire.Seed) ([]wire.Envelope, er
 	if prev, ok := s.contexts[m.FromQID]; ok {
 		ctx.eng.AddInitial(prev.retained...)
 	}
+	s.markReady(ctx)
 	return s.afterEvent(ctx, out)
 }
 

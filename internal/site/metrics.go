@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hyperfile/internal/metrics"
+	"hyperfile/internal/plan"
 )
 
 // siteMetrics caches the site's instruments so hot paths never take the
@@ -36,10 +37,25 @@ type siteMetrics struct {
 	termSplits  *metrics.Counter
 	termReturns *metrics.Counter
 
+	planCacheHits      *metrics.Counter
+	planCacheMisses    *metrics.Counter
+	planCacheEvictions *metrics.Counter
+	// planOps break down what freshly-built plans compiled to: selection
+	// specialization classes, index probes (and the pure subset that skip
+	// tuple scans entirely), and fused select→deref kernels.
+	planOpsLiteral *metrics.Counter
+	planOpsGlob    *metrics.Counter
+	planOpsBinding *metrics.Counter
+	planOpsEnv     *metrics.Counter
+	planOpsProbe   *metrics.Counter
+	planOpsPure    *metrics.Counter
+	planOpsFused   *metrics.Counter
+
 	liveContexts   *metrics.Gauge
 	stepUS         *metrics.Histogram
 	quiescenceUS   *metrics.Histogram
 	batchOccupancy *metrics.Histogram
+	planCompileUS  *metrics.Histogram
 
 	// filterSteps[i] counts engine steps that started at filter i, grown
 	// lazily (queries rarely exceed a handful of filters).
@@ -72,11 +88,33 @@ func newSiteMetrics(reg *metrics.Registry) siteMetrics {
 	m.completed = reg.Counter("site_completed")
 	m.termSplits = reg.Counter("termination_weight_splits")
 	m.termReturns = reg.Counter("termination_weight_returns")
+	m.planCacheHits = reg.Counter("hf_plan_cache_hits")
+	m.planCacheMisses = reg.Counter("hf_plan_cache_misses")
+	m.planCacheEvictions = reg.Counter("hf_plan_cache_evictions")
+	m.planOpsLiteral = reg.Counter("hf_plan_ops_literal")
+	m.planOpsGlob = reg.Counter("hf_plan_ops_glob")
+	m.planOpsBinding = reg.Counter("hf_plan_ops_binding")
+	m.planOpsEnv = reg.Counter("hf_plan_ops_env")
+	m.planOpsProbe = reg.Counter("hf_plan_ops_probe")
+	m.planOpsPure = reg.Counter("hf_plan_ops_pure_probe")
+	m.planOpsFused = reg.Counter("hf_plan_ops_fused")
 	m.liveContexts = reg.Gauge("site_live_contexts")
 	m.stepUS = reg.Histogram("site_step_us")
 	m.quiescenceUS = reg.Histogram("site_query_quiescence_us")
 	m.batchOccupancy = reg.Histogram("hf_deref_batch_occupancy")
+	m.planCompileUS = reg.Histogram("hf_plan_compile_us")
 	return m
+}
+
+// notePlanOps records the operator breakdown of a freshly-built plan.
+func (m *siteMetrics) notePlanOps(c plan.Counts) {
+	m.planOpsLiteral.Add(uint64(c.Classes[plan.ClassLiteral]))
+	m.planOpsGlob.Add(uint64(c.Classes[plan.ClassGlob]))
+	m.planOpsBinding.Add(uint64(c.Classes[plan.ClassBinding]))
+	m.planOpsEnv.Add(uint64(c.Classes[plan.ClassEnv]))
+	m.planOpsProbe.Add(uint64(c.Probes))
+	m.planOpsPure.Add(uint64(c.PureProbes))
+	m.planOpsFused.Add(uint64(c.Fused))
 }
 
 // filterStep returns the per-filter step counter for filter index i.

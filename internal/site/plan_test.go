@@ -1,0 +1,222 @@
+package site
+
+import (
+	"testing"
+
+	"hyperfile/internal/index"
+	"hyperfile/internal/object"
+	"hyperfile/internal/wire"
+)
+
+// seedKeywordObjects puts n objects with a (k, "a", _) tuple on site 1 and
+// returns their ids.
+func seedKeywordObjects(t *testing.T, h *harness, n int) []object.ID {
+	t.Helper()
+	ids := make([]object.ID, n)
+	for i := range ids {
+		o := h.store(1).NewObject().Add("k", object.String("a"), object.Value{})
+		if err := h.store(1).Put(o); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = o.ID
+	}
+	return ids
+}
+
+// TestStepRoundRobinFairness pins the ready-queue scheduling contract: two
+// contexts with equal work take strictly alternating turns, rather than one
+// query draining completely while the other starves.
+func TestStepRoundRobinFairness(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	ids := seedKeywordObjects(t, h, 8)
+	s := h.sites[1]
+
+	for seq := uint64(1); seq <= 2; seq++ {
+		sub := &wire.Submit{
+			QID: wire.QueryID{Origin: 1, Seq: seq}, Client: client,
+			Body: `S (k, "a", ?) -> T`, Initial: ids,
+		}
+		if _, err := s.HandleMessage(client, sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var turns []uint64
+	for {
+		outcome, envs, progressed, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !progressed {
+			break
+		}
+		h.deliver(1, envs)
+		turns = append(turns, outcome.Query.Seq)
+	}
+	if len(turns) != 16 {
+		t.Fatalf("took %d steps for 2 queries x 8 objects, want 16", len(turns))
+	}
+	for i := 1; i < len(turns); i++ {
+		if turns[i] == turns[i-1] {
+			t.Fatalf("steps %d and %d both advanced query %d: schedule %v is not round-robin",
+				i-1, i, turns[i], turns)
+		}
+	}
+	if len(h.completes) != 2 {
+		t.Fatalf("%d completions, want 2", len(h.completes))
+	}
+}
+
+// TestStepSkipsStaleReadyEntries: a context whose work disappears between
+// queueing and stepping (here: drained by its own final step, then re-queued
+// lazily) must not wedge or starve the other context.
+func TestStepReportsNoWorkWhenDrained(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	ids := seedKeywordObjects(t, h, 2)
+	s := h.sites[1]
+	sub := &wire.Submit{
+		QID: wire.QueryID{Origin: 1, Seq: 1}, Client: client,
+		Body: `S (k, "a", ?) -> T`, Initial: ids,
+	}
+	if _, err := s.HandleMessage(client, sub); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for s.HasWork() {
+		_, envs, progressed, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !progressed {
+			t.Fatal("HasWork true but Step found nothing")
+		}
+		h.deliver(1, envs)
+		steps++
+	}
+	if steps != 2 {
+		t.Fatalf("%d steps for 2 objects, want 2", steps)
+	}
+	if _, _, progressed, _ := s.Step(); progressed {
+		t.Fatal("Step progressed on a drained site")
+	}
+}
+
+// ringHarness builds n sites holding a 6-object cross-site pointer ring where
+// every object also carries the "hot" keyword, and returns the object ids.
+func ringHarness(t *testing.T, h *harness) []object.ID {
+	t.Helper()
+	objs := make([]*object.Object, 6)
+	for i := range objs {
+		objs[i] = h.store(object.SiteID(i%3 + 1)).NewObject()
+	}
+	ids := make([]object.ID, 6)
+	for i, o := range objs {
+		ids[i] = o.ID
+		o.Add("keyword", object.Keyword("hot"), object.Value{})
+		o.Add("Pointer", object.String("Ref"), object.Pointer(objs[(i+1)%6].ID))
+		if err := h.store(object.SiteID(i%3 + 1)).Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+// TestPlanCacheCompilesOncePerSiteAcrossFanout is the re-parse guard from the
+// acceptance criteria: the same body fanned out over three sites by three
+// successive queries is compiled exactly once per site — every later context,
+// whether created by a local Submit or a remote Deref carrying the body hash,
+// reuses the cached plan.
+func TestPlanCacheCompilesOncePerSiteAcrossFanout(t *testing.T) {
+	h := newHarness(t, 3, func(c *Config) { c.PlanCacheSize = 8 })
+	ids := ringHarness(t, h)
+	body := `S [ (Pointer, "Ref", ?X) ^^X ]** (keyword, "hot", ?) -> T`
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		cm := h.exec(1, seq, body, ids[:1])
+		if cm.Err != "" {
+			t.Fatalf("query %d: %s", seq, cm.Err)
+		}
+		if len(cm.IDs) != 6 {
+			t.Fatalf("query %d: %d results, want 6", seq, len(cm.IDs))
+		}
+	}
+
+	for id, s := range h.sites {
+		st := s.Stats()
+		if st.PlanCompiles != 1 {
+			t.Errorf("site %v compiled %d times across 3 identical queries, want 1", id, st.PlanCompiles)
+		}
+		if st.PlanCacheHits < 2 {
+			t.Errorf("site %v: %d cache hits, want >= 2", id, st.PlanCacheHits)
+		}
+	}
+}
+
+// TestPlanCacheDistinguishesBodies: two different bodies may never share a
+// plan, whatever the cache does.
+func TestPlanCacheDistinguishesBodies(t *testing.T) {
+	h := newHarness(t, 3, func(c *Config) { c.PlanCacheSize = 8 })
+	ids := ringHarness(t, h)
+
+	cmHot := h.exec(1, 1, `S [ (Pointer, "Ref", ?X) ^^X ]** (keyword, "hot", ?) -> T`, ids[:1])
+	cmCold := h.exec(1, 2, `S [ (Pointer, "Ref", ?X) ^^X ]** (keyword, "cold", ?) -> T`, ids[:1])
+	if len(cmHot.IDs) != 6 || len(cmCold.IDs) != 0 {
+		t.Fatalf("hot=%d cold=%d results, want 6/0", len(cmHot.IDs), len(cmCold.IDs))
+	}
+	st := h.sites[1].Stats()
+	if st.PlanCompiles != 2 {
+		t.Errorf("origin compiled %d plans for 2 distinct bodies, want 2", st.PlanCompiles)
+	}
+}
+
+// TestIndexPushdownPrunesInitialSet: with a keyword index attached, a query
+// leading with a pure-probe selection prunes non-matching initial objects
+// without scanning a single tuple, and the answer is unchanged.
+func TestIndexPushdownPrunesInitialSet(t *testing.T) {
+	run := func(withIndex bool) (*wire.Complete, Stats) {
+		h := newHarness(t, 1, func(c *Config) {
+			if withIndex {
+				c.Index = index.NewKeyword()
+				c.Store.AttachIndex(c.Index)
+			}
+		})
+		var ids []object.ID
+		for i := 0; i < 10; i++ {
+			o := h.store(1).NewObject()
+			if i < 3 {
+				o.Add("keyword", object.Keyword("hot"), object.Value{})
+			} else {
+				o.Add("keyword", object.Keyword("cold"), object.Value{})
+			}
+			if err := h.store(1).Put(o); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, o.ID)
+		}
+		cm := h.exec(1, 1, `S (keyword, "hot", ?) -> T`, ids)
+		return cm, h.sites[1].Stats()
+	}
+
+	plain, plainStats := run(false)
+	pushed, pushedStats := run(true)
+	if len(plain.IDs) != 3 || len(pushed.IDs) != 3 {
+		t.Fatalf("results %d/%d, want 3 both ways", len(plain.IDs), len(pushed.IDs))
+	}
+	for i := range plain.IDs {
+		if plain.IDs[i] != pushed.IDs[i] {
+			t.Fatal("index pushdown changed the answer")
+		}
+	}
+	if pushedStats.Engine.InitialPruned != 7 {
+		t.Errorf("pruned %d initial objects, want 7", pushedStats.Engine.InitialPruned)
+	}
+	if pushedStats.Engine.TuplesScanned != 0 {
+		t.Errorf("scanned %d tuples with a pure probe, want 0", pushedStats.Engine.TuplesScanned)
+	}
+	if plainStats.Engine.TuplesScanned == 0 {
+		t.Error("unindexed run scanned nothing — the comparison proves nothing")
+	}
+	if plainStats.Engine.IndexProbes != 0 {
+		t.Error("unindexed run probed an index")
+	}
+}

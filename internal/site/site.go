@@ -18,9 +18,11 @@ import (
 	"time"
 
 	"hyperfile/internal/engine"
+	"hyperfile/internal/index"
 	"hyperfile/internal/metrics"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
+	"hyperfile/internal/plan"
 	"hyperfile/internal/query"
 	"hyperfile/internal/store"
 	"hyperfile/internal/termination"
@@ -90,6 +92,17 @@ type Config struct {
 	// Traces, when non-nil, retains the assembled cross-site timeline of
 	// each query completed at this site (as originator) for debugging.
 	Traces *TraceBuffer
+	// Index, when non-nil, is this site's keyword index over Store (kept
+	// consistent via store.AttachIndex). The planner pushes exact-match
+	// selections down to it: negative probes skip tuple scans, and pure
+	// probes at filter 0 prune the initial set. Nil plans without pushdown.
+	Index *index.Keyword
+	// PlanCacheSize, when positive, enables the site-level plan cache with
+	// at most this many unpinned entries: a query body already compiled here
+	// (recognized by fingerprint, verified by body text) reuses its physical
+	// plan across query contexts, skipping lex, parse, and compile. Zero
+	// disables caching; every context compiles its own plan.
+	PlanCacheSize int
 }
 
 // Stats counts a site's protocol activity.
@@ -114,18 +127,29 @@ type Stats struct {
 	Completed        int
 	MigrationsOut    int
 	MigrationsIn     int
-	Engine           engine.Stats
+	// PlanCompiles counts query bodies lexed, parsed, and planned at this
+	// site; PlanCacheHits counts contexts that reused a cached plan instead.
+	PlanCompiles  int
+	PlanCacheHits int
+	Engine        engine.Stats
 }
 
 // Site is one HyperFile server.
 type Site struct {
 	cfg      Config
 	contexts map[wire.QueryID]*qctx
-	// order preserves context creation order for deterministic round-robin
-	// stepping.
-	order  []wire.QueryID
-	cursor int
-	stats  Stats
+	// order preserves context creation order (PeerDown iterates it
+	// deterministically).
+	order []wire.QueryID
+	// ready is the FIFO queue of contexts believed to have working-set
+	// items. Stepping pops the head and re-appends it while work remains,
+	// which is round-robin over the contexts that actually have work —
+	// replacing an O(contexts) scan per step with O(1) queue operations.
+	// Entries can go stale (a context drains, finishes, or is dropped while
+	// queued); consumers prune them lazily against the per-context ready
+	// flag and the engine's own working set.
+	ready []wire.QueryID
+	stats Stats
 
 	// down marks peers the failure detector has declared dead; dereferences
 	// to them are suppressed (and recorded as unreachable) instead of
@@ -136,6 +160,9 @@ type Site struct {
 	// is FIFO eviction order.
 	tombs     map[wire.QueryID]struct{}
 	tombOrder []wire.QueryID
+
+	// plans is the body-fingerprint-keyed plan cache (nil when disabled).
+	plans *plan.Cache
 
 	// met caches the metric instruments (all nil when Config.Metrics is).
 	met siteMetrics
@@ -168,6 +195,17 @@ type qctx struct {
 
 	// Participant-side retention for the distributed-set refinement.
 	retained []object.ID
+
+	// ready records that this context sits in the site's ready queue, so
+	// work arriving while queued does not enqueue it twice.
+	ready bool
+
+	// fp is the body's fingerprint, stamped on outgoing Deref messages so
+	// receivers can consult their plan caches without rehashing. planPinned
+	// records that this context holds a pin on the site cache's plan entry,
+	// released exactly once with the rest of the query's resources.
+	fp         query.Fingerprint
+	planPinned bool
 
 	// Batched-deref state, active only with Config.DerefBatch > 0: queues
 	// holds the per-(destination, cursor) outgoing queues, qorder their
@@ -233,11 +271,15 @@ func New(cfg Config) *Site {
 	if cfg.Router == nil {
 		cfg.Router = BirthRouter{}
 	}
-	return &Site{
+	s := &Site{
 		cfg:      cfg,
 		contexts: make(map[wire.QueryID]*qctx),
 		met:      newSiteMetrics(cfg.Metrics),
 	}
+	if cfg.PlanCacheSize > 0 {
+		s.plans = plan.NewCache(cfg.PlanCacheSize)
+	}
+	return s
 }
 
 // ID returns the site's identity.
@@ -253,12 +295,33 @@ func (s *Site) Stats() Stats {
 	return st
 }
 
-// HasWork reports whether any query context has working-set items.
+// markReady queues a context for stepping if it has work and is not already
+// queued. Every code path that adds working-set items (submit seeding,
+// deref/seed ingestion, the step loop's own spawns) funnels through here;
+// the invariant is that a steppable context is always flagged and queued.
+func (s *Site) markReady(ctx *qctx) {
+	if ctx.ready || ctx.finished || !ctx.eng.HasWork() {
+		return
+	}
+	ctx.ready = true
+	s.ready = append(s.ready, ctx.qid)
+}
+
+// HasWork reports whether any query context has working-set items. Stale
+// queue heads (drained, finished, or dropped contexts) are pruned on the
+// way — required for correctness, not just tidiness: the ready queue is the
+// only thing consulted, so a stale head left in place would make an idle
+// site claim work forever.
 func (s *Site) HasWork() bool {
-	for _, ctx := range s.contexts {
-		if ctx.eng.HasWork() {
+	for len(s.ready) > 0 {
+		ctx := s.contexts[s.ready[0]]
+		if ctx != nil && ctx.ready && !ctx.finished && ctx.eng.HasWork() {
 			return true
 		}
+		if ctx != nil {
+			ctx.ready = false
+		}
+		s.ready = s.ready[1:]
 	}
 	return false
 }
@@ -331,20 +394,63 @@ func (l routerLocator) IsLocal(id object.ID) bool {
 	return owner == l.self
 }
 
-// newCtx builds a context for a query. body must already be validated when
-// isOrigin; participants trust the originator's body. hop is the trace
-// context's dereference depth at which this site joined (0 at the origin).
-func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, compiled *query.Compiled, hop uint32) *qctx {
+// planFor resolves the physical plan for a query body: out of the plan cache
+// when enabled and the body was compiled here before (skipping lex, parse,
+// compile, and planning entirely), otherwise compiled fresh and installed.
+// hash, when it is a full 32-byte fingerprint of body (wire.Deref.BodyHash),
+// saves rehashing; anything else and the body is hashed locally. pinned
+// reports that the plan holds a cache pin the owning context must release.
+func (s *Site) planFor(body string, hash []byte) (p *plan.Plan, fp query.Fingerprint, pinned bool, err error) {
+	fp, ok := query.FingerprintFromBytes(hash)
+	if !ok {
+		fp = query.FingerprintOf(body)
+	}
+	if s.plans != nil {
+		if cached, hit := s.plans.Acquire(fp, body); hit {
+			s.stats.PlanCacheHits++
+			s.met.planCacheHits.Inc()
+			return cached, fp, true, nil
+		}
+		s.met.planCacheMisses.Inc()
+	}
+	start := time.Now()
+	parsed, err := query.Parse(body)
+	if err != nil {
+		return nil, fp, false, err
+	}
+	compiled, err := query.Compile(parsed)
+	if err != nil {
+		return nil, fp, false, err
+	}
+	p = plan.Build(compiled, s.cfg.Store, s.cfg.Index)
+	s.stats.PlanCompiles++
+	s.met.planCompileUS.ObserveDuration(time.Since(start))
+	s.met.notePlanOps(p.Counts())
+	if s.plans != nil {
+		if ev := s.plans.Install(fp, body, p); ev > 0 {
+			s.met.planCacheEvictions.Add(uint64(ev))
+		}
+		pinned = true
+	}
+	return p, fp, pinned, nil
+}
+
+// newCtx builds a context for a query executing the given plan. hop is the
+// trace context's dereference depth at which this site joined (0 at the
+// origin). fp and pinned come from planFor.
+func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, p *plan.Plan, fp query.Fingerprint, pinned bool, hop uint32) *qctx {
 	ctx := &qctx{
 		qid:    qid,
 		origin: origin,
 		body:   body,
-		eng: engine.New(compiled, s.cfg.Store,
+		eng: engine.NewPlanned(p, s.cfg.Store,
 			engine.WithLocator(routerLocator{r: s.cfg.Router, self: s.cfg.ID}),
 			engine.WithOrder(s.cfg.Order)),
 		det: termination.NewInstrumented(s.cfg.TermMode, s.cfg.ID, origin,
 			termination.Metrics{Splits: s.met.termSplits, Returns: s.met.termReturns}),
-		isOrigin: origin == s.cfg.ID,
+		isOrigin:   origin == s.cfg.ID,
+		fp:         fp,
+		planPinned: pinned,
 	}
 	ctx.results = make(object.IDSet)
 	ctx.created = time.Now()
@@ -361,19 +467,18 @@ func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, compi
 // ctxFor returns the context for qid, creating it from a Deref/Seed message
 // when this site sees the query for the first time ("the setup cost
 // associated with the query is only required once at each involved site").
-func (s *Site) ctxFor(qid wire.QueryID, origin object.SiteID, body string, hop uint32) (*qctx, error) {
+// bodyHash, when carried by the message, keys the plan-cache lookup: a hit
+// reuses a plan compiled for an earlier query with the same body, so the
+// setup cost is paid once per distinct body, not once per query.
+func (s *Site) ctxFor(qid wire.QueryID, origin object.SiteID, body string, bodyHash []byte, hop uint32) (*qctx, error) {
 	if ctx, ok := s.contexts[qid]; ok {
 		return ctx, nil
 	}
-	parsed, err := query.Parse(body)
-	if err != nil {
-		return nil, fmt.Errorf("%w: query %v body does not parse: %v", ErrProtocol, qid, err)
-	}
-	compiled, err := query.Compile(parsed)
+	p, fp, pinned, err := s.planFor(body, bodyHash)
 	if err != nil {
 		return nil, fmt.Errorf("%w: query %v body does not compile: %v", ErrProtocol, qid, err)
 	}
-	return s.newCtx(qid, origin, body, compiled, hop), nil
+	return s.newCtx(qid, origin, body, p, fp, pinned, hop), nil
 }
 
 // dropCtx removes a context, folding its engine statistics into the site's
@@ -392,9 +497,6 @@ func (s *Site) dropCtx(qid wire.QueryID) {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
-	}
-	if s.cursor >= len(s.order) {
-		s.cursor = 0
 	}
 	s.tombstone(qid)
 }

@@ -57,17 +57,25 @@ func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
 		out = append(out, envs...)
 	}
 	out, err := s.afterEvent(ctx, out)
+	// Requeue at the tail while work remains: contexts with work take
+	// strictly alternating turns (round-robin fairness).
+	s.markReady(ctx)
 	return outcome, out, true, err
 }
 
-// nextWithWork scans contexts round-robin from the cursor.
+// nextWithWork pops the first ready context that still has work. Popped
+// contexts are unflagged; Step re-queues them at the tail afterwards, so the
+// rotation order is preserved without scanning idle contexts.
 func (s *Site) nextWithWork() *qctx {
-	n := len(s.order)
-	for i := 0; i < n; i++ {
-		qid := s.order[(s.cursor+i)%n]
+	for len(s.ready) > 0 {
+		qid := s.ready[0]
+		s.ready = s.ready[1:]
 		ctx := s.contexts[qid]
-		if ctx != nil && !ctx.finished && ctx.eng.HasWork() {
-			s.cursor = (s.cursor + i + 1) % n
+		if ctx == nil {
+			continue
+		}
+		ctx.ready = false
+		if !ctx.finished && ctx.eng.HasWork() {
 			return ctx
 		}
 	}
@@ -101,7 +109,7 @@ func (s *Site) sendDeref(ctx *qctx, ref engine.RemoteRef) (env wire.Envelope, ok
 	s.met.derefsSent.Inc()
 	s.met.derefEntriesSent.Inc()
 	return wire.Envelope{To: owner, Msg: &wire.Deref{
-		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body,
+		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body, BodyHash: ctx.fp.Bytes(),
 		ObjIDs: []object.ID{ref.ID}, Start: ref.Start, Iters: ref.Iters, Token: tok,
 		Hop: ctx.hop + 1,
 	}}, true, nil

@@ -48,6 +48,7 @@ func Encode(m Msg) []byte {
 		}
 		e.bytes(m.Token)
 		e.u64(uint64(m.Hop))
+		e.bytes(m.BodyHash)
 	case *Result:
 		e.qid(m.QID)
 		e.ids(m.IDs)
@@ -171,6 +172,10 @@ func Decode(data []byte) (Msg, error) {
 		}
 		r.Token = d.bytes()
 		r.Hop = uint32(d.u64())
+		// Trailing, optional: frames predating the plan cache end here.
+		if d.err == nil && d.pos < len(d.buf) {
+			r.BodyHash = d.bytes()
+		}
 		m = r
 	case KResult:
 		r := &Result{}

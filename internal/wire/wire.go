@@ -173,6 +173,13 @@ type Deref struct {
 	// Hop is the trace context's dereference depth: the sender's own hop
 	// plus one. The receiving site stamps it on the spans it emits.
 	Hop uint32
+	// BodyHash, when present, is the full 32-byte fingerprint of Body
+	// (query.FingerprintOf), letting the receiver consult its plan cache
+	// without rehashing. It is trailing and optional: frames from older
+	// senders decode with BodyHash nil and the receiver hashes locally.
+	// Correctness never rests on it — the plan cache compares the body text
+	// itself before serving a plan.
+	BodyHash []byte
 }
 
 // Kind returns KDeref.
