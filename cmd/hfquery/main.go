@@ -36,6 +36,7 @@ func main() {
 	initial := flag.String("initial", "", "comma-separated initial object ids (s1:1,s1:2)")
 	script := flag.String("script", "", "file of queries, one per line")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-query deadline")
+	budget := flag.Duration("budget", 0, "server-side time budget riding the Submit; expired queries return annotated partials (0 = none)")
 	stats := flag.Bool("stats", false, "print each server's counters and exit")
 	explain := flag.Bool("explain", false, "print the query's execution plan and exit (no servers needed)")
 	migrate := flag.String("migrate", "", "live-migrate an object: 'id=site' (e.g. s2:5=3)")
@@ -55,13 +56,17 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *servers, *origin, *clientID, *listen, *initial, *script, *timeout, *stats, flag.Args()); err != nil {
+	if *budget < 0 {
+		fmt.Fprintln(os.Stderr, "hfquery: -budget is negative")
+		os.Exit(1)
+	}
+	if err := run(os.Stdout, *servers, *origin, *clientID, *listen, *initial, *script, *budget, *timeout, *stats, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hfquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, servers string, origin, clientID uint, listen, initial, script string, timeout time.Duration, stats bool, args []string) error {
+func run(w io.Writer, servers string, origin, clientID uint, listen, initial, script string, budget, timeout time.Duration, stats bool, args []string) error {
 	addrs, err := parseServers(servers)
 	if err != nil {
 		return err
@@ -103,13 +108,18 @@ func run(w io.Writer, servers string, origin, clientID uint, listen, initial, sc
 
 	exec := func(body string, init []object.ID) error {
 		start := time.Now()
-		cm, err := cl.Exec(object.SiteID(origin), body, init, timeout)
+		cm, err := cl.ExecBudget(object.SiteID(origin), body, init, budget, timeout)
 		if errors.Is(err, server.ErrTimeout) && cm != nil {
 			// The deadline passed but the abort recovered a partial answer;
 			// print it rather than throw it away.
 			fmt.Fprintf(w, "timed out after %v; partial answer recovered:\n", timeout)
 			printResult(w, body, cm, time.Since(start))
 			return nil
+		}
+		if errors.Is(err, server.ErrRejected) {
+			// Admission control refused the query outright; say so in the
+			// server's words rather than a bare exit.
+			return fmt.Errorf("rejected by site %d: %w", origin, err)
 		}
 		if err != nil {
 			return err
@@ -212,6 +222,9 @@ func printResult(w io.Writer, body string, cm *wire.Complete, rt time.Duration) 
 	flags := ""
 	if cm.Partial {
 		flags = " (PARTIAL)"
+		if cm.Reason != "" {
+			flags = fmt.Sprintf(" (PARTIAL: %s)", cm.Reason)
+		}
 	}
 	if cm.Distributed {
 		flags += " (distributed set)"

@@ -46,7 +46,7 @@ func TestRunEndToEnd(t *testing.T) {
 	serverSpec := fmt.Sprintf("1=%s,2=%s", servers[0].Addr(), servers[1].Addr())
 	var out strings.Builder
 	err := run(&out, serverSpec, 1, 900, "127.0.0.1:0", a.ID.String(), "",
-		10*time.Second, false, []string{`S (Pointer, "Ref", ?X) ^^X (keyword, "hot", ?) -> T`})
+		0, 10*time.Second, false, []string{`S (Pointer, "Ref", ?X) ^^X (keyword, "hot", ?) -> T`})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	err = run(&out, serverSpec, 2, 901, "127.0.0.1:0", "", script, 10*time.Second, false, nil)
+	err = run(&out, serverSpec, 2, 901, "127.0.0.1:0", "", script, 0, 10*time.Second, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 	// Administration mode: server counters.
 	out.Reset()
-	err = run(&out, serverSpec, 1, 902, "127.0.0.1:0", "", "", 10*time.Second, true, nil)
+	err = run(&out, serverSpec, 1, 902, "127.0.0.1:0", "", "", 0, 10*time.Second, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,13 +86,13 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run(&out, "", 1, 902, "127.0.0.1:0", "", "", time.Second, false, []string{"q"}); err == nil {
+	if err := run(&out, "", 1, 902, "127.0.0.1:0", "", "", 0, time.Second, false, []string{"q"}); err == nil {
 		t.Error("expected no-servers error")
 	}
-	if err := run(&out, "1=127.0.0.1:1", 1, 903, "127.0.0.1:0", "bogus", "", time.Second, false, []string{"q"}); err == nil {
+	if err := run(&out, "1=127.0.0.1:1", 1, 903, "127.0.0.1:0", "bogus", "", 0, time.Second, false, []string{"q"}); err == nil {
 		t.Error("expected bad-initial error")
 	}
-	if err := run(&out, "1=127.0.0.1:1", 1, 904, "127.0.0.1:0", "", "", time.Second, false, nil); err == nil {
+	if err := run(&out, "1=127.0.0.1:1", 1, 904, "127.0.0.1:0", "", "", 0, time.Second, false, nil); err == nil {
 		t.Error("expected no-query error")
 	}
 }

@@ -46,6 +46,12 @@ type config struct {
 	Index         bool
 	TermMode      string
 
+	// Overload protection: bound live query contexts, queue (or reject)
+	// Submits past the bound, and impose a default per-query time budget.
+	MaxInflight    int
+	AdmissionQueue int
+	QueryDeadline  time.Duration
+
 	// MetricsAddr exposes /debug/hyperfile (metrics + query traces) over
 	// HTTP when non-empty.
 	MetricsAddr string
@@ -78,6 +84,9 @@ func main() {
 	flag.IntVar(&cfg.PlanCache, "plan-cache", 0, "plan-cache entries: repeated query bodies reuse their compiled physical plan (0 = off)")
 	flag.BoolVar(&cfg.Index, "index", false, "maintain a keyword index and push exact-match selections down to it")
 	flag.StringVar(&cfg.TermMode, "termination", "weighted", "termination detector: weighted | dijkstra-scholten")
+	flag.IntVar(&cfg.MaxInflight, "max-inflight", 0, "max live query contexts before admission control kicks in (0 = unbounded)")
+	flag.IntVar(&cfg.AdmissionQueue, "admission-queue", 0, "Submits queued while at max-inflight before rejecting (0 = reject immediately)")
+	flag.DurationVar(&cfg.QueryDeadline, "query-deadline", 0, "default per-query time budget; expired queries return annotated partials (0 = none)")
 	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "serve /debug/hyperfile on this address (empty = off)")
 	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 0, "peer heartbeat interval (0 = no failure detector)")
 	flag.DurationVar(&cfg.SuspectAfter, "suspect-after", 0, "silence before a peer is declared down (default 4x heartbeat)")
@@ -134,6 +143,18 @@ func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string
 	if cfg.SuspectAfter > 0 && cfg.Heartbeat <= 0 {
 		return fmt.Errorf("-suspect-after needs -heartbeat (no probes, nothing to suspect)")
 	}
+	if cfg.MaxInflight < 0 {
+		return fmt.Errorf("-max-inflight %d is negative", cfg.MaxInflight)
+	}
+	if cfg.AdmissionQueue < 0 {
+		return fmt.Errorf("-admission-queue %d is negative", cfg.AdmissionQueue)
+	}
+	if cfg.AdmissionQueue > 0 && cfg.MaxInflight <= 0 {
+		return fmt.Errorf("-admission-queue needs -max-inflight (nothing bounds admission, nothing queues)")
+	}
+	if cfg.QueryDeadline < 0 {
+		return fmt.Errorf("-query-deadline %v is negative", cfg.QueryDeadline)
+	}
 
 	st := store.New(id)
 	var ix *index.Keyword
@@ -189,6 +210,8 @@ func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string
 		ResultBatch: cfg.ResultBatch, DistributedSetThreshold: cfg.DistThreshold,
 		DerefBatch: cfg.DerefBatch, TermMode: mode,
 		Index: ix, PlanCacheSize: cfg.PlanCache,
+		MaxInflight: cfg.MaxInflight, AdmissionQueue: cfg.AdmissionQueue,
+		QueryDeadline: cfg.QueryDeadline,
 	}, cfg.Listen, lg, opts)
 	if err != nil {
 		return err

@@ -1,0 +1,14 @@
+package bench
+
+import (
+	"testing"
+
+	"hyperfile/internal/leaktest"
+)
+
+// TestMain fails the package if any test strands a goroutine — the load
+// harness spins up real LocalClusters, so a leak here means a site loop,
+// sweeper, or query context survived its Close; see internal/leaktest.
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

@@ -78,6 +78,19 @@ type Options struct {
 	// pushdown: exact-match selections probe the index instead of scanning
 	// tuples.
 	Index bool
+	// MaxInflight bounds the unfinished query contexts per site; Submits
+	// beyond the bound wait in an admission queue of AdmissionQueue entries
+	// or fail with ErrRejected (0 = unbounded, the paper's behavior).
+	MaxInflight int
+	// AdmissionQueue bounds the per-site admission queue (0 = reject
+	// immediately when at MaxInflight).
+	AdmissionQueue int
+	// QueryDeadline, when positive, is the default per-query time budget:
+	// the remaining budget propagates on every cross-site hop and an expired
+	// query returns an annotated partial answer instead of running on.
+	// LocalCluster runs a deadline sweeper when this (or MaxInflight) is
+	// set; SimCluster's virtual time ignores deadlines.
+	QueryDeadline time.Duration
 }
 
 // siteIDs returns 1..n.
@@ -131,6 +144,9 @@ func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.
 		Metrics:                 reg,
 		Index:                   ix,
 		PlanCacheSize:           opts.PlanCache,
+		MaxInflight:             opts.MaxInflight,
+		AdmissionQueue:          opts.AdmissionQueue,
+		QueryDeadline:           opts.QueryDeadline,
 	})
 	return s, st, dir, reg
 }
@@ -148,7 +164,17 @@ type Result struct {
 	// Spans is the assembled cross-site trace timeline, sorted by
 	// (Hop, Site, Seq). It may cover only part of the query when Partial.
 	Spans []wire.Span
+	// Reason annotates a Partial answer with why the query ended early
+	// ("deadline expired", "cancelled by client", "peer down"); empty for
+	// complete answers.
+	Reason string
 }
+
+// ErrRejected reports that admission control refused a query: the site was
+// at MaxInflight with a full (or absent) admission queue, or the query's
+// budget lapsed while it waited for a slot. The error wraps no partial
+// answer — the query never ran.
+var ErrRejected = errors.New("cluster: query rejected by admission control")
 
 // moveObject migrates an object between stores and updates the naming
 // directories: the birth site's authority records the new location, the
@@ -212,5 +238,6 @@ func fromComplete(c *wire.Complete) (*Result, error) {
 		Partial:     c.Partial,
 		Unreachable: c.Unreachable,
 		Spans:       c.Spans,
+		Reason:      c.Reason,
 	}, nil
 }

@@ -39,12 +39,19 @@ type LocalCluster struct {
 
 	mu         sync.Mutex
 	nextQID    uint64
-	waiters    map[wire.QueryID]chan *wire.Complete
+	waiters    map[wire.QueryID]chan queryReply
 	migWaiters map[uint64]chan *wire.Migrated
 	closed     bool
 	firstErr   error
 
 	wg sync.WaitGroup
+}
+
+// queryReply is what resolves a waiting Exec: a completion, or an admission
+// rejection.
+type queryReply struct {
+	complete *wire.Complete
+	reject   *wire.Reject
 }
 
 // localSite owns one Site on its own goroutine. Work arrives through an
@@ -73,7 +80,7 @@ func NewLocal(n int, opts Options) *LocalCluster {
 		stores:     make(map[object.SiteID]*store.Store, n),
 		dirs:       make(map[object.SiteID]*naming.Directory, n),
 		regs:       make(map[object.SiteID]*metrics.Registry, n),
-		waiters:    make(map[wire.QueryID]chan *wire.Complete),
+		waiters:    make(map[wire.QueryID]chan queryReply),
 		migWaiters: make(map[uint64]chan *wire.Migrated),
 	}
 	var marks *site.GlobalMarks
@@ -109,6 +116,10 @@ func NewLocal(n int, opts Options) *LocalCluster {
 			quit: make(chan struct{}),
 		}
 		c.sites[id] = ls
+		if opts.QueryDeadline > 0 || opts.MaxInflight > 0 {
+			c.wg.Add(1)
+			go ls.sweeperLoop(sweepInterval(opts.QueryDeadline))
+		}
 		if c.net != nil {
 			if c.hbEvery > 0 {
 				// Initialise detector state before Register: a peer's
@@ -188,6 +199,21 @@ func (c *LocalCluster) SiteStats(id object.SiteID) site.Stats {
 	ch := make(chan site.Stats, 1)
 	ls.post(func(s *site.Site) []wire.Envelope {
 		ch <- s.Stats()
+		return nil
+	})
+	return <-ch
+}
+
+// SiteContexts reports a site's live query-context count, read on the site
+// goroutine so the value is consistent with message processing. Tests poll it
+// to confirm cancelled or expired queries drained instead of lingering. Only
+// call it on live sites: a SetDown site discards its mailbox, so the read
+// would block until revival.
+func (c *LocalCluster) SiteContexts(id object.SiteID) int {
+	ls := c.sites[id]
+	ch := make(chan int, 1)
+	ls.post(func(s *site.Site) []wire.Envelope {
+		ch <- s.Contexts()
 		return nil
 	})
 	return <-ch
@@ -285,6 +311,47 @@ func (ls *localSite) heartbeatLoop(every, suspectAfter time.Duration) {
 			}
 		}
 		ls.checkSuspects(suspectAfter)
+	}
+}
+
+// sweepInterval picks the deadline sweeper's tick: a quarter of the default
+// query deadline, clamped so very short deadlines don't spin and very long
+// ones still shed promptly.
+func sweepInterval(deadline time.Duration) time.Duration {
+	every := deadline / 4
+	if every < time.Millisecond {
+		every = time.Millisecond
+	}
+	if every > 100*time.Millisecond {
+		every = 100 * time.Millisecond
+	}
+	return every
+}
+
+// sweeperLoop periodically expires deadlines and drains the admission queue
+// on the site goroutine. Without it, a site with no traffic would never
+// notice an expired context or a shed-worthy queued Submit.
+func (ls *localSite) sweeperLoop(every time.Duration) {
+	defer ls.c.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ls.quit:
+			return
+		case <-ticker.C:
+		}
+		if ls.isDown() {
+			continue
+		}
+		ls.post(func(s *site.Site) []wire.Envelope {
+			out, err := s.ExpireDeadlines()
+			if err != nil {
+				ls.c.fail(err)
+				return nil
+			}
+			return out
+		})
 	}
 }
 
@@ -391,6 +458,8 @@ func (ls *localSite) dispatch(envs []wire.Envelope) {
 			switch cm := env.Msg.(type) {
 			case *wire.Complete:
 				ls.c.complete(cm)
+			case *wire.Reject:
+				ls.c.rejected(cm)
 			case *wire.Migrated:
 				ls.c.migrated(cm)
 			default:
@@ -439,7 +508,17 @@ func (c *LocalCluster) complete(cm *wire.Complete) {
 	delete(c.waiters, cm.QID)
 	c.mu.Unlock()
 	if ch != nil {
-		ch <- cm
+		ch <- queryReply{complete: cm}
+	}
+}
+
+func (c *LocalCluster) rejected(rm *wire.Reject) {
+	c.mu.Lock()
+	ch := c.waiters[rm.QID]
+	delete(c.waiters, rm.QID)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- queryReply{reject: rm}
 	}
 }
 
@@ -506,17 +585,26 @@ func (c *LocalCluster) Exec(origin object.SiteID, body string, initial []object.
 
 // ExecQID is Exec returning the query id for distributed-set follow-ups.
 func (c *LocalCluster) ExecQID(origin object.SiteID, body string, initial []object.ID, timeout time.Duration) (*Result, wire.QueryID, error) {
-	return c.exec(origin, body, initial, wire.QueryID{}, timeout)
+	return c.exec(origin, body, initial, wire.QueryID{}, 0, timeout)
+}
+
+// ExecBudget is Exec with a server-side time budget: the budget rides the
+// Submit, shrinks on every cross-site hop, and an expired query comes back
+// as a partial answer with Result.Reason set — no client-side abort needed.
+// An admission-control refusal returns ErrRejected.
+func (c *LocalCluster) ExecBudget(origin object.SiteID, body string, initial []object.ID, budget, timeout time.Duration) (*Result, error) {
+	res, _, err := c.exec(origin, body, initial, wire.QueryID{}, budget, timeout)
+	return res, err
 }
 
 // ExecSeeded runs a query seeded from a previous query's distributed result
 // set.
 func (c *LocalCluster) ExecSeeded(origin object.SiteID, body string, from wire.QueryID, timeout time.Duration) (*Result, error) {
-	res, _, err := c.exec(origin, body, nil, from, timeout)
+	res, _, err := c.exec(origin, body, nil, from, 0, timeout)
 	return res, err
 }
 
-func (c *LocalCluster) exec(origin object.SiteID, body string, initial []object.ID, from wire.QueryID, timeout time.Duration) (*Result, wire.QueryID, error) {
+func (c *LocalCluster) exec(origin object.SiteID, body string, initial []object.ID, from wire.QueryID, budget, timeout time.Duration) (*Result, wire.QueryID, error) {
 	ls, ok := c.sites[origin]
 	if !ok {
 		return nil, wire.QueryID{}, fmt.Errorf("cluster: no site %v", origin)
@@ -528,11 +616,17 @@ func (c *LocalCluster) exec(origin object.SiteID, body string, initial []object.
 	}
 	c.nextQID++
 	qid := wire.QueryID{Origin: origin, Seq: c.nextQID}
-	ch := make(chan *wire.Complete, 1)
+	ch := make(chan queryReply, 1)
 	c.waiters[qid] = ch
 	c.mu.Unlock()
 
 	sub := &wire.Submit{QID: qid, Client: clientID, Body: body, Initial: initial, InitialFromResultOf: from}
+	if budget > 0 {
+		sub.BudgetUS = uint64(budget.Microseconds())
+		if sub.BudgetUS == 0 {
+			sub.BudgetUS = 1 // sub-microsecond budgets round up, not off
+		}
+	}
 	ls.post(func(s *site.Site) []wire.Envelope {
 		out, err := s.HandleMessage(clientID, sub)
 		if err != nil {
@@ -544,15 +638,22 @@ func (c *LocalCluster) exec(origin object.SiteID, body string, initial []object.
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case cm := <-ch:
-		res, err := fromComplete(cm)
-		return res, qid, err
+	case r := <-ch:
+		return c.resolve(r, qid)
 	case <-timer.C:
-		// Abort on the site goroutine; it will deliver a partial Complete.
-		ls.post(func(s *site.Site) []wire.Envelope { return s.Abort(qid) })
+		// Abort on the site goroutine; it will deliver a partial Complete
+		// (or a Reject, if the query was still waiting for admission).
+		ls.post(func(s *site.Site) []wire.Envelope {
+			out, err := s.HandleMessage(clientID, &wire.Cancel{QID: qid, Reason: "cancelled by client"})
+			if err != nil {
+				c.fail(err)
+				return nil
+			}
+			return out
+		})
 		select {
-		case cm := <-ch:
-			res, err := fromComplete(cm)
+		case r := <-ch:
+			res, _, err := c.resolve(r, qid)
 			if err != nil {
 				return nil, qid, err
 			}
@@ -567,6 +668,35 @@ func (c *LocalCluster) exec(origin object.SiteID, body string, initial []object.
 			return nil, qid, ErrTimeout
 		}
 	}
+}
+
+// resolve turns a queryReply into the client-facing result or error.
+func (c *LocalCluster) resolve(r queryReply, qid wire.QueryID) (*Result, wire.QueryID, error) {
+	if r.reject != nil {
+		return nil, qid, fmt.Errorf("%w: %s", ErrRejected, r.reject.Reason)
+	}
+	res, err := fromComplete(r.complete)
+	return res, qid, err
+}
+
+// Cancel cooperatively cancels a running query: the originator immediately
+// answers with the partial results collected so far (Reason "cancelled by
+// client") and fans wire.Cancel out to the peers, whose contexts return
+// their termination credit and tear down. Unknown or already-finished
+// queries are no-ops.
+func (c *LocalCluster) Cancel(qid wire.QueryID) {
+	ls, ok := c.sites[qid.Origin]
+	if !ok {
+		return
+	}
+	ls.post(func(s *site.Site) []wire.Envelope {
+		out, err := s.HandleMessage(clientID, &wire.Cancel{QID: qid, Reason: "cancelled by client"})
+		if err != nil {
+			c.fail(err)
+			return nil
+		}
+		return out
+	})
 }
 
 // Err returns the first internal error any site hit (nil normally).

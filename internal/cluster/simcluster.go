@@ -31,6 +31,7 @@ type SimCluster struct {
 
 	nextQID   uint64
 	completes map[wire.QueryID]*wire.Complete
+	rejects   map[wire.QueryID]*wire.Reject
 	err       error
 }
 
@@ -62,6 +63,7 @@ func NewSim(n int, opts Options) *SimCluster {
 		sites:     make(map[object.SiteID]*simSite, n),
 		dirs:      make(map[object.SiteID]*naming.Directory, n),
 		completes: make(map[wire.QueryID]*wire.Complete),
+		rejects:   make(map[wire.QueryID]*wire.Reject),
 	}
 	var marks *site.GlobalMarks
 	if opts.OracleMarkTable {
@@ -157,8 +159,17 @@ func (c *SimCluster) TotalStats() site.Stats {
 // deliver schedules a message arrival.
 func (c *SimCluster) deliver(from, to object.SiteID, m wire.Msg, at time.Duration) {
 	if to == clientID {
-		if cm, ok := m.(*wire.Complete); ok {
+		switch cm := m.(type) {
+		case *wire.Complete:
 			c.loop.At(at, func() { c.completes[cm.QID] = cm })
+		case *wire.Reject:
+			c.loop.At(at, func() { c.rejects[cm.QID] = cm })
+		default:
+			// Sites address only completions and rejections to the sim
+			// client; anything else is a protocol bug. Count it on the
+			// sender's registry (when metrics are on) rather than dropping
+			// it invisibly.
+			c.sites[from].reg.Counter("hf_wire_unknown_msgs").Inc()
 		}
 		return
 	}
@@ -372,10 +383,14 @@ func (c *SimCluster) execQID(origin object.SiteID, body string, initial []object
 	// Client -> originator costs one message like any other.
 	c.deliver(clientID, origin, sub, start+c.cost.Latency)
 	done := c.loop.RunUntil(func() bool {
-		return c.completes[qid] != nil || c.err != nil
+		return c.completes[qid] != nil || c.rejects[qid] != nil || c.err != nil
 	})
 	if c.err != nil {
 		return qid, nil, 0, c.err
+	}
+	if rej := c.rejects[qid]; rej != nil {
+		delete(c.rejects, qid)
+		return qid, nil, 0, fmt.Errorf("%w: %s", ErrRejected, rej.Reason)
 	}
 	if !done {
 		// Out of events without an answer: abort at the originator for the

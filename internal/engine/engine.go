@@ -223,6 +223,11 @@ func (e *Engine) HasWork() bool { return len(e.work) > 0 }
 // Pending returns the number of items in the working set.
 func (e *Engine) Pending() int { return len(e.work) }
 
+// DiscardWork empties the working set without processing it (cooperative
+// cancellation or deadline shedding). Dedup marks and the accumulated
+// result set are untouched.
+func (e *Engine) DiscardWork() { e.work = e.work[:0] }
+
 // Results returns the local result set accumulated so far. The set is live;
 // callers must not mutate it.
 func (e *Engine) Results() object.IDSet { return e.results }

@@ -17,6 +17,11 @@ import (
 // (if non-nil) carries the partial answer recovered through an abort.
 var ErrTimeout = errors.New("server: query timed out")
 
+// ErrRejected reports that the originator's admission control refused the
+// query: the site was at its max-inflight bound with a full (or absent)
+// admission queue, or the budget lapsed while the query waited for a slot.
+var ErrRejected = errors.New("server: query rejected by admission control")
+
 // Client is a HyperFile network client. Like the paper's experimental
 // client, it runs "at a separate machine from any of the servers": it has
 // its own site id and listener so originators can send Complete messages
@@ -27,9 +32,16 @@ type Client struct {
 
 	mu           sync.Mutex
 	next         uint64
-	waiters      map[wire.QueryID]chan *wire.Complete
+	waiters      map[wire.QueryID]chan clientReply
 	statsWaiters map[uint64]chan *wire.StatsResp
 	migWaiters   map[uint64]chan *wire.Migrated
+}
+
+// clientReply resolves a waiting Exec: a completion, or an admission
+// rejection.
+type clientReply struct {
+	complete *wire.Complete
+	reject   *wire.Reject
 }
 
 // NewClient starts a client endpoint with the given (client) site id,
@@ -43,7 +55,7 @@ func NewClient(id object.SiteID, addr string) (*Client, error) {
 		// like a straggler of the old one — its work silently dropped and
 		// its termination credit abandoned, hanging the query.
 		next:         uint64(time.Now().UnixNano())<<8 | uint64(rand.Intn(256)),
-		waiters:      make(map[wire.QueryID]chan *wire.Complete),
+		waiters:      make(map[wire.QueryID]chan clientReply),
 		statsWaiters: make(map[uint64]chan *wire.StatsResp),
 		migWaiters:   make(map[uint64]chan *wire.Migrated),
 	}
@@ -79,7 +91,15 @@ func (c *Client) onMessage(_ object.SiteID, m wire.Msg) {
 		delete(c.waiters, m.QID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- m
+			ch <- clientReply{complete: m}
+		}
+	case *wire.Reject:
+		c.mu.Lock()
+		ch := c.waiters[m.QID]
+		delete(c.waiters, m.QID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- clientReply{reject: m}
 		}
 	case *wire.StatsResp:
 		c.mu.Lock()
@@ -172,16 +192,31 @@ func (c *Client) Stats(site object.SiteID, timeout time.Duration) (*wire.StatsRe
 // timeout it asks the originator to abort and returns the partial answer
 // with ErrTimeout.
 func (c *Client) Exec(origin object.SiteID, body string, initial []object.ID, timeout time.Duration) (*wire.Complete, error) {
+	return c.ExecBudget(origin, body, initial, 0, timeout)
+}
+
+// ExecBudget is Exec with a server-side time budget: the budget rides the
+// Submit, shrinks on every cross-site hop, and an expired query comes back
+// as a partial answer with Reason set — even if this client never follows
+// up. Zero budget imposes none. An admission-control refusal returns
+// ErrRejected.
+func (c *Client) ExecBudget(origin object.SiteID, body string, initial []object.ID, budget, timeout time.Duration) (*wire.Complete, error) {
 	c.mu.Lock()
 	c.next++
 	qid := wire.QueryID{Origin: origin, Seq: c.next}
-	ch := make(chan *wire.Complete, 1)
+	ch := make(chan clientReply, 1)
 	c.waiters[qid] = ch
 	c.mu.Unlock()
 
 	sub := &wire.Submit{
 		QID: qid, Client: c.tr.Self(), ClientAddr: c.tr.Addr(),
 		Body: body, Initial: initial,
+	}
+	if budget > 0 {
+		sub.BudgetUS = uint64(budget.Microseconds())
+		if sub.BudgetUS == 0 {
+			sub.BudgetUS = 1 // sub-microsecond budgets round up, not off
+		}
 	}
 	if err := c.tr.Send(origin, sub); err != nil {
 		c.drop(qid)
@@ -190,21 +225,20 @@ func (c *Client) Exec(origin object.SiteID, body string, initial []object.ID, ti
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
-	case cm := <-ch:
-		return c.finish(cm)
+	case r := <-ch:
+		return c.finish(r)
 	case <-timer.C:
-		// Ask the originator for whatever it has (a Finish from the client
-		// is the abort request).
+		// Ask the originator to cancel and ship whatever it has.
 		c.mu.Lock()
 		c.waiters[qid] = ch
 		c.mu.Unlock()
-		if err := c.tr.Send(origin, &wire.Finish{QID: qid}); err != nil {
+		if err := c.tr.Send(origin, &wire.Cancel{QID: qid, Reason: "cancelled by client"}); err != nil {
 			c.drop(qid)
-			return nil, fmt.Errorf("%w (abort also failed: %v)", ErrTimeout, err)
+			return nil, fmt.Errorf("%w (cancel also failed: %v)", ErrTimeout, err)
 		}
 		select {
-		case cm := <-ch:
-			res, err := c.finish(cm)
+		case r := <-ch:
+			res, err := c.finish(r)
 			if err != nil {
 				return nil, err
 			}
@@ -216,11 +250,21 @@ func (c *Client) Exec(origin object.SiteID, body string, initial []object.ID, ti
 	}
 }
 
-func (c *Client) finish(cm *wire.Complete) (*wire.Complete, error) {
-	if cm.Err != "" {
-		return nil, fmt.Errorf("server: query failed: %s", cm.Err)
+// Cancel asks the originator to cancel a running query. The query's Exec
+// call (if still waiting) receives the partial answer; cancelling an
+// unknown or finished query is a no-op.
+func (c *Client) Cancel(qid wire.QueryID) error {
+	return c.tr.Send(qid.Origin, &wire.Cancel{QID: qid, Reason: "cancelled by client"})
+}
+
+func (c *Client) finish(r clientReply) (*wire.Complete, error) {
+	if r.reject != nil {
+		return nil, fmt.Errorf("%w: %s", ErrRejected, r.reject.Reason)
 	}
-	return cm, nil
+	if r.complete.Err != "" {
+		return nil, fmt.Errorf("server: query failed: %s", r.complete.Err)
+	}
+	return r.complete, nil
 }
 
 func (c *Client) drop(qid wire.QueryID) {

@@ -121,7 +121,45 @@ func NewOpts(cfg site.Config, addr string, logger *slog.Logger, opts Options) (*
 		srv.wg.Add(1)
 		go srv.heartbeatLoop()
 	}
+	if cfg.MaxInflight > 0 || cfg.QueryDeadline > 0 {
+		srv.wg.Add(1)
+		go srv.sweeperLoop()
+	}
 	return srv, nil
+}
+
+// sweeperLoop periodically expires query deadlines and drains the admission
+// queue on the site goroutine. Without it an idle server would never notice
+// an expired context, an abandoned drain, or a shed-worthy queued Submit.
+func (srv *Server) sweeperLoop() {
+	defer srv.wg.Done()
+	every := 50 * time.Millisecond
+	if d := srv.cfg.QueryDeadline; d > 0 {
+		every = d / 4
+		if every < time.Millisecond {
+			every = time.Millisecond
+		}
+		if every > 100*time.Millisecond {
+			every = 100 * time.Millisecond
+		}
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-srv.quit:
+			return
+		case <-ticker.C:
+		}
+		srv.postThunk(func() {
+			out, err := srv.s.ExpireDeadlines()
+			if err != nil {
+				srv.lg.Error("deadline sweep failed", "err", err)
+				return
+			}
+			srv.dispatch(out)
+		})
+	}
 }
 
 // Addr returns the server's bound address.

@@ -2,6 +2,7 @@ package site
 
 import (
 	"fmt"
+	"time"
 
 	"hyperfile/internal/engine"
 	"hyperfile/internal/object"
@@ -154,7 +155,7 @@ func (s *Site) flushQueue(ctx *qctx, q *derefQueue) ([]wire.Envelope, error) {
 	return []wire.Envelope{{To: q.to, Msg: &wire.Deref{
 		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body, BodyHash: ctx.fp.Bytes(),
 		ObjIDs: ids, Start: q.start, Iters: q.iters, Token: tok,
-		Hop: ctx.hop + 1,
+		Hop: ctx.hop + 1, BudgetUS: ctx.budgetUS(time.Now()),
 	}}}, nil
 }
 

@@ -2,6 +2,7 @@ package site
 
 import (
 	"fmt"
+	"time"
 
 	"hyperfile/internal/engine"
 	"hyperfile/internal/object"
@@ -10,11 +11,23 @@ import (
 )
 
 // HandleMessage processes one inbound message and returns the envelopes to
-// deliver in response.
+// deliver in response. Any event may finish a context and open an admission
+// slot, so queued Submits are (re)considered after every dispatch.
 func (s *Site) HandleMessage(from object.SiteID, m wire.Msg) ([]wire.Envelope, error) {
+	out, err := s.dispatch(from, m)
+	if err != nil {
+		return out, err
+	}
+	drained, err := s.drainAdmission()
+	return append(out, drained...), err
+}
+
+func (s *Site) dispatch(from object.SiteID, m wire.Msg) ([]wire.Envelope, error) {
 	switch m := m.(type) {
 	case *wire.Submit:
 		return s.handleSubmit(m)
+	case *wire.Cancel:
+		return s.handleCancel(m)
 	case *wire.Deref:
 		return s.handleDeref(from, m)
 	case *wire.Seed:
@@ -70,6 +83,11 @@ func (s *Site) statsResp(seq uint64) *wire.StatsResp {
 			{Name: "disk_reads", Value: uint64(s.cfg.Store.DiskReads())},
 			{Name: "plan_compiles", Value: uint64(st.PlanCompiles)},
 			{Name: "plan_cache_hits", Value: uint64(st.PlanCacheHits)},
+			{Name: "admitted", Value: uint64(st.Admitted)},
+			{Name: "rejected", Value: uint64(st.Rejected)},
+			{Name: "shed", Value: uint64(st.Shed)},
+			{Name: "cancelled", Value: uint64(st.Cancelled)},
+			{Name: "deadline_expired", Value: uint64(st.DeadlineExpired)},
 			{Name: "tuples_scanned", Value: uint64(st.Engine.TuplesScanned)},
 			{Name: "index_probes", Value: uint64(st.Engine.IndexProbes)},
 			{Name: "initial_pruned", Value: uint64(st.Engine.InitialPruned)},
@@ -77,11 +95,31 @@ func (s *Site) statsResp(seq uint64) *wire.StatsResp {
 	}
 }
 
-// handleSubmit sets up the originator context and seeds the working set.
+// handleSubmit gates a new query through admission control, then sets up the
+// originator context and seeds the working set.
 func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 	if _, ok := s.contexts[m.QID]; ok {
 		return nil, fmt.Errorf("%w: duplicate submit for %v", ErrProtocol, m.QID)
 	}
+	for _, p := range s.admitQ {
+		if p.m.QID == m.QID {
+			return nil, fmt.Errorf("%w: duplicate submit for %v", ErrProtocol, m.QID)
+		}
+	}
+	deadline := s.submitDeadline(m, time.Now())
+	if s.atCapacity() {
+		if len(s.admitQ) < s.cfg.AdmissionQueue {
+			s.admitQ = append(s.admitQ, pendingSubmit{m: m, deadline: deadline})
+			s.met.admissionQueue.Set(int64(len(s.admitQ)))
+			return nil, nil
+		}
+		return []wire.Envelope{s.reject(m, "admission: site at max-inflight, queue full")}, nil
+	}
+	return s.admitSubmit(m, deadline)
+}
+
+// admitSubmit creates the originator context for an admitted Submit.
+func (s *Site) admitSubmit(m *wire.Submit, deadline time.Time) ([]wire.Envelope, error) {
 	p, fp, pinned, err := s.planFor(m.Body, nil)
 	if err != nil {
 		// Reject at submission time: the client gets the error, no context
@@ -92,6 +130,9 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 	}
 	ctx := s.newCtx(m.QID, s.cfg.ID, m.Body, p, fp, pinned, 0)
 	ctx.client = m.Client
+	ctx.deadline = deadline
+	s.stats.Admitted++
+	s.met.admitted.Inc()
 
 	var out []wire.Envelope
 	if m.InitialFromResultOf != (wire.QueryID{}) {
@@ -115,6 +156,7 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 			out = append(out, wire.Envelope{To: peer, Msg: &wire.Seed{
 				QID: m.QID, Origin: s.cfg.ID, Body: m.Body,
 				FromQID: m.InitialFromResultOf, Token: tok, Hop: 1,
+				BudgetUS: ctx.budgetUS(time.Now()),
 			}})
 		}
 	} else {
@@ -138,15 +180,17 @@ func (s *Site) handleSubmit(m *wire.Submit) ([]wire.Envelope, error) {
 // forwards the message when the object has moved (section 4 naming).
 func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, error) {
 	if s.tombstoned(m.QID) {
-		// The query already finished here (possibly force-completed after a
-		// peer death); late work must not resurrect it. The credit on the
-		// token is abandoned — the originator is done and no longer counts.
-		return nil, nil
+		// The query already finished here; late work must not resurrect it.
+		// Bounce the termination payload instead of abandoning it: if the
+		// originator is draining a cancelled query, the return is what lets
+		// the drain complete.
+		return s.bounceToken(m.QID, from, m.Origin, m.Token), nil
 	}
 	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body, m.BodyHash, m.Hop)
 	if err != nil {
 		return nil, err
 	}
+	ctx.noteBudget(m.BudgetUS, time.Now())
 	s.stats.DerefsReceived++
 	s.met.derefsReceived.Inc()
 	out, err := s.ingestToken(ctx, from, m.Token)
@@ -194,22 +238,26 @@ func (s *Site) handleDeref(from object.SiteID, m *wire.Deref) ([]wire.Envelope, 
 		out = append(out, wire.Envelope{To: owner, Msg: &wire.Deref{
 			QID: m.QID, Origin: m.Origin, Body: m.Body, BodyHash: ctx.fp.Bytes(),
 			ObjIDs: ids, Start: m.Start, Iters: m.Iters, Token: tok,
-			Hop: m.Hop,
+			Hop: m.Hop, BudgetUS: ctx.budgetUS(time.Now()),
 		}})
 	}
 	s.markReady(ctx)
+	if envs, did, err := s.checkDeadline(ctx); did || err != nil {
+		return append(out, envs...), err
+	}
 	return s.afterEvent(ctx, out)
 }
 
 // handleSeed seeds a context from the retained results of a previous query.
 func (s *Site) handleSeed(from object.SiteID, m *wire.Seed) ([]wire.Envelope, error) {
 	if s.tombstoned(m.QID) {
-		return nil, nil
+		return s.bounceToken(m.QID, from, m.Origin, m.Token), nil
 	}
 	ctx, err := s.ctxFor(m.QID, m.Origin, m.Body, nil, m.Hop)
 	if err != nil {
 		return nil, err
 	}
+	ctx.noteBudget(m.BudgetUS, time.Now())
 	s.stats.SeedsReceived++
 	s.met.seedsReceived.Inc()
 	out, err := s.ingestToken(ctx, from, m.Token)
@@ -220,6 +268,9 @@ func (s *Site) handleSeed(from object.SiteID, m *wire.Seed) ([]wire.Envelope, er
 		ctx.eng.AddInitial(prev.retained...)
 	}
 	s.markReady(ctx)
+	if envs, did, err := s.checkDeadline(ctx); did || err != nil {
+		return append(out, envs...), err
+	}
 	return s.afterEvent(ctx, out)
 }
 
@@ -313,7 +364,7 @@ func (s *Site) handleFinish(from object.SiteID, m *wire.Finish) []wire.Envelope 
 	if m.Retain {
 		// The retained context only answers future seeds from ctx.retained;
 		// its dedup state can never be consulted again.
-		ctx.finished = true
+		s.finishCtx(ctx)
 		s.releaseQueryResources(ctx)
 		ctx.eng.ReleaseMarks()
 		return nil

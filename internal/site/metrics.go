@@ -37,6 +37,13 @@ type siteMetrics struct {
 	termSplits  *metrics.Counter
 	termReturns *metrics.Counter
 
+	// Overload protection (Config.MaxInflight / QueryDeadline).
+	admitted        *metrics.Counter
+	rejected        *metrics.Counter
+	shed            *metrics.Counter
+	cancelled       *metrics.Counter
+	deadlineExpired *metrics.Counter
+
 	planCacheHits      *metrics.Counter
 	planCacheMisses    *metrics.Counter
 	planCacheEvictions *metrics.Counter
@@ -52,10 +59,12 @@ type siteMetrics struct {
 	planOpsFused   *metrics.Counter
 
 	liveContexts   *metrics.Gauge
+	admissionQueue *metrics.Gauge
 	stepUS         *metrics.Histogram
 	quiescenceUS   *metrics.Histogram
 	batchOccupancy *metrics.Histogram
 	planCompileUS  *metrics.Histogram
+	queryLatencyUS *metrics.Histogram
 
 	// filterSteps[i] counts engine steps that started at filter i, grown
 	// lazily (queries rarely exceed a handful of filters).
@@ -88,6 +97,11 @@ func newSiteMetrics(reg *metrics.Registry) siteMetrics {
 	m.completed = reg.Counter("site_completed")
 	m.termSplits = reg.Counter("termination_weight_splits")
 	m.termReturns = reg.Counter("termination_weight_returns")
+	m.admitted = reg.Counter("hf_admitted")
+	m.rejected = reg.Counter("hf_rejected")
+	m.shed = reg.Counter("hf_shed")
+	m.cancelled = reg.Counter("hf_cancelled")
+	m.deadlineExpired = reg.Counter("hf_deadline_expired")
 	m.planCacheHits = reg.Counter("hf_plan_cache_hits")
 	m.planCacheMisses = reg.Counter("hf_plan_cache_misses")
 	m.planCacheEvictions = reg.Counter("hf_plan_cache_evictions")
@@ -99,10 +113,12 @@ func newSiteMetrics(reg *metrics.Registry) siteMetrics {
 	m.planOpsPure = reg.Counter("hf_plan_ops_pure_probe")
 	m.planOpsFused = reg.Counter("hf_plan_ops_fused")
 	m.liveContexts = reg.Gauge("site_live_contexts")
+	m.admissionQueue = reg.Gauge("hf_admission_queue")
 	m.stepUS = reg.Histogram("site_step_us")
 	m.quiescenceUS = reg.Histogram("site_query_quiescence_us")
 	m.batchOccupancy = reg.Histogram("hf_deref_batch_occupancy")
 	m.planCompileUS = reg.Histogram("hf_plan_compile_us")
+	m.queryLatencyUS = reg.Histogram("hf_query_latency_us")
 	return m
 }
 

@@ -103,6 +103,21 @@ type Config struct {
 	// plan across query contexts, skipping lex, parse, and compile. Zero
 	// disables caching; every context compiles its own plan.
 	PlanCacheSize int
+	// MaxInflight, when positive, bounds the unfinished query contexts this
+	// site will hold. Submits beyond the bound wait in a bounded admission
+	// queue (AdmissionQueue) or are refused with wire.Reject. Work messages
+	// (Deref, Seed) are always accepted — refusing them would strand
+	// termination credit. Zero admits everything (the paper's behavior).
+	MaxInflight int
+	// AdmissionQueue bounds how many Submits may wait for an admission slot
+	// when the site is at MaxInflight. Zero means no queue: over-limit
+	// Submits are rejected immediately.
+	AdmissionQueue int
+	// QueryDeadline, when positive, is the default time budget an originator
+	// imposes on queries whose Submit carries none. The remaining budget
+	// propagates on every outgoing Deref/Seed, and an expired query
+	// completes as an annotated partial answer. Zero imposes no default.
+	QueryDeadline time.Duration
 }
 
 // Stats counts a site's protocol activity.
@@ -131,7 +146,17 @@ type Stats struct {
 	// site; PlanCacheHits counts contexts that reused a cached plan instead.
 	PlanCompiles  int
 	PlanCacheHits int
-	Engine        engine.Stats
+	// Overload protection (Config.MaxInflight / QueryDeadline). Admitted
+	// counts Submits that created a context; Rejected counts Submits refused
+	// at arrival; Shed counts queued Submits whose deadline expired before a
+	// slot opened; Cancelled counts contexts torn down by wire.Cancel;
+	// DeadlineExpired counts contexts that ran out of budget.
+	Admitted        int
+	Rejected        int
+	Shed            int
+	Cancelled       int
+	DeadlineExpired int
+	Engine          engine.Stats
 }
 
 // Site is one HyperFile server.
@@ -147,9 +172,18 @@ type Site struct {
 	// replacing an O(contexts) scan per step with O(1) queue operations.
 	// Entries can go stale (a context drains, finishes, or is dropped while
 	// queued); consumers prune them lazily against the per-context ready
-	// flag and the engine's own working set.
-	ready []wire.QueryID
-	stats Stats
+	// flag and the engine's own working set. readyStale counts the queued
+	// entries whose context has finished or been dropped — when they
+	// outnumber the live entries the queue is compacted, so a long-lived
+	// site's queue cannot grow without bound on lazily-pruned garbage.
+	ready      []wire.QueryID
+	readyStale int
+	stats      Stats
+
+	// inflight counts unfinished contexts (admission control's notion of
+	// load); admitQ holds Submits waiting for an inflight slot.
+	inflight int
+	admitQ   []pendingSubmit
 
 	// down marks peers the failure detector has declared dead; dereferences
 	// to them are suppressed (and recorded as unreachable) instead of
@@ -199,6 +233,19 @@ type qctx struct {
 	// ready records that this context sits in the site's ready queue, so
 	// work arriving while queued does not enqueue it twice.
 	ready bool
+
+	// deadline, when non-zero, is when this context's time budget runs out:
+	// derived from the Submit budget (or Config.QueryDeadline) at the
+	// originator, and from the Deref/Seed budget at participants. Expiry
+	// cancels the query (originator) or sheds the context after returning
+	// its credit (participant).
+	deadline time.Time
+	// draining marks a finished context kept only to collect outstanding
+	// termination credit (origin side of a cancel) or to settle remaining
+	// acknowledgements (Dijkstra-Scholten participants). drainUntil bounds
+	// the wait; a drain that cannot complete is abandoned there.
+	draining   bool
+	drainUntil time.Time
 
 	// fp is the body's fingerprint, stamped on outgoing Deref messages so
 	// receivers can consult their plan caches without rehashing. planPinned
@@ -317,6 +364,9 @@ func (s *Site) HasWork() bool {
 		ctx := s.contexts[s.ready[0]]
 		if ctx != nil && ctx.ready && !ctx.finished && ctx.eng.HasWork() {
 			return true
+		}
+		if ctx == nil || ctx.finished {
+			s.readyStale--
 		}
 		if ctx != nil {
 			ctx.ready = false
@@ -460,8 +510,52 @@ func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, p *pl
 	}
 	s.contexts[qid] = ctx
 	s.order = append(s.order, qid)
+	s.inflight++
 	s.met.liveContexts.Set(int64(len(s.contexts)))
 	return ctx
+}
+
+// finishCtx marks a context finished exactly once: it releases the admission
+// slot, records the end-to-end latency at the originator, and accounts its
+// (now stale) ready-queue entry. Every transition to the finished state
+// funnels through here.
+func (s *Site) finishCtx(ctx *qctx) {
+	if ctx.finished {
+		return
+	}
+	ctx.finished = true
+	s.inflight--
+	if ctx.ready {
+		s.readyStale++
+		s.compactReady()
+	}
+	if ctx.isOrigin {
+		s.met.queryLatencyUS.ObserveDuration(time.Since(ctx.created))
+	}
+}
+
+// compactReady rebuilds the ready queue without its dead entries once they
+// outnumber the live ones. Lazy pruning alone only removes stale entries
+// that reach the queue head; on a long-lived site with persistent load the
+// head keeps being re-taken by live contexts and mid-queue garbage from
+// thousands of finished queries would otherwise accumulate forever.
+func (s *Site) compactReady() {
+	if s.readyStale*2 <= len(s.ready) {
+		return
+	}
+	live := s.ready[:0]
+	for _, qid := range s.ready {
+		if ctx := s.contexts[qid]; ctx != nil && ctx.ready && !ctx.finished {
+			live = append(live, qid)
+		}
+	}
+	// Drop the tail so stale ids do not linger in the backing array.
+	tail := s.ready[len(live):]
+	for i := range tail {
+		tail[i] = wire.QueryID{}
+	}
+	s.ready = live
+	s.readyStale = 0
 }
 
 // ctxFor returns the context for qid, creating it from a Deref/Seed message
@@ -488,6 +582,7 @@ func (s *Site) dropCtx(qid wire.QueryID) {
 	if !ok {
 		return
 	}
+	s.finishCtx(ctx)
 	s.releaseQueryResources(ctx)
 	s.stats.Engine.Add(ctx.eng.Stats())
 	delete(s.contexts, qid)
@@ -586,7 +681,11 @@ func (s *Site) PeerDown(peer object.SiteID) []wire.Envelope {
 			s.dropCtx(qid)
 		}
 	}
-	return out
+	// Force-completions freed admission slots; queued Submits may proceed.
+	// A drain error here is a protocol violation on a freshly admitted
+	// context, which cannot happen (a new originator holds its full credit).
+	drained, _ := s.drainAdmission()
+	return append(out, drained...)
 }
 
 // PeerUp clears a peer's dead mark after the failure detector hears from it

@@ -3,6 +3,7 @@ package site
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
@@ -302,8 +303,21 @@ func TestAbortDeliversPartial(t *testing.T) {
 	if !cm.Partial || len(cm.IDs) != 1 {
 		t.Errorf("partial = %v ids = %v", cm.Partial, cm.IDs)
 	}
+	if cm.Reason != "cancelled by client" {
+		t.Errorf("reason = %q, want cancelled by client", cm.Reason)
+	}
+	// The credit sent toward ghost site 7 can never return, so the context
+	// stays behind draining; the sweep abandons it once the grace passes.
+	ctx := h.sites[1].contexts[wire.QueryID{Origin: 1, Seq: 5}]
+	if ctx == nil || !ctx.draining {
+		t.Fatalf("aborted context with lost credit should be draining")
+	}
+	ctx.drainUntil = time.Now().Add(-time.Second)
+	if _, err := h.sites[1].ExpireDeadlines(); err != nil {
+		t.Fatal(err)
+	}
 	if h.sites[1].Contexts() != 0 {
-		t.Errorf("context leaked after abort")
+		t.Errorf("context leaked after abort drain grace")
 	}
 }
 

@@ -29,6 +29,16 @@ func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
 	if ctx == nil {
 		return StepOutcome{}, nil, false, nil
 	}
+	// An expired context is not stepped: its remaining work is shed and the
+	// query completes as an annotated partial answer.
+	if envs, did, err := s.checkDeadline(ctx); did || err != nil {
+		if err == nil {
+			var drained []wire.Envelope
+			drained, err = s.drainAdmission()
+			envs = append(envs, drained...)
+		}
+		return StepOutcome{Query: ctx.qid}, envs, true, err
+	}
 	pre := ctx.eng.Stats()
 	start := time.Now()
 	res, _ := ctx.eng.Step()
@@ -60,6 +70,11 @@ func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
 	// Requeue at the tail while work remains: contexts with work take
 	// strictly alternating turns (round-robin fairness).
 	s.markReady(ctx)
+	if err == nil {
+		var drained []wire.Envelope
+		drained, err = s.drainAdmission()
+		out = append(out, drained...)
+	}
 	return outcome, out, true, err
 }
 
@@ -72,10 +87,15 @@ func (s *Site) nextWithWork() *qctx {
 		s.ready = s.ready[1:]
 		ctx := s.contexts[qid]
 		if ctx == nil {
+			s.readyStale--
 			continue
 		}
 		ctx.ready = false
-		if !ctx.finished && ctx.eng.HasWork() {
+		if ctx.finished {
+			s.readyStale--
+			continue
+		}
+		if ctx.eng.HasWork() {
 			return ctx
 		}
 	}
@@ -111,7 +131,7 @@ func (s *Site) sendDeref(ctx *qctx, ref engine.RemoteRef) (env wire.Envelope, ok
 	return wire.Envelope{To: owner, Msg: &wire.Deref{
 		QID: ctx.qid, Origin: ctx.origin, Body: ctx.body, BodyHash: ctx.fp.Bytes(),
 		ObjIDs: []object.ID{ref.ID}, Start: ref.Start, Iters: ref.Iters, Token: tok,
-		Hop: ctx.hop + 1,
+		Hop: ctx.hop + 1, BudgetUS: ctx.budgetUS(time.Now()),
 	}}, true, nil
 }
 
@@ -119,6 +139,9 @@ func (s *Site) sendDeref(ctx *qctx, ref engine.RemoteRef) (env wire.Envelope, ok
 // is empty: flush local results to the originator, run the detector's idle
 // hook, and — at the originator — check for global termination.
 func (s *Site) afterEvent(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error) {
+	if ctx.draining {
+		return s.drainEvent(ctx, out), nil
+	}
 	if ctx.finished || ctx.eng.HasWork() {
 		return out, nil
 	}
@@ -239,7 +262,7 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 	if ctx.finished || !ctx.det.Done() {
 		return out, nil
 	}
-	ctx.finished = true
+	s.finishCtx(ctx)
 	s.stats.Completed++
 	s.met.completed.Inc()
 	unr := unreachableList(ctx)
@@ -276,15 +299,22 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 	return out, nil
 }
 
-// Abort force-completes a query at its originator with whatever has been
-// collected — partial results are better than none at all. It returns the
-// envelopes delivering the partial answer and telling peers to clean up.
+// Abort cancels a query at its originator on the client's behalf: the client
+// gets the partial answer immediately and peers cancel cooperatively, so all
+// termination credit finds its way home (unlike the force-completion used
+// for peer deaths, which must abandon credit parked at the corpse).
 func (s *Site) Abort(qid wire.QueryID) []wire.Envelope {
 	ctx, ok := s.contexts[qid]
 	if !ok || !ctx.isOrigin || ctx.finished {
 		return nil
 	}
-	return s.forceComplete(ctx)
+	s.stats.Cancelled++
+	s.met.cancelled.Inc()
+	out := s.cancelOrigin(ctx, "cancelled by client")
+	// The cancel freed an admission slot. A drain error would be a protocol
+	// violation on a freshly admitted context, which cannot happen.
+	drained, _ := s.drainAdmission()
+	return append(out, drained...)
 }
 
 // forceComplete ends an originator context without waiting for termination
@@ -299,7 +329,7 @@ func (s *Site) forceComplete(ctx *qctx) []wire.Envelope {
 	for _, f := range fetches {
 		ctx.fetches = append(ctx.fetches, wire.FetchVal{Var: f.Var, From: f.From, Val: f.Val})
 	}
-	ctx.finished = true
+	s.finishCtx(ctx)
 	s.stats.Completed++
 	s.met.completed.Inc()
 	var out []wire.Envelope
@@ -322,6 +352,7 @@ func (s *Site) forceComplete(ctx *qctx) []wire.Envelope {
 		Partial:     true,
 		Unreachable: unreachableList(ctx),
 		Spans:       spans,
+		Reason:      "peer down",
 	}})
 	s.dropCtx(ctx.qid)
 	return out

@@ -21,10 +21,13 @@ import (
 // OnControl). The first violation is recorded and reported by Err.
 //
 // The invariant only holds on lossless paths: force-completion after a peer
-// death and tombstone drops deliberately abandon credit, so tests using an
-// Audit must avoid those (the chaos network's reliable delivery is fine —
-// dropped frames are retransmitted and duplicates deduplicated before
-// reaching site logic).
+// death deliberately abandons credit (it is parked at a corpse and can never
+// return), so tests using an Audit must avoid peer kills (the chaos
+// network's reliable delivery is fine — dropped frames are retransmitted
+// and duplicates deduplicated before reaching site logic). Cooperative
+// cancellation (wire.Cancel) and deadline expiry are lossless: cancelled
+// sites return all held credit, and work arriving for a tombstoned query
+// bounces its token back to the originator instead of dropping it.
 type Audit struct {
 	mu  sync.Mutex
 	qs  map[string]*auditState
@@ -199,4 +202,11 @@ func (ad *auditDetector) Done() bool {
 	ad.a.mu.Lock()
 	defer ad.a.mu.Unlock()
 	return ad.w.Done()
+}
+
+// Quiet delegates to the wrapped detector (see weighted.Quiet).
+func (ad *auditDetector) Quiet() bool {
+	ad.a.mu.Lock()
+	defer ad.a.mu.Unlock()
+	return ad.w.Quiet()
 }

@@ -83,3 +83,7 @@ func (d *ds) OnControl(from object.SiteID, _ []byte) error {
 
 // Done reports root disengagement.
 func (d *ds) Done() bool { return d.done }
+
+// Quiet reports that this detector has no obligations left: it is
+// disengaged (or the root) and every message it sent has been acknowledged.
+func (d *ds) Quiet() bool { return d.deficit == 0 && (!d.engaged || d.isOrigin()) }

@@ -77,6 +77,17 @@ type Detector interface {
 	Done() bool
 }
 
+// Quiet reports that a detector holds no credit or obligations, so its
+// context can be discarded without breaking conservation. Detectors that do
+// not implement the optional Quiet() method (e.g. test fakes) are treated
+// as always quiet.
+func Quiet(d Detector) bool {
+	if q, ok := d.(interface{ Quiet() bool }); ok {
+		return q.Quiet()
+	}
+	return true
+}
+
 // ErrToken is the base error for malformed or impossible detection tokens.
 var ErrToken = errors.New("termination: bad token")
 

@@ -98,6 +98,11 @@ func (w *weighted) Done() bool {
 	return w.isOrigin() && w.recovered.Cmp(big.NewRat(1, 1)) == 0
 }
 
+// Quiet reports that this detector holds no credit: everything it ever
+// held has been returned (or, at the originator, banked as recovered).
+// A quiet participant can be discarded without abandoning credit.
+func (w *weighted) Quiet() bool { return w.held.Sign() == 0 }
+
 // encodeRat serializes a positive rational as two length-prefixed big-endian
 // integers (numerator, denominator).
 func encodeRat(r *big.Rat) []byte {

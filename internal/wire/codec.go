@@ -36,6 +36,7 @@ func Encode(m Msg) []byte {
 		e.str(m.Body)
 		e.ids(m.Initial)
 		e.qid(m.InitialFromResultOf)
+		e.u64(m.BudgetUS)
 	case *Deref:
 		e.qid(m.QID)
 		e.u64(uint64(m.Origin))
@@ -49,6 +50,7 @@ func Encode(m Msg) []byte {
 		e.bytes(m.Token)
 		e.u64(uint64(m.Hop))
 		e.bytes(m.BodyHash)
+		e.u64(m.BudgetUS)
 	case *Result:
 		e.qid(m.QID)
 		e.ids(m.IDs)
@@ -75,6 +77,7 @@ func Encode(m Msg) []byte {
 		e.str(m.Err)
 		e.sites(m.Unreachable)
 		e.spans(m.Spans)
+		e.str(m.Reason)
 	case *Seed:
 		e.qid(m.QID)
 		e.u64(uint64(m.Origin))
@@ -82,6 +85,13 @@ func Encode(m Msg) []byte {
 		e.qid(m.FromQID)
 		e.bytes(m.Token)
 		e.u64(uint64(m.Hop))
+		e.u64(m.BudgetUS)
+	case *Reject:
+		e.qid(m.QID)
+		e.str(m.Reason)
+	case *Cancel:
+		e.qid(m.QID)
+		e.str(m.Reason)
 	case *Migrate:
 		e.u64(m.Seq)
 		e.id(m.ID)
@@ -137,6 +147,10 @@ func Decode(data []byte) (Msg, error) {
 		s.Body = d.str()
 		s.Initial = d.ids()
 		s.InitialFromResultOf = d.qid()
+		// Trailing, optional: frames predating time budgets end here.
+		if d.err == nil && d.pos < len(d.buf) {
+			s.BudgetUS = d.u64()
+		}
 		m = s
 	case KDeref:
 		// Legacy layout: exactly one object id, not length-prefixed.
@@ -172,9 +186,13 @@ func Decode(data []byte) (Msg, error) {
 		}
 		r.Token = d.bytes()
 		r.Hop = uint32(d.u64())
-		// Trailing, optional: frames predating the plan cache end here.
+		// Trailing, optional: frames predating the plan cache end here, and
+		// frames predating time budgets end after BodyHash.
 		if d.err == nil && d.pos < len(d.buf) {
 			r.BodyHash = d.bytes()
+		}
+		if d.err == nil && d.pos < len(d.buf) {
+			r.BudgetUS = d.u64()
 		}
 		m = r
 	case KResult:
@@ -210,6 +228,11 @@ func Decode(data []byte) (Msg, error) {
 		c.Err = d.str()
 		c.Unreachable = d.sites()
 		c.Spans = d.spans()
+		// Trailing, optional: frames predating partial-answer reasons end
+		// here.
+		if d.err == nil && d.pos < len(d.buf) {
+			c.Reason = d.str()
+		}
 		m = c
 	case KSeed:
 		s := &Seed{}
@@ -219,7 +242,15 @@ func Decode(data []byte) (Msg, error) {
 		s.FromQID = d.qid()
 		s.Token = d.bytes()
 		s.Hop = uint32(d.u64())
+		// Trailing, optional: frames predating time budgets end here.
+		if d.err == nil && d.pos < len(d.buf) {
+			s.BudgetUS = d.u64()
+		}
 		m = s
+	case KReject:
+		m = &Reject{QID: d.qid(), Reason: d.str()}
+	case KCancel:
+		m = &Cancel{QID: d.qid(), Reason: d.str()}
 	case KMigrate:
 		mg := &Migrate{}
 		mg.Seq = d.u64()

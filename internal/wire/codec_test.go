@@ -35,6 +35,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 		InitialFromResultOf: QueryID{Origin: 1, Seq: 1},
 	})
 	roundTrip(t, &Submit{QID: qid, Client: 9, Body: "S -> T"})
+	roundTrip(t, &Submit{QID: qid, Client: 9, Body: "S -> T", BudgetUS: 2_500_000})
 	roundTrip(t, &Deref{
 		QID: qid, Origin: 2,
 		Body:   `S [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
@@ -54,6 +55,10 @@ func TestRoundTripAllKinds(t *testing.T) {
 	roundTrip(t, &Deref{
 		QID: qid, Origin: 2, Body: "S -> T", BodyHash: hash,
 		ObjIDs: []object.ID{id1}, Token: []byte{8}, Hop: 1,
+	})
+	roundTrip(t, &Deref{
+		QID: qid, Origin: 2, Body: "S -> T", BodyHash: hash,
+		ObjIDs: []object.ID{id1}, Token: []byte{8}, Hop: 1, BudgetUS: 750_000,
 	})
 	roundTrip(t, &Result{
 		QID: qid, IDs: []object.ID{id1},
@@ -83,10 +88,23 @@ func TestRoundTripAllKinds(t *testing.T) {
 		Distributed: true, Partial: true, Err: "boom",
 		Spans: []Span{{Site: 2, Seq: 1, Hop: 0, Filter: 0, In: 2, Out: 2, DurationUS: 55}},
 	})
+	roundTrip(t, &Complete{
+		QID: qid, IDs: []object.ID{id1}, Count: 1,
+		Partial: true, Reason: "deadline expired",
+	})
 	roundTrip(t, &Seed{
 		QID: qid, Origin: 2, Body: `S (a, ?, ?) -> T`,
 		FromQID: QueryID{Origin: 2, Seq: 41}, Token: []byte{4}, Hop: 1,
 	})
+	roundTrip(t, &Seed{
+		QID: qid, Origin: 2, Body: `S (a, ?, ?) -> T`,
+		FromQID: QueryID{Origin: 2, Seq: 41}, Token: []byte{4}, Hop: 1,
+		BudgetUS: 100_000,
+	})
+	roundTrip(t, &Reject{QID: qid, Reason: "admission queue full"})
+	roundTrip(t, &Reject{QID: qid})
+	roundTrip(t, &Cancel{QID: qid, Reason: "deadline expired"})
+	roundTrip(t, &Cancel{QID: qid})
 	roundTrip(t, &StatsReq{Seq: 77, ClientAddr: "127.0.0.1:8080"})
 	roundTrip(t, &Migrate{Seq: 5, ID: id1, To: 3, Client: 9, ClientAddr: "c:1", Hops: 2})
 	roundTrip(t, &MigrateData{Seq: 5, Obj: []byte(`{"id":"s1:1"}`), Client: 9, ClientAddr: "c:1"})
@@ -170,28 +188,97 @@ func TestDecodeErrors(t *testing.T) {
 
 func TestDecodeTruncationsNeverPanic(t *testing.T) {
 	msgs := []Msg{
-		&Submit{QID: QueryID{1, 2}, Body: "S -> T", Initial: []object.ID{{Birth: 1, Seq: 2}}},
+		&Submit{QID: QueryID{1, 2}, Body: "S -> T", Initial: []object.ID{{Birth: 1, Seq: 2}},
+			BudgetUS: 500_000},
 		&Deref{QID: QueryID{1, 2}, Body: "S -> T", Iters: []int{1, 2}, Token: []byte{5},
-			BodyHash: make([]byte, 32)},
+			BodyHash: make([]byte, 32), BudgetUS: 500_000},
+		&Seed{QID: QueryID{1, 2}, Body: "S -> T", FromQID: QueryID{1, 1}, Token: []byte{5},
+			BudgetUS: 500_000},
 		&Result{QID: QueryID{1, 2}, IDs: []object.ID{{Birth: 1, Seq: 2}},
 			Fetches: []FetchVal{{Var: "v", Val: object.String("x")}}},
-		&Complete{QID: QueryID{1, 2}, Err: "e"},
+		&Complete{QID: QueryID{1, 2}, Err: "e", Reason: "cancelled"},
+		&Reject{QID: QueryID{1, 2}, Reason: "full"},
+		&Cancel{QID: QueryID{1, 2}, Reason: "expired"},
 	}
 	for _, m := range msgs {
-		// A Deref cut exactly before its optional trailing BodyHash is, by
-		// design, a valid pre-plan-cache frame; every other cut must error.
-		var legacy Msg
-		if d, ok := m.(*Deref); ok {
-			c := *d
+		// Cuts exactly before an optional trailing field are, by design, valid
+		// older-generation frames: a Deref may legally end before BodyHash
+		// (pre-plan-cache) or before BudgetUS (pre-deadline), and Submit/Seed
+		// may end before BudgetUS. Every other cut must error.
+		var legacy []Msg
+		switch v := m.(type) {
+		case *Deref:
+			c := *v
+			c.BudgetUS = 0
+			preBudget := c
+			legacy = append(legacy, &preBudget)
 			c.BodyHash = nil
-			legacy = &c
+			legacy = append(legacy, &c)
+		case *Submit:
+			c := *v
+			c.BudgetUS = 0
+			legacy = append(legacy, &c)
+		case *Seed:
+			c := *v
+			c.BudgetUS = 0
+			legacy = append(legacy, &c)
+		case *Complete:
+			c := *v
+			c.Reason = ""
+			legacy = append(legacy, &c)
 		}
 		data := Encode(m)
 		for n := 0; n < len(data); n++ {
 			got, err := Decode(data[:n])
-			if err == nil && !(legacy != nil && reflect.DeepEqual(got, legacy)) {
+			if err != nil {
+				continue
+			}
+			ok := false
+			for _, l := range legacy {
+				if reflect.DeepEqual(got, l) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
 				t.Errorf("%T truncated to %d bytes decoded successfully", m, n)
 			}
+		}
+	}
+}
+
+// TestDecodePreBudgetFrames hand-checks backward compatibility: frames that
+// end where the pre-deadline encoders ended must decode with BudgetUS zero.
+func TestDecodePreBudgetFrames(t *testing.T) {
+	qid := QueryID{Origin: 2, Seq: 42}
+	id := object.ID{Birth: 3, Seq: 7}
+	full := []Msg{
+		&Submit{QID: qid, Client: 9, Body: "S -> T", Initial: []object.ID{id},
+			BudgetUS: 123},
+		&Deref{QID: qid, Origin: 2, Body: "S -> T", ObjIDs: []object.ID{id},
+			Token: []byte{1}, Hop: 1, BodyHash: make([]byte, 32), BudgetUS: 123},
+		&Seed{QID: qid, Origin: 2, Body: "S -> T", FromQID: QueryID{2, 41},
+			Token: []byte{1}, Hop: 1, BudgetUS: 123},
+	}
+	for _, m := range full {
+		data := Encode(m)
+		// The budget is the final field: strip its single encoded varint
+		// (123 < 128, one byte) to reconstruct the pre-budget frame.
+		got, err := Decode(data[:len(data)-1])
+		if err != nil {
+			t.Fatalf("pre-budget %T frame: %v", m, err)
+		}
+		var budget uint64
+		switch v := got.(type) {
+		case *Submit:
+			budget = v.BudgetUS
+		case *Deref:
+			budget = v.BudgetUS
+		case *Seed:
+			budget = v.BudgetUS
+		}
+		if budget != 0 {
+			t.Errorf("pre-budget %T frame decoded BudgetUS = %d, want 0", m, budget)
 		}
 	}
 }

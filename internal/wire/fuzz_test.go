@@ -44,6 +44,12 @@ func FuzzDecode(f *testing.F) {
 		&StatsResp{Seq: 1, Site: 2, Contexts: 3, Objects: 4, Counters: []Counter{{Name: "n", Value: 5}}},
 		&Ack{Seq: 42},
 		&Heartbeat{Seq: 7},
+		&Submit{QID: qid, Client: 7, Body: "S -> T", BudgetUS: 250_000},
+		&Deref{QID: qid, Origin: 1, ObjIDs: []object.ID{id}, Token: []byte{1}, BudgetUS: 99},
+		&Seed{QID: qid, Origin: 1, Body: "S -> T", FromQID: qid, BudgetUS: 400},
+		&Reject{QID: qid, Reason: "admission queue full"},
+		&Cancel{QID: qid, Reason: "deadline expired"},
+		&Complete{QID: qid, Partial: true, Reason: "cancelled by client"},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))

@@ -73,6 +73,13 @@ const (
 	// with a slice of object ids. Encoders always emit this layout; KDeref
 	// remains decodable for legacy single-id frames.
 	KDerefBatch
+	// KReject tells a client its Submit was refused by admission control
+	// (originator -> client). No query context was created.
+	KReject
+	// KCancel asks a site to abandon a query's context, returning any held
+	// termination credit to the originator (originator -> sites, or
+	// client -> originator to abort a query it no longer wants).
+	KCancel
 )
 
 var kindNames = [...]string{
@@ -83,6 +90,7 @@ var kindNames = [...]string{
 	KMigrate: "migrate", KMigrateData: "migrate-data",
 	KMigrateDone: "migrate-done", KMigrated: "migrated",
 	KAck: "ack", KHeartbeat: "heartbeat", KDerefBatch: "deref-batch",
+	KReject: "reject", KCancel: "cancel",
 }
 
 // String names the kind.
@@ -146,6 +154,12 @@ type Submit struct {
 	// retaining site from that query's distributed result set instead of
 	// Initial (the paper's section 5 "distributed set" refinement).
 	InitialFromResultOf QueryID
+	// BudgetUS is the client's remaining time budget in microseconds; zero
+	// means no budget (the site may still impose its configured default
+	// deadline). Budgets are relative durations, not wall-clock deadlines,
+	// so sites need no clock synchronization. Trailing and optional: frames
+	// from older clients decode with BudgetUS zero.
+	BudgetUS uint64
 }
 
 // Kind returns KSubmit.
@@ -180,6 +194,12 @@ type Deref struct {
 	// Correctness never rests on it — the plan cache compares the body text
 	// itself before serving a plan.
 	BodyHash []byte
+	// BudgetUS is the query's remaining time budget in microseconds as of
+	// the moment the sender emitted this message; zero means no budget. The
+	// receiver derives its local deadline from it, so the budget shrinks at
+	// every hop and one slow peer cannot pin resources cluster-wide.
+	// Trailing and optional, after BodyHash.
+	BudgetUS uint64
 }
 
 // Kind returns KDeref.
@@ -280,6 +300,12 @@ type Complete struct {
 	// (Hop, Site, Seq). It may be partial when participants were
 	// unreachable or the query was aborted.
 	Spans []Span
+	// Reason annotates a Partial answer with why the query ended early
+	// ("deadline expired", "cancelled by client", "peer down"), so clients
+	// can distinguish shed work from dead peers. Empty for complete answers.
+	// Trailing and optional: frames from older originators decode with
+	// Reason empty.
+	Reason string
 }
 
 // Kind returns KComplete.
@@ -302,6 +328,9 @@ type Seed struct {
 	Token []byte
 	// Hop is the trace context's dereference depth, exactly as on Deref.
 	Hop uint32
+	// BudgetUS is the remaining time budget, exactly as on Deref. Trailing
+	// and optional.
+	BudgetUS uint64
 }
 
 // Kind returns KSeed.
@@ -407,6 +436,40 @@ func (m *Migrated) Kind() Kind { return KMigrated }
 // Query returns the zero QueryID.
 func (m *Migrated) Query() QueryID { return QueryID{} }
 
+// Reject refuses a Submit under admission control: the site is at its
+// inflight bound and its admission queue is full (or the queued Submit's
+// deadline expired before a slot opened). No query context exists; the
+// client should back off or retry elsewhere. Reason is a short diagnostic,
+// not an error chain.
+type Reject struct {
+	QID    QueryID
+	Reason string
+}
+
+// Kind returns KReject.
+func (m *Reject) Kind() Kind { return KReject }
+
+// Query returns the query id.
+func (m *Reject) Query() QueryID { return m.QID }
+
+// Cancel abandons a query cooperatively. Fanned out by the originator to
+// participants on deadline expiry, client abort, or a shed decision, it asks
+// each site to discard the query's working set and return all held
+// termination credit immediately, so the originator's credit accounting
+// still sums exactly to 1 and the query completes as an annotated partial
+// answer instead of hanging. A client may also send Cancel to the
+// originator to abort a query it submitted.
+type Cancel struct {
+	QID    QueryID
+	Reason string
+}
+
+// Kind returns KCancel.
+func (m *Cancel) Kind() Kind { return KCancel }
+
+// Query returns the query id.
+func (m *Cancel) Query() QueryID { return m.QID }
+
 // Ack acknowledges one reliably-delivered transport frame. Seq is the frame
 // sequence number being acknowledged (per sender-receiver link). Acks travel
 // on the reverse path of the connection that carried the frame and are
@@ -451,4 +514,6 @@ var (
 	_ Msg = (*Control)(nil)
 	_ Msg = (*Finish)(nil)
 	_ Msg = (*Complete)(nil)
+	_ Msg = (*Reject)(nil)
+	_ Msg = (*Cancel)(nil)
 )
