@@ -51,6 +51,8 @@ func run() int {
 	maxInflight := flag.Int("max-inflight", cfg.MaxInflight, "per-site live-context bound")
 	admissionQueue := flag.Int("admission-queue", cfg.AdmissionQueue, "per-site admission queue length")
 	deadline := flag.Duration("query-deadline", cfg.QueryDeadline, "default per-query budget")
+	workers := flag.Int("workers", cfg.Workers, "per-site stepping workers (0 or 1 = the paper's single stepper)")
+	fairQuantum := flag.Int("fair-quantum", cfg.FairQuantum, "per-client DRR step credits per turn (0 = FIFO)")
 	calibration := flag.Int("calibration", cfg.Calibration, "closed-loop queries for the capacity estimate")
 	queries := flag.Int("queries", cfg.Queries, "open-loop arrivals per load point")
 	mult := flag.String("mult", "0.5,1,2,4", "offered-load points as multiples of calibrated capacity")
@@ -61,6 +63,7 @@ func run() int {
 
 	cfg.Machines, cfg.Objects, cfg.Seed = *machines, *objects, *seed
 	cfg.MaxInflight, cfg.AdmissionQueue, cfg.QueryDeadline = *maxInflight, *admissionQueue, *deadline
+	cfg.Workers, cfg.FairQuantum = *workers, *fairQuantum
 	cfg.Calibration, cfg.Queries, cfg.Timeout, cfg.Chaos = *calibration, *queries, *timeout, *chaosOn
 	var err error
 	cfg.Multipliers, err = parseMultipliers(*mult)
@@ -111,8 +114,8 @@ func parseMultipliers(spec string) ([]float64, error) {
 }
 
 func printResult(r *bench.LoadResult) {
-	fmt.Printf("cluster: %d machines, %d objects, max-inflight %d, admission-queue %d, deadline %dms\n",
-		r.Machines, r.Objects, r.MaxInflight, r.AdmissionQueue, r.QueryDeadlineMS)
+	fmt.Printf("cluster: %d machines, %d objects, max-inflight %d, admission-queue %d, deadline %dms, workers %d, fair-quantum %d\n",
+		r.Machines, r.Objects, r.MaxInflight, r.AdmissionQueue, r.QueryDeadlineMS, r.Workers, r.FairQuantum)
 	fmt.Printf("calibrated capacity: %.0f qps (closed loop at the admission bound)\n\n", r.CapacityQPS)
 	fmt.Printf("%6s %10s %8s %6s %8s %9s %7s %6s %10s %10s %10s\n",
 		"load", "target", "offered", "ok", "partial", "rejected", "errors", "hangs", "p50", "p95", "p99")

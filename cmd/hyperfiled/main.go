@@ -52,6 +52,12 @@ type config struct {
 	AdmissionQueue int
 	QueryDeadline  time.Duration
 
+	// Parallel stepping and per-client fairness: Workers sizes the site's
+	// stepping pool (0 or 1 = the paper's single stepper), FairQuantum
+	// replaces FIFO scheduling with per-client deficit round robin.
+	Workers     int
+	FairQuantum int
+
 	// MetricsAddr exposes /debug/hyperfile (metrics + query traces) over
 	// HTTP when non-empty.
 	MetricsAddr string
@@ -87,6 +93,8 @@ func main() {
 	flag.IntVar(&cfg.MaxInflight, "max-inflight", 0, "max live query contexts before admission control kicks in (0 = unbounded)")
 	flag.IntVar(&cfg.AdmissionQueue, "admission-queue", 0, "Submits queued while at max-inflight before rejecting (0 = reject immediately)")
 	flag.DurationVar(&cfg.QueryDeadline, "query-deadline", 0, "default per-query time budget; expired queries return annotated partials (0 = none)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "stepping-pool goroutines for this site (0 or 1 = single stepper)")
+	flag.IntVar(&cfg.FairQuantum, "fair-quantum", 0, "per-client deficit-round-robin step credits per turn (0 = FIFO scheduling)")
 	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "serve /debug/hyperfile on this address (empty = off)")
 	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 0, "peer heartbeat interval (0 = no failure detector)")
 	flag.DurationVar(&cfg.SuspectAfter, "suspect-after", 0, "silence before a peer is declared down (default 4x heartbeat)")
@@ -155,6 +163,12 @@ func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string
 	if cfg.QueryDeadline < 0 {
 		return fmt.Errorf("-query-deadline %v is negative", cfg.QueryDeadline)
 	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("-workers %d is negative", cfg.Workers)
+	}
+	if cfg.FairQuantum < 0 {
+		return fmt.Errorf("-fair-quantum %d is negative", cfg.FairQuantum)
+	}
 
 	st := store.New(id)
 	var ix *index.Keyword
@@ -212,6 +226,7 @@ func run(cfg config, lg *slog.Logger, stop <-chan os.Signal, ready chan<- string
 		Index: ix, PlanCacheSize: cfg.PlanCache,
 		MaxInflight: cfg.MaxInflight, AdmissionQueue: cfg.AdmissionQueue,
 		QueryDeadline: cfg.QueryDeadline,
+		Workers:       cfg.Workers, FairQuantum: cfg.FairQuantum,
 	}, cfg.Listen, lg, opts)
 	if err != nil {
 		return err

@@ -31,6 +31,12 @@ type LoadConfig struct {
 	MaxInflight    int
 	AdmissionQueue int
 	QueryDeadline  time.Duration
+	// Workers sizes each site's stepping pool (0 or 1 = the paper's single
+	// stepper); FairQuantum enables per-client deficit-round-robin scheduling.
+	// Both pass straight into cluster.Options, so the harness drives the
+	// overload machinery and the pool together.
+	Workers     int
+	FairQuantum int
 
 	// Calibration is how many closed-loop queries estimate the cluster's
 	// capacity (arrival rates are expressed as multiples of it).
@@ -109,6 +115,8 @@ type LoadResult struct {
 	MaxInflight     int         `json:"max_inflight"`
 	AdmissionQueue  int         `json:"admission_queue"`
 	QueryDeadlineMS int64       `json:"query_deadline_ms"`
+	Workers         int         `json:"workers"`
+	FairQuantum     int         `json:"fair_quantum"`
 	CapacityQPS     float64     `json:"capacity_qps"`
 	Points          []LoadPoint `json:"points"`
 }
@@ -167,6 +175,8 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		MaxInflight:    cfg.MaxInflight,
 		AdmissionQueue: cfg.AdmissionQueue,
 		QueryDeadline:  cfg.QueryDeadline,
+		Workers:        cfg.Workers,
+		FairQuantum:    cfg.FairQuantum,
 	}
 	if cfg.Chaos {
 		opts.Chaos = &chaos.Config{
@@ -192,6 +202,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		Machines: cfg.Machines, Objects: cfg.Objects, Seed: cfg.Seed,
 		MaxInflight: cfg.MaxInflight, AdmissionQueue: cfg.AdmissionQueue,
 		QueryDeadlineMS: cfg.QueryDeadline.Milliseconds(),
+		Workers:         cfg.Workers, FairQuantum: cfg.FairQuantum,
 	}
 	out.CapacityQPS, err = calibrate(c, d, cfg)
 	if err != nil {

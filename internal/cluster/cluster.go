@@ -91,6 +91,17 @@ type Options struct {
 	// LocalCluster runs a deadline sweeper when this (or MaxInflight) is
 	// set; SimCluster's virtual time ignores deadlines.
 	QueryDeadline time.Duration
+	// Workers is the per-site worker-pool size. LocalCluster runs this many
+	// goroutines per site, stepping different query contexts concurrently
+	// (each context stays pinned to one worker per step, preserving the
+	// paper's per-item execution order per query); SimCluster models the
+	// same pool as parallel step slots in virtual time. Zero or one is the
+	// paper's single-threaded stepping.
+	Workers int
+	// FairQuantum, when positive, schedules each site's admissions and
+	// engine steps by deficit round robin over client ids
+	// (wire.Submit.ClientID) with this quantum, instead of FIFO order.
+	FairQuantum int
 }
 
 // siteIDs returns 1..n.
@@ -147,6 +158,8 @@ func buildSite(id object.SiteID, all []object.SiteID, opts Options, marks *site.
 		MaxInflight:             opts.MaxInflight,
 		AdmissionQueue:          opts.AdmissionQueue,
 		QueryDeadline:           opts.QueryDeadline,
+		Workers:                 opts.Workers,
+		FairQuantum:             opts.FairQuantum,
 	})
 	return s, st, dir, reg
 }

@@ -54,8 +54,11 @@ type queryReply struct {
 	reject   *wire.Reject
 }
 
-// localSite owns one Site on its own goroutine. Work arrives through an
-// unbounded mailbox of thunks so deliveries never deadlock.
+// localSite owns one Site driven by a pool of worker goroutines
+// (Options.Workers; one by default). Work arrives through an unbounded
+// mailbox of thunks so deliveries never deadlock; workers drain the mailbox
+// and step engine work interchangeably — the Site's own locking and
+// per-context pinning make both safe from any worker.
 type localSite struct {
 	c  *LocalCluster
 	id object.SiteID
@@ -63,9 +66,12 @@ type localSite struct {
 
 	mu      sync.Mutex
 	mailbox []func(*site.Site) []wire.Envelope
-	wake    chan struct{} // capacity 1
-	quit    chan struct{}
-	down    bool
+	// wakes holds one capacity-1 wake channel per worker: a single shared
+	// channel would wake only one worker per post, leaving the rest asleep
+	// while several contexts have runnable work.
+	wakes []chan struct{}
+	quit  chan struct{}
+	down  bool
 
 	// Failure-detector state (nil maps unless the detector is enabled).
 	heard     map[object.SiteID]time.Time
@@ -108,12 +114,19 @@ func NewLocal(n int, opts Options) *LocalCluster {
 		if reg != nil {
 			c.regs[id] = reg
 		}
+		workers := opts.Workers
+		if workers < 1 {
+			workers = 1
+		}
 		ls := &localSite{
-			c:    c,
-			id:   id,
-			s:    s,
-			wake: make(chan struct{}, 1),
-			quit: make(chan struct{}),
+			c:     c,
+			id:    id,
+			s:     s,
+			wakes: make([]chan struct{}, workers),
+			quit:  make(chan struct{}),
+		}
+		for i := range ls.wakes {
+			ls.wakes[i] = make(chan struct{}, 1)
 		}
 		c.sites[id] = ls
 		if opts.QueryDeadline > 0 || opts.MaxInflight > 0 {
@@ -139,8 +152,10 @@ func NewLocal(n int, opts Options) *LocalCluster {
 				go ls.heartbeatLoop(c.hbEvery, c.suspectAfter)
 			}
 		}
-		c.wg.Add(1)
-		go ls.loop()
+		for _, wake := range ls.wakes {
+			c.wg.Add(1)
+			go ls.loop(wake)
+		}
 	}
 	return c
 }
@@ -392,9 +407,11 @@ func (ls *localSite) post(f func(*site.Site) []wire.Envelope) {
 }
 
 func (ls *localSite) poke() {
-	select {
-	case ls.wake <- struct{}{}:
-	default:
+	for _, wake := range ls.wakes {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -419,9 +436,14 @@ func (ls *localSite) isDown() bool {
 	return ls.down
 }
 
-// loop is the site goroutine: drain the mailbox, then step engine work,
-// blocking when fully idle.
-func (ls *localSite) loop() {
+// loop is one site worker: drain the mailbox, then step engine work,
+// blocking on its own wake channel when fully idle. With Options.Workers > 1
+// several of these run against the same Site; the Site serializes its
+// bookkeeping internally and pins each query context to the worker stepping
+// it, so concurrent loops advance different contexts in parallel. A Step
+// that loses the race for the last runnable context simply reports no work
+// and the worker goes back to sleep.
+func (ls *localSite) loop(wake chan struct{}) {
 	defer ls.c.wg.Done()
 	for {
 		select {
@@ -434,18 +456,20 @@ func (ls *localSite) loop() {
 			continue
 		}
 		if !ls.isDown() && ls.s.HasWork() {
-			_, envs, _, err := ls.s.Step()
+			_, envs, did, err := ls.s.Step()
 			if err != nil {
 				ls.c.fail(err)
 				return
 			}
 			ls.dispatch(envs)
-			continue
+			if did {
+				continue
+			}
 		}
 		select {
 		case <-ls.quit:
 			return
-		case <-ls.wake:
+		case <-wake:
 		}
 	}
 }
@@ -585,7 +609,7 @@ func (c *LocalCluster) Exec(origin object.SiteID, body string, initial []object.
 
 // ExecQID is Exec returning the query id for distributed-set follow-ups.
 func (c *LocalCluster) ExecQID(origin object.SiteID, body string, initial []object.ID, timeout time.Duration) (*Result, wire.QueryID, error) {
-	return c.exec(origin, body, initial, wire.QueryID{}, 0, timeout)
+	return c.exec(execSpec{origin: origin, body: body, initial: initial, timeout: timeout})
 }
 
 // ExecBudget is Exec with a server-side time budget: the budget rides the
@@ -593,18 +617,46 @@ func (c *LocalCluster) ExecQID(origin object.SiteID, body string, initial []obje
 // as a partial answer with Result.Reason set — no client-side abort needed.
 // An admission-control refusal returns ErrRejected.
 func (c *LocalCluster) ExecBudget(origin object.SiteID, body string, initial []object.ID, budget, timeout time.Duration) (*Result, error) {
-	res, _, err := c.exec(origin, body, initial, wire.QueryID{}, budget, timeout)
+	res, _, err := c.exec(execSpec{origin: origin, body: body, initial: initial, budget: budget, timeout: timeout})
 	return res, err
 }
 
 // ExecSeeded runs a query seeded from a previous query's distributed result
 // set.
 func (c *LocalCluster) ExecSeeded(origin object.SiteID, body string, from wire.QueryID, timeout time.Duration) (*Result, error) {
-	res, _, err := c.exec(origin, body, nil, from, 0, timeout)
+	res, _, err := c.exec(execSpec{origin: origin, body: body, from: from, timeout: timeout})
 	return res, err
 }
 
-func (c *LocalCluster) exec(origin object.SiteID, body string, initial []object.ID, from wire.QueryID, budget, timeout time.Duration) (*Result, wire.QueryID, error) {
+// ExecAs is Exec under a fairness identity: clientID rides the Submit
+// (wire.Submit.ClientID) and, with Options.FairQuantum set, sites schedule
+// this query's admission and engine steps by deficit round robin against
+// other clients' work. With fairness off the id is carried but inert.
+func (c *LocalCluster) ExecAs(clientID uint64, origin object.SiteID, body string, initial []object.ID, timeout time.Duration) (*Result, error) {
+	res, _, err := c.exec(execSpec{origin: origin, body: body, initial: initial, clientID: clientID, timeout: timeout})
+	return res, err
+}
+
+// ExecAsBudget is ExecAs with a server-side time budget (see ExecBudget).
+func (c *LocalCluster) ExecAsBudget(clientID uint64, origin object.SiteID, body string, initial []object.ID, budget, timeout time.Duration) (*Result, error) {
+	res, _, err := c.exec(execSpec{origin: origin, body: body, initial: initial, clientID: clientID, budget: budget, timeout: timeout})
+	return res, err
+}
+
+// execSpec carries one query submission's parameters.
+type execSpec struct {
+	origin   object.SiteID
+	body     string
+	initial  []object.ID
+	from     wire.QueryID
+	clientID uint64
+	budget   time.Duration
+	timeout  time.Duration
+}
+
+func (c *LocalCluster) exec(spec execSpec) (*Result, wire.QueryID, error) {
+	origin, body, initial, from := spec.origin, spec.body, spec.initial, spec.from
+	budget, timeout := spec.budget, spec.timeout
 	ls, ok := c.sites[origin]
 	if !ok {
 		return nil, wire.QueryID{}, fmt.Errorf("cluster: no site %v", origin)
@@ -620,7 +672,8 @@ func (c *LocalCluster) exec(origin object.SiteID, body string, initial []object.
 	c.waiters[qid] = ch
 	c.mu.Unlock()
 
-	sub := &wire.Submit{QID: qid, Client: clientID, Body: body, Initial: initial, InitialFromResultOf: from}
+	sub := &wire.Submit{QID: qid, Client: clientID, Body: body, Initial: initial,
+		InitialFromResultOf: from, ClientID: spec.clientID}
 	if budget > 0 {
 		sub.BudgetUS = uint64(budget.Microseconds())
 		if sub.BudgetUS == 0 {

@@ -44,6 +44,16 @@ type simSite struct {
 	inbox     []inMsg
 	scheduled bool
 	down      bool
+	// slots models the worker pool in virtual time (Options.Workers > 1):
+	// each unit of work is charged to the earliest-free slot, so up to
+	// len(slots) steps overlap. nil keeps the serial single-freeAt path
+	// unchanged (committed benchmark JSONs depend on its exact times).
+	slots []time.Duration
+	// ctxBusy is each query context's busy-until horizon: a context is
+	// pinned to one worker at a time, so its own steps never overlap even
+	// when free slots exist. A lone query therefore runs at single-worker
+	// speed — the negative control the workers benchmark asserts.
+	ctxBusy map[wire.QueryID]time.Duration
 	// Counters for experiment reporting.
 	msgsIn, msgsOut int
 	// reg is the site's metrics registry (nil unless Options.Metrics).
@@ -71,7 +81,12 @@ func NewSim(n int, opts Options) *SimCluster {
 	}
 	for _, id := range c.ids {
 		s, st, dir, reg := buildSite(id, c.ids, opts, marks)
-		c.sites[id] = &simSite{c: c, s: s, id: id, store: st, reg: reg}
+		ss := &simSite{c: c, s: s, id: id, store: st, reg: reg}
+		if opts.Workers > 1 {
+			ss.slots = make([]time.Duration, opts.Workers)
+			ss.ctxBusy = make(map[wire.QueryID]time.Duration)
+		}
+		c.sites[id] = ss
 		if dir != nil {
 			c.dirs[id] = dir
 		}
@@ -193,7 +208,22 @@ func (ss *simSite) kick() {
 		return
 	}
 	ss.scheduled = true
-	ss.c.loop.At(maxDur(ss.c.loop.Now(), ss.freeAt), ss.run)
+	free := ss.freeAt
+	if ss.slots != nil {
+		free = ss.slots[ss.minSlot()]
+	}
+	ss.c.loop.At(maxDur(ss.c.loop.Now(), free), ss.run)
+}
+
+// minSlot returns the index of the earliest-free worker slot.
+func (ss *simSite) minSlot() int {
+	min := 0
+	for i, t := range ss.slots {
+		if t < ss.slots[min] {
+			min = i
+		}
+	}
+	return min
 }
 
 func maxDur(a, b time.Duration) time.Duration {
@@ -213,12 +243,20 @@ func (ss *simSite) run() {
 	now := ss.c.loop.Now()
 	cost := time.Duration(0)
 	var out []wire.Envelope
+	var busyQ wire.QueryID
+	var busyOK bool
 
 	switch {
 	case len(ss.inbox) > 0:
 		in := ss.inbox[0]
 		ss.inbox = ss.inbox[1:]
 		cost = ss.recvCost(in.msg)
+		// Handling a query's message contends with stepping that query: in
+		// the goroutine runner both paths lock the same engine, so the pool
+		// model serializes them on the context's busy horizon too.
+		if qm, ok := in.msg.(interface{ Query() wire.QueryID }); ok {
+			busyQ, busyOK = qm.Query(), true
+		}
 		pre := ss.s.Stats()
 		envs, err := ss.s.HandleMessage(in.from, in.msg)
 		if err != nil {
@@ -233,7 +271,7 @@ func (ss *simSite) run() {
 		cost += time.Duration(post.PlanCacheHits-pre.PlanCacheHits) * ss.c.cost.PlanCacheHit
 		out = envs
 	case ss.s.HasWork():
-		outcome, envs, _, err := ss.s.Step()
+		outcome, envs, did, err := ss.s.Step()
 		if err != nil {
 			ss.c.err = err
 			return
@@ -244,16 +282,38 @@ func (ss *simSite) run() {
 		if outcome.ResultAdded {
 			cost += ss.c.cost.AddResult
 		}
+		busyQ, busyOK = outcome.Query, did
 		out = envs
 	default:
 		return
 	}
 
-	ss.freeAt = now + cost
-	for _, env := range out {
-		ss.freeAt += ss.sendCost(env.Msg)
-		ss.msgsOut++
-		ss.c.deliver(ss.id, env.To, env.Msg, ss.freeAt+ss.c.cost.Latency)
+	if ss.slots == nil {
+		ss.freeAt = now + cost
+		for _, env := range out {
+			ss.freeAt += ss.sendCost(env.Msg)
+			ss.msgsOut++
+			ss.c.deliver(ss.id, env.To, env.Msg, ss.freeAt+ss.c.cost.Latency)
+		}
+	} else {
+		// Worker-pool accounting: charge the work to the earliest-free slot,
+		// starting no sooner than the touched context's own busy horizon —
+		// parallelism across queries, never within one (per-context pinning
+		// for steps, the engine mutex for handlers).
+		slot := ss.minSlot()
+		begin := maxDur(now, ss.slots[slot])
+		if busyOK {
+			begin = maxDur(begin, ss.ctxBusy[busyQ])
+		}
+		ss.slots[slot] = begin + cost
+		for _, env := range out {
+			ss.slots[slot] += ss.sendCost(env.Msg)
+			ss.msgsOut++
+			ss.c.deliver(ss.id, env.To, env.Msg, ss.slots[slot]+ss.c.cost.Latency)
+		}
+		if busyOK {
+			ss.ctxBusy[busyQ] = ss.slots[slot]
+		}
 	}
 	ss.kick()
 }

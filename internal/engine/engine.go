@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync"
+
 	"hyperfile/internal/object"
 	"hyperfile/internal/pattern"
 	"hyperfile/internal/plan"
@@ -106,15 +108,26 @@ func (m mapMarks) TestAndSet(id object.ID, idx int) bool {
 	return false
 }
 
-// Engine processes one query at one site. It is not safe for concurrent use;
-// each query context owns one engine. (Concurrent processing shares state
-// across engines via WithMarks and WithSpawnSink — see RunParallel.)
+// Engine processes one query at one site; each query context owns one
+// engine. All exported methods are serialized by an internal mutex so a
+// site's worker pool can run Step on one context while message handlers
+// call Enqueue/HasWork/Stats on the same engine. The mutex covers the whole
+// of Step, so the mark table, working set, and iterator state on items need
+// no finer synchronization: at most one goroutine is ever inside the filter
+// pipeline. Sites additionally pin each context to a single worker, so two
+// Steps of the same engine never even contend. (Concurrent processing
+// shares state across engines via WithMarks and WithSpawnSink — see
+// RunParallel; a table installed with WithMarks must itself be
+// concurrency-safe if engines sharing it run in parallel.)
 type Engine struct {
 	p     *plan.Plan
 	src   Source
 	loc   Locator
 	order Order
 
+	// mu guards everything below. Internal helpers (applySelect, push, pop,
+	// ...) assume it is held by the exported caller.
+	mu    sync.Mutex
 	work  []Item
 	marks Marks
 	// spawn, when set, receives locally-dereferenced items instead of the
@@ -186,6 +199,8 @@ func (e *Engine) Plan() *plan.Plan { return e.p }
 // probe are pruned here — the probe fully decides filter 0, so a failing
 // object can never reach the result set and need not enter the working set.
 func (e *Engine) AddInitial(ids ...object.ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, id := range ids {
 		if e.p.InitialProbe != nil {
 			e.stats.IndexProbes++
@@ -205,6 +220,8 @@ func (e *Engine) AddInitial(ids ...object.ID) {
 // pruning as local initial objects (the probe decides filter 0 outright, so a
 // pruned item is exactly one a first Step would have discarded).
 func (e *Engine) Enqueue(it Item) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	it.Next = it.Start
 	it.MVars = nil
 	if it.Start == 0 && e.p.InitialProbe != nil {
@@ -218,24 +235,44 @@ func (e *Engine) Enqueue(it Item) {
 }
 
 // HasWork reports whether the working set is non-empty.
-func (e *Engine) HasWork() bool { return len(e.work) > 0 }
+func (e *Engine) HasWork() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.work) > 0
+}
 
 // Pending returns the number of items in the working set.
-func (e *Engine) Pending() int { return len(e.work) }
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.work)
+}
 
 // DiscardWork empties the working set without processing it (cooperative
 // cancellation or deadline shedding). Dedup marks and the accumulated
 // result set are untouched.
-func (e *Engine) DiscardWork() { e.work = e.work[:0] }
+func (e *Engine) DiscardWork() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.work = e.work[:0]
+}
 
 // Results returns the local result set accumulated so far. The set is live;
-// callers must not mutate it.
-func (e *Engine) Results() object.IDSet { return e.results }
+// callers must not mutate it, and under a multi-worker site must not read it
+// while the context may still be stepped (use TakeResults for a stable
+// snapshot).
+func (e *Engine) Results() object.IDSet {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.results
+}
 
 // TakeResults returns the accumulated results and fetches and resets both,
 // supporting the paper's protocol of flushing Q.result to the originator
 // whenever the working set drains.
 func (e *Engine) TakeResults() (object.IDSet, []Fetch) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	r, f := e.results, e.fetches
 	e.results = make(object.IDSet)
 	e.fetches = nil
@@ -243,7 +280,11 @@ func (e *Engine) TakeResults() (object.IDSet, []Fetch) {
 }
 
 // Stats returns cumulative statistics.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // ReleaseMarks drops the engine-owned mark table. Only valid once the query
 // is finished at this site: a retained context keeps its engine alive for
@@ -252,6 +293,8 @@ func (e *Engine) Stats() Stats { return e.stats }
 // touched. A table shared via WithMarks is left alone — its owner decides
 // its lifetime.
 func (e *Engine) ReleaseMarks() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, owned := e.marks.(mapMarks); owned {
 		e.marks = make(mapMarks)
 	}
@@ -261,6 +304,8 @@ func (e *Engine) ReleaseMarks() {
 // engine-owned mark table, or -1 for a shared table installed via
 // WithMarks (whose size is not this engine's to report).
 func (e *Engine) MarkCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	m, owned := e.marks.(mapMarks)
 	if !owned {
 		return -1
@@ -294,6 +339,8 @@ func (e *Engine) pop() Item {
 // lets the simulator charge per-object processing cost and interleave message
 // arrivals, and lets a real server yield between objects.
 func (e *Engine) Step() (StepResult, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if len(e.work) == 0 {
 		return StepResult{}, false
 	}
@@ -352,13 +399,13 @@ func (e *Engine) Step() (StepResult, bool) {
 // Run drains the working set completely (single-site processing) and returns
 // the statistics for the drain.
 func (e *Engine) Run() Stats {
-	before := e.stats
+	before := e.Stats()
 	for {
 		if _, ok := e.Step(); !ok {
 			break
 		}
 	}
-	d := e.stats
+	d := e.Stats()
 	d.Processed -= before.Processed
 	d.Results -= before.Results
 	d.LocalDerefs -= before.LocalDerefs

@@ -58,6 +58,12 @@ type Server struct {
 	once    sync.Once
 	wg      sync.WaitGroup
 
+	// stepWakes holds one cap-1 wake channel per extra stepping worker
+	// (Config.Workers > 1). The main loop stays the only message handler;
+	// the extra workers only call Step, so the site's per-context pinning
+	// is what keeps them off each other's queries.
+	stepWakes []chan struct{}
+
 	// Failure-detector state (nil maps unless HeartbeatInterval > 0).
 	hbMu      sync.Mutex
 	heard     map[object.SiteID]time.Time
@@ -117,6 +123,12 @@ func NewOpts(cfg site.Config, addr string, logger *slog.Logger, opts Options) (*
 	srv.tr = tr
 	srv.wg.Add(1)
 	go srv.loop()
+	for w := 1; w < cfg.Workers; w++ {
+		wake := make(chan struct{}, 1)
+		srv.stepWakes = append(srv.stepWakes, wake)
+		srv.wg.Add(1)
+		go srv.stepLoop(wake)
+	}
 	if opts.HeartbeatInterval > 0 {
 		srv.wg.Add(1)
 		go srv.heartbeatLoop()
@@ -348,6 +360,7 @@ func (srv *Server) loop() {
 				continue
 			}
 			srv.dispatch(out)
+			srv.pokeSteppers()
 			continue
 		}
 		if srv.s.HasWork() {
@@ -363,6 +376,46 @@ func (srv *Server) loop() {
 		case <-srv.quit:
 			return
 		case <-srv.wake:
+		}
+	}
+}
+
+// stepLoop is one extra pool worker: it steps the site while work remains,
+// then sleeps until the main loop signals fresh work. Liveness never depends
+// on these workers — the main loop also steps — so a missed wake costs only
+// parallelism, never progress.
+func (srv *Server) stepLoop(wake chan struct{}) {
+	defer srv.wg.Done()
+	for {
+		select {
+		case <-srv.quit:
+			return
+		default:
+		}
+		_, envs, did, err := srv.s.Step()
+		if err != nil {
+			srv.lg.Error("engine step failed", "err", err)
+			return
+		}
+		srv.dispatch(envs)
+		if did {
+			continue
+		}
+		select {
+		case <-srv.quit:
+			return
+		case <-wake:
+		}
+	}
+}
+
+// pokeSteppers wakes the extra pool workers after an event that may have
+// created steppable work.
+func (srv *Server) pokeSteppers() {
+	for _, w := range srv.stepWakes {
+		select {
+		case w <- struct{}{}:
+		default:
 		}
 	}
 }

@@ -1,0 +1,205 @@
+package site
+
+// Per-client fair scheduling (Config.FairQuantum, DESIGN.md §11).
+//
+// With fairness off, a site steps ready contexts in FIFO order and admits
+// queued Submits in arrival order — one greedy client that floods the site
+// with queries starves everyone behind it in both queues. With fairness on,
+// both queues are served by deficit round robin (DRR) over client ids: each
+// client's bucket earns FairQuantum credits per scheduling turn, one engine
+// step (or one admission) costs one credit, and a client whose credit is
+// spent waits for the ring to come around. The scheduler is work-conserving:
+// exhausted buckets are replenished and re-served when no one else has work,
+// so a lone client runs exactly as fast as it would under FIFO.
+//
+// Participant contexts (work arriving by Deref/Seed from other sites) bucket
+// under client 0 — remote work competes as one aggregate client rather than
+// inheriting per-client identity, which would require propagating client ids
+// through the whole protocol for no observable-result difference.
+
+import "hyperfile/internal/wire"
+
+// fairBucket is one client's FIFO of ready contexts plus its DRR deficit.
+type fairBucket struct {
+	client  uint64
+	q       []wire.QueryID
+	deficit int
+	inRing  bool
+}
+
+// fairSched schedules ready contexts by deficit round robin over clients.
+// Buckets persist per client id (deficits reset when a bucket idles, so an
+// absent client cannot hoard credit); the ring holds only buckets with
+// queued entries.
+type fairSched struct {
+	quantum int
+	buckets map[uint64]*fairBucket
+	ring    []*fairBucket
+	cur     int
+}
+
+func newFairSched(quantum int) *fairSched {
+	return &fairSched{quantum: quantum, buckets: make(map[uint64]*fairBucket)}
+}
+
+// push queues a context in its client's bucket, entering the bucket into the
+// service ring if it was idle. Callers uphold the ready-flag invariant, so a
+// context appears at most once across all buckets.
+func (f *fairSched) push(client uint64, qid wire.QueryID) {
+	b := f.buckets[client]
+	if b == nil {
+		b = &fairBucket{client: client}
+		f.buckets[client] = b
+	}
+	b.q = append(b.q, qid)
+	if !b.inRing {
+		b.inRing = true
+		f.ring = append(f.ring, b)
+	}
+}
+
+// fairHead prunes b's stale queue heads (finished or dropped contexts, same
+// liveness rules as the FIFO path) and returns the first steppable context,
+// or nil when the bucket empties.
+func (s *Site) fairHead(b *fairBucket) *qctx {
+	for len(b.q) > 0 {
+		ctx := s.contexts[b.q[0]]
+		if ctx != nil && ctx.ready && !ctx.finished && !ctx.stepping && ctx.eng.HasWork() {
+			return ctx
+		}
+		if ctx != nil {
+			ctx.ready = false
+		}
+		b.q = b.q[1:]
+	}
+	return nil
+}
+
+// dropBucket removes the bucket at ring position i. The deficit is kept: it
+// is bounded by the quantum (replenishment only fires from zero or below), so
+// an idle client cannot bank credit for later bursts, and a client whose only
+// context is momentarily out of the bucket — pinned to a worker mid-step —
+// resumes with the credit it had instead of starting broke on every re-entry,
+// which would systematically shortchange single-query clients under a pool.
+func (f *fairSched) dropBucket(i int) {
+	b := f.ring[i]
+	b.inRing = false
+	f.ring = append(f.ring[:i], f.ring[i+1:]...)
+}
+
+// fairPop returns the next context to step under DRR, pinned to the caller,
+// or nil when no context has work. Each loop visit either serves, drops an
+// emptied bucket, or replenishes an exhausted one; with quantum >= 1 every
+// surviving bucket can serve after one replenishing wrap, so the loop
+// terminates.
+func (s *Site) fairPop() *qctx {
+	f := s.fair
+	for len(f.ring) > 0 {
+		if f.cur >= len(f.ring) {
+			f.cur = 0
+		}
+		b := f.ring[f.cur]
+		ctx := s.fairHead(b)
+		if ctx == nil {
+			f.dropBucket(f.cur)
+			continue
+		}
+		if b.deficit <= 0 {
+			b.deficit += f.quantum
+			if len(f.ring) > 1 {
+				// This client had work but its turn ended; someone else is
+				// served first. With a single active client the replenish is
+				// invisible (work-conserving), so it is not a deferral.
+				s.stats.FairDeferred++
+				s.met.fairDeferred.Inc()
+			}
+			f.cur++
+			continue
+		}
+		b.deficit--
+		b.q = b.q[1:]
+		ctx.ready = false
+		ctx.stepping = true
+		return ctx
+	}
+	return nil
+}
+
+// fairHasWork reports whether any bucket holds a steppable context, pruning
+// emptied buckets on the way (the fair-mode twin of the FIFO HasWork).
+func (s *Site) fairHasWork() bool {
+	f := s.fair
+	for i := 0; i < len(f.ring); {
+		if s.fairHead(f.ring[i]) != nil {
+			return true
+		}
+		f.dropBucket(i)
+	}
+	return false
+}
+
+// nextFairAdmit picks the admission-queue index to serve next under DRR over
+// the clients present in the queue, or -1 when it is empty. Admission shares
+// the step scheduler's quantum but keeps separate deficits; arrival order is
+// preserved within a client. The caller removes the returned entry.
+func (s *Site) nextFairAdmit() int {
+	if len(s.admitQ) == 0 {
+		return -1
+	}
+	f := &s.fairAdmit
+	// Clients present in the queue, in first-arrival order, with the index
+	// of each client's oldest entry.
+	var order []uint64
+	oldest := make(map[uint64]int)
+	for i, p := range s.admitQ {
+		cid := p.m.ClientID
+		if _, ok := oldest[cid]; !ok {
+			oldest[cid] = i
+			order = append(order, cid)
+		}
+	}
+	// Rotate so the scan starts just past the last client served.
+	start := 0
+	for i, cid := range order {
+		if cid == f.last {
+			start = i + 1
+			break
+		}
+	}
+	for pass := 0; ; pass++ {
+		for i := range order {
+			cid := order[(start+i)%len(order)]
+			if f.deficit == nil {
+				f.deficit = make(map[uint64]int)
+			}
+			if f.deficit[cid] <= 0 {
+				if pass == 0 {
+					f.deficit[cid] += s.cfg.FairQuantum
+					if len(order) > 1 {
+						s.stats.FairDeferred++
+						s.met.fairDeferred.Inc()
+					}
+					continue
+				}
+				// Second pass: every client was replenished; serve anyway
+				// (quantum >= 1 makes this unreachable, but keeps the loop
+				// provably bounded).
+			}
+			f.deficit[cid]--
+			f.last = cid
+			return oldest[cid]
+		}
+		if pass > 0 {
+			return oldest[order[0]]
+		}
+	}
+}
+
+// fairAdmitState is the admission queue's DRR state (Config.FairQuantum).
+// Deficits persist across drains; clients absent from the queue keep theirs
+// until served again, which is harmless — admission contention is transient
+// and bounded by Config.AdmissionQueue.
+type fairAdmitState struct {
+	deficit map[uint64]int
+	last    uint64
+}

@@ -14,6 +14,8 @@ import (
 // deliver in response. Any event may finish a context and open an admission
 // slot, so queued Submits are (re)considered after every dispatch.
 func (s *Site) HandleMessage(from object.SiteID, m wire.Msg) ([]wire.Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out, err := s.dispatch(from, m)
 	if err != nil {
 		return out, err
@@ -58,7 +60,7 @@ func (s *Site) dispatch(from object.SiteID, m wire.Msg) ([]wire.Envelope, error)
 
 // statsResp snapshots the site's counters for administration clients.
 func (s *Site) statsResp(seq uint64) *wire.StatsResp {
-	st := s.Stats()
+	st := s.statsLocked()
 	return &wire.StatsResp{
 		Seq:      seq,
 		Site:     s.cfg.ID,
@@ -88,6 +90,7 @@ func (s *Site) statsResp(seq uint64) *wire.StatsResp {
 			{Name: "shed", Value: uint64(st.Shed)},
 			{Name: "cancelled", Value: uint64(st.Cancelled)},
 			{Name: "deadline_expired", Value: uint64(st.DeadlineExpired)},
+			{Name: "fair_deferred", Value: uint64(st.FairDeferred)},
 			{Name: "tuples_scanned", Value: uint64(st.Engine.TuplesScanned)},
 			{Name: "index_probes", Value: uint64(st.Engine.IndexProbes)},
 			{Name: "initial_pruned", Value: uint64(st.Engine.InitialPruned)},
@@ -130,6 +133,7 @@ func (s *Site) admitSubmit(m *wire.Submit, deadline time.Time) ([]wire.Envelope,
 	}
 	ctx := s.newCtx(m.QID, s.cfg.ID, m.Body, p, fp, pinned, 0)
 	ctx.client = m.Client
+	ctx.fairClient = m.ClientID
 	ctx.deadline = deadline
 	s.stats.Admitted++
 	s.met.admitted.Inc()
@@ -359,7 +363,7 @@ func (s *Site) handleFinish(from object.SiteID, m *wire.Finish) []wire.Envelope 
 		return nil
 	}
 	if ctx.isOrigin && from == ctx.client && !ctx.finished {
-		return s.Abort(m.QID)
+		return s.abortLocked(m.QID)
 	}
 	if m.Retain {
 		// The retained context only answers future seeds from ctx.retained;

@@ -44,6 +44,10 @@ type siteMetrics struct {
 	cancelled       *metrics.Counter
 	deadlineExpired *metrics.Counter
 
+	// fairDeferred counts DRR turns where a client with queued work was
+	// passed over with its quantum spent (Config.FairQuantum).
+	fairDeferred *metrics.Counter
+
 	planCacheHits      *metrics.Counter
 	planCacheMisses    *metrics.Counter
 	planCacheEvictions *metrics.Counter
@@ -69,6 +73,10 @@ type siteMetrics struct {
 	// filterSteps[i] counts engine steps that started at filter i, grown
 	// lazily (queries rarely exceed a handful of filters).
 	filterSteps []*metrics.Counter
+	// clientSteps counts engine steps per fairness client id, registered
+	// lazily on first step for a client (cardinality follows distinct
+	// Submit.ClientID values, which deployments keep small).
+	clientSteps map[uint64]*metrics.Counter
 }
 
 func newSiteMetrics(reg *metrics.Registry) siteMetrics {
@@ -102,6 +110,7 @@ func newSiteMetrics(reg *metrics.Registry) siteMetrics {
 	m.shed = reg.Counter("hf_shed")
 	m.cancelled = reg.Counter("hf_cancelled")
 	m.deadlineExpired = reg.Counter("hf_deadline_expired")
+	m.fairDeferred = reg.Counter("hf_fair_deferred")
 	m.planCacheHits = reg.Counter("hf_plan_cache_hits")
 	m.planCacheMisses = reg.Counter("hf_plan_cache_misses")
 	m.planCacheEvictions = reg.Counter("hf_plan_cache_evictions")
@@ -131,6 +140,22 @@ func (m *siteMetrics) notePlanOps(c plan.Counts) {
 	m.planOpsProbe.Add(uint64(c.Probes))
 	m.planOpsPure.Add(uint64(c.PureProbes))
 	m.planOpsFused.Add(uint64(c.Fused))
+}
+
+// clientStep returns the per-client step counter for a fairness client id.
+func (m *siteMetrics) clientStep(client uint64) *metrics.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	c, ok := m.clientSteps[client]
+	if !ok {
+		if m.clientSteps == nil {
+			m.clientSteps = make(map[uint64]*metrics.Counter)
+		}
+		c = m.reg.Counter(fmt.Sprintf("hf_client_%d_steps", client))
+		m.clientSteps[client] = c
+	}
+	return c
 }
 
 // filterStep returns the per-filter step counter for filter index i.

@@ -80,6 +80,9 @@ func (s *Site) drainAdmission() ([]wire.Envelope, error) {
 	if len(s.admitQ) == 0 {
 		return nil, nil
 	}
+	if s.fair != nil {
+		return s.drainAdmissionFair()
+	}
 	var out []wire.Envelope
 	now := time.Now()
 	for len(s.admitQ) > 0 {
@@ -97,6 +100,42 @@ func (s *Site) drainAdmission() ([]wire.Envelope, error) {
 			break
 		}
 		s.admitQ = s.admitQ[1:]
+		envs, err := s.admitSubmit(p.m, p.deadline)
+		out = append(out, envs...)
+		if err != nil {
+			s.met.admissionQueue.Set(int64(len(s.admitQ)))
+			return out, err
+		}
+	}
+	s.met.admissionQueue.Set(int64(len(s.admitQ)))
+	return out, nil
+}
+
+// drainAdmissionFair admits queued Submits under deficit round robin over
+// client ids (Config.FairQuantum): one greedy client's burst of queued
+// Submits no longer starves the clients behind it. Expired entries are shed
+// wherever they sit — the next served entry need not be the head, so
+// head-only shedding would let dead entries linger mid-queue.
+func (s *Site) drainAdmissionFair() ([]wire.Envelope, error) {
+	var out []wire.Envelope
+	now := time.Now()
+	kept := s.admitQ[:0]
+	for _, p := range s.admitQ {
+		if !p.deadline.IsZero() && now.After(p.deadline) {
+			s.stats.Shed++
+			s.met.shed.Inc()
+			out = append(out, wire.Envelope{To: p.m.Client, Msg: &wire.Reject{
+				QID: p.m.QID, Reason: "shed: deadline expired in admission queue",
+			}})
+			continue
+		}
+		kept = append(kept, p)
+	}
+	s.admitQ = kept
+	for len(s.admitQ) > 0 && !s.atCapacity() {
+		i := s.nextFairAdmit()
+		p := s.admitQ[i]
+		s.admitQ = append(s.admitQ[:i], s.admitQ[i+1:]...)
 		envs, err := s.admitSubmit(p.m, p.deadline)
 		out = append(out, envs...)
 		if err != nil {
@@ -340,6 +379,8 @@ func (s *Site) drainEvent(ctx *qctx, out []wire.Envelope) []wire.Envelope {
 // overload options are set; the simulator's virtual time never expires
 // anything.
 func (s *Site) ExpireDeadlines() ([]wire.Envelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	now := time.Now()
 	var out []wire.Envelope
 	qids := append([]wire.QueryID(nil), s.order...)

@@ -88,16 +88,20 @@ func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
 func TestAdmissionQueueShedsExpired(t *testing.T) {
 	h := newHarness(t, 1, func(c *Config) { c.MaxInflight = 1; c.AdmissionQueue = 2 })
 	blocked := holdOpen(t, h, 1, 1)
+	// The 1µs budget may lapse before the submit-dispatch drain runs (it
+	// always does under the race detector's slowdown) or only after the
+	// sleep below — the shed Reject is correct from either drain, so both
+	// envelope batches are searched.
 	out, err := h.sites[1].HandleMessage(client, &wire.Submit{
 		QID: wire.QueryID{Origin: 1, Seq: 2}, Client: client,
 		Body: `S (keyword, "hot", ?) -> T`, BudgetUS: 1,
 	})
-	if err != nil || len(out) != 0 {
-		t.Fatalf("queued submit: %v %v", out, err)
+	if err != nil {
+		t.Fatalf("queued submit: %v", err)
 	}
 	// lint:ignore baresleep the elapsing wall clock IS the condition — the 1µs queue budget must lapse, and there is no observable state to poll until the Abort below triggers the shed
 	time.Sleep(time.Millisecond)
-	envs := h.sites[1].Abort(blocked)
+	envs := append(out, h.sites[1].Abort(blocked)...)
 	var shed *wire.Reject
 	for _, env := range envs {
 		if r, ok := env.Msg.(*wire.Reject); ok {

@@ -1,0 +1,197 @@
+package site
+
+import (
+	"testing"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/wire"
+)
+
+// submitLocal admits a query over n fresh local objects matching the body's
+// filter, giving the context n working-set items, and returns its context.
+func submitLocal(t *testing.T, h *harness, siteID object.SiteID, seq uint64, clientID uint64, n int) *qctx {
+	t.Helper()
+	st := h.store(siteID)
+	ids := make([]object.ID, n)
+	for i := range ids {
+		o := st.NewObject().Add("k", object.String("a"), object.Value{})
+		if err := st.Put(o); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = o.ID
+	}
+	qid := wire.QueryID{Origin: siteID, Seq: seq}
+	sub := &wire.Submit{QID: qid, Client: client, Body: `S (k, "a", ?) -> T`,
+		Initial: ids, ClientID: clientID}
+	if _, err := h.sites[siteID].HandleMessage(client, sub); err != nil {
+		t.Fatal(err)
+	}
+	ctx := h.sites[siteID].contexts[qid]
+	if ctx == nil {
+		t.Fatalf("no context for %v", qid)
+	}
+	return ctx
+}
+
+// TestPinnedContextNotRescheduled pins the scheduler hazard that made a
+// naive worker pool unsound: nextWithWork pops a context and clears its
+// ready flag, but under concurrent workers the pop is not atomic with the
+// step — work arriving in between (a Deref, a Seed) used to re-mark the
+// context ready and hand it to a second worker, running two engine steps of
+// the same context at once. The fix pins the context in the same critical
+// section as the pop (qctx.stepping); markReady refuses a pinned context,
+// and the stepping worker re-marks it after the step.
+func TestPinnedContextNotRescheduled(t *testing.T) {
+	h := newHarness(t, 1, nil)
+	s := h.sites[1]
+	ctx := submitLocal(t, h, 1, 1, 0, 4)
+
+	got := s.nextWithWork()
+	if got != ctx {
+		t.Fatalf("nextWithWork = %v, want the submitted context", got)
+	}
+	if !ctx.stepping {
+		t.Fatal("popped context is not pinned")
+	}
+	// Work arrives while the (conceptual) worker is mid-step: under the
+	// naive scheduler this requeued the context (its ready flag was already
+	// cleared by the pop) and a second nextWithWork returned it again.
+	s.markReady(ctx)
+	if ctx.ready {
+		t.Fatal("markReady requeued a pinned context")
+	}
+	if again := s.nextWithWork(); again != nil {
+		t.Fatalf("second worker popped %v while the context is mid-step", again.qid)
+	}
+	// The stepping worker finishes: unpin, re-mark, and the context is
+	// schedulable again — no work was lost.
+	ctx.stepping = false
+	s.markReady(ctx)
+	if got := s.nextWithWork(); got != ctx {
+		t.Fatalf("context not schedulable after unpin, got %v", got)
+	}
+}
+
+// TestPinnedContextNotRescheduledFair repeats the pin check under the DRR
+// scheduler, whose pop path is separate code.
+func TestPinnedContextNotRescheduledFair(t *testing.T) {
+	h := newHarness(t, 1, func(c *Config) { c.FairQuantum = 2 })
+	s := h.sites[1]
+	ctx := submitLocal(t, h, 1, 1, 7, 4)
+
+	if got := s.nextWithWork(); got != ctx || !ctx.stepping {
+		t.Fatalf("fair pop: got %v (stepping=%v)", got, ctx.stepping)
+	}
+	s.markReady(ctx)
+	if again := s.nextWithWork(); again != nil {
+		t.Fatalf("fair pop returned %v while the context is mid-step", again.qid)
+	}
+	ctx.stepping = false
+	s.markReady(ctx)
+	if got := s.nextWithWork(); got != ctx {
+		t.Fatalf("context not schedulable after unpin, got %v", got)
+	}
+}
+
+// TestFairStepSharing checks the step scheduler's DRR guarantee: a client
+// with many queued queries cannot crowd out a client with one. Client 1
+// holds three contexts with work, client 2 one; under plain FIFO round
+// robin client 2 would get 1/4 of the steps, under DRR it gets half.
+func TestFairStepSharing(t *testing.T) {
+	h := newHarness(t, 1, func(c *Config) { c.FairQuantum = 1 })
+	s := h.sites[1]
+	submitLocal(t, h, 1, 1, 1, 12)
+	submitLocal(t, h, 1, 2, 1, 12)
+	submitLocal(t, h, 1, 3, 1, 12)
+	submitLocal(t, h, 1, 4, 2, 12)
+
+	// Mimic the worker loop for 8 pops without draining any context.
+	steps := map[uint64]int{}
+	for i := 0; i < 8; i++ {
+		ctx := s.nextWithWork()
+		if ctx == nil {
+			t.Fatalf("no work at pop %d", i)
+		}
+		steps[ctx.fairClient]++
+		ctx.eng.Step()
+		ctx.stepping = false
+		s.markReady(ctx)
+	}
+	if steps[2] != 4 {
+		t.Errorf("light client got %d of 8 steps, want 4 (greedy got %d)", steps[2], steps[1])
+	}
+	if s.stats.FairDeferred == 0 {
+		t.Error("expected FairDeferred > 0 with two competing clients")
+	}
+}
+
+// TestFairAdmissionSharing checks the admission queue's DRR: with the one
+// inflight slot occupied, a greedy client queues four Submits before a light
+// client queues one; the light client must still be admitted by the second
+// slot grant, not behind the whole burst.
+func TestFairAdmissionSharing(t *testing.T) {
+	h := newHarness(t, 1, func(c *Config) {
+		c.MaxInflight = 1
+		c.AdmissionQueue = 8
+		c.FairQuantum = 1
+	})
+	s := h.sites[1]
+	// Occupy the only slot.
+	blocker := submitLocal(t, h, 1, 1, 1, 1)
+
+	st := h.store(1)
+	o := st.NewObject().Add("k", object.String("a"), object.Value{})
+	if err := st.Put(o); err != nil {
+		t.Fatal(err)
+	}
+	queue := func(seq, clientID uint64) {
+		sub := &wire.Submit{QID: wire.QueryID{Origin: 1, Seq: seq}, Client: client,
+			Body: `S (k, "a", ?) -> T`, Initial: []object.ID{o.ID}, ClientID: clientID}
+		out, err := s.HandleMessage(client, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("queued submit %d produced %v", seq, out[0].Msg.Kind())
+		}
+	}
+	for seq := uint64(2); seq <= 5; seq++ {
+		queue(seq, 1) // greedy burst
+	}
+	queue(6, 2) // light client, last in line
+	if blocker == nil {
+		t.Fatal("blocker missing")
+	}
+
+	// Run everything down; MaxInflight=1 serializes admissions, so the
+	// order of Complete messages is the admission order.
+	var order []uint64
+	for guard := 0; s.HasWork() || s.Contexts() > 0 || len(s.admitQ) > 0; guard++ {
+		if guard > 10_000 {
+			t.Fatal("no quiescence")
+		}
+		_, envs, _, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, env := range envs {
+			if cm, ok := env.Msg.(*wire.Complete); ok {
+				order = append(order, cm.QID.Seq)
+			}
+		}
+	}
+	if len(order) != 6 {
+		t.Fatalf("completions = %v, want 6", order)
+	}
+	// order[0] is the blocker; the light client's query (seq 6) must be one
+	// of the first two admissions from the queue.
+	pos := -1
+	for i, seq := range order {
+		if seq == 6 {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 2 {
+		t.Errorf("light client admitted at position %d (%v), want within first two grants", pos, order)
+	}
+}

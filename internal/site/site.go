@@ -6,8 +6,13 @@
 // A Site is a transport-agnostic state machine: messages go in through
 // HandleMessage, engine work is advanced one object at a time through Step,
 // and both return the envelopes to deliver. All sites run an identical
-// algorithm, exactly as in the paper. A Site is not safe for concurrent use;
-// each runner (simulator event loop or per-site goroutine) owns one Site.
+// algorithm, exactly as in the paper. A Site is safe for concurrent use: a
+// runner may call Step from a pool of worker goroutines while message
+// handlers run, subject to Config.Workers. Site bookkeeping is serialized by
+// an internal mutex; the mutex is released while a step's filters evaluate,
+// and each query context is pinned to the worker stepping it, so parallelism
+// happens across query contexts, never within one — exactly the paper's
+// per-item execution order per query, interleaved across queries.
 package site
 
 import (
@@ -118,6 +123,19 @@ type Config struct {
 	// propagates on every outgoing Deref/Seed, and an expired query
 	// completes as an annotated partial answer. Zero imposes no default.
 	QueryDeadline time.Duration
+	// Workers is the number of goroutines the runner drives this site with.
+	// The Site itself is safe at any worker count; the knob lives here so
+	// runners (LocalCluster, the TCP server, the simulator's cost model) and
+	// the site agree on one configured value. Zero or one is the paper's
+	// single-threaded stepping, exactly.
+	Workers int
+	// FairQuantum, when positive, replaces FIFO scheduling with per-client
+	// deficit-round-robin fairness: each client id (wire.Submit.ClientID;
+	// participant work buckets under client 0) gets this many engine steps —
+	// and this many admissions — per scheduling turn before the next client
+	// is served. The scheduler is work-conserving: a lone client is never
+	// throttled. Zero keeps the exact FIFO/round-robin order of the paper.
+	FairQuantum int
 }
 
 // Stats counts a site's protocol activity.
@@ -156,11 +174,21 @@ type Stats struct {
 	Shed            int
 	Cancelled       int
 	DeadlineExpired int
-	Engine          engine.Stats
+	// FairDeferred counts scheduling turns where a client with queued work
+	// was passed over because its deficit-round-robin quantum was spent
+	// (Config.FairQuantum). Zero with fairness off.
+	FairDeferred int
+	Engine       engine.Stats
 }
 
 // Site is one HyperFile server.
 type Site struct {
+	// mu guards all site state below. Public entry points acquire it;
+	// internal helpers assume it is held. Step releases it while a context's
+	// engine evaluates filters (the context stays pinned via qctx.stepping),
+	// so the lock order is strictly site.mu before engine-internal locking —
+	// nothing acquires mu while inside an engine call.
+	mu       sync.Mutex
 	cfg      Config
 	contexts map[wire.QueryID]*qctx
 	// order preserves context creation order (PeerDown iterates it
@@ -178,7 +206,12 @@ type Site struct {
 	// site's queue cannot grow without bound on lazily-pruned garbage.
 	ready      []wire.QueryID
 	readyStale int
-	stats      Stats
+	// fair, when non-nil (Config.FairQuantum > 0), replaces the FIFO ready
+	// queue with per-client deficit-round-robin buckets; fairAdmit is the
+	// admission queue's matching DRR state.
+	fair      *fairSched
+	fairAdmit fairAdmitState
+	stats     Stats
 
 	// inflight counts unfinished contexts (admission control's notion of
 	// load); admitQ holds Submits waiting for an inflight slot.
@@ -233,6 +266,16 @@ type qctx struct {
 	// ready records that this context sits in the site's ready queue, so
 	// work arriving while queued does not enqueue it twice.
 	ready bool
+	// stepping pins this context to the one worker currently running its
+	// engine step. The pop from the ready queue and this flag are set in the
+	// same critical section, and markReady refuses a pinned context — so work
+	// arriving while the site lock is released for the step can never requeue
+	// the context and hand it to a second worker. The stepping worker clears
+	// the pin and re-marks readiness itself when the step completes.
+	stepping bool
+	// fairClient is the submitting client's fairness bucket
+	// (wire.Submit.ClientID at the originator; 0 for participant contexts).
+	fairClient uint64
 
 	// deadline, when non-zero, is when this context's time budget runs out:
 	// derived from the Submit budget (or Config.QueryDeadline) at the
@@ -326,6 +369,9 @@ func New(cfg Config) *Site {
 	if cfg.PlanCacheSize > 0 {
 		s.plans = plan.NewCache(cfg.PlanCacheSize)
 	}
+	if cfg.FairQuantum > 0 {
+		s.fair = newFairSched(cfg.FairQuantum)
+	}
 	return s
 }
 
@@ -335,6 +381,12 @@ func (s *Site) ID() object.SiteID { return s.cfg.ID }
 // Stats returns cumulative protocol statistics including engine work of all
 // live contexts.
 func (s *Site) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Site) statsLocked() Stats {
 	st := s.stats
 	for _, ctx := range s.contexts {
 		st.Engine.Add(ctx.eng.Stats())
@@ -346,11 +398,18 @@ func (s *Site) Stats() Stats {
 // queued. Every code path that adds working-set items (submit seeding,
 // deref/seed ingestion, the step loop's own spawns) funnels through here;
 // the invariant is that a steppable context is always flagged and queued.
+// A pinned context (a worker is mid-step on it) is skipped: the stepping
+// worker re-marks readiness itself after clearing the pin, so the work is
+// never lost — it just cannot hand the context to a second worker.
 func (s *Site) markReady(ctx *qctx) {
-	if ctx.ready || ctx.finished || !ctx.eng.HasWork() {
+	if ctx.ready || ctx.stepping || ctx.finished || !ctx.eng.HasWork() {
 		return
 	}
 	ctx.ready = true
+	if s.fair != nil {
+		s.fair.push(ctx.fairClient, ctx.qid)
+		return
+	}
 	s.ready = append(s.ready, ctx.qid)
 }
 
@@ -358,8 +417,14 @@ func (s *Site) markReady(ctx *qctx) {
 // queue heads (drained, finished, or dropped contexts) are pruned on the
 // way — required for correctness, not just tidiness: the ready queue is the
 // only thing consulted, so a stale head left in place would make an idle
-// site claim work forever.
+// site claim work forever. A context pinned mid-step is invisible here; its
+// worker re-marks it when the step completes.
 func (s *Site) HasWork() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fair != nil {
+		return s.fairHasWork()
+	}
 	for len(s.ready) > 0 {
 		ctx := s.contexts[s.ready[0]]
 		if ctx != nil && ctx.ready && !ctx.finished && ctx.eng.HasWork() {
@@ -377,7 +442,11 @@ func (s *Site) HasWork() bool {
 }
 
 // Contexts returns the number of live query contexts.
-func (s *Site) Contexts() int { return len(s.contexts) }
+func (s *Site) Contexts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.contexts)
+}
 
 // ErrProtocol is the base error for messages that violate the protocol.
 var ErrProtocol = errors.New("site: protocol error")
@@ -525,7 +594,9 @@ func (s *Site) finishCtx(ctx *qctx) {
 	}
 	ctx.finished = true
 	s.inflight--
-	if ctx.ready {
+	if ctx.ready && s.fair == nil {
+		// Fair-mode buckets prune their own stale entries at every visit;
+		// the stale counter and compaction belong to the FIFO queue only.
 		s.readyStale++
 		s.compactReady()
 	}
@@ -658,6 +729,8 @@ func unreachableList(ctx *qctx) []object.SiteID {
 // Participant contexts whose originator died are discarded — nobody is
 // left to collect their results.
 func (s *Site) PeerDown(peer object.SiteID) []wire.Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.down == nil {
 		s.down = make(map[object.SiteID]bool)
 	}
@@ -692,8 +765,14 @@ func (s *Site) PeerDown(peer object.SiteID) []wire.Envelope {
 // again. Queries already force-completed stay completed; new work flows to
 // the peer normally.
 func (s *Site) PeerUp(peer object.SiteID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.down, peer)
 }
 
 // PeerIsDown reports whether the failure detector has declared peer dead.
-func (s *Site) PeerIsDown(peer object.SiteID) bool { return s.down[peer] }
+func (s *Site) PeerIsDown(peer object.SiteID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down[peer]
+}

@@ -20,17 +20,30 @@ type StepOutcome struct {
 }
 
 // Step advances one query context by one working-set item, round-robin over
-// contexts with work. It returns the envelopes to deliver and reports false
-// when no context has work. An error indicates a broken protocol invariant
-// (e.g. a termination-credit underflow) and leaves the query wedged; callers
-// should surface it.
+// contexts with work (deficit round robin over clients with FairQuantum
+// set). It returns the envelopes to deliver and reports false when no
+// context has work. An error indicates a broken protocol invariant (e.g. a
+// termination-credit underflow) and leaves the query wedged; callers should
+// surface it.
+//
+// Step is safe to call from multiple worker goroutines: the pop pins the
+// chosen context to this worker, the site lock is released while the
+// context's engine evaluates filters, and all bookkeeping before and after
+// the engine run happens under the lock. Parallel workers therefore step
+// different contexts concurrently while each context keeps the paper's
+// strict one-item-at-a-time execution order.
 func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ctx := s.nextWithWork()
 	if ctx == nil {
 		return StepOutcome{}, nil, false, nil
 	}
 	// An expired context is not stepped: its remaining work is shed and the
-	// query completes as an annotated partial answer.
+	// query completes as an annotated partial answer. The deadline path runs
+	// entirely under the site lock, so the pin is dropped for it — teardown
+	// must see the context exactly as a sweep would.
+	ctx.stepping = false
 	if envs, did, err := s.checkDeadline(ctx); did || err != nil {
 		if err == nil {
 			var drained []wire.Envelope
@@ -40,9 +53,17 @@ func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
 		return StepOutcome{Query: ctx.qid}, envs, true, err
 	}
 	pre := ctx.eng.Stats()
+	// The engine runs outside the site lock: workers stepping different
+	// contexts serialize only on site bookkeeping, not on filter evaluation.
+	// The pin (re-set here, in the same critical section as the pop) keeps
+	// every other worker off this context; the engine's own mutex orders the
+	// step against message handlers touching the same engine.
+	ctx.stepping = true
+	s.mu.Unlock()
 	start := time.Now()
 	res, _ := ctx.eng.Step()
 	stepDur := time.Since(start)
+	s.mu.Lock()
 	post := ctx.eng.Stats()
 	s.met.steps.Inc()
 	s.met.processed.Add(d(post.Processed, pre.Processed))
@@ -52,11 +73,28 @@ func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
 	s.met.localDerefs.Add(d(post.LocalDerefs, pre.LocalDerefs))
 	s.met.stepUS.ObserveDuration(stepDur)
 	s.met.filterStep(res.Item.Start).Inc()
+	s.met.clientStep(ctx.fairClient).Inc()
 	ctx.noteStep(res, stepDur)
 	outcome := StepOutcome{
 		Query:       ctx.qid,
 		Processed:   res.Processed,
 		ResultAdded: res.Passed,
+	}
+	ctx.stepping = false
+	if ctx.finished {
+		// The context was cancelled or force-completed while the engine ran.
+		// Its detector has already settled its credit, so this step's remote
+		// references must not split any off (an OnSend now would break the
+		// held + recovered + in-flight == 1 invariant); the references are
+		// shed with the rest of the discarded working set. afterEvent still
+		// runs so a draining context gets its kick.
+		out, err := s.afterEvent(ctx, nil)
+		if err == nil {
+			var drained []wire.Envelope
+			drained, err = s.drainAdmission()
+			out = append(out, drained...)
+		}
+		return outcome, out, true, err
 	}
 	var out []wire.Envelope
 	for _, ref := range res.Remote {
@@ -78,10 +116,16 @@ func (s *Site) Step() (StepOutcome, []wire.Envelope, bool, error) {
 	return outcome, out, true, err
 }
 
-// nextWithWork pops the first ready context that still has work. Popped
-// contexts are unflagged; Step re-queues them at the tail afterwards, so the
-// rotation order is preserved without scanning idle contexts.
+// nextWithWork pops the first ready context that still has work and pins it
+// to the calling worker (ctx.stepping) in the same critical section — the
+// pop and the pin must be atomic, or work arriving between them could
+// requeue the context and hand it to a second worker. Step re-queues the
+// context at the tail afterwards, so the rotation order is preserved
+// without scanning idle contexts.
 func (s *Site) nextWithWork() *qctx {
+	if s.fair != nil {
+		return s.fairPop()
+	}
 	for len(s.ready) > 0 {
 		qid := s.ready[0]
 		s.ready = s.ready[1:]
@@ -96,6 +140,7 @@ func (s *Site) nextWithWork() *qctx {
 			continue
 		}
 		if ctx.eng.HasWork() {
+			ctx.stepping = true
 			return ctx
 		}
 	}
@@ -142,7 +187,11 @@ func (s *Site) afterEvent(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, erro
 	if ctx.draining {
 		return s.drainEvent(ctx, out), nil
 	}
-	if ctx.finished || ctx.eng.HasWork() {
+	// A pinned context is mid-step on another worker: it is not quiescent no
+	// matter what its working set says (the in-flight step may spawn more
+	// work or results), so drain duties wait for that worker's own
+	// afterEvent call.
+	if ctx.finished || ctx.stepping || ctx.eng.HasWork() {
 		return out, nil
 	}
 	// Going quiescent: every queued dereference must be on the wire (with
@@ -266,6 +315,20 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 	s.stats.Completed++
 	s.met.completed.Inc()
 	unr := unreachableList(ctx)
+	// A partial answer always names its cause: sites in the unreachable set
+	// were either skipped as dead or shed their share when the query's budget
+	// ran out there (expireParticipant annotates the shedding site, and the
+	// origin can terminate normally before its own clock crosses the line).
+	reason := ""
+	if len(unr) > 0 {
+		reason = "peer down"
+		for _, p := range unr {
+			if !s.down[p] {
+				reason = "deadline expired"
+				break
+			}
+		}
+	}
 	retain := ctx.distributed
 	for _, peer := range s.cfg.Peers {
 		if s.down[peer] {
@@ -284,6 +347,7 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 		Partial:     len(unr) > 0,
 		Unreachable: unr,
 		Spans:       spans,
+		Reason:      reason,
 	}})
 	if retain {
 		// Keep the context: its results (all ids known at the originator)
@@ -304,6 +368,12 @@ func (s *Site) checkDone(ctx *qctx, out []wire.Envelope) ([]wire.Envelope, error
 // termination credit finds its way home (unlike the force-completion used
 // for peer deaths, which must abandon credit parked at the corpse).
 func (s *Site) Abort(qid wire.QueryID) []wire.Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abortLocked(qid)
+}
+
+func (s *Site) abortLocked(qid wire.QueryID) []wire.Envelope {
 	ctx, ok := s.contexts[qid]
 	if !ok || !ctx.isOrigin || ctx.finished {
 		return nil

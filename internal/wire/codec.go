@@ -37,6 +37,7 @@ func Encode(m Msg) []byte {
 		e.ids(m.Initial)
 		e.qid(m.InitialFromResultOf)
 		e.u64(m.BudgetUS)
+		e.u64(m.ClientID)
 	case *Deref:
 		e.qid(m.QID)
 		e.u64(uint64(m.Origin))
@@ -150,6 +151,10 @@ func Decode(data []byte) (Msg, error) {
 		// Trailing, optional: frames predating time budgets end here.
 		if d.err == nil && d.pos < len(d.buf) {
 			s.BudgetUS = d.u64()
+		}
+		// Trailing, optional: frames predating client ids end here.
+		if d.err == nil && d.pos < len(d.buf) {
+			s.ClientID = d.u64()
 		}
 		m = s
 	case KDeref:

@@ -36,6 +36,8 @@ func TestRoundTripAllKinds(t *testing.T) {
 	})
 	roundTrip(t, &Submit{QID: qid, Client: 9, Body: "S -> T"})
 	roundTrip(t, &Submit{QID: qid, Client: 9, Body: "S -> T", BudgetUS: 2_500_000})
+	roundTrip(t, &Submit{QID: qid, Client: 9, Body: "S -> T", ClientID: 12345})
+	roundTrip(t, &Submit{QID: qid, Client: 9, Body: "S -> T", BudgetUS: 2_500_000, ClientID: 7})
 	roundTrip(t, &Deref{
 		QID: qid, Origin: 2,
 		Body:   `S [ (Pointer, "Tree", ?X) ^^X ]** (Rand10, 5, ?) -> T`,
@@ -189,7 +191,7 @@ func TestDecodeErrors(t *testing.T) {
 func TestDecodeTruncationsNeverPanic(t *testing.T) {
 	msgs := []Msg{
 		&Submit{QID: QueryID{1, 2}, Body: "S -> T", Initial: []object.ID{{Birth: 1, Seq: 2}},
-			BudgetUS: 500_000},
+			BudgetUS: 500_000, ClientID: 9_000},
 		&Deref{QID: QueryID{1, 2}, Body: "S -> T", Iters: []int{1, 2}, Token: []byte{5},
 			BodyHash: make([]byte, 32), BudgetUS: 500_000},
 		&Seed{QID: QueryID{1, 2}, Body: "S -> T", FromQID: QueryID{1, 1}, Token: []byte{5},
@@ -203,8 +205,9 @@ func TestDecodeTruncationsNeverPanic(t *testing.T) {
 	for _, m := range msgs {
 		// Cuts exactly before an optional trailing field are, by design, valid
 		// older-generation frames: a Deref may legally end before BodyHash
-		// (pre-plan-cache) or before BudgetUS (pre-deadline), and Submit/Seed
-		// may end before BudgetUS. Every other cut must error.
+		// (pre-plan-cache) or before BudgetUS (pre-deadline), a Submit before
+		// ClientID (pre-fairness) or before BudgetUS, and a Seed before
+		// BudgetUS. Every other cut must error.
 		var legacy []Msg
 		switch v := m.(type) {
 		case *Deref:
@@ -216,6 +219,9 @@ func TestDecodeTruncationsNeverPanic(t *testing.T) {
 			legacy = append(legacy, &c)
 		case *Submit:
 			c := *v
+			c.ClientID = 0
+			preClient := c
+			legacy = append(legacy, &preClient)
 			c.BudgetUS = 0
 			legacy = append(legacy, &c)
 		case *Seed:
@@ -262,9 +268,15 @@ func TestDecodePreBudgetFrames(t *testing.T) {
 	}
 	for _, m := range full {
 		data := Encode(m)
-		// The budget is the final field: strip its single encoded varint
-		// (123 < 128, one byte) to reconstruct the pre-budget frame.
-		got, err := Decode(data[:len(data)-1])
+		// The budget encodes as a single varint byte (123 < 128). For Deref
+		// and Seed it is the final field; Submit has grown a trailing
+		// ClientID varint (zero here, one byte) after it, so reconstructing
+		// the pre-budget Submit frame strips two bytes.
+		strip := 1
+		if _, ok := m.(*Submit); ok {
+			strip = 2
+		}
+		got, err := Decode(data[:len(data)-strip])
 		if err != nil {
 			t.Fatalf("pre-budget %T frame: %v", m, err)
 		}
@@ -280,6 +292,30 @@ func TestDecodePreBudgetFrames(t *testing.T) {
 		if budget != 0 {
 			t.Errorf("pre-budget %T frame decoded BudgetUS = %d, want 0", m, budget)
 		}
+	}
+}
+
+// TestDecodePreClientIDSubmit hand-checks the next compatibility generation:
+// Submit frames that end at BudgetUS (pre-fairness encoders) must decode with
+// ClientID zero, leaving the budget intact.
+func TestDecodePreClientIDSubmit(t *testing.T) {
+	m := &Submit{QID: QueryID{Origin: 2, Seq: 42}, Client: 9, Body: "S -> T",
+		BudgetUS: 123, ClientID: 55}
+	data := Encode(m)
+	// ClientID 55 < 128 encodes as the final varint byte; strip it.
+	got, err := Decode(data[:len(data)-1])
+	if err != nil {
+		t.Fatalf("pre-client-id Submit frame: %v", err)
+	}
+	s, ok := got.(*Submit)
+	if !ok {
+		t.Fatalf("decoded %T, want *Submit", got)
+	}
+	if s.ClientID != 0 {
+		t.Errorf("pre-client-id frame decoded ClientID = %d, want 0", s.ClientID)
+	}
+	if s.BudgetUS != 123 {
+		t.Errorf("pre-client-id frame decoded BudgetUS = %d, want 123", s.BudgetUS)
 	}
 }
 

@@ -50,10 +50,16 @@ func FuzzDecode(f *testing.F) {
 		&Reject{QID: qid, Reason: "admission queue full"},
 		&Cancel{QID: qid, Reason: "deadline expired"},
 		&Complete{QID: qid, Partial: true, Reason: "cancelled by client"},
+		&Submit{QID: qid, Client: 7, Body: "S -> T", ClientID: 42},
+		&Submit{QID: qid, Client: 7, Body: "S -> T", BudgetUS: 250_000, ClientID: 1 << 40},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(m))
 	}
+	// Pre-client-id Submit layout: strip the trailing ClientID varint so the
+	// fuzzer keeps exploring the previous frame generation.
+	preClient := Encode(&Submit{QID: qid, Client: 7, Body: "S -> T", BudgetUS: 9})
+	f.Add(preClient[:len(preClient)-1])
 	// The legacy single-id Deref layout (kind byte KDeref) is never emitted
 	// anymore but must keep decoding; seed the fuzzer with one such frame.
 	f.Add(legacyDerefFrame(qid, 1, "S -> T", id, 1, []int{2}, []byte{1}, 2))

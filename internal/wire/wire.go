@@ -160,6 +160,13 @@ type Submit struct {
 	// so sites need no clock synchronization. Trailing and optional: frames
 	// from older clients decode with BudgetUS zero.
 	BudgetUS uint64
+	// ClientID identifies the submitting client for per-client fair
+	// scheduling (deficit round robin over admissions and step credits).
+	// Distinct from Client, which is the wire endpoint the Complete goes to:
+	// many logical clients may share one endpoint. Trailing and optional:
+	// frames from older clients decode with ClientID zero (one shared
+	// fairness bucket, the pre-fairness behavior).
+	ClientID uint64
 }
 
 // Kind returns KSubmit.
