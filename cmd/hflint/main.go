@@ -6,6 +6,7 @@
 //	go run ./cmd/hflint ./...
 //	go run ./cmd/hflint -json ./... | jq .
 //	go run ./cmd/hflint -checks lockhold,wireswitch ./...
+//	go run ./cmd/hflint -stale-ignores ./...
 //
 // Findings are suppressed in source with
 //
@@ -29,6 +30,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	staleIgnores := flag.Bool("stale-ignores", false, "report lint:ignore directives that suppress nothing (always runs every analyzer)")
 	root := flag.String("root", "", "module root to analyze (default: current module)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hflint [flags] [./...]\n\nruns HyperFile's static analyzers over the whole module.\nflags:\n")
@@ -48,6 +50,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hflint:", err)
 		os.Exit(2)
 	}
+	if *staleIgnores {
+		// Staleness is only meaningful against the full analyzer set: a
+		// directive for a check that did not run would look unused.
+		if *checks != "" {
+			fmt.Fprintln(os.Stderr, "hflint: -stale-ignores cannot be combined with -checks")
+			os.Exit(2)
+		}
+		analyzers = lint.All()
+	}
 
 	dir := *root
 	if dir == "" {
@@ -64,7 +75,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(mod, analyzers)
+	var diags []lint.Diagnostic
+	if *staleIgnores {
+		diags = lint.Stale(mod, analyzers)
+	} else {
+		diags = lint.Run(mod, analyzers)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Atomicfield enforces all-or-nothing atomicity, module-wide:
+//
+//   - a variable or field whose address is ever passed to a sync/atomic
+//     function (atomic.AddUint64(&x.n, 1), atomic.LoadUint64(&total), ...)
+//     must never also be read or written plainly — a single plain access
+//     beside atomic ones is a data race the race detector only catches when
+//     the interleaving happens to fire;
+//   - a field of one of sync/atomic's typed wrappers (atomic.Uint64,
+//     atomic.Int64, atomic.Bool, ...) must only be used through its methods
+//     or its address; using the value plainly copies the wrapper, which both
+//     vets as a lock copy and silently forks the counter.
+//
+// The first rule is module-level on purpose: the atomic access and the plain
+// access are usually in different files (or packages — the metrics registry's
+// counters are bumped everywhere), and per-package analysis would see only
+// one consistent half.
+var Atomicfield = &Analyzer{
+	Name:      "atomicfield",
+	Doc:       "fields accessed via sync/atomic must never also be accessed plainly, and atomic wrapper types must not be copied",
+	RunModule: runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) {
+	// Pass 1: record every identity whose address reaches a sync/atomic call,
+	// and the exact operand nodes of those calls (exempt from pass 2).
+	atomicIDs := map[string]token.Pos{}
+	exempt := map[ast.Node]bool{}
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			info := pkg.Info
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || funcRecvNamed(fn) != nil {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					target := ast.Unparen(un.X)
+					exempt[target] = true
+					if id := accessIdentity(info, target); id != "" {
+						if _, seen := atomicIDs[id]; !seen {
+							atomicIDs[id] = un.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Pass 2: flag plain accesses to those identities, plus plain-value uses
+	// of sync/atomic wrapper types.
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			info := pkg.Info
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				var parent ast.Node
+				if len(stack) > 0 {
+					parent = stack[len(stack)-1]
+				}
+				stack = append(stack, n)
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					checkWrapperUse(pass, info, n, parent)
+					if exempt[n] {
+						return true
+					}
+					if sub, ok := parent.(*ast.SelectorExpr); ok && sub.X == n {
+						// Only the innermost selector names the identity.
+						return true
+					}
+					if id := accessIdentity(info, n); id != "" {
+						if first, ok := atomicIDs[id]; ok {
+							pass.Reportf(n.Pos(), "%s is accessed with sync/atomic at %s but plainly here; every access must be atomic", id, pass.Fset.Position(first))
+						}
+					}
+				case *ast.Ident:
+					if exempt[n] {
+						return true
+					}
+					if _, ok := parent.(*ast.SelectorExpr); ok {
+						return true
+					}
+					if info.Uses[n] == nil {
+						return true // declarations are not accesses
+					}
+					if id := identIdentity(info, n); id != "" {
+						if first, ok := atomicIDs[id]; ok {
+							pass.Reportf(n.Pos(), "%s is accessed with sync/atomic at %s but plainly here; every access must be atomic", id, pass.Fset.Position(first))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// accessIdentity names the storage an expression designates, at type level:
+// "Type.field of pkg" for fields, "pkg.var" for package vars, a
+// position-keyed name for locals, "" for anything else.
+func accessIdentity(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[e.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return ""
+		}
+		t := info.TypeOf(e.X)
+		if t == nil {
+			return ""
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, _ := types.Unalias(t).(*types.Named)
+		if named == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+	case *ast.Ident:
+		return identIdentity(info, e)
+	case *ast.IndexExpr:
+		return "" // element identity is per-index; out of scope
+	}
+	return ""
+}
+
+// identIdentity names a bare variable: package vars by path, locals by their
+// declaration position (stable across the two package views only within one
+// view, which is fine — both views are never analyzed for the same file).
+func identIdentity(info *types.Info, id *ast.Ident) string {
+	v, ok := objOf(info, id).(*types.Var)
+	if !ok || v.IsField() {
+		return ""
+	}
+	if v.Pkg() == nil {
+		return ""
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return v.Pkg().Path() + ".local." + v.Name() + "@" + strconv.Itoa(int(v.Pos()))
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// checkWrapperUse flags plain-value uses of sync/atomic's typed wrappers.
+func checkWrapperUse(pass *Pass, info *types.Info, sel *ast.SelectorExpr, parent ast.Node) {
+	tv, ok := info.Types[sel]
+	if !ok || tv.IsType() {
+		return // the field's type expression, not a value use
+	}
+	named, _ := types.Unalias(tv.Type).(*types.Named)
+	if !isAtomicWrapper(named) {
+		return
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == sel {
+			return // method call or nested field: v.counter.Load()
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &v.counter: address passed on, no copy
+		}
+	}
+	pass.Reportf(sel.Pos(), "sync/atomic value %s used as a plain value; call its methods (or take its address) instead of copying it", sel.Sel.Name)
+}
+
+func isAtomicWrapper(named *types.Named) bool {
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}

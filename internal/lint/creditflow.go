@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Creditflow is the static twin of termination.Audit: any function that
+// ingests a termination token (a []byte parameter named "token" or "tok")
+// must consume it — return it, forward it into a message or another call,
+// store it, or bounce it — on every exit path. A dropped token share breaks
+// credit conservation: the originator's credit sum never returns to 1 and
+// the query hangs instead of terminating.
+//
+// The analysis is an all-paths walk with two refinements. A branch proven
+// token-free ("if len(token) == 0", "if token == nil") is vacuously
+// consumed — there is no credit to conserve. A branch guarded by a non-nil
+// error is exempt: error paths abandon the whole frame, and the peer's
+// retransmission (or the cancel path) carries the credit instead.
+var Creditflow = &Analyzer{
+	Name: "creditflow",
+	Doc:  "functions ingesting a termination token must return, forward, or bounce it on every exit path",
+	Run:  runCreditflow,
+}
+
+func runCreditflow(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if name.Name != "token" && name.Name != "tok" {
+						continue
+					}
+					obj, _ := info.Defs[name].(*types.Var)
+					if obj == nil || !isByteSlice(obj.Type()) {
+						continue
+					}
+					w := &creditWalker{pass: pass, info: info, obj: obj,
+						name: name.Name, fname: fd.Name.Name}
+					st, term := w.walkStmts(fd.Body.List, creditState{})
+					if !term && !st.consumed && !st.exempt {
+						pass.Reportf(fd.Body.Rbrace,
+							"termination token %q may fall off the end of %s unconsumed", name.Name, fd.Name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// creditState tracks one path: consumed means the token has been handed off
+// (or proven empty); exempt means the path is under an error guard.
+type creditState struct {
+	consumed, exempt bool
+}
+
+type creditWalker struct {
+	pass  *Pass
+	info  *types.Info
+	obj   *types.Var
+	name  string
+	fname string
+}
+
+// walkStmts walks a statement list in order; the bool result reports whether
+// every path through the list terminated (returned or panicked).
+func (w *creditWalker) walkStmts(stmts []ast.Stmt, st creditState) (creditState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.walkStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *creditWalker) walkStmt(s ast.Stmt, st creditState) (creditState, bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if w.consumes(r) {
+				st.consumed = true
+			}
+		}
+		if !st.consumed && !st.exempt {
+			w.pass.Reportf(s.Pos(),
+				"termination token %q dropped on this return path in %s; return, forward, or bounce the credit", w.name, w.fname)
+		}
+		return st, true
+	case *ast.ExprStmt:
+		if w.consumes(s.X) {
+			st.consumed = true
+		}
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return st, true
+			}
+		}
+	case *ast.AssignStmt:
+		used := false
+		for _, r := range s.Rhs {
+			if w.consumes(r) {
+				used = true
+			}
+		}
+		if used && !allBlank(s.Lhs) {
+			st.consumed = true
+		}
+	case *ast.SendStmt:
+		if w.consumes(s.Chan) || w.consumes(s.Value) {
+			st.consumed = true
+		}
+	case *ast.DeferStmt:
+		if w.consumes(s.Call) {
+			st.consumed = true
+		}
+	case *ast.GoStmt:
+		if w.consumes(s.Call) {
+			st.consumed = true
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		thenSt, elseSt := st, st
+		switch w.classifyCond(s.Cond) {
+		case condTokenEmpty:
+			thenSt.consumed = true
+		case condTokenNonEmpty:
+			elseSt.consumed = true
+		case condErrNonNil:
+			thenSt.exempt = true
+		case condErrNil:
+			elseSt.exempt = true
+		default:
+			if w.consumes(s.Cond) {
+				st.consumed = true
+				thenSt.consumed = true
+				elseSt.consumed = true
+			}
+		}
+		t1, term1 := w.walkStmts(s.Body.List, thenSt)
+		t2, term2 := elseSt, false
+		if s.Else != nil {
+			t2, term2 = w.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case term1 && term2:
+			return st, true
+		case term1:
+			return t2, false
+		case term2:
+			return t1, false
+		default:
+			return creditState{consumed: t1.consumed && t2.consumed, exempt: st.exempt}, false
+		}
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		// The body may run zero times: walk it for per-path reporting, but
+		// carry the pre-state past the loop.
+		w.walkStmts(s.Body.List, st)
+		return st, false
+	case *ast.RangeStmt:
+		w.walkStmts(s.Body.List, st)
+		return st, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch s := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = s.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = s.Body.List
+		case *ast.SelectStmt:
+			clauses = s.Body.List
+		}
+		all := true
+		for _, c := range clauses {
+			var body []ast.Stmt
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				body, hasDefault = c.Body, hasDefault || c.List == nil
+			case *ast.CommClause:
+				body, hasDefault = c.Body, hasDefault || c.Comm == nil
+			}
+			cs, term := w.walkStmts(body, st)
+			if !term && !cs.consumed {
+				all = false
+			}
+		}
+		if hasDefault && all {
+			st.consumed = true
+		}
+		return st, false
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	}
+	return st, false
+}
+
+// consumes reports whether the expression hands the token off: any use of
+// the parameter except len(token) and nil comparisons counts.
+func (w *creditWalker) consumes(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, builtin := w.info.Uses[id].(*types.Builtin); builtin && id.Name == "len" {
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				// []byte compares only against nil; a nil check reads no credit.
+				if isNilIdent(w.info, n.X) || isNilIdent(w.info, n.Y) {
+					return false
+				}
+			}
+		case *ast.Ident:
+			if w.info.Uses[n] == types.Object(w.obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+type condClass int
+
+const (
+	condOther condClass = iota
+	condTokenEmpty
+	condTokenNonEmpty
+	condErrNonNil
+	condErrNil
+)
+
+// classifyCond recognizes the guard shapes the walker refines on.
+func (w *creditWalker) classifyCond(cond ast.Expr) condClass {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			// "A && B": either side's guarantee holds in the then branch.
+			if c := w.classifyCond(e.X); c == condTokenEmpty || c == condErrNonNil {
+				return c
+			}
+			if c := w.classifyCond(e.Y); c == condTokenEmpty || c == condErrNonNil {
+				return c
+			}
+			// Both sides must agree for the else branch to be refined.
+			if cx, cy := w.classifyCond(e.X), w.classifyCond(e.Y); cx == cy {
+				return cx
+			}
+			return condOther
+		case token.LOR:
+			if cx, cy := w.classifyCond(e.X), w.classifyCond(e.Y); cx == cy {
+				return cx
+			}
+			return condOther
+		case token.EQL, token.NEQ, token.GTR, token.LSS, token.LEQ, token.GEQ:
+			return w.classifyCmp(e)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			switch w.classifyCond(e.X) {
+			case condTokenEmpty:
+				return condTokenNonEmpty
+			case condTokenNonEmpty:
+				return condTokenEmpty
+			case condErrNonNil:
+				return condErrNil
+			case condErrNil:
+				return condErrNonNil
+			}
+		}
+	}
+	return condOther
+}
+
+func (w *creditWalker) classifyCmp(e *ast.BinaryExpr) condClass {
+	x, y, op := e.X, e.Y, e.Op
+	// Normalize so the interesting operand is on the left.
+	if isNilIdent(w.info, x) || isZeroLit(x) {
+		x, y = y, x
+		switch op {
+		case token.GTR:
+			op = token.LSS
+		case token.LSS:
+			op = token.GTR
+		case token.GEQ:
+			op = token.LEQ
+		case token.LEQ:
+			op = token.GEQ
+		}
+	}
+	switch {
+	case w.isTokenIdent(x) && isNilIdent(w.info, y):
+		if op == token.EQL {
+			return condTokenEmpty
+		}
+		if op == token.NEQ {
+			return condTokenNonEmpty
+		}
+	case w.isTokenLen(x) && isZeroLit(y):
+		switch op {
+		case token.EQL, token.LEQ:
+			return condTokenEmpty
+		case token.NEQ, token.GTR:
+			return condTokenNonEmpty
+		}
+	case isErrExpr(w.info, x) && isNilIdent(w.info, y):
+		if op == token.EQL {
+			return condErrNil
+		}
+		if op == token.NEQ {
+			return condErrNonNil
+		}
+	}
+	return condOther
+}
+
+func (w *creditWalker) isTokenIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && w.info.Uses[id] == types.Object(w.obj)
+}
+
+func (w *creditWalker) isTokenLen(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return false
+	}
+	return w.isTokenIdent(call.Args[0])
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// isErrExpr reports whether the expression has type error.
+func isErrExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

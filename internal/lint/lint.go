@@ -9,7 +9,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named invariant checker.
+// Analyzer is one named invariant checker. Exactly one of Run and RunModule
+// is set: Run sees one package at a time; RunModule sees the whole module at
+// once, for invariants that live across package boundaries (the lock-order
+// graph, atomic-access consistency).
 type Analyzer struct {
 	// Name is the check name used in diagnostics and lint:ignore directives.
 	Name string
@@ -17,12 +20,18 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports violations through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module in one pass (Pass.Mod is set,
+	// Pass.Pkg is nil). Cross-package facts — which locks a function
+	// acquires, which fields are touched atomically — are gathered here.
+	RunModule func(*Pass)
 }
 
-// Pass carries one (analyzer, package) unit of work.
+// Pass carries one (analyzer, package) unit of work — or, for module-level
+// analyzers, one (analyzer, module) unit with Pkg nil and Mod set.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Mod      *Module
 	Fset     *token.FileSet
 
 	diags *[]Diagnostic
@@ -61,7 +70,10 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer set, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Lockhold, Baresleep, Wireswitch, Goorphan, Nakedmetric}
+	return []*Analyzer{
+		Lockhold, Baresleep, Wireswitch, Goorphan, Nakedmetric,
+		Lockorder, Wirefield, Creditflow, Pairwise, Atomicfield,
+	}
 }
 
 // Run executes the analyzers over every package of the module and returns
@@ -69,22 +81,60 @@ func All() []*Analyzer {
 // a well-formed "lint:ignore <check> <reason>" directive are dropped;
 // malformed directives are themselves findings (check "ignore").
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := run(mod, analyzers)
+	return diags
+}
+
+// Stale runs the analyzers with suppression accounting and returns one
+// diagnostic (check "stale-ignore") for every well-formed lint:ignore
+// directive that suppressed nothing. A stale directive is a trap: it
+// documents an exception that no longer exists, and its line is a free pass
+// for the next real finding that lands there.
+func Stale(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	_, stale := run(mod, analyzers)
+	return stale
+}
+
+func run(mod *Module, analyzers []*Analyzer) (kept, stale []Diagnostic) {
 	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			a.RunModule(&Pass{Analyzer: a, Mod: mod, Fset: mod.Fset, diags: &diags})
+		}
+	}
 	for _, pkg := range mod.Pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, Fset: mod.Fset, diags: &diags})
+			if a.Run != nil {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, Fset: mod.Fset, diags: &diags})
+			}
 		}
 	}
 	ig, bad := collectIgnores(mod)
 	diags = append(diags, bad...)
-	kept := diags[:0]
+	kept = diags[:0]
 	for _, d := range diags {
 		if !ig.covers(d) {
 			kept = append(kept, d)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	sortDiags(kept)
+	for _, dir := range ig.directives {
+		if dir.used {
+			continue
+		}
+		stale = append(stale, Diagnostic{
+			Check: "stale-ignore", Pos: dir.pos,
+			File: dir.pos.Filename, Line: dir.pos.Line, Column: dir.pos.Column,
+			Message: fmt.Sprintf("lint:ignore %s suppresses nothing; delete the stale directive", dir.check),
+		})
+	}
+	sortDiags(stale)
+	return kept, stale
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -96,39 +146,55 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return kept
 }
 
-// ignoreSet maps (file, line, check) to a suppression. A directive covers
-// its own line and the line below it, so both trailing comments and
-// comments-above work.
-type ignoreSet map[string]map[int]map[string]bool
+// directive is one parsed, well-formed lint:ignore with usage accounting.
+type directive struct {
+	pos   token.Position
+	check string
+	used  bool
+}
 
-func (ig ignoreSet) add(file string, line int, check string) {
-	lines := ig[file]
+// ignoreSet maps (file, line, check) to the suppressing directive. A
+// directive covers its own line and the line below it, so both trailing
+// comments and comments-above work.
+type ignoreSet struct {
+	byLine     map[string]map[int]map[string]*directive
+	directives []*directive
+}
+
+func (ig *ignoreSet) add(pos token.Position, check string) {
+	dir := &directive{pos: pos, check: check}
+	ig.directives = append(ig.directives, dir)
+	lines := ig.byLine[pos.Filename]
 	if lines == nil {
-		lines = map[int]map[string]bool{}
-		ig[file] = lines
+		lines = map[int]map[string]*directive{}
+		ig.byLine[pos.Filename] = lines
 	}
-	for _, l := range [2]int{line, line + 1} {
+	for _, l := range [2]int{pos.Line, pos.Line + 1} {
 		checks := lines[l]
 		if checks == nil {
-			checks = map[string]bool{}
+			checks = map[string]*directive{}
 			lines[l] = checks
 		}
-		checks[check] = true
+		checks[check] = dir
 	}
 }
 
-func (ig ignoreSet) covers(d Diagnostic) bool {
-	return ig[d.File][d.Line][d.Check]
+func (ig *ignoreSet) covers(d Diagnostic) bool {
+	dir := ig.byLine[d.File][d.Line][d.Check]
+	if dir == nil {
+		return false
+	}
+	dir.used = true
+	return true
 }
 
 // collectIgnores scans every file's comments for lint:ignore directives.
 // Malformed directives (no check name, or no reason) are returned as
 // diagnostics so a suppression can never silently widen.
-func collectIgnores(mod *Module) (ignoreSet, []Diagnostic) {
-	ig := ignoreSet{}
+func collectIgnores(mod *Module) (*ignoreSet, []Diagnostic) {
+	ig := &ignoreSet{byLine: map[string]map[int]map[string]*directive{}}
 	var bad []Diagnostic
 	known := map[string]bool{}
 	for _, a := range All() {
@@ -167,7 +233,7 @@ func collectIgnores(mod *Module) (ignoreSet, []Diagnostic) {
 							Message: fmt.Sprintf("lint:ignore %s needs a reason", fields[0]),
 						})
 					default:
-						ig.add(pos.Filename, pos.Line, fields[0])
+						ig.add(pos, fields[0])
 					}
 				}
 			}

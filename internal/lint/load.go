@@ -20,12 +20,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -208,6 +210,91 @@ func Load(root string) (*Module, error) {
 	return mod, nil
 }
 
+// knownOS and knownArch mirror go/build's tables; only names in these sets
+// act as filename build constraints.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "nacl": true, "netbsd": true, "openbsd": true,
+	"plan9": true, "solaris": true, "wasip1": true, "windows": true, "zos": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true,
+	"sparc64": true, "wasm": true,
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// excludedByFilename reports whether a _GOOS/_GOARCH filename suffix rules
+// the file out on the host platform. Following go/build, everything before
+// the first underscore is ignored, so a file named "linux.go" is not
+// constrained but "tcp_linux.go" is.
+func excludedByFilename(base string) bool {
+	name := strings.TrimSuffix(base, ".go")
+	name = strings.TrimSuffix(name, "_test")
+	i := strings.Index(name, "_")
+	if i < 0 {
+		return false
+	}
+	l := strings.Split(name[i+1:], "_")
+	n := len(l)
+	if n >= 2 && knownOS[l[n-2]] && knownArch[l[n-1]] {
+		return l[n-2] != runtime.GOOS || l[n-1] != runtime.GOARCH
+	}
+	if knownOS[l[n-1]] {
+		return l[n-1] != runtime.GOOS
+	}
+	if knownArch[l[n-1]] {
+		return l[n-1] != runtime.GOARCH
+	}
+	return false
+}
+
+// excludedByConstraint evaluates the file's //go:build (or legacy // +build)
+// lines against the host platform. Files ruled out never reach the type
+// checker, so platform-specific twins with colliding declarations load
+// cleanly.
+func excludedByConstraint(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(buildTagMatches) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildTagMatches is the tag environment for constraint evaluation: the host
+// OS and architecture, the gc toolchain, cgo, unix on unix-like hosts, and
+// every go1.x release tag (the toolchain running us satisfies them all).
+func buildTagMatches(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "cgo":
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	return strings.HasPrefix(tag, "go1")
+}
+
 // modulePath reads the module directive from root's go.mod.
 func modulePath(root string) (string, error) {
 	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
@@ -266,10 +353,16 @@ func parseDir(fset *token.FileSet, dir, root, modPath string) (*dirFiles, error)
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
+		if excludedByFilename(e.Name()) {
+			continue
+		}
 		fn := filepath.Join(dir, e.Name())
 		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if excludedByConstraint(f) {
+			continue
 		}
 		name := f.Name.Name
 		switch {

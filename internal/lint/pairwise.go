@@ -1,0 +1,430 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Pairwise enforces the tree's paired-resource disciplines:
+//
+//   - plan.Cache.Acquire/Install pin a plan and site.GlobalMarks.TestAndSet
+//     claims a per-query mark slice; any package calling one of these outside
+//     tests must also call the matching Release somewhere outside tests, or
+//     the pin can never drop;
+//   - the result of a successful plan.Cache.Acquire must, on every path, be
+//     Released, returned to the caller (ownership transfer, as planFor does),
+//     or stored into a field whose owner releases it later — never silently
+//     dropped, which would pin the cache entry forever;
+//   - a query context pinned for stepping ("ctx.stepping = true") must on
+//     every path either be unpinned ("ctx.stepping = false") or escorted out
+//     of the function as a return value (the scheduler-pop shape, where the
+//     caller inherits the pin). A path that drops a pinned context leaks the
+//     pin and the context can never be evicted or re-scheduled;
+//   - "finished = true" transitions for any one type must funnel through a
+//     single function (finishCtx), so the release of admission slots, fair
+//     buckets, and latency accounting can never be half-applied.
+var Pairwise = &Analyzer{
+	Name: "pairwise",
+	Doc:  "paired resources (plan pins, global marks, stepping pins, finished transitions) acquire and release in matched pairs",
+	Run:  runPairwise,
+}
+
+// resourcePairs lists the acquire/release method pairs, identified by the
+// receiver's package path and type name.
+var resourcePairs = []struct {
+	pkg, typ, acquire, release string
+}{
+	{"hyperfile/internal/plan", "Cache", "Acquire", "Release"},
+	{"hyperfile/internal/plan", "Cache", "Install", "Release"},
+	{"hyperfile/internal/site", "GlobalMarks", "TestAndSet", "Release"},
+}
+
+func runPairwise(pass *Pass) {
+	info := pass.Info()
+	// acquireCalls[i] collects non-test calls of pair i's acquire method;
+	// releaseSeen[i] whether its release is called anywhere non-test.
+	acquireCalls := make([][]token.Pos, len(resourcePairs))
+	releaseSeen := make([]bool, len(resourcePairs))
+	finishedSets := map[*types.Named]map[string][]token.Pos{} // type -> func -> positions
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeFunc(info, n)
+					if fn == nil {
+						return true
+					}
+					recv := funcRecvNamed(fn)
+					for i, p := range resourcePairs {
+						if !isFrom(recv, p.pkg, p.typ) {
+							continue
+						}
+						if fn.Name() == p.acquire {
+							acquireCalls[i] = append(acquireCalls[i], n.Pos())
+						}
+						if fn.Name() == p.release {
+							releaseSeen[i] = true
+						}
+					}
+				case *ast.AssignStmt:
+					recordFinishedSets(info, n, fd.Name.Name, finishedSets)
+				}
+				return true
+			})
+			checkAcquirePaths(pass, info, fd)
+			checkSteppingPins(pass, info, fd)
+		}
+	}
+	for i, p := range resourcePairs {
+		if len(acquireCalls[i]) == 0 || releaseSeen[i] {
+			continue
+		}
+		// Release may legitimately live on the same type's other pair entry
+		// (Acquire and Install share one Release).
+		released := false
+		for j, q := range resourcePairs {
+			if q.pkg == p.pkg && q.typ == p.typ && releaseSeen[j] {
+				released = true
+			}
+		}
+		if released {
+			continue
+		}
+		for _, pos := range acquireCalls[i] {
+			pass.Reportf(pos, "%s.%s is called in this package but %s.%s never is; the pin can never drop", p.typ, p.acquire, p.typ, p.release)
+		}
+	}
+	reportFinishedFunnels(pass, finishedSets)
+}
+
+// ---- rule: Acquire results must be released, returned, or stored ----
+
+// checkAcquirePaths finds `v, ok := c.Acquire(...)` shapes and verifies the
+// pinned result is discharged inside the success region.
+func checkAcquirePaths(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		assign, ok := ifs.Init.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isPairAcquire(info, call, "Acquire") {
+			return true
+		}
+		vars := lhsObjects(info, assign.Lhs)
+		if !regionDischarges(info, ifs.Body, vars) {
+			pass.Reportf(call.Pos(), "pinned result of %s.Acquire is neither Released, returned, nor stored in the success branch", pairTypeName(info, call))
+		}
+		return true
+	})
+	// Plain `v, ok := c.Acquire(...)` at block level: the rest of the block
+	// is the obligation region.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range block.List {
+			assign, ok := s.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 {
+				continue
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || !isPairAcquire(info, call, "Acquire") {
+				continue
+			}
+			vars := lhsObjects(info, assign.Lhs)
+			rest := &ast.BlockStmt{List: block.List[i+1:]}
+			if !regionDischarges(info, rest, vars) {
+				pass.Reportf(call.Pos(), "pinned result of %s.Acquire is neither Released, returned, nor stored before this block ends", pairTypeName(info, call))
+			}
+		}
+		return true
+	})
+}
+
+func isPairAcquire(info *types.Info, call *ast.CallExpr, method string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	recv := funcRecvNamed(fn)
+	for _, p := range resourcePairs {
+		if p.acquire == method && isFrom(recv, p.pkg, p.typ) {
+			return true
+		}
+	}
+	return false
+}
+
+func pairTypeName(info *types.Info, call *ast.CallExpr) string {
+	if recv := funcRecvNamed(calleeFunc(info, call)); recv != nil {
+		return recv.Obj().Name()
+	}
+	return "Cache"
+}
+
+func lhsObjects(info *types.Info, lhs []ast.Expr) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, e := range lhs {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// regionDischarges reports whether the region releases the pin, transfers
+// ownership by returning a result var, or stores a result var into a field.
+func regionDischarges(info *types.Info, region ast.Node, vars map[types.Object]bool) bool {
+	discharged := false
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && vars[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(region, func(n ast.Node) bool {
+		if discharged {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && fn.Name() == "Release" {
+				recv := funcRecvNamed(fn)
+				for _, p := range resourcePairs {
+					if p.release == "Release" && isFrom(recv, p.pkg, p.typ) {
+						discharged = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if mentions(r) {
+					discharged = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Field store: v kept in a struct the owner releases later.
+			for i, lhs := range n.Lhs {
+				if _, isSel := lhs.(*ast.SelectorExpr); isSel && i < len(n.Rhs) && mentions(n.Rhs[i]) {
+					discharged = true
+				}
+			}
+		}
+		return !discharged
+	})
+	return discharged
+}
+
+// ---- rule: stepping pins must be cleared or escorted out ----
+
+// checkSteppingPins runs an all-paths walk over the function: a
+// "<base>.stepping = true" creates an obligation discharged by
+// "<base>.stepping = false" or by returning <base>.
+func checkSteppingPins(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	w := &pinWalker{pass: pass, reported: map[token.Pos]bool{}}
+	pending, term := w.walkStmts(fd.Body.List, map[string]token.Pos{})
+	if !term {
+		w.flush(pending)
+	}
+}
+
+type pinWalker struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+func (w *pinWalker) flush(pending map[string]token.Pos) {
+	for base, pos := range pending {
+		if !w.reported[pos] {
+			w.reported[pos] = true
+			w.pass.Reportf(pos, "%s.stepping pin set here is neither cleared nor returned on some path; the context stays pinned forever", base)
+		}
+	}
+}
+
+func copyPending(p map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *pinWalker) walkStmts(stmts []ast.Stmt, pending map[string]token.Pos) (map[string]token.Pos, bool) {
+	for _, s := range stmts {
+		var term bool
+		pending, term = w.walkStmt(s, pending)
+		if term {
+			return pending, true
+		}
+	}
+	return pending, false
+}
+
+func (w *pinWalker) walkStmt(s ast.Stmt, pending map[string]token.Pos) (map[string]token.Pos, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "stepping" || i >= len(s.Rhs) {
+				continue
+			}
+			base := types.ExprString(sel.X)
+			switch rhs := ast.Unparen(s.Rhs[i]).(type) {
+			case *ast.Ident:
+				if rhs.Name == "true" {
+					pending[base] = s.Pos()
+				} else if rhs.Name == "false" {
+					delete(pending, base)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			ast.Inspect(r, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					delete(pending, id.Name)
+				}
+				return true
+			})
+		}
+		w.flush(pending)
+		return pending, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, pending)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			pending, _ = w.walkStmt(s.Init, pending)
+		}
+		p1, t1 := w.walkStmts(s.Body.List, copyPending(pending))
+		p2, t2 := copyPending(pending), false
+		if s.Else != nil {
+			p2, t2 = w.walkStmt(s.Else, p2)
+		}
+		switch {
+		case t1 && t2:
+			return pending, true
+		case t1:
+			return p2, false
+		case t2:
+			return p1, false
+		default:
+			return unionPending(p1, p2), false
+		}
+	case *ast.ForStmt:
+		p, _ := w.walkStmts(s.Body.List, copyPending(pending))
+		return unionPending(pending, p), false
+	case *ast.RangeStmt:
+		p, _ := w.walkStmts(s.Body.List, copyPending(pending))
+		return unionPending(pending, p), false
+	case *ast.SwitchStmt:
+		out := copyPending(pending)
+		for _, cc := range s.Body.List {
+			p, t := w.walkStmts(cc.(*ast.CaseClause).Body, copyPending(pending))
+			if !t {
+				out = unionPending(out, p)
+			}
+		}
+		return out, false
+	case *ast.TypeSwitchStmt:
+		out := copyPending(pending)
+		for _, cc := range s.Body.List {
+			p, t := w.walkStmts(cc.(*ast.CaseClause).Body, copyPending(pending))
+			if !t {
+				out = unionPending(out, p)
+			}
+		}
+		return out, false
+	case *ast.SelectStmt:
+		out := copyPending(pending)
+		for _, cc := range s.Body.List {
+			p, t := w.walkStmts(cc.(*ast.CommClause).Body, copyPending(pending))
+			if !t {
+				out = unionPending(out, p)
+			}
+		}
+		return out, false
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, pending)
+	}
+	return pending, false
+}
+
+func unionPending(a, b map[string]token.Pos) map[string]token.Pos {
+	out := copyPending(a)
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// ---- rule: finished = true funnels through one function ----
+
+func recordFinishedSets(info *types.Info, assign *ast.AssignStmt, fname string, sets map[*types.Named]map[string][]token.Pos) {
+	for i, lhs := range assign.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "finished" || i >= len(assign.Rhs) {
+			continue
+		}
+		rhs, ok := ast.Unparen(assign.Rhs[i]).(*ast.Ident)
+		if !ok || rhs.Name != "true" {
+			continue
+		}
+		t := info.TypeOf(sel.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, _ := types.Unalias(t).(*types.Named)
+		if named == nil {
+			continue
+		}
+		if sets[named] == nil {
+			sets[named] = map[string][]token.Pos{}
+		}
+		sets[named][fname] = append(sets[named][fname], assign.Pos())
+	}
+}
+
+func reportFinishedFunnels(pass *Pass, sets map[*types.Named]map[string][]token.Pos) {
+	for named, byFunc := range sets {
+		if len(byFunc) < 2 {
+			continue
+		}
+		var funcs []string
+		for f := range byFunc {
+			funcs = append(funcs, f)
+		}
+		sort.Strings(funcs)
+		for _, f := range funcs {
+			for _, pos := range byFunc[f] {
+				pass.Reportf(pos, "%s.finished is set to true in %d functions; funnel every transition through one", named.Obj().Name(), len(funcs))
+			}
+		}
+	}
+}

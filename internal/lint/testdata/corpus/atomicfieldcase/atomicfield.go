@@ -1,0 +1,41 @@
+// Package atomicfieldcase exercises atomicfield: storage touched via
+// sync/atomic must never be accessed plainly, and atomic wrapper values must
+// not be copied.
+package atomicfieldcase
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	gauge atomic.Int64
+}
+
+var total uint64
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&total, 1)
+	c.gauge.Add(1)
+}
+
+func plainRead(c *counter) uint64 {
+	return c.hits // want "accessed with sync/atomic .* but plainly here"
+}
+
+func plainTotal() uint64 {
+	return total // want "accessed with sync/atomic .* but plainly here"
+}
+
+func copyGauge(c *counter) atomic.Int64 {
+	return c.gauge // want "used as a plain value"
+}
+
+// loadGauge is the correct wrapper use: methods only.
+func loadGauge(c *counter) int64 {
+	return c.gauge.Load()
+}
+
+// atomicReadOK reads through sync/atomic everywhere.
+func atomicReadOK(c *counter) uint64 {
+	return atomic.LoadUint64(&c.hits) + atomic.LoadUint64(&total)
+}

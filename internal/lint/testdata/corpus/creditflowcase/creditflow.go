@@ -1,0 +1,61 @@
+// Package creditflowcase exercises creditflow: functions ingesting a
+// termination token must consume it on every exit path.
+package creditflowcase
+
+type sink struct{ out [][]byte }
+
+func (s *sink) forward(token []byte) {
+	s.out = append(s.out, token)
+}
+
+func (s *sink) check() error { return nil }
+
+// dropOnEarlyReturn loses the credit on the busy path.
+func (s *sink) dropOnEarlyReturn(busy bool, token []byte) {
+	if busy {
+		return // want "dropped on this return path"
+	}
+	s.forward(token)
+}
+
+// fallsOffEnd never consumes the token at all.
+func fallsOffEnd(counts map[string]int, token []byte) {
+	counts["frames"]++
+} // want "may fall off the end"
+
+// emptyGuardOK is clean: a token proven empty carries no credit.
+func (s *sink) emptyGuardOK(token []byte) {
+	if len(token) == 0 {
+		return
+	}
+	s.forward(token)
+}
+
+// nilGuardOK is the same refinement through a nil comparison.
+func (s *sink) nilGuardOK(token []byte) {
+	if token == nil {
+		return
+	}
+	s.forward(token)
+}
+
+// errExemptOK is clean: error paths abandon the frame, the retransmission
+// carries the credit.
+func (s *sink) errExemptOK(token []byte) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	s.forward(token)
+	return nil
+}
+
+// bounceOK returns the credit to the caller.
+func bounceOK(token []byte) []byte {
+	return token
+}
+
+// storeOK stashes the token (an alias still owns the credit).
+func (s *sink) storeOK(tok []byte) {
+	held := tok
+	s.out = append(s.out, held)
+}

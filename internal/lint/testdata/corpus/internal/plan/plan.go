@@ -1,0 +1,41 @@
+// Package plan is a corpus stub of the real plan package: a pin-counted
+// cache with the Acquire/Install/Release discipline pairwise enforces.
+package plan
+
+import "sync"
+
+type Plan struct{ steps int }
+
+type Cache struct {
+	mu   sync.Mutex
+	pins map[string]int
+}
+
+// Acquire looks up and pins the plan for key.
+func (c *Cache) Acquire(key string) (*Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pins[key]; ok {
+		c.pins[key]++
+		return &Plan{steps: 1}, true
+	}
+	return nil, false
+}
+
+// Install stores a fresh plan under key, pinned for the caller.
+func (c *Cache) Install(key string, p *Plan) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pins == nil {
+		c.pins = map[string]int{}
+	}
+	c.pins[key]++
+	return 0
+}
+
+// Release unpins one reference to key.
+func (c *Cache) Release(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pins[key]--
+}

@@ -1,0 +1,110 @@
+package wire
+
+import "errors"
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u64(v uint64) { e.buf = append(e.buf, byte(v)) }
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.pos >= len(d.buf) {
+		d.err = errors.New("truncated")
+		return 0
+	}
+	v := uint64(d.buf[d.pos])
+	d.pos++
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u64())
+	if d.err != nil || d.pos+n > len(d.buf) {
+		d.err = errors.New("truncated")
+		return ""
+	}
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+// Encode serializes a message: kind byte, then the fields in order.
+func Encode(m Msg) []byte {
+	e := &encoder{}
+	e.u64(uint64(m.Kind()))
+	switch m := m.(type) {
+	case *Submit:
+		e.str(m.Addr)
+		e.u64(m.Budget)
+	case *Result:
+		e.u64(m.QID)
+		e.u64(m.N)
+	case *Complete:
+		e.u64(m.X)
+		e.u64(m.Y)
+		e.u64(m.Opt) // want "encode writes Complete.Opt out of declaration order"
+	}
+	return e.buf
+}
+
+// Decode parses a message from its wire form.
+func Decode(data []byte) (Msg, error) {
+	d := &decoder{buf: data}
+	kind := Kind(d.u64())
+	var m Msg
+	switch kind {
+	case KSubmit:
+		s := &Submit{}
+		s.Addr = d.str()
+		// Trailing, optional: frames predating budgets end here.
+		if d.err == nil && d.pos < len(d.buf) {
+			s.Budget = d.u64()
+		}
+		m = s
+	case KInvalid:
+		// Legacy submit layout: address only, no budget.
+		s := &Submit{}
+		s.Addr = d.str()
+		m = s
+	case KResult:
+		r := &Result{}
+		r.N = d.u64() // want "decode of Result reads N where encode writes QID"
+		r.QID = d.u64()
+		m = r
+	case KComplete:
+		c := &Complete{}
+		c.X = d.u64()
+		if d.err == nil && d.pos < len(d.buf) {
+			c.Opt = d.u64()
+		}
+		c.Y = d.u64() // want "non-optional field Y decoded after trailing-optional Opt"
+		m = c
+	default:
+		d.err = errors.New("unknown kind")
+	}
+	return m, d.err
+}
+
+// decodeLegacySubmit keeps the oldest submit layout decodable; its case omits
+// a non-optional field, which wirefield flags.
+func decodeLegacySubmit(d *decoder, kind Kind) Msg {
+	switch kind {
+	case KSubmit: // want "legacy decode of Submit omits non-optional field Addr"
+		s := &Submit{}
+		s.Budget = d.u64()
+		return s
+	case KResult, KComplete:
+		return nil
+	default:
+		panic("unreachable")
+	}
+}

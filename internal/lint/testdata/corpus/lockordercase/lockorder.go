@@ -1,0 +1,41 @@
+// Package lockordercase exercises lockorder's cycle detection: two mutexes
+// acquired in opposite orders by two functions.
+package lockordercase
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+type pair struct {
+	x *a
+	y *b
+}
+
+// forward establishes a.mu -> b.mu.
+func (p *pair) forward() {
+	p.x.mu.Lock()
+	defer p.x.mu.Unlock()
+	p.y.mu.Lock() // want "cyclic lock order"
+	p.y.mu.Unlock()
+}
+
+// backward establishes b.mu -> a.mu, closing the cycle.
+func (p *pair) backward() {
+	p.y.mu.Lock()
+	defer p.y.mu.Unlock()
+	p.x.mu.Lock() // want "cyclic lock order"
+	p.x.mu.Unlock()
+}
+
+// nested is a consistent order elsewhere in the package: c.mu -> a.mu only,
+// never reversed, so it stays silent.
+type c struct{ mu sync.Mutex }
+
+func run(k *c, p *pair) {
+	k.mu.Lock()
+	p.x.mu.Lock()
+	p.x.mu.Unlock()
+	k.mu.Unlock()
+}

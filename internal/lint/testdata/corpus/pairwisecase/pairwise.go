@@ -1,0 +1,93 @@
+// Package pairwisecase exercises pairwise's path rules: plan-pin discharge,
+// stepping-pin release, and the finished funnel.
+package pairwisecase
+
+import "hyperfile/internal/plan"
+
+type holder struct {
+	cache *plan.Cache
+	plan  *plan.Plan
+}
+
+// dropsPin acquires a pin and then neither releases, returns, nor stores it.
+func (h *holder) dropsPin(key string) int {
+	if p, ok := h.cache.Acquire(key); ok { // want "neither Released, returned, nor stored"
+		_ = p
+		return 1
+	}
+	return 0
+}
+
+// returnsPin transfers ownership to the caller (the planFor shape).
+func (h *holder) returnsPin(key string) *plan.Plan {
+	if p, ok := h.cache.Acquire(key); ok {
+		return p
+	}
+	return nil
+}
+
+// storesPin keeps the pin in a field the owner releases later.
+func (h *holder) storesPin(key string) {
+	if p, ok := h.cache.Acquire(key); ok {
+		h.plan = p
+	}
+}
+
+// releasesPin pairs the acquire with a release on the same path.
+func (h *holder) releasesPin(key string) {
+	if _, ok := h.cache.Acquire(key); ok {
+		h.cache.Release(key)
+	}
+}
+
+// ---- stepping pins ----
+
+type qctx struct{ stepping bool }
+
+type sched struct{ q []*qctx }
+
+// pinWithoutRelease drops the pinned context on the early-return path.
+func (s *sched) pinWithoutRelease(ctx *qctx, fail bool) {
+	ctx.stepping = true // want "neither cleared nor returned on some path"
+	if fail {
+		return
+	}
+	ctx.stepping = false
+}
+
+// pinAndPop escorts the pinned context out to the caller (the scheduler-pop
+// shape): the caller inherits the pin.
+func (s *sched) pinAndPop() *qctx {
+	for _, ctx := range s.q {
+		ctx.stepping = true
+		return ctx
+	}
+	return nil
+}
+
+// pinBalanced clears the pin on the only path.
+func (s *sched) pinBalanced(ctx *qctx) {
+	ctx.stepping = true
+	ctx.stepping = false
+}
+
+// ---- finished funnel ----
+
+type task struct{ finished bool }
+
+func finishA(t *task) {
+	t.finished = true // want "funnel every transition"
+}
+
+func finishB(t *task) {
+	t.finished = true // want "funnel every transition"
+}
+
+type job struct{ finished bool }
+
+// finishJob is the only finished-writer for job: a proper funnel.
+func finishJob(j *job) {
+	if !j.finished {
+		j.finished = true
+	}
+}

@@ -1,0 +1,9 @@
+// Package pairwiseleakcase exercises pairwise's package-presence rule: a
+// package that pins (Install) but never calls Release anywhere.
+package pairwiseleakcase
+
+import "hyperfile/internal/plan"
+
+func install(c *plan.Cache, key string) {
+	c.Install(key, &plan.Plan{}) // want "Cache.Install is called in this package but Cache.Release never is"
+}

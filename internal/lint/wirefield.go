@@ -1,0 +1,471 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Wirefield proves the wire codec's compatibility contract field by field.
+// For every struct implementing wire.Msg it extracts the encode sequence
+// (the ordered field references inside the message's case of a type switch
+// over Msg) and every decode sequence (the ordered field writes inside each
+// case of a switch over wire.Kind), then checks:
+//
+//   - encode writes every exported field, in declaration order;
+//   - the canonical decode case (the longest one for the struct) reads
+//     exactly the encode sequence;
+//   - a field read under a decoder-position guard ("if d.pos < len(d.buf)")
+//     is trailing-optional, and nothing non-optional may follow one — a
+//     truncated legacy frame stops at the guard, so any unguarded read after
+//     it would fail on old frames;
+//   - legacy decode cases (shorter layouts kept for old frames, like KDeref)
+//     read a subsequence of the canonical order that still covers every
+//     non-optional field.
+//
+// Together these make "legacy frames decode" a compile-time gate: a new
+// field can only ever be appended, encoded last, and decoded behind a
+// position guard.
+var Wirefield = &Analyzer{
+	Name: "wirefield",
+	Doc:  "wire messages encode/decode every field in declaration order, with new fields trailing-optional and legacy layouts still complete",
+	Run:  runWirefield,
+}
+
+// fieldRef is one ordered field touch in an encode or decode sequence.
+type fieldRef struct {
+	name     string
+	pos      token.Pos
+	optional bool // decode only: read under a decoder-position guard
+}
+
+func runWirefield(pass *Pass) {
+	if pass.Pkg.Path != wirePath {
+		return
+	}
+	info := pass.Info()
+	msgIface := msgInterface(pass.Pkg.Types)
+	if msgIface == nil {
+		return
+	}
+	structs := msgStructs(pass.Pkg.Types, msgIface)
+	if len(structs) == 0 {
+		return
+	}
+	w := &wirefieldPass{pass: pass, info: info, structs: structs,
+		enc: map[*types.Named][]fieldRef{}, dec: map[*types.Named][][]fieldRef{},
+		decCasePos: map[*types.Named][]token.Pos{}}
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSwitchStmt:
+				w.collectEncode(n)
+			case *ast.SwitchStmt:
+				w.collectDecode(n)
+			}
+			return true
+		})
+	}
+	w.check()
+}
+
+type wirefieldPass struct {
+	pass    *Pass
+	info    *types.Info
+	structs map[*types.Named]*types.Struct
+	// enc maps each message struct to its encode field order; dec collects
+	// one sequence per decode case (canonical plus legacy layouts).
+	enc        map[*types.Named][]fieldRef
+	dec        map[*types.Named][][]fieldRef
+	decCasePos map[*types.Named][]token.Pos
+}
+
+// msgInterface resolves the package's Msg interface.
+func msgInterface(pkg *types.Package) *types.Interface {
+	obj, _ := namedObj(pkg, "Msg").(*types.TypeName)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// msgStructs returns every package-scope struct whose pointer implements Msg.
+func msgStructs(pkg *types.Package, iface *types.Interface) map[*types.Named]*types.Struct {
+	out := map[*types.Named]*types.Struct{}
+	for _, name := range pkg.Scope().Names() {
+		tn, _ := pkg.Scope().Lookup(name).(*types.TypeName)
+		if tn == nil {
+			continue
+		}
+		named, _ := tn.Type().(*types.Named)
+		if named == nil {
+			continue
+		}
+		st, _ := named.Underlying().(*types.Struct)
+		if st == nil {
+			continue
+		}
+		if types.Implements(types.NewPointer(named), iface) {
+			out[named] = st
+		}
+	}
+	return out
+}
+
+// msgStructOf maps an expression type to the message struct it names (through
+// one pointer), nil otherwise.
+func (w *wirefieldPass) msgStructOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	if named == nil {
+		return nil
+	}
+	if _, ok := w.structs[named]; ok {
+		return named
+	}
+	return nil
+}
+
+// collectEncode extracts the per-message encode order from a type switch over
+// Msg: the ordered field references inside each single-type case.
+func (w *wirefieldPass) collectEncode(sw *ast.TypeSwitchStmt) {
+	var operand ast.Expr
+	switch a := sw.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				operand = ta.X
+			}
+		}
+	}
+	if operand == nil {
+		return
+	}
+	named, _ := types.Unalias(exprType(w.info, operand)).(*types.Named)
+	if named == nil || named.Obj().Name() != "Msg" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != wirePath {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if len(cc.List) != 1 {
+			continue
+		}
+		target := w.msgStructOf(exprType(w.info, cc.List[0]))
+		if target == nil {
+			continue
+		}
+		var refs []fieldRef
+		for _, s := range cc.Body {
+			ast.Inspect(s, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if w.msgStructOf(exprType(w.info, sel.X)) != target {
+					return true
+				}
+				if v, ok := w.info.Uses[sel.Sel].(*types.Var); !ok || !v.IsField() {
+					return true
+				}
+				refs = append(refs, fieldRef{name: sel.Sel.Name, pos: sel.Sel.Pos()})
+				return true
+			})
+		}
+		if len(refs) > 0 || len(cc.Body) > 0 {
+			w.enc[target] = dedupeConsecutive(refs)
+		}
+	}
+}
+
+// collectDecode extracts per-case field-write orders from a switch over
+// wire.Kind, tagging writes made under a decoder-position guard as optional.
+func (w *wirefieldPass) collectDecode(sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	named, _ := types.Unalias(exprType(w.info, sw.Tag)).(*types.Named)
+	if named == nil || named.Obj().Name() != "Kind" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != wirePath {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		perStruct := map[*types.Named][]fieldRef{}
+		var order []*types.Named
+		record := func(target *types.Named, ref fieldRef) {
+			if _, seen := perStruct[target]; !seen {
+				order = append(order, target)
+			}
+			perStruct[target] = append(perStruct[target], ref)
+		}
+		w.walkDecodeStmts(cc.Body, false, record)
+		for _, target := range order {
+			seq := dedupeConsecutive(perStruct[target])
+			if len(seq) == 0 {
+				continue
+			}
+			w.dec[target] = append(w.dec[target], seq)
+			w.decCasePos[target] = append(w.decCasePos[target], cc.Pos())
+		}
+	}
+}
+
+// walkDecodeStmts visits statements in lexical order, propagating whether the
+// current span is inside a decoder-position guard (trailing-optional region).
+func (w *wirefieldPass) walkDecodeStmts(stmts []ast.Stmt, opt bool, record func(*types.Named, fieldRef)) {
+	for _, s := range stmts {
+		w.walkDecodeStmt(s, opt, record)
+	}
+}
+
+func (w *wirefieldPass) walkDecodeStmt(s ast.Stmt, opt bool, record func(*types.Named, fieldRef)) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.scanComposites(rhs, opt, record)
+		}
+		for _, lhs := range s.Lhs {
+			if target, name, pos, ok := w.rootFieldWrite(lhs); ok {
+				record(target, fieldRef{name: name, pos: pos, optional: opt})
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkDecodeStmt(s.Init, opt, record)
+		}
+		w.walkDecodeStmts(s.Body.List, opt || condHasDecoderPos(s.Cond), record)
+		if s.Else != nil {
+			w.walkDecodeStmt(s.Else, opt, record)
+		}
+	case *ast.BlockStmt:
+		w.walkDecodeStmts(s.List, opt, record)
+	case *ast.ForStmt:
+		w.walkDecodeStmts(s.Body.List, opt, record)
+	case *ast.RangeStmt:
+		w.walkDecodeStmts(s.Body.List, opt, record)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			w.walkDecodeStmts(cc.(*ast.CaseClause).Body, opt, record)
+		}
+	case *ast.ExprStmt:
+		w.scanComposites(s.X, opt, record)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanComposites(r, opt, record)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanComposites(e, opt, record)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// scanComposites records keyed (or positional) message-struct composite
+// literals — the `m = &Reject{QID: d.qid(), Reason: d.str()}` decode shape.
+func (w *wirefieldPass) scanComposites(e ast.Expr, opt bool, record func(*types.Named, fieldRef)) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		target := w.msgStructOf(exprType(w.info, cl))
+		if target == nil {
+			return true
+		}
+		st := w.structs[target]
+		for i, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					record(target, fieldRef{name: key.Name, pos: kv.Pos(), optional: opt})
+				}
+				continue
+			}
+			if i < st.NumFields() {
+				record(target, fieldRef{name: st.Field(i).Name(), pos: el.Pos(), optional: opt})
+			}
+		}
+		return true
+	})
+}
+
+// rootFieldWrite resolves an assignment LHS like r.Counters[i].Name down to
+// the message-struct field it writes (Counters).
+func (w *wirefieldPass) rootFieldWrite(e ast.Expr) (*types.Named, string, token.Pos, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if target := w.msgStructOf(exprType(w.info, e.X)); target != nil {
+			if v, ok := w.info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+				return target, e.Sel.Name, e.Sel.Pos(), true
+			}
+			return nil, "", 0, false
+		}
+		return w.rootFieldWrite(e.X)
+	case *ast.IndexExpr:
+		return w.rootFieldWrite(e.X)
+	case *ast.StarExpr:
+		return w.rootFieldWrite(e.X)
+	}
+	return nil, "", 0, false
+}
+
+// condHasDecoderPos reports whether a condition consults the decoder's
+// position — the trailing-optional idiom "if d.err == nil && d.pos < len(d.buf)".
+func condHasDecoderPos(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "pos" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func dedupeConsecutive(refs []fieldRef) []fieldRef {
+	out := refs[:0]
+	for _, r := range refs {
+		if len(out) > 0 && out[len(out)-1].name == r.name {
+			// A field referenced twice in a row (length prefix + range loop)
+			// is one wire region; keep the first touch, but let a position
+			// guard on either occurrence mark the region optional.
+			if r.optional {
+				out[len(out)-1].optional = true
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// check applies the invariants to the collected sequences.
+func (w *wirefieldPass) check() {
+	// Stable iteration: by struct name.
+	var names []*types.Named
+	for n := range w.structs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Obj().Name() < names[j].Obj().Name() })
+	for _, named := range names {
+		st := w.structs[named]
+		name := named.Obj().Name()
+		enc, hasEnc := w.enc[named]
+		if !hasEnc {
+			w.pass.Reportf(named.Obj().Pos(), "%s implements Msg but has no encode case", name)
+			continue
+		}
+		idx := map[string]int{}
+		for i := 0; i < st.NumFields(); i++ {
+			idx[st.Field(i).Name()] = i
+		}
+		// Encode order must follow declaration order.
+		encOrdered := true
+		for i := 1; i < len(enc); i++ {
+			if idx[enc[i].name] <= idx[enc[i-1].name] {
+				encOrdered = false
+				w.pass.Reportf(enc[i].pos, "encode writes %s.%s out of declaration order (after %s)", name, enc[i].name, enc[i-1].name)
+			}
+		}
+		// Encode must cover every exported field.
+		encoded := map[string]bool{}
+		for _, r := range enc {
+			encoded[r.name] = true
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Exported() && !encoded[f.Name()] {
+				w.pass.Reportf(f.Pos(), "field %s of %s is never encoded", f.Name(), name)
+			}
+		}
+		cases := w.dec[named]
+		if len(cases) == 0 {
+			w.pass.Reportf(named.Obj().Pos(), "%s implements Msg but has no decode case", name)
+			continue
+		}
+		// Canonical decode case: the longest sequence.
+		canon := 0
+		for i, c := range cases {
+			if len(c) > len(cases[canon]) {
+				canon = i
+			}
+		}
+		canonSeq := cases[canon]
+		// Canonical decode must read exactly the encode sequence. Skipped when
+		// encode order is already broken — one root cause, one report.
+		if encOrdered {
+			for i := 0; i < len(canonSeq) || i < len(enc); i++ {
+				switch {
+				case i >= len(enc):
+					w.pass.Reportf(canonSeq[i].pos, "decode of %s reads %s, which encode never writes", name, canonSeq[i].name)
+				case i >= len(canonSeq):
+					w.pass.Reportf(w.decCasePos[named][canon], "decode of %s never reads %s (encode writes it at position %d)", name, enc[i].name, i+1)
+				case canonSeq[i].name != enc[i].name:
+					w.pass.Reportf(canonSeq[i].pos, "decode of %s reads %s where encode writes %s", name, canonSeq[i].name, enc[i].name)
+				default:
+					continue
+				}
+				break
+			}
+		}
+		// Once a field is read behind a position guard, everything after it
+		// must be too.
+		firstOpt := -1
+		for i, r := range canonSeq {
+			if r.optional && firstOpt < 0 {
+				firstOpt = i
+			}
+			if firstOpt >= 0 && !r.optional {
+				w.pass.Reportf(r.pos, "non-optional field %s decoded after trailing-optional %s; a truncated legacy frame would touch it", r.name, canonSeq[firstOpt].name)
+			}
+		}
+		// Legacy cases: ordered subsequence of canonical covering every
+		// non-optional field.
+		for ci, c := range cases {
+			if ci == canon {
+				continue
+			}
+			w.checkLegacy(name, c, canonSeq, w.decCasePos[named][ci])
+		}
+	}
+}
+
+func (w *wirefieldPass) checkLegacy(name string, legacy, canon []fieldRef, casePos token.Pos) {
+	j := 0
+	covered := map[string]bool{}
+	for _, r := range legacy {
+		for j < len(canon) && canon[j].name != r.name {
+			j++
+		}
+		if j == len(canon) {
+			w.pass.Reportf(r.pos, "legacy decode of %s reads %s out of canonical order", name, r.name)
+			return
+		}
+		covered[r.name] = true
+		j++
+	}
+	for _, r := range canon {
+		if !r.optional && !covered[r.name] {
+			w.pass.Reportf(casePos, "legacy decode of %s omits non-optional field %s", name, r.name)
+		}
+	}
+}

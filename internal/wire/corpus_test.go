@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyperfile/internal/object"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false, "rewrite the committed fuzz seed corpus under testdata/fuzz")
+
+// compatSeeds is the committed compatibility corpus: one named frame stream
+// per wire-format generation we promise to keep decoding. Each payload is a
+// message layout that once went over the wire — current layouts with the
+// trailing optionals present (ClientID, BudgetUS, BodyHash, Reason), the
+// truncated pre-optional layouts from before each field existed, and the
+// legacy single-id KDeref frame. go test loads these through FuzzFrame's
+// seed corpus, so the coverage survives CI fuzz-cache loss.
+func compatSeeds() map[string][]byte {
+	qid := QueryID{Origin: 1, Seq: 3}
+	id := object.ID{Birth: 2, Seq: 9}
+
+	submitFull := Encode(&Submit{QID: qid, Client: 7, Body: "S -> T", BudgetUS: 250_000, ClientID: 1 << 40})
+	submitZero := Encode(&Submit{QID: qid, Client: 7, Body: "S -> T"})
+	derefFull := Encode(&Deref{QID: qid, Origin: 1, Body: "S -> T", ObjIDs: []object.ID{id}, Token: []byte{1}, BodyHash: []byte{0xAB, 0xCD}, BudgetUS: 99})
+	derefZero := Encode(&Deref{QID: qid, Origin: 1, ObjIDs: []object.ID{id}, Token: []byte{1}})
+	completeFull := Encode(&Complete{QID: qid, Count: 1, Partial: true, Reason: "cancelled by client"})
+	completeZero := Encode(&Complete{QID: qid, Count: 1})
+	seedFull := Encode(&Seed{QID: qid, Origin: 1, Body: "S -> T", FromQID: qid, BudgetUS: 400})
+	seedZero := Encode(&Seed{QID: qid, Origin: 1, Body: "S -> T", FromQID: qid})
+
+	payloads := map[string][]byte{
+		"submit_clientid": submitFull,
+		// Pre-ClientID generation: the frame ends after BudgetUS.
+		"submit_pre_clientid": submitZero[:len(submitZero)-1],
+		// Pre-budget generation: the frame ends after InitialFromResultOf.
+		"submit_pre_budget": submitZero[:len(submitZero)-2],
+		"deref_bodyhash":    derefFull,
+		// Pre-BodyHash generation: the frame ends after Hop.
+		"deref_pre_bodyhash": derefZero[:len(derefZero)-2],
+		// Single-id KDeref layout, never emitted anymore but still decoded.
+		"deref_legacy_single": legacyDerefFrame(qid, 1, "S -> T", id, 1, []int{2}, []byte{1}, 2),
+		"reject":              Encode(&Reject{QID: qid, Reason: "admission queue full"}),
+		"cancel":              Encode(&Cancel{QID: qid, Reason: "deadline expired"}),
+		"complete_reason":     completeFull,
+		// Pre-Reason generation: the frame ends after Spans.
+		"complete_pre_reason": completeZero[:len(completeZero)-1],
+		"seed_budget":         seedFull,
+		// Pre-budget generation: the frame ends after Hop.
+		"seed_pre_budget": seedZero[:len(seedZero)-1],
+	}
+
+	seeds := make(map[string][]byte, len(payloads))
+	var seq uint64
+	for _, name := range sortedKeys(payloads) {
+		seq++
+		seeds[name] = AppendFrame(nil, Frame{From: 3, Epoch: 1, Seq: seq, Payload: payloads[name]})
+	}
+	return seeds
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// corpusDir is where go test auto-loads FuzzFrame seeds from.
+var corpusDir = filepath.Join("testdata", "fuzz", "FuzzFrame")
+
+// corpusFile renders one seed in the go-fuzz corpus file format.
+func corpusFile(data []byte) string {
+	return "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+}
+
+// parseCorpusFile inverts corpusFile for any v1 single-[]byte corpus entry.
+func parseCorpusFile(src string) ([]byte, error) {
+	lines := strings.SplitN(strings.TrimSuffix(src, "\n"), "\n", 2)
+	if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+		return nil, fmt.Errorf("not a v1 fuzz corpus file")
+	}
+	body, ok := strings.CutPrefix(lines[1], "[]byte(")
+	if !ok {
+		return nil, fmt.Errorf("corpus entry is not a single []byte")
+	}
+	body = strings.TrimSuffix(body, ")")
+	s, err := strconv.Unquote(body)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// TestFuzzSeedCorpusCommitted pins the committed seed corpus to compatSeeds:
+// every named compat layout must exist under testdata/fuzz/FuzzFrame with
+// exactly the bytes the current encoder (plus truncation) produces. Run
+//
+//	go test ./internal/wire -run TestFuzzSeedCorpusCommitted -update-corpus
+//
+// after intentionally extending the wire format (never edit committed seeds:
+// old generations' bytes must stay frozen, so additions are new files).
+func TestFuzzSeedCorpusCommitted(t *testing.T) {
+	seeds := compatSeeds()
+	if *updateCorpus {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range sortedKeys(seeds) {
+		path := filepath.Join(corpusDir, name)
+		want := corpusFile(seeds[name])
+		if *updateCorpus {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("missing committed seed %s (rerun with -update-corpus): %v", name, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("committed seed %s drifted from the encoder; wire compat may be broken (or rerun with -update-corpus if the change is intentional)", name)
+		}
+	}
+}
+
+// TestFuzzSeedCorpusDecodes replays every committed FuzzFrame seed through
+// the frame reader and codec outside the fuzzer: each frame must parse and
+// each payload must decode, even with an empty fuzz cache. This is the plain
+// `go test` guarantee that legacy layouts keep decoding.
+func TestFuzzSeedCorpusDecodes(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("reading committed corpus: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("committed corpus is empty")
+	}
+	for _, e := range entries {
+		src, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := parseCorpusFile(string(src))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		r := bytes.NewReader(data)
+		frames := 0
+		for r.Len() > 0 {
+			fr, err := ReadFrame(r, 1<<16)
+			if err != nil {
+				t.Errorf("%s: frame %d: %v", e.Name(), frames, err)
+				break
+			}
+			frames++
+			m, err := Decode(fr.Payload)
+			if err != nil {
+				t.Errorf("%s: payload of frame %d does not decode: %v", e.Name(), frames, err)
+				continue
+			}
+			// Decoded compat layouts must re-encode canonically.
+			if _, err := Decode(Encode(m)); err != nil {
+				t.Errorf("%s: canonical re-encode does not decode: %v", e.Name(), err)
+			}
+		}
+		if frames == 0 {
+			t.Errorf("%s: no frames decoded", e.Name())
+		}
+	}
+}

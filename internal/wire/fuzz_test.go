@@ -89,6 +89,11 @@ func FuzzDecode(f *testing.F) {
 // length prefix) with ErrFrame, and must round-trip any frame it accepts.
 // Truncated streams (short length prefix, short payload) surface as io
 // errors, never as a hang or a huge allocation.
+//
+// Beyond the f.Add seeds below, go test auto-loads the committed compat
+// corpus in testdata/fuzz/FuzzFrame — one frozen frame per wire-format
+// generation (see compatSeeds in corpus_test.go) — so backward-compat
+// coverage survives CI fuzz-cache loss.
 func FuzzFrame(f *testing.F) {
 	const maxPayload = 1 << 16
 	good := AppendFrame(nil, Frame{From: 3, Epoch: 9, Seq: 1, Payload: Encode(&Ack{Seq: 1})})
