@@ -26,6 +26,7 @@ import (
 
 	"hyperfile/internal/bench"
 	"hyperfile/internal/leaktest"
+	"hyperfile/internal/sim"
 )
 
 func main() {
@@ -59,6 +60,8 @@ func run() int {
 	timeout := flag.Duration("timeout", cfg.Timeout, "client-side per-query deadline (the hang bound)")
 	chaosOn := flag.Bool("chaos", cfg.Chaos, "run against the fault-injecting network (drop/dup/delay/reorder)")
 	out := flag.String("out", "", "write the JSON record here (empty = stdout only)")
+	scenarioOut := flag.String("scenario-out", "",
+		"record each load point's exact arrival schedule as a simulator scenario at <prefix>-x<mult>.json (replay with hfsim -run)")
 	flag.Parse()
 
 	cfg.Machines, cfg.Objects, cfg.Seed = *machines, *objects, *seed
@@ -89,6 +92,25 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if *scenarioOut != "" {
+		// The schedule derives deterministically from (seed, multiplier,
+		// calibrated rate), so the recorded spec reproduces the incident's
+		// arrivals exactly — in virtual time, under hfsim.
+		for _, pt := range res.Points {
+			spec := bench.LoadScenario(cfg, pt.Multiplier, pt.TargetQPS)
+			b, err := sim.MarshalSpec(spec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hfload:", err)
+				return 1
+			}
+			path := fmt.Sprintf("%s-x%g.json", *scenarioOut, pt.Multiplier)
+			if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "hfload:", err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 	if err := res.Check(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hfload: GATE FAILED:", err)

@@ -1,0 +1,210 @@
+// Command hfsim runs, records, and replays declarative simulator scenarios.
+// A scenario (internal/sim.Scenario) compiles to a deterministic virtual-time
+// run; the recorded trace embeds the spec, so a trace file alone re-simulates
+// the run byte-identically on any host.
+//
+// Usage:
+//
+//	hfsim -list                         # corpus scenarios with comments
+//	hfsim -run hotspot-skew             # run a corpus scenario
+//	hfsim -run my.json -trace out.txt   # run a spec file, record the trace
+//	hfsim -replay out.txt               # re-simulate a trace, verify bytes
+//	hfsim -verify                       # replay the whole corpus vs goldens
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"hyperfile/internal/cluster"
+	"hyperfile/internal/scenarios"
+	"hyperfile/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hfsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list corpus scenarios")
+		runName = fs.String("run", "", "scenario to run: a corpus name or a spec .json path")
+		trace   = fs.String("trace", "", "with -run: write the recorded trace to this file")
+		replay  = fs.String("replay", "", "re-simulate a recorded trace file and verify byte identity")
+		verify  = fs.Bool("verify", false, "replay every corpus scenario against its golden trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *list:
+		return doList(stdout, stderr)
+	case *runName != "":
+		return doRun(*runName, *trace, stdout, stderr)
+	case *replay != "":
+		return doReplay(*replay, stdout, stderr)
+	case *verify:
+		return doVerify(stdout, stderr)
+	}
+	fs.Usage()
+	return 2
+}
+
+func doList(stdout, stderr io.Writer) int {
+	for _, name := range scenarios.Names() {
+		spec, err := scenarios.Load(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "hfsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-22s %d sites, %s/%d objects, %d queries\n    %s\n",
+			name, spec.Sites, spec.Workload.Kind, spec.Workload.Objects,
+			queryCount(spec), spec.Comment)
+	}
+	return 0
+}
+
+func queryCount(spec *sim.Scenario) int {
+	if n := len(spec.Workload.Queries); n > 0 {
+		return n
+	}
+	return spec.Workload.Count
+}
+
+// loadSpec resolves -run's argument: a corpus name, or a path to a spec file.
+func loadSpec(nameOrPath string) (*sim.Scenario, error) {
+	if strings.HasSuffix(nameOrPath, ".json") {
+		b, err := os.ReadFile(nameOrPath)
+		if err != nil {
+			return nil, err
+		}
+		return sim.UnmarshalSpec(b)
+	}
+	return scenarios.Load(nameOrPath)
+}
+
+func doRun(nameOrPath, traceOut string, stdout, stderr io.Writer) int {
+	spec, err := loadSpec(nameOrPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "hfsim: %v\n", err)
+		return 1
+	}
+	runRes, err := cluster.RunScenario(spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "hfsim: %v\n", err)
+		return 1
+	}
+	report(stdout, runRes)
+	if traceOut != "" {
+		rendered, err := runRes.Trace.Render()
+		if err != nil {
+			fmt.Fprintf(stderr, "hfsim: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(traceOut, rendered, 0o644); err != nil {
+			fmt.Fprintf(stderr, "hfsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace written to %s\n", traceOut)
+	}
+	return 0
+}
+
+func doReplay(path string, stdout, stderr io.Writer) int {
+	recorded, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "hfsim: %v\n", err)
+		return 1
+	}
+	spec, _, err := sim.ParseTrace(recorded)
+	if err != nil {
+		fmt.Fprintf(stderr, "hfsim: %v\n", err)
+		return 1
+	}
+	runRes, err := cluster.RunScenario(spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "hfsim: %v\n", err)
+		return 1
+	}
+	report(stdout, runRes)
+	rendered, err := runRes.Trace.Render()
+	if err != nil {
+		fmt.Fprintf(stderr, "hfsim: %v\n", err)
+		return 1
+	}
+	if d := sim.DiffTraces(recorded, rendered); d != "" {
+		fmt.Fprintf(stderr, "hfsim: replay DIVERGES from %s:\n%s\n", path, d)
+		return 1
+	}
+	fmt.Fprintf(stdout, "replay of %s is byte-identical\n", path)
+	return 0
+}
+
+func doVerify(stdout, stderr io.Writer) int {
+	failed := 0
+	for _, name := range scenarios.Names() {
+		golden, err := scenarios.Golden(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "hfsim: %v\n", err)
+			failed++
+			continue
+		}
+		spec, _, err := sim.ParseTrace(golden)
+		if err != nil {
+			fmt.Fprintf(stderr, "hfsim: %s: %v\n", name, err)
+			failed++
+			continue
+		}
+		runRes, err := cluster.RunScenario(spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "hfsim: %s: %v\n", name, err)
+			failed++
+			continue
+		}
+		rendered, err := runRes.Trace.Render()
+		if err != nil {
+			fmt.Fprintf(stderr, "hfsim: %s: %v\n", name, err)
+			failed++
+			continue
+		}
+		if d := sim.DiffTraces(golden, rendered); d != "" {
+			fmt.Fprintf(stderr, "hfsim: %s DIVERGES:\n%s\n", name, d)
+			failed++
+			continue
+		}
+		fmt.Fprintf(stdout, "%-22s ok (%v virtual, wall %v)\n",
+			name, runRes.Final, runRes.Wall.Round(time.Millisecond))
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "hfsim: %d scenario(s) diverged\n", failed)
+		return 1
+	}
+	return 0
+}
+
+func report(w io.Writer, r *cluster.ScenarioRun) {
+	completed, rejected, lost, partial := 0, 0, 0, 0
+	for _, q := range r.Queries {
+		switch {
+		case q.Lost:
+			lost++
+		case q.Rejected:
+			rejected++
+		default:
+			completed++
+			if q.Partial {
+				partial++
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s: %d queries (%d completed, %d partial, %d rejected, %d lost)\n",
+		r.Spec.Name, len(r.Queries), completed, partial, rejected, lost)
+	fmt.Fprintf(w, "  final %v virtual, %d inter-site messages, wall %v\n",
+		r.Final, r.Messages, r.Wall.Round(time.Millisecond))
+}

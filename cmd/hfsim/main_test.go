@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListShowsCorpus(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"hotspot-skew", "metro-scale", "cascading-partition"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "tiny.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"name": "tiny", "seed": 5, "sites": 3,
+		"topology": {"kind": "uniform"},
+		"workload": {"kind": "regions", "objects": 200, "region_size": 50,
+			"local_prob": 0.8, "count": 2, "arrival": "batch"}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "tiny.trace.txt")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", spec, "-trace", trace}, &out, &errOut); code != 0 {
+		t.Fatalf("run exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "2 completed") {
+		t.Errorf("run report missing completions: %s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-replay", trace}, &out, &errOut); code != 0 {
+		t.Fatalf("replay exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "byte-identical") {
+		t.Errorf("replay did not verify: %s", out.String())
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "tiny.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"name": "tiny", "seed": 5, "sites": 3,
+		"topology": {"kind": "uniform"},
+		"workload": {"kind": "regions", "objects": 200, "region_size": 50,
+			"local_prob": 0.8, "count": 1, "arrival": "batch"}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "tiny.trace.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", spec, "-trace", trace}, &out, &errOut); code != 0 {
+		t.Fatalf("run exit %d: %s", code, errOut.String())
+	}
+	b, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(b), "completed=1", "completed=9", 1)
+	if tampered == string(b) {
+		t.Fatal("tamper target not found in trace")
+	}
+	if err := os.WriteFile(trace, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-replay", trace}, &out, &errOut); code == 0 {
+		t.Fatal("replay accepted a tampered trace")
+	}
+	if !strings.Contains(errOut.String(), "DIVERGES") {
+		t.Errorf("tamper error missing divergence report: %s", errOut.String())
+	}
+}
+
+func TestRunCorpusByName(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-run", "crash-partial"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "crash-partial:") {
+		t.Errorf("report missing scenario name: %s", out.String())
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2 (usage)", code)
+	}
+}

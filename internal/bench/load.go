@@ -12,6 +12,7 @@ import (
 	"hyperfile/internal/cluster"
 	"hyperfile/internal/metrics"
 	"hyperfile/internal/object"
+	"hyperfile/internal/sim"
 	"hyperfile/internal/workload"
 )
 
@@ -165,6 +166,62 @@ func loadQueries() []string {
 	}
 }
 
+// arrival is one precomputed open-loop arrival of a load point.
+type arrival struct {
+	at     time.Duration
+	origin object.SiteID
+	body   string
+}
+
+// arrivalSchedule draws a load point's full arrival schedule up front from
+// the point's seed: exponential gaps at targetQPS, origins round-robin,
+// bodies cycling the query mix. runLoadPoint fires exactly this schedule, so
+// LoadScenario can record it for virtual-time replay.
+func arrivalSchedule(cfg LoadConfig, multiplier, targetQPS float64) []arrival {
+	queries := loadQueries()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(multiplier*1000)))
+	sched := make([]arrival, cfg.Queries)
+	at := time.Duration(0)
+	for i := range sched {
+		at += time.Duration(rng.ExpFloat64() / targetQPS * float64(time.Second))
+		sched[i] = arrival{
+			at:     at,
+			origin: object.SiteID(i%cfg.Machines + 1),
+			body:   queries[i%len(queries)],
+		}
+	}
+	return sched
+}
+
+// LoadScenario records a load point's exact arrival schedule — the one
+// runLoadPoint fires on the wall clock — as a declarative simulator scenario:
+// the same dataset seed, the same cluster options, every arrival pinned to
+// its drawn offset. An overload incident observed under hfload thereby
+// re-simulates deterministically under hfsim, in virtual time, on any host.
+func LoadScenario(cfg LoadConfig, multiplier, targetQPS float64) *sim.Scenario {
+	sched := arrivalSchedule(cfg, multiplier, targetQPS)
+	qs := make([]sim.Query, len(sched))
+	for i, a := range sched {
+		qs[i] = sim.Query{AtUS: a.at.Microseconds(), Origin: int(a.origin), Body: a.body, Region: -1}
+	}
+	return &sim.Scenario{
+		Name: fmt.Sprintf("hfload-x%g", multiplier),
+		Comment: fmt.Sprintf(
+			"recorded hfload arrival schedule at x%g calibrated capacity (%.1f qps)",
+			multiplier, targetQPS),
+		Seed:     cfg.Seed,
+		Sites:    cfg.Machines,
+		Topology: sim.Topology{Kind: "uniform"},
+		Workload: sim.Workload{Kind: "paper", Objects: cfg.Objects, Queries: qs},
+		Exec: sim.Exec{
+			Workers:        cfg.Workers,
+			FairQuantum:    cfg.FairQuantum,
+			MaxInflight:    cfg.MaxInflight,
+			AdmissionQueue: cfg.AdmissionQueue,
+		},
+	}
+}
+
 // RunLoad calibrates the cluster's closed-loop capacity, then drives
 // open-loop Poisson arrivals at each configured multiple of it, classifying
 // every outcome. Open loop matters: a closed-loop driver slows down with the
@@ -292,8 +349,7 @@ func runLoadPoint(c *cluster.LocalCluster, d *workload.Dataset, cfg LoadConfig, 
 
 	reg := metrics.NewRegistry()
 	lat := reg.Histogram("hf_load_latency_us")
-	queries := loadQueries()
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(multiplier*1000)))
+	sched := arrivalSchedule(cfg, multiplier, targetQPS)
 
 	type outcome int
 	const (
@@ -304,13 +360,14 @@ func runLoadPoint(c *cluster.LocalCluster, d *workload.Dataset, cfg LoadConfig, 
 	)
 	results := make(chan outcome, cfg.Queries)
 	var wg sync.WaitGroup
+	prev := time.Duration(0)
 	for i := 0; i < cfg.Queries; i++ {
-		// Poisson arrivals: exponential gaps, drawn before launch so the
-		// schedule is independent of completion times (open loop).
-		gap := time.Duration(rng.ExpFloat64() / targetQPS * float64(time.Second))
-		time.Sleep(gap)
-		origin := object.SiteID(i%cfg.Machines + 1)
-		body := queries[i%len(queries)]
+		// Poisson arrivals, precomputed so the schedule is independent of
+		// completion times (open loop) and recordable as a scenario.
+		time.Sleep(sched[i].at - prev)
+		prev = sched[i].at
+		origin := sched[i].origin
+		body := sched[i].body
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

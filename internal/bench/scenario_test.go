@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"hyperfile/internal/cluster"
+	"hyperfile/internal/sim"
+)
+
+// TestLoadScenarioReplaysDeterministically records a load point's arrival
+// schedule as a scenario and re-simulates it twice: an hfload incident must
+// reproduce byte-identically in virtual time.
+func TestLoadScenarioReplaysDeterministically(t *testing.T) {
+	cfg := DefaultLoad()
+	cfg.Queries = 12
+	spec := LoadScenario(cfg, 2, 40)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Workload.Queries) != cfg.Queries {
+		t.Fatalf("recorded %d queries, want %d", len(spec.Workload.Queries), cfg.Queries)
+	}
+	r1, err := cluster.RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cluster.RunScenario(LoadScenario(cfg, 2, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := r1.Trace.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.Trace.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sim.DiffTraces(b1, b2); d != "" {
+		t.Errorf("recorded incident diverges between replays:\n%s", d)
+	}
+	for i, q := range r1.Queries {
+		if q.Lost {
+			t.Errorf("query %d lost in a failure-free replay", i)
+		}
+	}
+}
+
+// TestLoadScenarioMatchesSchedule pins the recorded spec to the exact
+// schedule runLoadPoint fires: same gaps, same origins, same bodies.
+func TestLoadScenarioMatchesSchedule(t *testing.T) {
+	cfg := DefaultLoad()
+	cfg.Queries = 8
+	sched := arrivalSchedule(cfg, 1, 25)
+	spec := LoadScenario(cfg, 1, 25)
+	for i, a := range sched {
+		q := spec.Workload.Queries[i]
+		if q.AtUS != a.at.Microseconds() || q.Origin != int(a.origin) || q.Body != a.body {
+			t.Errorf("arrival %d: spec (%d, %d, %q) != schedule (%d, %v, %q)",
+				i, q.AtUS, q.Origin, q.Body, a.at.Microseconds(), a.origin, a.body)
+		}
+		if i > 0 && q.AtUS < spec.Workload.Queries[i-1].AtUS {
+			t.Errorf("arrival %d: schedule not monotone", i)
+		}
+	}
+}

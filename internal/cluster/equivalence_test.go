@@ -86,8 +86,9 @@ func equivCases() []string {
 // on. Within a topology the two modes must return byte-identical sorted
 // result-id sets and identical unreachable annotations; across topologies
 // the *logical* result sets (ids mapped back to generator indices) must
-// match, since placement cannot change a query's answer. On the 3-site row
-// the goroutine runner must agree with the simulator in both modes.
+// match, since placement cannot change a query's answer. On the 3- and
+// 9-site rows the goroutine runner must agree with the simulator in both
+// modes.
 func TestCrossTopologyBatchingEquivalence(t *testing.T) {
 	const (
 		nObjects  = 120
@@ -126,7 +127,7 @@ func TestCrossTopologyBatchingEquivalence(t *testing.T) {
 
 		var locPlain, locBatched *LocalCluster
 		var dLocP, dLocB *workload.Dataset
-		if machines == 3 {
+		if machines == 3 || machines == 9 {
 			locPlain = NewLocal(machines, Options{})
 			defer locPlain.Close()
 			locBatched = NewLocal(machines, Options{DerefBatch: batchSize})
@@ -178,7 +179,7 @@ func TestCrossTopologyBatchingEquivalence(t *testing.T) {
 					name, len(got), len(logical[qi]))
 			}
 
-			if machines == 3 {
+			if locPlain != nil {
 				lp, err := locPlain.Exec(1, q, []object.ID{dLocP.Root}, 30*time.Second)
 				if err != nil {
 					t.Fatalf("%s: local unbatched: %v", name, err)

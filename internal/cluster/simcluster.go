@@ -29,10 +29,32 @@ type SimCluster struct {
 	sites map[object.SiteID]*simSite
 	dirs  map[object.SiteID]*naming.Directory
 
-	nextQID   uint64
-	completes map[wire.QueryID]*wire.Complete
-	rejects   map[wire.QueryID]*wire.Reject
-	err       error
+	nextQID     uint64
+	completes   map[wire.QueryID]*wire.Complete
+	rejects     map[wire.QueryID]*wire.Reject
+	completedAt map[wire.QueryID]time.Duration
+	err         error
+
+	// latency, when non-nil, is the per-link one-way wire time matrix
+	// (1-based site indices) a scenario topology compiled; nil means the
+	// uniform cost-model Latency, the paper's single shared Ethernet.
+	latency [][]time.Duration
+	// blocked marks partitioned directed links. Messages sent across a cut
+	// queue in pending — the reliable transport keeps retransmitting — and
+	// flush when the partition heals. Crashed sites, by contrast, lose
+	// traffic for good (SetDown).
+	blocked map[[2]object.SiteID]bool
+	pending []heldMsg
+	// msgObserver, when set, sees every inter-site delivery as it is
+	// scheduled (scenario message-level tracing).
+	msgObserver func(at time.Duration, from, to object.SiteID, m wire.Msg)
+}
+
+// heldMsg is a message caught by a partition, waiting for heal.
+type heldMsg struct {
+	from, to object.SiteID
+	msg      wire.Msg
+	at       time.Duration // original arrival time, had the link been up
 }
 
 type simSite struct {
@@ -68,12 +90,13 @@ type inMsg struct {
 // NewSim builds a simulated cluster of n sites.
 func NewSim(n int, opts Options) *SimCluster {
 	c := &SimCluster{
-		cost:      opts.Cost,
-		ids:       siteIDs(n),
-		sites:     make(map[object.SiteID]*simSite, n),
-		dirs:      make(map[object.SiteID]*naming.Directory, n),
-		completes: make(map[wire.QueryID]*wire.Complete),
-		rejects:   make(map[wire.QueryID]*wire.Reject),
+		cost:        opts.Cost,
+		ids:         siteIDs(n),
+		sites:       make(map[object.SiteID]*simSite, n),
+		dirs:        make(map[object.SiteID]*naming.Directory, n),
+		completes:   make(map[wire.QueryID]*wire.Complete),
+		rejects:     make(map[wire.QueryID]*wire.Reject),
+		completedAt: make(map[wire.QueryID]time.Duration),
 	}
 	var marks *site.GlobalMarks
 	if opts.OracleMarkTable {
@@ -137,8 +160,56 @@ func (c *SimCluster) Move(id object.ID, to object.SiteID) error {
 	return moveObject(stores, c.dirs, id, to)
 }
 
-// SetDown marks a site as crashed: it silently drops everything sent to it.
-func (c *SimCluster) SetDown(id object.SiteID, down bool) { c.sites[id].down = down }
+// SetDown marks a site as crashed: it silently drops everything sent to it
+// (including messages already in flight) and stops processing. Pending inbox
+// work is discarded, as a machine crash would lose it.
+func (c *SimCluster) SetDown(id object.SiteID, down bool) {
+	ss := c.sites[id]
+	ss.down = down
+	if down {
+		ss.inbox = nil
+	}
+}
+
+// lat returns the one-way wire time from -> to: the scenario link matrix
+// when one was compiled, else the uniform cost-model latency. The pseudo
+// client site always uses the uniform latency.
+func (c *SimCluster) lat(from, to object.SiteID) time.Duration {
+	if c.latency == nil || from == clientID || to == clientID {
+		return c.cost.Latency
+	}
+	return c.latency[from][to]
+}
+
+// setLinkLatency installs a compiled per-link latency matrix (1-based).
+func (c *SimCluster) setLinkLatency(m [][]time.Duration) { c.latency = m }
+
+// partition cuts every link between groups a and b (both directions).
+// Messages sent across the cut queue until heal.
+func (c *SimCluster) partition(a, b []object.SiteID) {
+	if c.blocked == nil {
+		c.blocked = make(map[[2]object.SiteID]bool)
+	}
+	for _, u := range a {
+		for _, v := range b {
+			c.blocked[[2]object.SiteID{u, v}] = true
+			c.blocked[[2]object.SiteID{v, u}] = true
+		}
+	}
+}
+
+// healAll lifts every partition and flushes queued messages: each arrives no
+// earlier than its original schedule and no earlier than one post-heal link
+// latency, the way the reliable transport's retransmission would deliver it.
+func (c *SimCluster) healAll() {
+	c.blocked = nil
+	held := c.pending
+	c.pending = nil
+	now := c.loop.Now()
+	for _, h := range held {
+		c.deliver(h.from, h.to, h.msg, maxDur(h.at, now+c.lat(h.from, h.to)))
+	}
+}
 
 // Now returns the current virtual time.
 func (c *SimCluster) Now() time.Duration { return c.loop.Now() }
@@ -176,9 +247,15 @@ func (c *SimCluster) deliver(from, to object.SiteID, m wire.Msg, at time.Duratio
 	if to == clientID {
 		switch cm := m.(type) {
 		case *wire.Complete:
-			c.loop.At(at, func() { c.completes[cm.QID] = cm })
+			c.loop.At(at, func() {
+				c.completes[cm.QID] = cm
+				c.completedAt[cm.QID] = c.loop.Now()
+			})
 		case *wire.Reject:
-			c.loop.At(at, func() { c.rejects[cm.QID] = cm })
+			c.loop.At(at, func() {
+				c.rejects[cm.QID] = cm
+				c.completedAt[cm.QID] = c.loop.Now()
+			})
 		default:
 			// Sites address only completions and rejections to the sim
 			// client; anything else is a protocol bug. Count it on the
@@ -188,11 +265,23 @@ func (c *SimCluster) deliver(from, to object.SiteID, m wire.Msg, at time.Duratio
 		}
 		return
 	}
+	if c.blocked != nil && from != clientID && c.blocked[[2]object.SiteID{from, to}] {
+		// Cut by a partition: the reliable transport keeps the message and
+		// retransmits until the link heals.
+		c.pending = append(c.pending, heldMsg{from: from, to: to, msg: m, at: at})
+		return
+	}
 	dst, ok := c.sites[to]
 	if !ok || dst.down {
 		return // dropped on the floor, like a message to a crashed machine
 	}
+	if c.msgObserver != nil && from != clientID {
+		c.msgObserver(at, from, to, m)
+	}
 	c.loop.At(at, func() {
+		if dst.down {
+			return // crashed while the message was in flight
+		}
 		dst.inbox = append(dst.inbox, inMsg{from: from, msg: m})
 		dst.msgsIn++
 		dst.kick()
@@ -237,7 +326,7 @@ func maxDur(a, b time.Duration) time.Duration {
 // object. Receiving is prioritized so dereference requests keep flowing.
 func (ss *simSite) run() {
 	ss.scheduled = false
-	if ss.c.err != nil {
+	if ss.c.err != nil || ss.down {
 		return
 	}
 	now := ss.c.loop.Now()
@@ -293,7 +382,7 @@ func (ss *simSite) run() {
 		for _, env := range out {
 			ss.freeAt += ss.sendCost(env.Msg)
 			ss.msgsOut++
-			ss.c.deliver(ss.id, env.To, env.Msg, ss.freeAt+ss.c.cost.Latency)
+			ss.c.deliver(ss.id, env.To, env.Msg, ss.freeAt+ss.c.lat(ss.id, env.To))
 		}
 	} else {
 		// Worker-pool accounting: charge the work to the earliest-free slot,
@@ -309,7 +398,7 @@ func (ss *simSite) run() {
 		for _, env := range out {
 			ss.slots[slot] += ss.sendCost(env.Msg)
 			ss.msgsOut++
-			ss.c.deliver(ss.id, env.To, env.Msg, ss.slots[slot]+ss.c.cost.Latency)
+			ss.c.deliver(ss.id, env.To, env.Msg, ss.slots[slot]+ss.c.lat(ss.id, env.To))
 		}
 		if busyOK {
 			ss.ctxBusy[busyQ] = ss.slots[slot]
@@ -347,6 +436,27 @@ func (ss *simSite) sendCost(m wire.Msg) time.Duration {
 	default:
 		return ss.c.cost.SendMsg
 	}
+}
+
+// ScheduleQuery schedules a query submission at virtual time at, without
+// running the loop: the Submit arrives at the origin one client latency
+// later. Callers drive the loop themselves (scenario runs, staggered arrival
+// schedules) and read the answer from the completion tables afterwards.
+func (c *SimCluster) ScheduleQuery(at time.Duration, origin object.SiteID, body string, initial []object.ID) wire.QueryID {
+	c.nextQID++
+	qid := wire.QueryID{Origin: origin, Seq: c.nextQID}
+	sub := &wire.Submit{QID: qid, Client: clientID, Body: body, Initial: initial}
+	c.deliver(clientID, origin, sub, at+c.cost.Latency)
+	return qid
+}
+
+// Messages returns the total inter-site messages sent so far.
+func (c *SimCluster) Messages() int {
+	total := 0
+	for _, id := range c.ids {
+		total += c.sites[id].msgsOut
+	}
+	return total
 }
 
 // ErrWedged is returned when the simulation runs out of events before the

@@ -23,8 +23,9 @@ import (
 // the termination-conservation audit (credits must sum to exactly 1 after
 // every detector event even when steps interleave), a combined row stacks the
 // pool on top of batching, the plan cache, the index, and admission bounds,
-// and on the 3-site row the goroutine runner with a real 4-worker pool must
-// agree with the simulator.
+// and on the 3- and 9-site rows the goroutine runner — with a real 4-worker
+// pool, and with the full combined feature stack — must agree with the
+// simulator.
 func TestWorkerPoolEquivalence(t *testing.T) {
 	const (
 		nObjects  = 120
@@ -57,13 +58,22 @@ func TestWorkerPoolEquivalence(t *testing.T) {
 			MaxInflight: 8, AdmissionQueue: 4,
 		})
 
-		var loc *LocalCluster
-		var dLoc *workload.Dataset
-		if machines == 3 {
+		var loc, locComb *LocalCluster
+		var dLoc, dLocComb *workload.Dataset
+		if machines == 3 || machines == 9 {
 			loc = NewLocal(machines, Options{Workers: 4})
 			defer loc.Close()
+			locComb = NewLocal(machines, Options{
+				Workers: 4, DerefBatch: 8,
+				PlanCache: 4, Index: true,
+				MaxInflight: 8, AdmissionQueue: 4,
+			})
+			defer locComb.Close()
 			var err error
 			if dLoc, err = workload.Build(loc, spec); err != nil {
+				t.Fatal(err)
+			}
+			if dLocComb, err = workload.Build(locComb, spec); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -106,7 +116,7 @@ func TestWorkerPoolEquivalence(t *testing.T) {
 					t.Fatalf("%s: combined round %d changed unreachable annotations", name, round)
 				}
 			}
-			if machines == 3 {
+			if loc != nil {
 				lr, err := loc.Exec(1, q, []object.ID{dLoc.Root}, 30*time.Second)
 				if err != nil {
 					t.Fatalf("%s: local workers=4: %v", name, err)
@@ -114,6 +124,14 @@ func TestWorkerPoolEquivalence(t *testing.T) {
 				if !equalIDs(resB.IDs, lr.IDs) {
 					t.Fatalf("%s: goroutine runner with pool disagrees with simulator (%d vs %d ids)",
 						name, len(lr.IDs), len(resB.IDs))
+				}
+				lc, err := locComb.Exec(1, q, []object.ID{dLocComb.Root}, 30*time.Second)
+				if err != nil {
+					t.Fatalf("%s: local combined: %v", name, err)
+				}
+				if !equalIDs(resB.IDs, lc.IDs) {
+					t.Fatalf("%s: goroutine runner with the full feature stack disagrees with simulator (%d vs %d ids)",
+						name, len(lc.IDs), len(resB.IDs))
 				}
 			}
 		}

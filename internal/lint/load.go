@@ -75,10 +75,18 @@ type loader struct {
 	cache    map[string]*types.Package
 	infos    map[string]*types.Info
 	checking map[string]bool
+	// augmented maps a package path to its in-package-test-augmented variant
+	// for the duration of checking that package's external test package: the
+	// go tool compiles foo_test against foo *with* foo's _test.go files, so
+	// export_test.go shims must be visible there (and only there).
+	augmented map[string]*types.Package
 }
 
 // Import implements types.Importer over module packages first, stdlib second.
 func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.augmented[path]; ok {
+		return pkg, nil
+	}
 	if pkg, ok := l.cache[path]; ok {
 		return pkg, nil
 	}
@@ -137,12 +145,13 @@ func Load(root string) (*Module, error) {
 	}
 	fset := token.NewFileSet()
 	l := &loader{
-		fset:     fset,
-		std:      importer.ForCompiler(fset, "source", nil),
-		dirs:     map[string]*dirFiles{},
-		cache:    map[string]*types.Package{},
-		infos:    map[string]*types.Info{},
-		checking: map[string]bool{},
+		fset:      fset,
+		std:       importer.ForCompiler(fset, "source", nil),
+		dirs:      map[string]*dirFiles{},
+		cache:     map[string]*types.Package{},
+		infos:     map[string]*types.Info{},
+		checking:  map[string]bool{},
+		augmented: map[string]*types.Package{},
 	}
 	if err := discover(fset, root, modPath, l.dirs); err != nil {
 		return nil, err
@@ -193,11 +202,18 @@ func Load(root string) (*Module, error) {
 			mod.Pkgs = append(mod.Pkgs, &Package{
 				Path: df.path, Dir: df.dir, Files: files, Types: tpkg, Info: info,
 			})
+			// The external test package compiles against this augmented
+			// variant (export_test.go shims and all), exactly as go test
+			// builds it. Other importers keep seeing the pure variant.
+			if len(df.extTest) > 0 {
+				l.augmented[path] = tpkg
+			}
 		}
 		if len(df.extTest) > 0 {
 			info := newInfo()
 			conf := types.Config{Importer: l}
 			tpkg, err := conf.Check(df.path+"_test", fset, df.extTest, info)
+			delete(l.augmented, path)
 			if err != nil {
 				return nil, fmt.Errorf("lint: %s_test: %w", path, err)
 			}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/types"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -197,5 +198,44 @@ func quiet() {}
 	}
 	if stale[0].Check != "stale-ignore" || stale[0].Line != 12 {
 		t.Errorf("stale diagnostic = %+v, want stale-ignore at line 12", stale[0])
+	}
+}
+
+// TestLoadExportTestShim pins the go-test compilation model for external
+// test packages: foo_test compiles against foo WITH foo's in-package test
+// files, so an export_test.go shim is visible to it — while ordinary
+// importers keep seeing the pure variant without test symbols.
+func TestLoadExportTestShim(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":  "module shimmod\n",
+		"code.go": "package shimmod\n\ntype T struct{ hidden int }\n",
+		"export_test.go": "package shimmod\n\n" +
+			"func (v T) Hidden() int { return v.hidden }\n",
+		"ext_test.go": "package shimmod_test\n\nimport \"shimmod\"\n\n" +
+			"var _ = shimmod.T{}.Hidden\n",
+		"user/user.go": "package user\n\nimport \"shimmod\"\n\nvar V shimmod.T\n",
+	})
+	mod, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ext := loadedPackage(t, mod, "shimmod_test")
+	if len(ext.Files) != 1 {
+		t.Errorf("external test package has %d files, want 1", len(ext.Files))
+	}
+	// The pure variant importers see must NOT carry the shim method.
+	user := loadedPackage(t, mod, "shimmod/user")
+	obj := user.Types.Imports()[0].Scope().Lookup("T")
+	if obj == nil {
+		t.Fatal("imported shimmod lost T")
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("T is %T, not a named type", obj.Type())
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Hidden" {
+			t.Error("pure variant leaked the export_test.go method to importers")
+		}
 	}
 }

@@ -1,0 +1,11 @@
+package scenarios
+
+import (
+	"testing"
+
+	"hyperfile/internal/leaktest"
+)
+
+func TestMain(m *testing.M) {
+	leaktest.Main(m)
+}

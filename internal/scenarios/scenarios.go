@@ -1,0 +1,59 @@
+// Package scenarios ships the committed scenario corpus: named declarative
+// simulator specs (internal/sim.Scenario) together with their golden traces.
+// The corpus is the simulator's regression surface — every scenario must
+// re-simulate byte-identically to its committed trace on any host — and the
+// hfsim command's library of ready-made runs.
+package scenarios
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyperfile/internal/sim"
+)
+
+//go:embed corpus
+var corpusFS embed.FS
+
+const dir = "corpus"
+
+// Names lists the corpus scenarios in sorted order.
+func Names() []string {
+	entries, err := corpusFS.ReadDir(dir)
+	if err != nil {
+		panic(fmt.Sprintf("scenarios: embedded corpus unreadable: %v", err))
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".json"); ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load parses and validates a corpus scenario by name.
+func Load(name string) (*sim.Scenario, error) {
+	b, err := corpusFS.ReadFile(dir + "/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenarios: unknown scenario %q", name)
+	}
+	return sim.UnmarshalSpec(b)
+}
+
+// Golden returns a scenario's committed golden trace, or an error if it has
+// not been recorded yet (run the corpus test with -update-golden).
+func Golden(name string) ([]byte, error) {
+	b, err := corpusFS.ReadFile(dir + "/" + name + ".trace.txt")
+	if err != nil {
+		return nil, fmt.Errorf("scenarios: no golden trace for %q (regenerate with -update-golden)", name)
+	}
+	return b, nil
+}
+
+// GoldenPath is the repo-relative path of a scenario's golden trace file,
+// for the -update-golden writer.
+func GoldenPath(name string) string { return dir + "/" + name + ".trace.txt" }

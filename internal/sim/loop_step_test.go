@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The decomposed step primitives (Peek / Step / RunUntilTime / Pending) let
+// the scenario runner interleave failure injection with event draining at
+// exact virtual timestamps. These tests pin their contracts directly.
+
+func TestPeekReportsNextEventWithoutRunning(t *testing.T) {
+	var l Loop
+	if _, ok := l.Peek(); ok {
+		t.Fatal("Peek on an empty loop reported an event")
+	}
+	fired := false
+	l.At(40*time.Millisecond, func() { fired = true })
+	l.At(15*time.Millisecond, func() { fired = true })
+	at, ok := l.Peek()
+	if !ok || at != 15*time.Millisecond {
+		t.Errorf("Peek = (%v, %v), want (15ms, true)", at, ok)
+	}
+	if fired {
+		t.Error("Peek ran a handler")
+	}
+	if l.Now() != 0 {
+		t.Errorf("Peek advanced the clock to %v", l.Now())
+	}
+}
+
+func TestStepRunsExactlyOneEvent(t *testing.T) {
+	var l Loop
+	var got []int
+	l.At(10*time.Millisecond, func() { got = append(got, 1) })
+	l.At(20*time.Millisecond, func() { got = append(got, 2) })
+	if !l.Step() {
+		t.Fatal("Step on a non-empty loop returned false")
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("after one Step got %v, want [1]", got)
+	}
+	if l.Now() != 10*time.Millisecond {
+		t.Errorf("clock = %v after first Step, want 10ms", l.Now())
+	}
+	if l.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", l.Pending())
+	}
+	if !l.Step() {
+		t.Fatal("second Step returned false")
+	}
+	if l.Step() {
+		t.Error("Step on a drained loop returned true")
+	}
+	if len(got) != 2 || got[1] != 2 {
+		t.Errorf("events ran out of order: %v", got)
+	}
+}
+
+func TestRunUntilTimeStopsOnTheBoundary(t *testing.T) {
+	var l Loop
+	var got []int
+	for _, ms := range []int{10, 20, 30, 40} {
+		ms := ms
+		l.At(time.Duration(ms)*time.Millisecond, func() { got = append(got, ms) })
+	}
+	l.RunUntilTime(25 * time.Millisecond)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Errorf("RunUntilTime(25ms) ran %v, want [10 20]", got)
+	}
+	// The clock lands on the boundary itself, so an injected event at the
+	// boundary is next in line, ahead of the 30ms event.
+	if l.Now() != 25*time.Millisecond {
+		t.Errorf("clock = %v, want 25ms", l.Now())
+	}
+	l.At(25*time.Millisecond, func() { got = append(got, 25) })
+	l.Run()
+	want := []int{10, 20, 25, 30, 40}
+	if len(got) != len(want) {
+		t.Fatalf("final order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("final order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilTimeExcludesEventsAtTheBoundary(t *testing.T) {
+	// Events scheduled exactly at t stay pending: the failure injector calls
+	// RunUntilTime(at) and then acts *at* that timestamp, before any
+	// same-time deliveries drain.
+	var l Loop
+	ran := false
+	l.At(25*time.Millisecond, func() { ran = true })
+	l.RunUntilTime(25 * time.Millisecond)
+	if ran {
+		t.Error("event exactly at the boundary ran; it must stay pending")
+	}
+	if l.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", l.Pending())
+	}
+	if l.Now() != 25*time.Millisecond {
+		t.Errorf("clock = %v, want 25ms", l.Now())
+	}
+	l.Run()
+	if !ran {
+		t.Error("boundary event never ran")
+	}
+}
+
+func TestStepAndRunCompose(t *testing.T) {
+	// Draining a prefix with Step and the rest with Run must equal one Run:
+	// the runner relies on this to inject aborts between drains.
+	var a, b []int
+	mk := func(out *[]int) *Loop {
+		var l Loop
+		for _, ms := range []int{5, 10, 15, 20} {
+			ms := ms
+			l.At(time.Duration(ms)*time.Millisecond, func() { *out = append(*out, ms) })
+		}
+		return &l
+	}
+	l1 := mk(&a)
+	l1.Run()
+	l2 := mk(&b)
+	l2.Step()
+	l2.Step()
+	l2.Run()
+	if len(a) != len(b) {
+		t.Fatalf("Step+Run ran %v, Run ran %v", b, a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Step+Run ran %v, Run ran %v", b, a)
+		}
+	}
+}

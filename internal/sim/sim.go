@@ -53,6 +53,29 @@ func (h *eventHeap) Pop() any {
 // Now returns the current virtual time.
 func (l *Loop) Now() time.Duration { return l.now }
 
+// Peek returns the virtual time of the next scheduled event without running
+// it. ok is false when no events remain.
+func (l *Loop) Peek() (at time.Duration, ok bool) {
+	if l.events.Len() == 0 {
+		return 0, false
+	}
+	return l.events[0].at, true
+}
+
+// Step pops and runs the single earliest event, advancing the clock to its
+// timestamp. It reports whether an event ran. Run and RunUntil are loops over
+// Step; external drivers (scenario runners, debuggers) can interleave their
+// own bookkeeping between events at exact virtual times.
+func (l *Loop) Step() bool {
+	if l.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&l.events).(event)
+	l.now = e.at
+	e.run()
+	return true
+}
+
 // At schedules f to run at absolute virtual time t (clamped to now).
 func (l *Loop) At(t time.Duration, f func()) {
 	if t < l.now {
@@ -68,10 +91,7 @@ func (l *Loop) After(d time.Duration, f func()) { l.At(l.now+d, f) }
 // Run executes events in time order until none remain, returning the final
 // virtual time.
 func (l *Loop) Run() time.Duration {
-	for l.events.Len() > 0 {
-		e := heap.Pop(&l.events).(event)
-		l.now = e.at
-		e.run()
+	for l.Step() {
 	}
 	return l.now
 }
@@ -82,15 +102,28 @@ func (l *Loop) RunUntil(pred func() bool) bool {
 	if pred() {
 		return true
 	}
-	for l.events.Len() > 0 {
-		e := heap.Pop(&l.events).(event)
-		l.now = e.at
-		e.run()
+	for l.Step() {
 		if pred() {
 			return true
 		}
 	}
 	return pred()
+}
+
+// RunUntilTime executes every event scheduled strictly before t, then
+// advances the clock to t (events scheduled exactly at t stay pending, so a
+// caller injecting work at t goes first among ties by FIFO seq order).
+func (l *Loop) RunUntilTime(t time.Duration) {
+	for {
+		at, ok := l.Peek()
+		if !ok || at >= t {
+			break
+		}
+		l.Step()
+	}
+	if t > l.now {
+		l.now = t
+	}
 }
 
 // Pending returns the number of scheduled events.

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceEvent is one simulation-visible event at a virtual time. Text is the
+// pre-rendered, deterministic payload ("complete q=3 n=17 digest=…"); the
+// renderer prefixes the timestamp. Seq preserves observation order among
+// events that share a timestamp.
+type TraceEvent struct {
+	At   time.Duration
+	Seq  int
+	Text string
+}
+
+// Trace is a recorded scenario run: the spec that produced it plus every
+// event. A run is replayed by re-simulating the embedded spec and comparing
+// rendered traces byte for byte.
+type Trace struct {
+	Spec   *Scenario
+	Events []TraceEvent
+}
+
+// Record appends an event, stamping its observation order.
+func (t *Trace) Record(at time.Duration, text string) {
+	t.Events = append(t.Events, TraceEvent{At: at, Seq: len(t.Events), Text: text})
+}
+
+const traceHeader = "# hfsim trace v1"
+
+// Render produces the canonical byte form: a header, the embedded spec JSON,
+// then one "ev <at_us> <text>" line per event sorted by (time, observation
+// order). Two runs of the same scenario are byte-identical iff their traces
+// render identically.
+func (t *Trace) Render() ([]byte, error) {
+	spec, err := MarshalSpec(t.Spec)
+	if err != nil {
+		return nil, err
+	}
+	evs := append([]TraceEvent(nil), t.Events...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\nscenario %s\n", traceHeader, spec)
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "ev %d %s\n", ev.At.Microseconds(), ev.Text)
+	}
+	return b.Bytes(), nil
+}
+
+// ParseTrace reads a rendered trace back: the embedded spec and the raw
+// event lines (without re-interpreting them — replay compares rendered bytes,
+// not parsed structures).
+func ParseTrace(b []byte) (*Scenario, []string, error) {
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() || sc.Text() != traceHeader {
+		return nil, nil, fmt.Errorf("trace: missing %q header", traceHeader)
+	}
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), "scenario ") {
+		return nil, nil, fmt.Errorf("trace: missing scenario line")
+	}
+	spec, err := UnmarshalSpec([]byte(strings.TrimPrefix(sc.Text(), "scenario ")))
+	if err != nil {
+		return nil, nil, err
+	}
+	var events []string
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "ev ") {
+			return nil, nil, fmt.Errorf("trace: malformed line %q", line)
+		}
+		events = append(events, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return spec, events, nil
+}
+
+// DiffTraces compares two rendered traces and describes the first divergence
+// ("" when identical). It is the golden-file and replay assertion.
+func DiffTraces(want, got []byte) string {
+	if bytes.Equal(want, got) {
+		return ""
+	}
+	w := strings.Split(strings.TrimRight(string(want), "\n"), "\n")
+	g := strings.Split(strings.TrimRight(string(got), "\n"), "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("length differs: want %d lines, got %d", len(w), len(g))
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRenderSortsByTimeThenObservationOrder(t *testing.T) {
+	tr := &Trace{Spec: validSpec()}
+	tr.Record(20*time.Millisecond, "second")
+	tr.Record(10*time.Millisecond, "first")
+	tr.Record(20*time.Millisecond, "third") // same instant, observed later
+	b, err := tr.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if lines[0] != "# hfsim trace v1" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "scenario {") {
+		t.Errorf("spec line = %q", lines[1])
+	}
+	want := []string{"ev 10000 first", "ev 20000 second", "ev 20000 third"}
+	if len(lines) != 2+len(want) {
+		t.Fatalf("rendered %d lines, want %d", len(lines), 2+len(want))
+	}
+	for i, w := range want {
+		if lines[2+i] != w {
+			t.Errorf("event line %d = %q, want %q", i, lines[2+i], w)
+		}
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	tr := &Trace{Spec: validSpec()}
+	tr.Record(0, "submit q=0")
+	tr.Record(5*time.Millisecond, "complete q=0 n=3")
+	b, err := tr.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, events, err := ParseTrace(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := MarshalSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := MarshalSpec(tr.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sb) != string(ob) {
+		t.Errorf("embedded spec drifted through the round trip")
+	}
+	if len(events) != 2 || events[0] != "ev 0 submit q=0" || events[1] != "ev 5000 complete q=0 n=3" {
+		t.Errorf("events = %q", events)
+	}
+}
+
+func TestParseTraceRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{"empty", "", "header"},
+		{"wrong header", "# other format\n", "header"},
+		{"missing scenario", "# hfsim trace v1\nev 0 x\n", "scenario"},
+		{"bad spec json", "# hfsim trace v1\nscenario {broken\n", "invalid character"},
+		{"invalid spec", `# hfsim trace v1` + "\n" + `scenario {"name":"x","sites":0}` + "\n", "sites"},
+		{"stray line", "# hfsim trace v1\nscenario " + specJSON(t) + "\nnot an event\n", "malformed"},
+	}
+	for _, tc := range cases {
+		_, _, err := ParseTrace([]byte(tc.input))
+		if err == nil {
+			t.Errorf("%s: ParseTrace accepted it", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseTraceSkipsBlankLines(t *testing.T) {
+	in := "# hfsim trace v1\nscenario " + specJSON(t) + "\n\nev 0 x\n\n"
+	_, events, err := ParseTrace([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0] != "ev 0 x" {
+		t.Errorf("events = %q", events)
+	}
+}
+
+func specJSON(t *testing.T) string {
+	t.Helper()
+	b, err := MarshalSpec(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestDiffTraces(t *testing.T) {
+	a := []byte("# h\nev 0 x\nev 1 y\n")
+	if d := DiffTraces(a, a); d != "" {
+		t.Errorf("identical traces diff: %s", d)
+	}
+	b := []byte("# h\nev 0 x\nev 1 z\n")
+	d := DiffTraces(a, b)
+	if !strings.Contains(d, "line 3") || !strings.Contains(d, "ev 1 y") || !strings.Contains(d, "ev 1 z") {
+		t.Errorf("diff does not point at the divergence: %q", d)
+	}
+	c := []byte("# h\nev 0 x\nev 1 y\nev 2 w\n")
+	if d := DiffTraces(a, c); !strings.Contains(d, "length differs") {
+		t.Errorf("extra-line diff = %q", d)
+	}
+}

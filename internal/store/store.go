@@ -136,6 +136,51 @@ func (s *Store) Put(o *object.Object) error {
 	return nil
 }
 
+// AllocIDs allocates n fresh ids born at this site under one lock
+// acquisition. It is the bulk twin of NewObject, for generators that wire
+// pointer graphs before storing anything.
+func (s *Store) AllocIDs(n int) []object.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]object.ID, n)
+	for i := range ids {
+		s.seq++
+		ids[i] = object.ID{Birth: s.site, Seq: s.seq}
+	}
+	return ids
+}
+
+// BulkLoad stores a batch of objects under one lock acquisition, taking
+// ownership of the objects instead of cloning them — the caller must not
+// touch them afterwards. Large data fields spill exactly as in Put. It is
+// the scale-out loading path: a million-object scenario dataset loads in
+// seconds where per-object Put (lock, clone, insert) takes minutes.
+func (s *Store) BulkLoad(objs []*object.Object) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range objs {
+		if o.ID.IsNil() {
+			return fmt.Errorf("store: %w", errors.New("nil object id"))
+		}
+		s.dropBlobsLocked(o.ID)
+		for i := range o.Tuples {
+			d := &o.Tuples[i].Data
+			if s.largeThreshold > 0 && d.Kind == object.KindBytes && len(d.Bytes) > s.largeThreshold {
+				s.blobs[blobKey{o.ID, i}] = d.Bytes
+				*d = object.Value{Kind: object.KindBytes} // stub: zero-length, spilled
+			}
+		}
+		if s.index != nil {
+			if old, ok := s.objects[o.ID]; ok {
+				s.index.Remove(old)
+			}
+			s.index.Insert(o)
+		}
+		s.objects[o.ID] = o
+	}
+	return nil
+}
+
 // Insert allocates a fresh id at this site for the tuples of o, stores the
 // object, and returns its id. It is a convenience combining NewObject + Put.
 func (s *Store) Insert(tuples []object.Tuple) (object.ID, error) {

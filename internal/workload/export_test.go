@@ -1,0 +1,6 @@
+package workload
+
+// RandTargets exposes the generated rand-class pointer targets to the
+// external test package (the tests moved out of package workload when the
+// cluster scenario runner made workload a cluster dependency).
+func (d *Dataset) RandTargets(class string) [2][]int { return d.randTargets[class] }

@@ -1,0 +1,176 @@
+package workload_test
+
+import (
+	"testing"
+
+	"hyperfile/internal/cluster"
+	"hyperfile/internal/object"
+	"hyperfile/internal/sim"
+	. "hyperfile/internal/workload"
+)
+
+func buildRegions(t *testing.T, sites int, spec RegionSpec) (*cluster.SimCluster, *RegionDataset) {
+	t.Helper()
+	c := cluster.NewSim(sites, cluster.Options{Cost: sim.Free()})
+	spec.Sites = sites
+	if spec.HomeSite == nil {
+		spec.HomeSite = func(region int) int { return 1 + region%sites }
+	}
+	d, err := BuildRegions(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+func TestBuildRegionsShape(t *testing.T) {
+	c, d := buildRegions(t, 4, RegionSpec{Objects: 410, RegionSize: 50, LocalProb: 0.5, Seed: 9})
+	if d.Regions() != 9 {
+		t.Fatalf("regions = %d, want 9 (last one short)", d.Regions())
+	}
+	total := 0
+	for _, s := range c.Sites() {
+		total += c.Store(s).Len()
+	}
+	if total != 410 {
+		t.Errorf("stored %d objects, want 410", total)
+	}
+	for r := 0; r < d.Regions(); r++ {
+		if d.Roots[r].IsNil() {
+			t.Errorf("region %d has no root", r)
+		}
+	}
+}
+
+func TestBuildRegionsDeterministic(t *testing.T) {
+	spec := RegionSpec{Objects: 300, RegionSize: 30, LocalProb: 0.7, Seed: 42}
+	_, d1 := buildRegions(t, 3, spec)
+	_, d2 := buildRegions(t, 3, spec)
+	if d1.Regions() != d2.Regions() {
+		t.Fatalf("region counts differ: %d vs %d", d1.Regions(), d2.Regions())
+	}
+	for r := 0; r < d1.Regions(); r++ {
+		if d1.Roots[r] != d2.Roots[r] {
+			t.Errorf("region %d root differs: %v vs %v", r, d1.Roots[r], d2.Roots[r])
+		}
+		for key := 1; key <= 10; key++ {
+			a, b := d1.ExpectedIDs(r, key), d2.ExpectedIDs(r, key)
+			if len(a) != len(b) {
+				t.Fatalf("region %d key %d: %d vs %d expected ids", r, key, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("region %d key %d id %d differs", r, key, i)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildRegionsExpectedIDsPartitionRegion checks the oracle's accounting:
+// every member of a region has exactly one Sel key, so the expected answers
+// over all keys partition the region's members.
+func TestBuildRegionsExpectedIDsPartitionRegion(t *testing.T) {
+	_, d := buildRegions(t, 3, RegionSpec{Objects: 256, RegionSize: 64, LocalProb: 0.5, SelSpace: 5, Seed: 3})
+	for r := 0; r < d.Regions(); r++ {
+		seen := map[object.ID]bool{}
+		for key := 1; key <= 5; key++ {
+			for _, id := range d.ExpectedIDs(r, key) {
+				if seen[id] {
+					t.Fatalf("region %d: id %v answers two keys", r, id)
+				}
+				seen[id] = true
+			}
+		}
+		if len(seen) != 64 {
+			t.Errorf("region %d: keys cover %d members, want 64", r, len(seen))
+		}
+		if d.ExpectedIDs(r, 6) != nil {
+			t.Errorf("region %d: out-of-space key has answers", r)
+		}
+	}
+}
+
+// TestBuildRegionsPointersStayInRegion walks every stored object and checks
+// its Link pointers never leave the region — the property that bounds a
+// closure query's footprint at RegionSize no matter the dataset size.
+func TestBuildRegionsPointersStayInRegion(t *testing.T) {
+	c, d := buildRegions(t, 4, RegionSpec{Objects: 320, RegionSize: 32, LocalProb: 0.3, Seed: 11})
+	members := make(map[object.ID]int) // id -> region
+	for r := 0; r < d.Regions(); r++ {
+		for key := 1; key <= 10; key++ {
+			for _, id := range d.ExpectedIDs(r, key) {
+				members[id] = r
+			}
+		}
+	}
+	checked := 0
+	for _, s := range c.Sites() {
+		st := c.Store(s)
+		for _, id := range st.IDs() {
+			o, ok := st.Get(id)
+			if !ok {
+				t.Fatalf("id %v vanished", id)
+			}
+			home, known := members[id]
+			if !known {
+				t.Fatalf("stored object %v not in any region's answer set", id)
+			}
+			for _, tu := range o.Tuples {
+				if tu.Type != "Pointer" {
+					continue
+				}
+				target := tu.Data.Ptr
+				if members[target] != home {
+					t.Fatalf("object %v (region %d) points into region %d", id, home, members[target])
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pointers checked")
+	}
+}
+
+// TestBuildRegionsLocalityPlacement pins the placement classes: LocalProb 1
+// puts every object on its region's home site; LocalProb 0 scatters.
+func TestBuildRegionsLocalityPlacement(t *testing.T) {
+	c, d := buildRegions(t, 4, RegionSpec{Objects: 200, RegionSize: 50, LocalProb: 1, Seed: 5})
+	sites := c.Sites()
+	for r := 0; r < d.Regions(); r++ {
+		home := sites[d.Spec.HomeSite(r)-1]
+		for key := 1; key <= 10; key++ {
+			for _, id := range d.ExpectedIDs(r, key) {
+				if object.SiteID(id.Birth) != home {
+					t.Fatalf("region %d object %v born at %v, want home %v", r, id, id.Birth, home)
+				}
+			}
+		}
+	}
+
+	c0, _ := buildRegions(t, 4, RegionSpec{Objects: 2000, RegionSize: 50, LocalProb: 0, Seed: 5})
+	for _, s := range c0.Sites() {
+		n := c0.Store(s).Len()
+		if n < 350 || n > 650 {
+			t.Errorf("scatter placement put %d objects on %v, want ~500", n, s)
+		}
+	}
+}
+
+func TestBuildRegionsRejectsBadSpecs(t *testing.T) {
+	c := cluster.NewSim(2, cluster.Options{Cost: sim.Free()})
+	home := func(int) int { return 1 }
+	bad := []RegionSpec{
+		{Objects: 0, RegionSize: 10, Sites: 2, HomeSite: home},
+		{Objects: 10, RegionSize: 0, Sites: 2, HomeSite: home},
+		{Objects: 10, RegionSize: 10, Sites: 2},                                       // no HomeSite
+		{Objects: 10, RegionSize: 10, Sites: 5, HomeSite: home},                       // wants more sites than cluster
+		{Objects: 10, RegionSize: 10, Sites: 2, HomeSite: func(int) int { return 9 }}, // out of range
+	}
+	for i, spec := range bad {
+		if _, err := BuildRegions(c, spec); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hyperfile/internal/object"
+)
+
+// RegionSpec parameterizes the scale-out dataset generator. Unlike the
+// paper's section-5 generator (Build), which gives every object ~20 tuples
+// and wires pointers across the whole dataset, the regions generator
+// partitions the objects into bounded traversal regions: each region is a
+// binary tree of "Link" pointers spanning its members (leaves self-loop, the
+// same eligibility convention Build uses), so a closure query from a region
+// root touches at most RegionSize objects no matter how many millions the
+// dataset holds. Objects carry exactly one selection tuple ("Sel", key in
+// 1..SelSpace) plus their pointer tuples, and load through the store's
+// bulk path — a 200-site / 1M-object dataset builds in seconds.
+type RegionSpec struct {
+	// Objects is the dataset size; Sites the number of placement sites.
+	Objects int
+	Sites   int
+	// RegionSize bounds each region (the last region may be smaller).
+	RegionSize int
+	// LocalProb is the probability an object is placed on its region's home
+	// site; the rest scatter uniformly over all sites. High values make
+	// traversal mostly local, low values make it message-bound.
+	LocalProb float64
+	// HomeSite maps a region to its home site (1-based). Required.
+	HomeSite func(region int) int
+	// SelSpace is the "Sel" key space (default 10).
+	SelSpace int
+	// Seed drives all randomness; equal specs generate equal datasets.
+	Seed int64
+}
+
+// RegionDataset records the generated graph for query construction and
+// independent answer checking.
+type RegionDataset struct {
+	Spec  RegionSpec
+	Roots []object.ID // region r's tree root, the query initial set
+	// sel[i] is logical object i's Sel key; ids[i] its id.
+	sel []uint16
+	ids []object.ID
+}
+
+// Regions returns the region count.
+func (d *RegionDataset) Regions() int { return len(d.Roots) }
+
+// members returns the logical index range [lo, hi) of a region.
+func (d *RegionDataset) members(region int) (lo, hi int) {
+	lo = region * d.Spec.RegionSize
+	hi = lo + d.Spec.RegionSize
+	if hi > d.Spec.Objects {
+		hi = d.Spec.Objects
+	}
+	return lo, hi
+}
+
+// ExpectedIDs computes a region query's answer independently of the engine:
+// the region tree spans every member, so the closure reaches them all and
+// the answer is the members whose Sel key equals key, in sorted id order.
+func (d *RegionDataset) ExpectedIDs(region, key int) []object.ID {
+	lo, hi := d.members(region)
+	var out []object.ID
+	for i := lo; i < hi; i++ {
+		if int(d.sel[i]) == key {
+			out = append(out, d.ids[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// BuildRegions generates the dataset into the placer's stores.
+func BuildRegions(p Placer, spec RegionSpec) (*RegionDataset, error) {
+	if spec.Objects < 1 || spec.RegionSize < 1 || spec.Sites < 1 {
+		return nil, fmt.Errorf("workload: bad region spec %+v", spec)
+	}
+	if spec.HomeSite == nil {
+		return nil, fmt.Errorf("workload: region spec needs HomeSite")
+	}
+	if spec.SelSpace == 0 {
+		spec.SelSpace = 10
+	}
+	sites := p.Sites()
+	if len(sites) < spec.Sites {
+		return nil, fmt.Errorf("workload: spec wants %d sites, cluster has %d", spec.Sites, len(sites))
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Objects
+	regions := (n + spec.RegionSize - 1) / spec.RegionSize
+
+	// Placement first: an object's id must be born where it lives (the
+	// birth-site router sends dereferences to the birth site), so ids are
+	// allocated per site after placement is known.
+	siteOf := make([]int32, n) // 0-based site index
+	sel := make([]uint16, n)
+	perSite := make([]int, spec.Sites)
+	for i := 0; i < n; i++ {
+		home := spec.HomeSite(i/spec.RegionSize) - 1
+		if home < 0 || home >= spec.Sites {
+			return nil, fmt.Errorf("workload: HomeSite(%d) = %d out of range", i/spec.RegionSize, home+1)
+		}
+		s := home
+		if rng.Float64() >= spec.LocalProb {
+			s = rng.Intn(spec.Sites)
+		}
+		siteOf[i] = int32(s)
+		perSite[s]++
+		sel[i] = uint16(1 + rng.Intn(spec.SelSpace))
+	}
+	batches := make([][]object.ID, spec.Sites)
+	for s := 0; s < spec.Sites; s++ {
+		batches[s] = p.Store(sites[s]).AllocIDs(perSite[s])
+	}
+	ids := make([]object.ID, n)
+	next := make([]int, spec.Sites)
+	for i := 0; i < n; i++ {
+		s := siteOf[i]
+		ids[i] = batches[s][next[s]]
+		next[s]++
+	}
+
+	d := &RegionDataset{
+		Spec:  spec,
+		Roots: make([]object.ID, regions),
+		sel:   sel,
+		ids:   ids,
+	}
+
+	// Objects: one Sel tuple plus the region tree's Link pointers, built in
+	// per-site batches for the bulk-load path.
+	bylen := make([][]*object.Object, spec.Sites)
+	for s := range bylen {
+		bylen[s] = make([]*object.Object, 0, perSite[s])
+	}
+	for r := 0; r < regions; r++ {
+		lo, hi := d.members(r)
+		d.Roots[r] = ids[lo]
+		for i := lo; i < hi; i++ {
+			j := i - lo // position within the region tree
+			o := object.New(ids[i])
+			o.Tuples = make([]object.Tuple, 0, 3)
+			o.Add("Sel", object.Int(int64(sel[i])), object.Value{})
+			kids := 0
+			for _, cj := range []int{2*j + 1, 2*j + 2} {
+				if lo+cj < hi {
+					o.Add("Pointer", object.String("Link"), object.Pointer(ids[lo+cj]))
+					kids++
+				}
+			}
+			if kids == 0 {
+				// Leaf self-loop: keeps the object eligible under the
+				// closure body's pointer selection (see package comment).
+				o.Add("Pointer", object.String("Link"), object.Pointer(ids[i]))
+			}
+			bylen[siteOf[i]] = append(bylen[siteOf[i]], o)
+		}
+	}
+	for s := 0; s < spec.Sites; s++ {
+		if err := p.Store(sites[s]).BulkLoad(bylen[s]); err != nil {
+			return nil, fmt.Errorf("workload: bulk load site %v: %w", sites[s], err)
+		}
+	}
+	return d, nil
+}

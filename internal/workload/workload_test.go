@@ -1,4 +1,4 @@
-package workload
+package workload_test
 
 import (
 	"math"
@@ -7,6 +7,7 @@ import (
 	"hyperfile/internal/cluster"
 	"hyperfile/internal/object"
 	"hyperfile/internal/sim"
+	. "hyperfile/internal/workload"
 )
 
 func build(t *testing.T, machines int, spec Spec) (*cluster.SimCluster, *Dataset) {
@@ -35,8 +36,9 @@ func TestPlacementEvenSplit(t *testing.T) {
 func TestDeterministicGeneration(t *testing.T) {
 	_, d1 := build(t, 3, Spec{N: 90, Seed: 7})
 	_, d2 := build(t, 3, Spec{N: 90, Seed: 7})
-	for class, t1 := range d1.randTargets {
-		t2 := d2.randTargets[class]
+	for _, p := range DefaultRandClasses {
+		class := ClassName(p)
+		t1, t2 := d1.RandTargets(class), d2.RandTargets(class)
 		for slot := 0; slot < 2; slot++ {
 			for i := range t1[slot] {
 				if t1[slot][i] != t2[slot][i] {
