@@ -34,6 +34,7 @@ func runExperiment(b *testing.B, id string, metrics ...string) {
 	cfg := bench.Default()
 	cfg.Queries = 3 // keep each iteration fast; shapes are already stable
 	var last *bench.Report
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := e.Run(cfg)
@@ -166,6 +167,7 @@ func (p benchPlacer) Put(_ object.SiteID, o *object.Object) error { return p.st.
 func BenchmarkEngineClosure(b *testing.B) {
 	st, root := engineFixture(b, 270)
 	compiled := query.MustCompile(workload.ClosureQuery("Rand80", "Rand10", 5))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := engine.New(compiled, st)
@@ -179,6 +181,7 @@ func BenchmarkEngineSelection(b *testing.B) {
 	st, _ := engineFixture(b, 270)
 	ids := st.IDs()
 	compiled := query.MustCompile(`S (Rand100, 1..50, ?) -> T`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := engine.New(compiled, st)
@@ -190,6 +193,7 @@ func BenchmarkEngineSelection(b *testing.B) {
 // BenchmarkQueryParse measures the parser on the experimental query.
 func BenchmarkQueryParse(b *testing.B) {
 	src := workload.ClosureQuery("Tree", "Rand10", 5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := query.Parse(src); err != nil {
@@ -206,6 +210,7 @@ func BenchmarkWireEncodeDeref(b *testing.B) {
 		ObjIDs: []object.ID{{Birth: 3, Seq: 99}}, Start: 2, Iters: []int{4},
 		Token: make([]byte, 12),
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		wire.Encode(m)
@@ -221,6 +226,7 @@ func BenchmarkWireDecodeDeref(b *testing.B) {
 		Token: make([]byte, 12),
 	}
 	data := wire.Encode(m)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := wire.Decode(data); err != nil {
@@ -233,6 +239,7 @@ func BenchmarkWireDecodeDeref(b *testing.B) {
 func BenchmarkKeywordIndexLookup(b *testing.B) {
 	st, _ := engineFixture(b, 270)
 	ix := index.BuildKeyword(st)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.Lookup("Rand10", fmt.Sprint(i%10+1))
@@ -243,6 +250,7 @@ func BenchmarkKeywordIndexLookup(b *testing.B) {
 // over many queries in practice).
 func BenchmarkReachIndexBuild(b *testing.B) {
 	st, _ := engineFixture(b, 270)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		index.BuildReach(st, "Rand80")
@@ -256,6 +264,7 @@ func BenchmarkStorePut(b *testing.B) {
 		Add("String", object.String("Title"), object.String("doc")).
 		Add("keyword", object.Keyword("db"), object.Value{}).
 		Add("Pointer", object.String("Ref"), object.Pointer(object.ID{Birth: 1, Seq: 1}))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := st.Put(o); err != nil {

@@ -370,10 +370,3 @@ func RunE9(cfg Config) (*Report, error) {
 	r.set("deref_bytes", float64(derefBytes))
 	return r, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

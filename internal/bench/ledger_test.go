@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func mkLedger(entries ...LedgerEntry) *Ledger {
+	return &Ledger{Schema: LedgerSchema, Entries: entries}
+}
+
+func entry(suite, variant string, allocs, bytes int64) LedgerEntry {
+	return LedgerEntry{Suite: suite, Variant: variant,
+		NsPerOp: 100, AllocsPerOp: allocs, BytesPerOp: bytes}
+}
+
+// TestLedgerGate exercises the within-run ≥30%-reduction bar on synthetic
+// runs: exactly the gated suites are checked, at exactly the 0.70 fraction.
+func TestLedgerGate(t *testing.T) {
+	pass := mkLedger(
+		entry("engine_step", "paper", 100, 1000),
+		entry("engine_step", "memopt", 70, 700),
+		entry("codec_encode", "paper", 10, 500),
+		entry("codec_encode", "pooled", 0, 0),
+		entry("codec_decode", "paper", 10, 500),
+		entry("codec_decode", "borrowed", 6, 200),
+		// e2e is recorded but ungated: a 1% reduction must not fail.
+		entry("e2e_scattered_tree", "paper", 1000, 100000),
+		entry("e2e_scattered_tree", "memopt", 990, 99000),
+	)
+	if bad := pass.Gate(); len(bad) != 0 {
+		t.Fatalf("expected pass, got %v", bad)
+	}
+
+	fail := mkLedger(
+		entry("engine_step", "paper", 100, 1000),
+		entry("engine_step", "memopt", 71, 700), // 71 > 70.0
+		entry("codec_encode", "paper", 10, 500),
+		entry("codec_encode", "pooled", 0, 0),
+		entry("codec_decode", "paper", 10, 500),
+		entry("codec_decode", "borrowed", 6, 200),
+	)
+	bad := fail.Gate()
+	if len(bad) != 1 || !strings.Contains(bad[0], "engine_step") {
+		t.Fatalf("expected one engine_step violation, got %v", bad)
+	}
+
+	missing := mkLedger(entry("engine_step", "paper", 100, 1000))
+	if bad := missing.Gate(); len(bad) != len(gatedSuites) {
+		t.Fatalf("expected %d missing-suite violations, got %v", len(gatedSuites), bad)
+	}
+}
+
+// TestLedgerDiffBaseline exercises the noise-bar logic in both directions
+// plus the stale-baseline notes.
+func TestLedgerDiffBaseline(t *testing.T) {
+	base := mkLedger(
+		entry("engine_step", "paper", 100, 10000),
+		entry("engine_step", "memopt", 40, 4000),
+		entry("old_suite", "paper", 5, 100),
+	)
+	cur := mkLedger(
+		entry("engine_step", "paper", 110, 10500), // within ±15% / ±30%
+		entry("engine_step", "memopt", 60, 4100),  // 60 > 40+6: regression
+		entry("new_suite", "paper", 5, 100),
+	)
+	failures, notes := cur.DiffBaseline(base)
+	if len(failures) != 1 || !strings.Contains(failures[0], "engine_step/memopt") {
+		t.Fatalf("expected one memopt regression, got %v", failures)
+	}
+	var sawOld, sawNew bool
+	for _, n := range notes {
+		sawOld = sawOld || strings.Contains(n, "old_suite")
+		sawNew = sawNew || strings.Contains(n, "new_suite")
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("expected stale-baseline notes for old_suite and new_suite, got %v", notes)
+	}
+
+	// Improvements never fail, only note.
+	improved := mkLedger(
+		entry("engine_step", "paper", 50, 5000),
+		entry("engine_step", "memopt", 40, 4000),
+		entry("old_suite", "paper", 5, 100),
+	)
+	failures, notes = improved.DiffBaseline(base)
+	if len(failures) != 0 {
+		t.Fatalf("improvement must not fail the gate: %v", failures)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "engine_step/paper") && strings.Contains(n, "improved") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an improvement note, got %v", notes)
+	}
+
+	// The absolute floor: tiny counts moving by ±1 are noise, not signal.
+	tiny := mkLedger(entry("codec_encode", "pooled", 1, 64))
+	tinyBase := mkLedger(entry("codec_encode", "pooled", 0, 0))
+	if failures, _ := tiny.DiffBaseline(tinyBase); len(failures) != 0 {
+		t.Fatalf("±%d-alloc floor should absorb a 1-alloc move: %v", allocNoiseFloor, failures)
+	}
+}
+
+// TestLedgerRun runs the real suites once and checks the acceptance bar the
+// CI gate enforces: every gated suite's optimized variant allocates ≤70% of
+// its paper-exact twin. This is the ≥30%-reduction criterion of the memory
+// overhaul, asserted in-tree rather than only in CI.
+func TestLedgerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks take ~10s; skipped in -short")
+	}
+	l := RunLedger()
+	if want := 2 * len(ledgerSuites()); len(l.Entries) != want {
+		t.Fatalf("got %d entries, want %d", len(l.Entries), want)
+	}
+	for _, e := range l.Entries {
+		if e.Iterations <= 0 || e.NsPerOp <= 0 {
+			t.Fatalf("suite %s/%s recorded nothing: %+v", e.Suite, e.Variant, e)
+		}
+	}
+	if bad := l.Gate(); len(bad) != 0 {
+		t.Fatalf("within-run allocation gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	// The ledger must round-trip: CI decodes the committed baseline with the
+	// same types.
+	b, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Ledger
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if failures, _ := back.DiffBaseline(l); len(failures) != 0 {
+		t.Fatalf("self-diff must be clean: %v", failures)
+	}
+	t.Logf("\n%s", l.Table())
+}

@@ -30,6 +30,7 @@ type Network struct {
 	links    map[[2]object.SiteID]*chaosLink
 	timers   map[*time.Timer]struct{}
 	closed   bool
+	zeroCopy bool
 	wg       sync.WaitGroup
 
 	// Retransmission policy; fixed, tuned for tests.
@@ -76,6 +77,18 @@ func NewNetwork(inj *Injector) *Network {
 // Injector returns the fault injector the network consults, so tests can
 // partition and heal links mid-run.
 func (n *Network) Injector() *Injector { return n.inj }
+
+// SetZeroCopy switches delivery to the borrowed decode (wire.DecodeBorrowed):
+// string and []byte fields of hot-path messages alias the sender's encoded
+// frame instead of copying. Safe here without any release protocol — the
+// fabric retains each frame unmutated until acked (for retransmission), and
+// the garbage collector keeps it alive as long as any borrowed field does.
+// Answers are byte-identical either way.
+func (n *Network) SetZeroCopy(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.zeroCopy = on
+}
 
 // Register installs the handler for site id. Handlers run either inline in
 // the sender's goroutine (zero-delay deliveries) or on timer goroutines, so
@@ -206,16 +219,23 @@ func (n *Network) arrive(p *pendingSend) {
 
 // handoff decodes one delivered copy and invokes the receiver's handler.
 func (n *Network) handoff(from, to object.SiteID, data []byte) {
-	m, err := wire.Decode(data)
-	if err != nil {
-		panic(fmt.Sprintf("chaos: undecodable frame on %d->%d: %v", from, to, err))
-	}
 	n.mu.Lock()
 	h := n.handlers[to]
 	closed := n.closed
+	zc := n.zeroCopy
 	n.mu.Unlock()
 	if h == nil || closed {
 		return
+	}
+	var m wire.Msg
+	var err error
+	if zc {
+		m, err = wire.DecodeBorrowed(data)
+	} else {
+		m, err = wire.Decode(data)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("chaos: undecodable frame on %d->%d: %v", from, to, err))
 	}
 	h(from, m)
 }

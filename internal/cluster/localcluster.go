@@ -93,12 +93,17 @@ func NewLocal(n int, opts Options) *LocalCluster {
 	if opts.OracleMarkTable {
 		marks = site.NewGlobalMarks()
 	}
-	if opts.Chaos != nil || opts.HeartbeatInterval > 0 {
+	if opts.Chaos != nil || opts.HeartbeatInterval > 0 || opts.ZeroCopy {
 		var inj *chaos.Injector
 		if opts.Chaos != nil {
 			inj = chaos.NewInjector(*opts.Chaos)
 		}
 		c.net = chaos.NewNetwork(inj)
+		if opts.ZeroCopy {
+			// Borrowed decode needs encoded frames to borrow from; the
+			// fault-free fabric provides them when Chaos is off.
+			c.net.SetZeroCopy(true)
+		}
 		c.hbEvery = opts.HeartbeatInterval
 		c.suspectAfter = opts.SuspectAfter
 		if c.hbEvery > 0 && c.suspectAfter <= 0 {

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hyperfile/internal/chaos"
+	"hyperfile/internal/object"
+	"hyperfile/internal/sim"
+	"hyperfile/internal/termination"
+	"hyperfile/internal/workload"
+)
+
+// TestMemOptZeroCopyEquivalence is the memory-overhaul acceptance matrix:
+// every query class runs on 1, 3, and 9 sites with the hot-path memory
+// optimizations (packed mark tables, pooled scratch, packed sent-cache) and
+// zero-copy decode off and on. The optimized runs must return byte-identical
+// sorted result-id sets, identical unreachable annotations — and, stronger,
+// identical protocol statistics: a packed mark table that deduplicated even
+// one item differently, or a packed sent-cache that suppressed one extra
+// Deref, would show up as a stats mismatch even if the answer survived.
+// Deref batching is on so the sent-cache path is actually exercised.
+func TestMemOptZeroCopyEquivalence(t *testing.T) {
+	const (
+		nObjects  = 120
+		structure = 9
+		seed      = 11
+		batchSize = 8
+	)
+	queries := equivCases()
+
+	// logical[q] is the query's answer as a set of generator indices,
+	// established by the first topology and checked against all others.
+	logical := make([]map[int]bool, len(queries))
+
+	for _, machines := range []int{1, 3, 9} {
+		spec := workload.Spec{
+			N: nObjects, Machines: machines,
+			StructureMachines: structure, Seed: seed,
+		}
+
+		build := func(memopt bool) (*SimCluster, *workload.Dataset) {
+			c := NewSim(machines, Options{Cost: sim.Free(), DerefBatch: batchSize, MemOpt: memopt})
+			d, err := workload.Build(c, spec)
+			if err != nil {
+				t.Fatalf("%d sites: %v", machines, err)
+			}
+			return c, d
+		}
+		paper, dPaper := build(false)
+		opt, dOpt := build(true)
+
+		// id -> logical index, for the cross-topology comparison.
+		idx := make(map[object.ID]int, len(dPaper.IDs))
+		for i, id := range dPaper.IDs {
+			idx[id] = i
+		}
+
+		var locPaper, locOpt *LocalCluster
+		var dLocP, dLocO *workload.Dataset
+		if machines == 3 || machines == 9 {
+			locPaper = NewLocal(machines, Options{DerefBatch: batchSize})
+			defer locPaper.Close()
+			// The goroutine runner additionally decodes every inter-site
+			// message in place (ZeroCopy implies the encoding fabric).
+			locOpt = NewLocal(machines, Options{DerefBatch: batchSize, MemOpt: true, ZeroCopy: true})
+			defer locOpt.Close()
+			var err error
+			if dLocP, err = workload.Build(locPaper, spec); err != nil {
+				t.Fatal(err)
+			}
+			if dLocO, err = workload.Build(locOpt, spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for qi, q := range queries {
+			name := fmt.Sprintf("%d sites, query %d (%s)", machines, qi, q)
+			resP, _, err := paper.Exec(1, q, []object.ID{dPaper.Root})
+			if err != nil {
+				t.Fatalf("%s: paper-exact: %v", name, err)
+			}
+			resM, _, err := opt.Exec(1, q, []object.ID{dOpt.Root})
+			if err != nil {
+				t.Fatalf("%s: memopt: %v", name, err)
+			}
+			// Complete messages carry sorted ids, so slice equality is the
+			// byte-identical check.
+			if !equalIDs(resP.IDs, resM.IDs) {
+				t.Fatalf("%s: memopt changed the answer: %d ids vs %d",
+					name, len(resM.IDs), len(resP.IDs))
+			}
+			if !equalSites(resP.Unreachable, resM.Unreachable) ||
+				resP.Partial != resM.Partial {
+				t.Fatalf("%s: memopt changed unreachable annotations", name)
+			}
+
+			// Cross-topology: same logical answer regardless of placement.
+			got := make(map[int]bool, len(resP.IDs))
+			for _, id := range resP.IDs {
+				li, ok := idx[id]
+				if !ok {
+					t.Fatalf("%s: result %v is not a generated object", name, id)
+				}
+				got[li] = true
+			}
+			if logical[qi] == nil {
+				logical[qi] = got
+			} else if !equalIndexSets(logical[qi], got) {
+				t.Fatalf("%s: logical answer differs from previous topology", name)
+			}
+
+			if locPaper != nil {
+				lp, err := locPaper.Exec(1, q, []object.ID{dLocP.Root}, 30*time.Second)
+				if err != nil {
+					t.Fatalf("%s: local paper-exact: %v", name, err)
+				}
+				lo, err := locOpt.Exec(1, q, []object.ID{dLocO.Root}, 30*time.Second)
+				if err != nil {
+					t.Fatalf("%s: local memopt+zerocopy: %v", name, err)
+				}
+				if !equalIDs(resP.IDs, lp.IDs) || !equalIDs(resP.IDs, lo.IDs) {
+					t.Fatalf("%s: goroutine runner disagrees with simulator (%d/%d vs %d ids)",
+						name, len(lp.IDs), len(lo.IDs), len(resP.IDs))
+				}
+			}
+		}
+
+		// The strong check: the optimized structures made every decision the
+		// map-based ones did — same dedup skips, same suppressed derefs, same
+		// message counts, tuple scans, everything.
+		if ps, ms := paper.TotalStats(), opt.TotalStats(); ps != ms {
+			t.Errorf("%d sites: memopt changed protocol statistics:\npaper  %+v\nmemopt %+v",
+				machines, ps, ms)
+		}
+		if st := opt.TotalStats(); machines > 1 && st.DerefsSuppressed == 0 {
+			t.Errorf("%d sites: packed sent-cache never suppressed a deref; matrix is not exercising it", machines)
+		}
+	}
+}
+
+// TestMemOptConservesTerminationWeightUnderChaos re-runs the termination
+// conservation audit with the memory optimizations and zero-copy decode on,
+// over a lossy, duplicating, reordering network: pooled scratch and borrowed
+// tokens must never lose or double-count a credit share — the weighted
+// credits must sum to exactly 1 after every detector event.
+func TestMemOptConservesTerminationWeightUnderChaos(t *testing.T) {
+	audit := termination.NewAudit()
+	c := NewLocal(3, Options{
+		DerefBatch: 4,
+		MemOpt:     true,
+		ZeroCopy:   true,
+		TermAudit:  audit,
+		Chaos: &chaos.Config{
+			Seed: 21, DropRate: 0.10, DupRate: 0.10,
+			DelayRate: 0.30, MinDelay: time.Millisecond, MaxDelay: 3 * time.Millisecond,
+			ReorderRate: 0.20,
+		},
+	})
+	defer c.Close()
+	d, err := workload.Build(c, workload.Spec{N: 60, Machines: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range equivCases()[:5] {
+		res, err := c.Exec(object.SiteID(qi%3+1), q, []object.ID{d.Root}, 30*time.Second)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if res.Partial {
+			t.Fatalf("query %d: partial answer with no dead sites", qi)
+		}
+		if err := audit.Err(); err != nil {
+			t.Fatalf("after query %d: %v", qi, err)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("internal error: %v", err)
+	}
+	if audit.Events() == 0 {
+		t.Fatal("audit never saw a detector event")
+	}
+	t.Logf("conservation held across %d detector events with memopt+zerocopy", audit.Events())
+}

@@ -127,9 +127,19 @@ type Engine struct {
 
 	// mu guards everything below. Internal helpers (applySelect, push, pop,
 	// ...) assume it is held by the exported caller.
-	mu    sync.Mutex
+	mu sync.Mutex
+	// work[head:] is the live working set; BFS pops advance head instead of
+	// reslicing so the backing array survives a full drain and push can
+	// compact in place rather than grow.
 	work  []Item
+	head  int
 	marks Marks
+	// memopt enables the pooled memory model (see WithMemOpt): workptr is
+	// the pooled backing for work, env the per-engine scratch binding
+	// environment reused across Steps.
+	memopt  bool
+	workptr *[]Item
+	env     pattern.Env
 	// spawn, when set, receives locally-dereferenced items instead of the
 	// engine's own working set.
 	spawn func(Item)
@@ -182,11 +192,16 @@ func NewPlanned(p *plan.Plan, src Source, opts ...Option) *Engine {
 		p:       p,
 		src:     src,
 		loc:     AllLocal{},
-		marks:   make(mapMarks),
 		results: make(object.IDSet),
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.memopt {
+		e.acquireScratch()
+	}
+	if e.marks == nil {
+		e.marks = make(mapMarks)
 	}
 	return e
 }
@@ -238,14 +253,14 @@ func (e *Engine) Enqueue(it Item) {
 func (e *Engine) HasWork() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.work) > 0
+	return len(e.work) > e.head
 }
 
 // Pending returns the number of items in the working set.
 func (e *Engine) Pending() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.work)
+	return len(e.work) - e.head
 }
 
 // DiscardWork empties the working set without processing it (cooperative
@@ -254,7 +269,9 @@ func (e *Engine) Pending() int {
 func (e *Engine) DiscardWork() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	clear(e.work)
 	e.work = e.work[:0]
+	e.head = 0
 }
 
 // Results returns the local result set accumulated so far. The set is live;
@@ -295,9 +312,7 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) ReleaseMarks() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, owned := e.marks.(mapMarks); owned {
-		e.marks = make(mapMarks)
-	}
+	e.releaseMarksLocked()
 }
 
 // MarkCount returns the number of marked (object, filter) pairs in an
@@ -306,27 +321,50 @@ func (e *Engine) ReleaseMarks() {
 func (e *Engine) MarkCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	m, owned := e.marks.(mapMarks)
-	if !owned {
-		return -1
+	switch m := e.marks.(type) {
+	case mapMarks:
+		n := 0
+		for _, set := range m {
+			n += len(set)
+		}
+		return n
+	case packedMarks:
+		return m.s.Len()
 	}
-	n := 0
-	for _, set := range m {
-		n += len(set)
-	}
-	return n
+	return -1
 }
 
-func (e *Engine) push(it Item) { e.work = append(e.work, it) }
+func (e *Engine) push(it Item) {
+	if e.head > 0 && len(e.work) == cap(e.work) {
+		// The queue is about to grow while dead popped slots sit in front of
+		// head: compact in place instead of reallocating.
+		n := copy(e.work, e.work[e.head:])
+		clear(e.work[n:])
+		e.work = e.work[:n]
+		e.head = 0
+	}
+	e.work = append(e.work, it)
+}
 
 func (e *Engine) pop() Item {
 	var it Item
 	if e.order == DFS {
-		it = e.work[len(e.work)-1]
-		e.work = e.work[:len(e.work)-1]
+		last := len(e.work) - 1
+		it = e.work[last]
+		e.work[last] = Item{}
+		e.work = e.work[:last]
+		if last == e.head {
+			e.work = e.work[:0]
+			e.head = 0
+		}
 	} else {
-		it = e.work[0]
-		e.work = e.work[1:]
+		it = e.work[e.head]
+		e.work[e.head] = Item{}
+		e.head++
+		if e.head == len(e.work) {
+			e.work = e.work[:0]
+			e.head = 0
+		}
 	}
 	return it
 }
@@ -341,7 +379,7 @@ func (e *Engine) pop() Item {
 func (e *Engine) Step() (StepResult, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.work) == 0 {
+	if len(e.work) == e.head {
 		return StepResult{}, false
 	}
 	it := e.pop()
@@ -367,7 +405,7 @@ func (e *Engine) Step() (StepResult, bool) {
 	e.stats.Processed++
 	res.Processed = true
 	if it.MVars == nil {
-		it.MVars = pattern.Env{}
+		it.MVars = e.stepEnv()
 	}
 
 	alive := true

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"sync"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/packed"
+	"hyperfile/internal/pattern"
+)
+
+// packedMarks is the memory-optimized engine-owned mark table: an
+// open-addressing set over packed (birth, seq, filter) keys. One flat slot
+// array replaces the nested map-of-maps, so marking an (object, filter)
+// pair allocates nothing in the steady state. It satisfies Marks, so
+// WithMarks-style sharing semantics are unchanged — but unlike a table
+// installed via WithMarks, a packedMarks is engine-owned and ReleaseMarks
+// returns its storage to the pool.
+type packedMarks struct{ s *packed.Set }
+
+func (m packedMarks) Test(id object.ID, idx int) bool {
+	hi, lo := packed.IDKey(id, idx)
+	return m.s.Contains(hi, lo)
+}
+
+func (m packedMarks) TestAndSet(id object.ID, idx int) bool {
+	hi, lo := packed.IDKey(id, idx)
+	return m.s.TestAndSet(hi, lo)
+}
+
+// The pools below back WithMemOpt engines. Lifetimes follow the query
+// context: storage is acquired when the engine is built and returned by
+// ReleaseScratch/ReleaseMarks when the site finishes, force-completes, or
+// retains the context — the same three paths that already release the
+// sent-cache and global marks.
+var (
+	markSetPool = sync.Pool{New: func() any { return packed.NewSet(0) }}
+	workPool    = sync.Pool{New: func() any { w := make([]Item, 0, 64); return &w }}
+	envPool     = sync.Pool{New: func() any { return pattern.Env{} }}
+)
+
+// WithMemOpt switches the engine to the pooled memory model: a packed
+// open-addressing mark table instead of the nested maps, a pooled working-set
+// backing array, and a per-engine scratch binding environment reused across
+// Steps instead of one map allocation per processed object. Answers are
+// byte-identical to the default model (the equivalence matrix proves it);
+// only the allocation profile changes. Callers owning the context must call
+// ReleaseScratch once the query is finished, force-completed, or retained.
+func WithMemOpt() Option {
+	return func(e *Engine) { e.memopt = true }
+}
+
+// acquireScratch installs pooled storage on a WithMemOpt engine. Called from
+// NewPlanned after options are applied, so a table installed via WithMarks
+// is never overridden (and no pooled set is acquired just to leak).
+func (e *Engine) acquireScratch() {
+	if e.marks == nil {
+		e.marks = packedMarks{s: markSetPool.Get().(*packed.Set)}
+	}
+	e.workptr = workPool.Get().(*[]Item)
+	e.work = (*e.workptr)[:0]
+}
+
+// stepEnv returns the binding environment for the item about to be
+// processed: a cleared per-engine scratch map under WithMemOpt (Step is
+// serialized by e.mu and the environment never outlives one Step), or a
+// fresh map on the paper-exact path.
+func (e *Engine) stepEnv() pattern.Env {
+	if !e.memopt {
+		return pattern.Env{}
+	}
+	if e.env == nil {
+		e.env = envPool.Get().(pattern.Env)
+	}
+	clear(e.env)
+	return e.env
+}
+
+// ReleaseScratch returns the engine's pooled storage — working-set backing,
+// scratch environment, and packed mark table — and is a no-op for
+// paper-exact engines. Like ReleaseMarks it is only valid once the query is
+// finished at this site: the engine stays safe to poke (a straggler Enqueue
+// just allocates a small fresh queue) but is no longer on the pooled path.
+func (e *Engine) ReleaseScratch() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.memopt {
+		return
+	}
+	if e.workptr != nil {
+		full := e.work[:cap(e.work)]
+		clear(full) // drop Iters/MVars references before pooling
+		*e.workptr = full[:0]
+		workPool.Put(e.workptr)
+		e.workptr = nil
+	}
+	e.work, e.head = nil, 0
+	if e.env != nil {
+		clear(e.env)
+		envPool.Put(e.env)
+		e.env = nil
+	}
+	e.releaseMarksLocked()
+}
+
+// releaseMarksLocked drops an engine-owned mark table (map or packed); a
+// shared table installed via WithMarks is left alone.
+func (e *Engine) releaseMarksLocked() {
+	switch m := e.marks.(type) {
+	case mapMarks:
+		e.marks = make(mapMarks)
+	case packedMarks:
+		m.s.Reset()
+		markSetPool.Put(m.s)
+		// The context is finished; if anything marks again it lands in a
+		// small fresh map, off the pooled path.
+		e.marks = make(mapMarks)
+	}
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/packed"
+	"hyperfile/internal/query"
+	"hyperfile/internal/store"
+)
+
+// TestPackedMarksDifferential drives packedMarks and mapMarks with identical
+// randomized op streams — TestAndSet, Test, and full release — over a
+// collision-heavy id space (few Birth sites, clustered Seq values, small
+// filter indices) and asserts identical observable behavior on every op.
+func TestPackedMarksDifferential(t *testing.T) {
+	for _, seed := range []int64{3, 19, 91} {
+		rng := rand.New(rand.NewSource(seed))
+		pm := packedMarks{s: packed.NewSet(0)}
+		mm := make(mapMarks)
+		genPair := func() (object.ID, int) {
+			id := object.ID{
+				Birth: object.SiteID(rng.Intn(3) + 1),
+				Seq:   uint64(rng.Intn(6)) * uint64(1<<uint(rng.Intn(10))),
+			}
+			return id, rng.Intn(5)
+		}
+		for op := 0; op < 10000; op++ {
+			id, idx := genPair()
+			switch rng.Intn(2) {
+			case 0:
+				if got, want := pm.TestAndSet(id, idx), mm.TestAndSet(id, idx); got != want {
+					t.Fatalf("seed %d op %d: TestAndSet(%v,%d) = %v, want %v", seed, op, id, idx, got, want)
+				}
+			case 1:
+				if got, want := pm.Test(id, idx), mm.Test(id, idx); got != want {
+					t.Fatalf("seed %d op %d: Test(%v,%d) = %v, want %v", seed, op, id, idx, got, want)
+				}
+			}
+		}
+		// Release: both tables drop every mark.
+		pm.s.Reset()
+		mm = make(mapMarks)
+		id, idx := genPair()
+		if pm.Test(id, idx) || mm.Test(id, idx) {
+			t.Fatalf("seed %d: mark survived release", seed)
+		}
+	}
+}
+
+// TestMemOptEngineSameAnswers: a WithMemOpt engine (packed marks, pooled
+// queue, scratch env) must return exactly the answer of the default engine
+// on random graphs, in both queue disciplines, including after scratch
+// release and reuse by a following engine.
+func TestMemOptEngineSameAnswers(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := store.New(1)
+		n := 5 + rng.Intn(50)
+		objs := make([]*object.Object, n)
+		for i := range objs {
+			objs[i] = s.NewObject()
+		}
+		for _, o := range objs {
+			if rng.Intn(3) == 0 {
+				o.Add("keyword", object.Keyword("hot"), object.Value{})
+			}
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				o.Add("Pointer", object.String("Reference"), object.Pointer(objs[rng.Intn(n)].ID))
+			}
+			if err := s.Put(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c := query.MustCompile(`S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, "hot", ?) -> T`)
+		for _, order := range []Order{BFS, DFS} {
+			base := New(c, s, WithOrder(order))
+			opt := New(c, s, WithOrder(order), WithMemOpt())
+			base.AddInitial(objs[0].ID)
+			opt.AddInitial(objs[0].ID)
+			base.Run()
+			opt.Run()
+			if !base.Results().Equal(opt.Results()) {
+				t.Fatalf("seed %d order %v: memopt answer differs: %v vs %v",
+					seed, order, opt.Results(), base.Results())
+			}
+			bs, os := base.Stats(), opt.Stats()
+			if bs != os {
+				t.Fatalf("seed %d order %v: memopt stats differ: %+v vs %+v", seed, order, os, bs)
+			}
+			if opt.MarkCount() == 0 && bs.Processed > 0 {
+				t.Fatalf("seed %d: memopt engine never marked", seed)
+			}
+			opt.ReleaseScratch()
+			if opt.MarkCount() != 0 {
+				t.Fatalf("seed %d: %d marks survived ReleaseScratch", seed, opt.MarkCount())
+			}
+		}
+	}
+}
+
+// TestMemOptFetchesAndBindings: the scratch environment is cleared between
+// Steps — bindings from one object must never leak into the next object's
+// match, and fetched values must come out identical to the default engine.
+func TestMemOptFetchesAndBindings(t *testing.T) {
+	s := store.New(1)
+	ids := buildChain(t, s, 6, "hot")
+	src := `S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, ?K, ?) (name, ->N, ?) -> T`
+	for i, id := range ids {
+		o, _ := s.Get(id)
+		o.Add("name", object.String(string(rune('a'+i))), object.Value{})
+		if err := s.Put(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := query.MustCompile(src)
+	base := New(c, s)
+	opt := New(c, s, WithMemOpt())
+	base.AddInitial(ids[0])
+	opt.AddInitial(ids[0])
+	base.Run()
+	opt.Run()
+	if !base.Results().Equal(opt.Results()) {
+		t.Fatalf("results differ: %v vs %v", opt.Results(), base.Results())
+	}
+	_, bf := base.TakeResults()
+	_, of := opt.TakeResults()
+	if len(bf) != len(of) {
+		t.Fatalf("fetch count differs: %d vs %d", len(of), len(bf))
+	}
+	key := func(f Fetch) string { return fmt.Sprintf("%s|%v|%v", f.Var, f.From, f.Val) }
+	seen := map[string]int{}
+	for _, f := range bf {
+		seen[key(f)]++
+	}
+	for _, f := range of {
+		if seen[key(f)] == 0 {
+			t.Fatalf("memopt fetched %+v, absent from default run", f)
+		}
+		seen[key(f)]--
+	}
+}

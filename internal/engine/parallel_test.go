@@ -138,6 +138,7 @@ func TestSharedMarks(t *testing.T) {
 func BenchmarkParallelClosure4(b *testing.B) {
 	s, ids := randomGraphStore(b, 270, 1)
 	c := query.MustCompile(parClosure)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		RunParallel(c, s, 4, []object.ID{ids[0]})

@@ -24,10 +24,18 @@ import (
 //     pin and the context can never be evicted or re-scheduled;
 //   - "finished = true" transitions for any one type must funnel through a
 //     single function (finishCtx), so the release of admission slots, fair
-//     buckets, and latency accounting can never be half-applied.
+//     buckets, and latency accounting can never be half-applied;
+//   - pooled storage obeys the same discipline at two scopes. Package scope:
+//     any package calling sync.Pool.Get, wire.GetBuf, or wire.ReadBuf.Retain
+//     outside tests must call the matching Put / PutBuf / Release somewhere
+//     outside tests. Function scope: a local bound to sync.Pool.Get or
+//     wire.GetBuf must, on every path, be handed to the matching
+//     Put/PutBuf, returned to the caller, or stored into a field whose
+//     owner releases it later — a dropped binding leaks pooled storage and
+//     silently degrades the pool back to plain allocation.
 var Pairwise = &Analyzer{
 	Name: "pairwise",
-	Doc:  "paired resources (plan pins, global marks, stepping pins, finished transitions) acquire and release in matched pairs",
+	Doc:  "paired resources (plan pins, global marks, stepping pins, finished transitions, pooled buffers) acquire and release in matched pairs",
 	Run:  runPairwise,
 }
 
@@ -41,12 +49,38 @@ var resourcePairs = []struct {
 	{"hyperfile/internal/site", "GlobalMarks", "TestAndSet", "Release"},
 }
 
+// poolPairs lists the pooled-storage acquire/release pairs: a method pair
+// when typ is set, a package-level function pair when typ is empty. These
+// get the package-presence rule (and Get/GetBuf additionally the all-paths
+// binding rule below), with a leak message naming what actually goes wrong.
+var poolPairs = []struct {
+	pkg, typ, acquire, release, leak string
+}{
+	{"sync", "Pool", "Get", "Put", "pooled storage is acquired but can never be recycled"},
+	{"hyperfile/internal/wire", "ReadBuf", "Retain", "Release", "the reference can never drop and the buffer never returns to its pool"},
+	{"hyperfile/internal/wire", "", "GetBuf", "PutBuf", "the scratch buffer can never return to its pool"},
+}
+
+// poolPairMatches reports whether fn is pair (pkg, typ, name): a method on
+// pkg.typ, or — with empty typ — a plain function pkg.name.
+func poolPairMatches(fn *types.Func, pkg, typ, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	if typ == "" {
+		return funcRecvNamed(fn) == nil && fn.Pkg() != nil && fn.Pkg().Path() == pkg
+	}
+	return isFrom(funcRecvNamed(fn), pkg, typ)
+}
+
 func runPairwise(pass *Pass) {
 	info := pass.Info()
 	// acquireCalls[i] collects non-test calls of pair i's acquire method;
 	// releaseSeen[i] whether its release is called anywhere non-test.
 	acquireCalls := make([][]token.Pos, len(resourcePairs))
 	releaseSeen := make([]bool, len(resourcePairs))
+	poolAcquires := make([][]token.Pos, len(poolPairs))
+	poolReleaseSeen := make([]bool, len(poolPairs))
 	finishedSets := map[*types.Named]map[string][]token.Pos{} // type -> func -> positions
 	for _, f := range pass.Pkg.Files {
 		if isTestFile(pass.Fset, f.Pos()) {
@@ -76,6 +110,14 @@ func runPairwise(pass *Pass) {
 							releaseSeen[i] = true
 						}
 					}
+					for i, p := range poolPairs {
+						if poolPairMatches(fn, p.pkg, p.typ, p.acquire) {
+							poolAcquires[i] = append(poolAcquires[i], n.Pos())
+						}
+						if poolPairMatches(fn, p.pkg, p.typ, p.release) {
+							poolReleaseSeen[i] = true
+						}
+					}
 				case *ast.AssignStmt:
 					recordFinishedSets(info, n, fd.Name.Name, finishedSets)
 				}
@@ -83,6 +125,19 @@ func runPairwise(pass *Pass) {
 			})
 			checkAcquirePaths(pass, info, fd)
 			checkSteppingPins(pass, info, fd)
+			checkPoolPaths(pass, info, fd)
+		}
+	}
+	for i, p := range poolPairs {
+		if len(poolAcquires[i]) == 0 || poolReleaseSeen[i] {
+			continue
+		}
+		acq, rel := p.acquire, p.release
+		if p.typ != "" {
+			acq, rel = p.typ+"."+p.acquire, p.typ+"."+p.release
+		}
+		for _, pos := range poolAcquires[i] {
+			pass.Reportf(pos, "%s is called in this package but %s never is; %s", acq, rel, p.leak)
 		}
 	}
 	for i, p := range resourcePairs {
@@ -239,29 +294,84 @@ func regionDischarges(info *types.Info, region ast.Node, vars map[types.Object]b
 	return discharged
 }
 
-// ---- rule: stepping pins must be cleared or escorted out ----
+// ---- all-paths obligation walker ----
+//
+// obligWalker is the shared engine behind the stepping-pin and pooled-storage
+// rules: named obligations accumulate in a pending map, control flow forks
+// the map per branch and unions the survivors (an obligation leaks if ANY
+// path drops it), and a return statement first lets the rule prune escorted
+// names, then flushes whatever is left. `format` must contain one %s for the
+// obligation's name.
+
+type obligWalker struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+	format   string
+	// simple handles one non-control-flow statement: record new obligations
+	// into pending and delete discharged ones.
+	simple func(s ast.Stmt, pending map[string]token.Pos)
+	// escort prunes names a return statement carries out to the caller.
+	escort func(s *ast.ReturnStmt, pending map[string]token.Pos)
+}
 
 // checkSteppingPins runs an all-paths walk over the function: a
 // "<base>.stepping = true" creates an obligation discharged by
 // "<base>.stepping = false" or by returning <base>.
 func checkSteppingPins(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
-	w := &pinWalker{pass: pass, reported: map[token.Pos]bool{}}
+	w := &obligWalker{
+		pass:     pass,
+		reported: map[token.Pos]bool{},
+		format:   "%s.stepping pin set here is neither cleared nor returned on some path; the context stays pinned forever",
+		simple:   steppingStmt,
+		escort:   escortReturnedIdents,
+	}
 	pending, term := w.walkStmts(fd.Body.List, map[string]token.Pos{})
 	if !term {
 		w.flush(pending)
 	}
 }
 
-type pinWalker struct {
-	pass     *Pass
-	reported map[token.Pos]bool
+// steppingStmt records "<base>.stepping = true/false" transitions.
+func steppingStmt(s ast.Stmt, pending map[string]token.Pos) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "stepping" || i >= len(as.Rhs) {
+			continue
+		}
+		base := types.ExprString(sel.X)
+		switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+		case *ast.Ident:
+			if rhs.Name == "true" {
+				pending[base] = as.Pos()
+			} else if rhs.Name == "false" {
+				delete(pending, base)
+			}
+		}
+	}
 }
 
-func (w *pinWalker) flush(pending map[string]token.Pos) {
+// escortReturnedIdents discharges every name mentioned in the return values:
+// the caller inherits the obligation along with the value.
+func escortReturnedIdents(s *ast.ReturnStmt, pending map[string]token.Pos) {
+	for _, r := range s.Results {
+		ast.Inspect(r, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				delete(pending, id.Name)
+			}
+			return true
+		})
+	}
+}
+
+func (w *obligWalker) flush(pending map[string]token.Pos) {
 	for base, pos := range pending {
 		if !w.reported[pos] {
 			w.reported[pos] = true
-			w.pass.Reportf(pos, "%s.stepping pin set here is neither cleared nor returned on some path; the context stays pinned forever", base)
+			w.pass.Reportf(pos, w.format, base)
 		}
 	}
 }
@@ -274,7 +384,7 @@ func copyPending(p map[string]token.Pos) map[string]token.Pos {
 	return out
 }
 
-func (w *pinWalker) walkStmts(stmts []ast.Stmt, pending map[string]token.Pos) (map[string]token.Pos, bool) {
+func (w *obligWalker) walkStmts(stmts []ast.Stmt, pending map[string]token.Pos) (map[string]token.Pos, bool) {
 	for _, s := range stmts {
 		var term bool
 		pending, term = w.walkStmt(s, pending)
@@ -285,33 +395,10 @@ func (w *pinWalker) walkStmts(stmts []ast.Stmt, pending map[string]token.Pos) (m
 	return pending, false
 }
 
-func (w *pinWalker) walkStmt(s ast.Stmt, pending map[string]token.Pos) (map[string]token.Pos, bool) {
+func (w *obligWalker) walkStmt(s ast.Stmt, pending map[string]token.Pos) (map[string]token.Pos, bool) {
 	switch s := s.(type) {
-	case *ast.AssignStmt:
-		for i, lhs := range s.Lhs {
-			sel, ok := lhs.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "stepping" || i >= len(s.Rhs) {
-				continue
-			}
-			base := types.ExprString(sel.X)
-			switch rhs := ast.Unparen(s.Rhs[i]).(type) {
-			case *ast.Ident:
-				if rhs.Name == "true" {
-					pending[base] = s.Pos()
-				} else if rhs.Name == "false" {
-					delete(pending, base)
-				}
-			}
-		}
 	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			ast.Inspect(r, func(n ast.Node) bool {
-				if id, ok := n.(*ast.Ident); ok {
-					delete(pending, id.Name)
-				}
-				return true
-			})
-		}
+		w.escort(s, pending)
 		w.flush(pending)
 		return pending, true
 	case *ast.BlockStmt:
@@ -370,6 +457,8 @@ func (w *pinWalker) walkStmt(s ast.Stmt, pending map[string]token.Pos) (map[stri
 		return out, false
 	case *ast.LabeledStmt:
 		return w.walkStmt(s.Stmt, pending)
+	default:
+		w.simple(s, pending)
 	}
 	return pending, false
 }
@@ -382,6 +471,110 @@ func unionPending(a, b map[string]token.Pos) map[string]token.Pos {
 		}
 	}
 	return out
+}
+
+// ---- rule: pooled storage bound to a local is discharged on all paths ----
+
+// checkPoolPaths runs the obligation walk for pooled storage: binding a
+// local to sync.Pool.Get or wire.GetBuf creates an obligation discharged by
+// handing the local to the matching Put/PutBuf (directly, deferred, or
+// inside a spawned closure), returning it to the caller, or storing it into
+// a field whose owner releases it later. A path that merely drops the local
+// leaks the storage and degrades the pool back to plain allocation. A Get
+// whose result goes straight into a field or return creates no obligation —
+// ownership transferred at the acquire.
+func checkPoolPaths(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	w := &obligWalker{
+		pass:     pass,
+		reported: map[token.Pos]bool{},
+		format:   "pooled storage bound to %s here is neither returned to its pool, returned to the caller, nor stored on some path; it can never be recycled",
+		escort:   escortReturnedIdents,
+	}
+	w.simple = func(s ast.Stmt, pending map[string]token.Pos) {
+		poolStmt(info, s, pending)
+	}
+	pending, term := w.walkStmts(fd.Body.List, map[string]token.Pos{})
+	if !term {
+		w.flush(pending)
+	}
+}
+
+// poolStmt deletes obligations the statement discharges, then records the
+// ones it creates (discharge first, so `b = pool.Get()` rebinding an
+// undischarged b does not accidentally clear the old obligation).
+func poolStmt(info *types.Info, s ast.Stmt, pending map[string]token.Pos) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isPoolReleaseCall(info, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				for base := range pending {
+					if exprMentions(arg, base) {
+						delete(pending, base)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Field store: the local survives in a struct the owner
+			// releases later (acquireScratch's e.workptr shape).
+			for i, lhs := range n.Lhs {
+				if _, isSel := lhs.(*ast.SelectorExpr); !isSel || i >= len(n.Rhs) {
+					continue
+				}
+				for base := range pending {
+					if exprMentions(n.Rhs[i], base) {
+						delete(pending, base)
+					}
+				}
+			}
+		}
+		return true
+	})
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		e := ast.Unparen(rhs)
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ast.Unparen(ta.X)
+		}
+		call, ok := e.(*ast.CallExpr)
+		if !ok || !isPoolAcquireCall(info, call) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok {
+			pending[id.Name] = call.Pos()
+		}
+	}
+}
+
+// isPoolAcquireCall matches the binding-rule acquires: sync.Pool.Get and
+// wire.GetBuf (Retain is presence-only — it returns nothing to bind).
+func isPoolAcquireCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return poolPairMatches(fn, "sync", "Pool", "Get") ||
+		poolPairMatches(fn, "hyperfile/internal/wire", "", "GetBuf")
+}
+
+func isPoolReleaseCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return poolPairMatches(fn, "sync", "Pool", "Put") ||
+		poolPairMatches(fn, "hyperfile/internal/wire", "", "PutBuf")
+}
+
+// exprMentions reports whether e references an identifier named base.
+func exprMentions(e ast.Expr, base string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == base {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // ---- rule: finished = true funnels through one function ----

@@ -1,0 +1,36 @@
+// Pooled-buffer stubs for the pairwise pooled-storage rules: GetBuf/PutBuf
+// and the ref-counted ReadBuf, same import path and names as the real wire
+// package.
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var encBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+// GetBuf returns a pooled scratch buffer; pair with PutBuf.
+func GetBuf() *[]byte {
+	return encBufPool.Get().(*[]byte)
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) {
+	*b = (*b)[:0]
+	encBufPool.Put(b)
+}
+
+// ReadBuf is a ref-counted receive buffer.
+type ReadBuf struct {
+	refs atomic.Int32
+}
+
+// Retain adds a reference; pair with Release.
+func (b *ReadBuf) Retain() { b.refs.Add(1) }
+
+// Release drops one reference.
+func (b *ReadBuf) Release() { b.refs.Add(-1) }

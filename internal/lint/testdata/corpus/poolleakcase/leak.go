@@ -1,0 +1,31 @@
+// Package poolleakcase exercises pairwise's pooled-storage package-presence
+// rule: acquiring from a pool in a package that never releases anywhere.
+// Every binding below escapes by return or field store, so only the
+// presence rule fires — the leak is structural, not path-local.
+package poolleakcase
+
+import (
+	"sync"
+
+	"hyperfile/internal/wire"
+)
+
+var frames = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+type holder struct{ buf *[]byte }
+
+func grab() *[]byte {
+	b := frames.Get().(*[]byte) // want "Pool.Get is called in this package but Pool.Put never is"
+	return b
+}
+
+func (h *holder) grabFrame() {
+	h.buf = wire.GetBuf() // want "GetBuf is called in this package but PutBuf never is"
+}
+
+func hold(b *wire.ReadBuf) {
+	b.Retain() // want "ReadBuf.Retain is called in this package but ReadBuf.Release never is"
+}

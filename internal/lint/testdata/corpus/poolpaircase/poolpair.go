@@ -1,0 +1,88 @@
+// Package poolpaircase exercises pairwise's pooled-storage binding rule:
+// a local bound to sync.Pool.Get or wire.GetBuf must, on every path, be
+// handed back to the pool, returned to the caller, or stored into a field.
+// The package calls Put and PutBuf, so the package-presence rule is
+// satisfied and only the per-function path rule fires here.
+package poolpaircase
+
+import (
+	"errors"
+	"sync"
+
+	"hyperfile/internal/wire"
+)
+
+var errFail = errors.New("fail")
+
+var scratch = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+type owner struct {
+	buf  *[]byte
+	read *wire.ReadBuf
+}
+
+// dropsOnError leaks the pooled value on the early-return path.
+func dropsOnError(fail bool) error {
+	b := scratch.Get().(*[]byte) // want "pooled storage bound to b here is neither returned to its pool"
+	if fail {
+		return errFail
+	}
+	scratch.Put(b)
+	return nil
+}
+
+// dropsFrameBuf leaks the frame buffer when the write fails.
+func dropsFrameBuf(write func([]byte) error) error {
+	b := wire.GetBuf() // want "pooled storage bound to b here is neither returned to its pool"
+	if err := write(*b); err != nil {
+		return err
+	}
+	wire.PutBuf(b)
+	return nil
+}
+
+// putOnAllPaths releases on both branches.
+func putOnAllPaths(fail bool) error {
+	b := scratch.Get().(*[]byte)
+	if fail {
+		scratch.Put(b)
+		return errFail
+	}
+	scratch.Put(b)
+	return nil
+}
+
+// deferredPut discharges at registration: every path releases.
+func deferredPut(write func([]byte) error) error {
+	b := wire.GetBuf()
+	defer wire.PutBuf(b)
+	return write(*b)
+}
+
+// returnsBinding transfers ownership to the caller (the newReadBuf shape).
+func returnsBinding() *[]byte {
+	b := scratch.Get().(*[]byte)
+	return b
+}
+
+// storesBinding parks the value in a field the owner releases later (the
+// acquireScratch shape).
+func (o *owner) storesBinding() {
+	b := wire.GetBuf()
+	o.buf = b
+}
+
+// directFieldStore creates no obligation: ownership lands in the field at
+// the acquire itself.
+func (o *owner) directFieldStore() {
+	o.buf = scratch.Get().(*[]byte)
+}
+
+// retainRelease pairs the read-buffer reference count within the package.
+func (o *owner) retainRelease() {
+	o.read.Retain()
+	o.read.Release()
+}

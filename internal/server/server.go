@@ -73,6 +73,20 @@ type Server struct {
 type mail struct {
 	from object.SiteID
 	msg  wire.Msg
+	// buf, when non-nil, is the pooled read buffer msg's borrowed fields
+	// alias (transport ZeroCopy). The loop releases it after HandleMessage
+	// and dispatch have fully consumed the message.
+	buf *wire.ReadBuf
+}
+
+// release returns the message's read buffer (if any) to the pool. The
+// message must not be touched afterwards: in race builds the bytes are
+// poisoned so a straggling borrowed read fails loudly.
+func (m *mail) release() {
+	if m.buf != nil {
+		m.buf.Release()
+		m.buf = nil
+	}
 }
 
 // New starts a server for the given site configuration, listening on addr.
@@ -115,6 +129,13 @@ func NewOpts(cfg site.Config, addr string, logger *slog.Logger, opts Options) (*
 		for _, peer := range cfg.Peers {
 			srv.heard[peer] = now
 		}
+	}
+	if opts.Transport.ZeroCopy {
+		// The mailbox decouples the reader goroutine from the site goroutine,
+		// so the transport cannot release a borrowed buffer when the handler
+		// returns; take ownership of the reference instead and release it in
+		// the loop once the message is fully consumed.
+		opts.Transport.BufHandler = srv.postBuf
 	}
 	tr, err := transport.ListenTCPOpts(cfg.ID, addr, srv.post, opts.Transport)
 	if err != nil {
@@ -206,12 +227,22 @@ func (srv *Server) Stats() site.Stats {
 // Heartbeats feed the failure detector and stop here; any other traffic from
 // a monitored peer also refreshes its liveness clock.
 func (srv *Server) post(from object.SiteID, m wire.Msg) {
+	srv.postBuf(from, m, nil)
+}
+
+// postBuf is the zero-copy transport handler: same as post, but the message
+// arrives with the pooled buffer it was decoded over and this server owns
+// the reference until the loop finishes with the message.
+func (srv *Server) postBuf(from object.SiteID, m wire.Msg, buf *wire.ReadBuf) {
 	srv.noteHeard(from)
 	if _, ok := m.(*wire.Heartbeat); ok {
+		if buf != nil {
+			buf.Release()
+		}
 		return
 	}
 	srv.mu.Lock()
-	srv.mailbox = append(srv.mailbox, mail{from: from, msg: m})
+	srv.mailbox = append(srv.mailbox, mail{from: from, msg: m, buf: buf})
 	srv.mu.Unlock()
 	srv.poke()
 }
@@ -357,9 +388,15 @@ func (srv *Server) loop() {
 			if err != nil {
 				srv.lg.Error("message rejected", "from", m.from.String(),
 					"kind", m.msg.Kind().String(), "err", err)
+				m.release()
 				continue
 			}
 			srv.dispatch(out)
+			// The site retains nothing that aliases the read buffer (retained
+			// kinds are copy-decoded, bodies are cloned into contexts, tokens
+			// are banked at dispatch) and every outbound envelope was encoded
+			// by Send above, so the buffer can recycle now.
+			m.release()
 			srv.pokeSteppers()
 			continue
 		}

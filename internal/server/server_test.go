@@ -429,6 +429,7 @@ func BenchmarkTCPQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cm, err := client.Exec(1, tcpClosure, []object.ID{root}, 10*time.Second)

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"hyperfile/internal/object"
+	"hyperfile/internal/site"
+	"hyperfile/internal/wire"
+)
+
+// TestTCPZeroCopyMemOptEndToEnd runs the same workload over two real TCP
+// deployments — paper-exact, and memory-optimized with zero-copy inbound
+// decode — and requires identical answers. The optimized servers read frames
+// into pooled ref-counted buffers, decode them in place, carry the borrowed
+// messages through the async mailbox, and release after dispatch; under
+// -race the released bytes are poisoned, so any site logic still holding a
+// borrowed string would corrupt loudly here. Batching is on so Deref bodies
+// (the borrowed hot path) actually cross the wire, and the fetch query
+// exercises borrowed field values flowing into always-copied FetchVal lists.
+func TestTCPZeroCopyMemOptEndToEnd(t *testing.T) {
+	const fetchQuery = `S [ (Pointer, "Reference", ?X) ^^X ]** (keyword, "hot", ?) (String, "Title", ->title) -> T`
+
+	run := func(optimized bool) (closure, fetch *wire.Complete) {
+		var opts Options
+		opts.Transport.ZeroCopy = optimized
+		_, stores, client := testDeploymentCfg(t, 3, opts, func(cfg *site.Config) {
+			cfg.DerefBatch = 4
+			cfg.MemOpt = optimized
+		})
+		ids := loadServerRing(t, stores, 30)
+		// Titles give the fetch query borrowed values to ship back.
+		for i, st := range stores {
+			o, ok := st.Get(ids[i])
+			if !ok {
+				t.Fatalf("object %v missing from its store", ids[i])
+			}
+			o.Add("String", object.String("Title"), object.String("t"))
+			if err := st.Put(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Several rounds so released buffers are actually recycled between
+		// queries (a stale borrow would read the next query's bytes).
+		var cm *wire.Complete
+		for i := 0; i < 3; i++ {
+			var err error
+			cm, err = client.Exec(object.SiteID(i%3+1), tcpClosure, ids[:1], 10*time.Second)
+			if err != nil {
+				t.Fatalf("optimized=%v round %d: %v", optimized, i, err)
+			}
+		}
+		fm, err := client.Exec(1, fetchQuery, ids[:1], 10*time.Second)
+		if err != nil {
+			t.Fatalf("optimized=%v fetch query: %v", optimized, err)
+		}
+		return cm, fm
+	}
+
+	baseC, baseF := run(false)
+	optC, optF := run(true)
+
+	if len(baseC.IDs) == 0 {
+		t.Fatal("baseline closure returned nothing; workload is broken")
+	}
+	if len(baseC.IDs) != len(optC.IDs) || baseC.Count != optC.Count {
+		t.Fatalf("zero-copy changed the closure answer: %d/%d vs %d/%d",
+			len(optC.IDs), optC.Count, len(baseC.IDs), baseC.Count)
+	}
+	for i := range baseC.IDs {
+		if baseC.IDs[i] != optC.IDs[i] {
+			t.Fatalf("result %d differs: %v vs %v", i, optC.IDs[i], baseC.IDs[i])
+		}
+	}
+	if len(baseF.Fetches) == 0 {
+		t.Fatal("baseline fetch query returned no values; workload is broken")
+	}
+	if len(baseF.Fetches) != len(optF.Fetches) {
+		t.Fatalf("zero-copy changed fetch count: %d vs %d", len(optF.Fetches), len(baseF.Fetches))
+	}
+	seen := make(map[string]int, len(baseF.Fetches))
+	for _, f := range baseF.Fetches {
+		seen[f.Var+"|"+f.Val.Str]++
+	}
+	for _, f := range optF.Fetches {
+		seen[f.Var+"|"+f.Val.Str]--
+	}
+	for k, n := range seen {
+		if n != 0 {
+			t.Fatalf("fetch multiset differs at %q (%+d)", k, n)
+		}
+	}
+}

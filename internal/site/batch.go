@@ -2,10 +2,12 @@ package site
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"hyperfile/internal/engine"
 	"hyperfile/internal/object"
+	"hyperfile/internal/packed"
 	"hyperfile/internal/wire"
 )
 
@@ -64,8 +66,23 @@ func itersKey(iters []int) string {
 	return fmt.Sprint(iters)
 }
 
-// sentBefore tests-and-sets the sent-cache for ref.
-func (ctx *qctx) sentBefore(ref engine.RemoteRef) bool {
+// sentPool recycles packed sent-cache sets across queries on MemOpt sites;
+// releaseQueryResources resets and returns them.
+var sentPool = sync.Pool{New: func() any { return packed.NewSet(0) }}
+
+// sentBefore tests-and-sets the sent-cache for ref: the map form by default,
+// the pooled packed-key set under Config.MemOpt. Both store exactly the
+// (object id, start) pairs this context has shipped, so the two forms are
+// observably identical (the differential suite in batch_test.go drives them
+// with identical streams).
+func (s *Site) sentBefore(ctx *qctx, ref engine.RemoteRef) bool {
+	if s.cfg.MemOpt {
+		if ctx.psent == nil {
+			ctx.psent = sentPool.Get().(*packed.Set)
+		}
+		hi, lo := packed.IDKey(ref.ID, ref.Start)
+		return ctx.psent.TestAndSet(hi, lo)
+	}
 	k := sentKey{id: ref.ID, start: ref.Start}
 	if _, ok := ctx.sent[k]; ok {
 		return true
@@ -104,7 +121,7 @@ func (s *Site) emitDeref(ctx *qctx, ref engine.RemoteRef) ([]wire.Envelope, erro
 		}
 		return []wire.Envelope{env}, nil
 	}
-	if ctx.sentBefore(ref) {
+	if s.sentBefore(ctx, ref) {
 		s.stats.DerefsSuppressed++
 		s.met.derefsSuppressed.Inc()
 		return nil, nil
@@ -187,6 +204,16 @@ func (s *Site) releaseQueryResources(ctx *qctx) {
 	ctx.sent = nil
 	ctx.queues = nil
 	ctx.qorder = nil
+	if ctx.psent != nil {
+		ctx.psent.Reset()
+		sentPool.Put(ctx.psent)
+		ctx.psent = nil
+	}
+	// Return the engine's pooled scratch (working-set backing, binding
+	// environment, packed mark table) on the same three paths that release
+	// the sent-cache: finish, force-complete, retain. No-op for paper-exact
+	// engines.
+	ctx.eng.ReleaseScratch()
 	if s.cfg.GlobalMarks != nil {
 		s.cfg.GlobalMarks.Release(ctx.qid)
 	}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"hyperfile/internal/metrics"
 	"hyperfile/internal/naming"
 	"hyperfile/internal/object"
+	"hyperfile/internal/packed"
 	"hyperfile/internal/plan"
 	"hyperfile/internal/query"
 	"hyperfile/internal/store"
@@ -129,6 +131,13 @@ type Config struct {
 	// the site agree on one configured value. Zero or one is the paper's
 	// single-threaded stepping, exactly.
 	Workers int
+	// MemOpt enables the pooled memory model on the query hot path: the
+	// engine's packed open-addressing mark table, pooled working-set and
+	// binding-environment scratch (released when the context finishes,
+	// force-completes, or is retained), and the packed-key sent-cache in
+	// place of the map form. Answers are byte-identical to the default —
+	// the equivalence matrix proves it; only the allocation profile changes.
+	MemOpt bool
 	// FairQuantum, when positive, replaces FIFO scheduling with per-client
 	// deficit-round-robin fairness: each client id (wire.Submit.ClientID;
 	// participant work buckets under client 0) gets this many engine steps —
@@ -305,6 +314,10 @@ type qctx struct {
 	queues map[batchKey]*derefQueue
 	qorder []*derefQueue
 	sent   map[sentKey]struct{}
+	// psent is the sent-cache in its Config.MemOpt form: a pooled packed-key
+	// open-addressing set used instead of the sent map, released (back to
+	// the pool) with the rest of the query's resources.
+	psent *packed.Set
 
 	// engaged records the remote sites this originator context has sent
 	// work to (derefs or seeds), so a peer-death mid-query can tell which
@@ -533,6 +546,14 @@ func (s *Site) planFor(body string, hash []byte) (p *plan.Plan, fp query.Fingerp
 		s.met.planCacheMisses.Inc()
 	}
 	start := time.Now()
+	// Clone before compiling: the parser aliases its input, so every keyword
+	// and field-name literal inside the AST — and therefore inside the built
+	// plan, which outlives this message — is a substring of body. Under
+	// zero-copy transport body borrows the frame's read buffer, which is
+	// recycled after dispatch; a plan aliasing it would silently compare
+	// filters against recycled bytes. Compile-path only, so the copy is paid
+	// once per compilation, never per message.
+	body = strings.Clone(body)
 	parsed, err := query.Parse(body)
 	if err != nil {
 		return nil, fp, false, err
@@ -546,6 +567,8 @@ func (s *Site) planFor(body string, hash []byte) (p *plan.Plan, fp query.Fingerp
 	s.met.planCompileUS.ObserveDuration(time.Since(start))
 	s.met.notePlanOps(p.Counts())
 	if s.plans != nil {
+		// body is already a private clone (above), safe for the cache entry
+		// to retain.
 		if ev := s.plans.Install(fp, body, p); ev > 0 {
 			s.met.planCacheEvictions.Add(uint64(ev))
 		}
@@ -558,13 +581,21 @@ func (s *Site) planFor(body string, hash []byte) (p *plan.Plan, fp query.Fingerp
 // trace context's dereference depth at which this site joined (0 at the
 // origin). fp and pinned come from planFor.
 func (s *Site) newCtx(qid wire.QueryID, origin object.SiteID, body string, p *plan.Plan, fp query.Fingerprint, pinned bool, hop uint32) *qctx {
+	engOpts := []engine.Option{
+		engine.WithLocator(routerLocator{r: s.cfg.Router, self: s.cfg.ID}),
+		engine.WithOrder(s.cfg.Order),
+	}
+	if s.cfg.MemOpt {
+		engOpts = append(engOpts, engine.WithMemOpt())
+	}
 	ctx := &qctx{
 		qid:    qid,
 		origin: origin,
-		body:   body,
-		eng: engine.NewPlanned(p, s.cfg.Store,
-			engine.WithLocator(routerLocator{r: s.cfg.Router, self: s.cfg.ID}),
-			engine.WithOrder(s.cfg.Order)),
+		// Clone: the context outlives the message that created it, and under
+		// zero-copy transport the body string may borrow the frame's read
+		// buffer, which is released after dispatch.
+		body: strings.Clone(body),
+		eng:  engine.NewPlanned(p, s.cfg.Store, engOpts...),
 		det: termination.NewInstrumented(s.cfg.TermMode, s.cfg.ID, origin,
 			termination.Metrics{Splits: s.met.termSplits, Returns: s.met.termReturns}),
 		isOrigin:   origin == s.cfg.ID,

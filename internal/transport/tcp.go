@@ -62,6 +62,13 @@ var ErrBacklog = errors.New("transport: unacked backlog full")
 // long.
 type Handler func(from object.SiteID, m wire.Msg)
 
+// BufHandler receives inbound messages decoded in place over a pooled read
+// buffer (Options.ZeroCopy). The handler takes ownership of the reference:
+// it must call buf.Release() once the message — including every borrowed
+// string and []byte field — is no longer touched, even if processing is
+// asynchronous. Retain/Release extend the lifetime across further handoffs.
+type BufHandler func(from object.SiteID, m wire.Msg, buf *wire.ReadBuf)
+
 // Fault decides per-frame fault injection below the reliability layer.
 // chaos.Injector satisfies it; the interface is declared here structurally
 // so neither package imports the other. Judge returns drop to discard the
@@ -96,6 +103,18 @@ type Options struct {
 	// Fault, when non-nil, injects faults on outbound frames (drop /
 	// duplicate / delay) below the reliability layer, for chaos testing.
 	Fault Fault
+	// ZeroCopy reads inbound payloads into pooled, ref-counted buffers and
+	// decodes them in place (wire.DecodeBorrowed): string and []byte fields
+	// of hot-path messages alias the read buffer instead of copying. Off by
+	// default; answers are byte-identical either way — only the allocation
+	// profile changes.
+	ZeroCopy bool
+	// BufHandler, when non-nil alongside ZeroCopy, receives each inbound
+	// message together with the buffer its borrowed fields alias and owns
+	// the reference (it must Release). When nil, the plain Handler is called
+	// and the transport releases the buffer as soon as it returns, so the
+	// handler must finish with the message synchronously.
+	BufHandler BufHandler
 	// Metrics, when non-nil, receives transport counters (frames sent /
 	// retransmitted / deduped / abandoned, connects, dial failures) and the
 	// ack round-trip histogram. Nil disables accounting.
@@ -325,7 +344,6 @@ func (t *TCP) Send(to object.SiteID, m wire.Msg) error {
 	if p == nil {
 		return fmt.Errorf("%w: %v", ErrUnknownPeer, to)
 	}
-	payload := wire.Encode(m)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -333,8 +351,10 @@ func (t *TCP) Send(to object.SiteID, m wire.Msg) error {
 		return fmt.Errorf("%w: %d frames queued to %v", ErrBacklog, len(p.pending), to)
 	}
 	p.nextSeq++
-	data := wire.AppendFrame(make([]byte, 0, len(payload)+32),
-		wire.Frame{From: t.self, Epoch: t.epoch, Seq: p.nextSeq, Payload: payload})
+	// Encode straight into the frame buffer: the pending frame owns these
+	// bytes until acked, so there is nothing to pool, but the separate
+	// payload temporary AppendFrame would need is gone.
+	data := wire.AppendFrameMsg(make([]byte, 0, 128), t.self, t.epoch, p.nextSeq, m)
 	now := time.Now()
 	pf := &pendingFrame{seq: p.nextSeq, data: data, attempts: 1, nextAt: now.Add(t.backoff(1)), firstSent: now}
 	t.met.framesSent.Inc()
@@ -359,7 +379,10 @@ func (t *TCP) SendUnreliable(to object.SiteID, m wire.Msg) error {
 	if p == nil {
 		return fmt.Errorf("%w: %v", ErrUnknownPeer, to)
 	}
-	data := wire.AppendFrame(nil, wire.Frame{From: t.self, Epoch: t.epoch, Seq: 0, Payload: wire.Encode(m)})
+	// Not pooled: a fault-injected delayed write may retain data past this
+	// call (writeLocked's spawned goroutine), so the buffer cannot be
+	// recycled here. AppendFrameMsg still avoids the payload temporary.
+	data := wire.AppendFrameMsg(nil, t.self, t.epoch, 0, m)
 	t.met.framesUnreliable.Inc()
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -586,11 +609,7 @@ func (t *TCP) retransmitLoop() {
 // outbound connection and retires the matching pending frames.
 func (t *TCP) ackLoop(p *peer, c net.Conn) {
 	for {
-		fr, err := wire.ReadFrame(c, maxFrame)
-		if err != nil {
-			break
-		}
-		m, err := wire.Decode(fr.Payload)
+		m, err := t.readAck(c)
 		if err != nil {
 			break
 		}
@@ -618,6 +637,27 @@ func (t *TCP) ackLoop(p *peer, c net.Conn) {
 		p.conn = nil
 	}
 	p.mu.Unlock()
+}
+
+// readAck reads one reverse-path frame and decodes it. Under ZeroCopy the
+// payload lands in a pooled buffer released before returning — acks carry no
+// strings, so the copying decode borrows nothing and the buffer can recycle
+// immediately.
+func (t *TCP) readAck(c net.Conn) (wire.Msg, error) {
+	if !t.opts.ZeroCopy {
+		fr, err := wire.ReadFrame(c, maxFrame)
+		if err != nil {
+			return nil, err
+		}
+		return wire.Decode(fr.Payload)
+	}
+	fr, buf, err := wire.ReadFrameBuf(c, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	m, err := wire.Decode(fr.Payload)
+	buf.Release()
+	return m, err
 }
 
 func (t *TCP) acceptLoop() {
@@ -654,17 +694,34 @@ func (t *TCP) readLoop(c net.Conn) {
 		t.mu.Unlock()
 	}()
 	for {
-		fr, err := wire.ReadFrame(c, maxFrame)
-		if err != nil {
-			return
+		var fr wire.Frame
+		var buf *wire.ReadBuf
+		var m wire.Msg
+		var err error
+		if t.opts.ZeroCopy {
+			fr, buf, err = wire.ReadFrameBuf(c, maxFrame)
+			if err != nil {
+				return
+			}
+			m, err = wire.DecodeBorrowed(fr.Payload)
+		} else {
+			fr, err = wire.ReadFrame(c, maxFrame)
+			if err != nil {
+				return
+			}
+			m, err = wire.Decode(fr.Payload)
 		}
-		m, err := wire.Decode(fr.Payload)
 		if err != nil {
+			if buf != nil {
+				buf.Release()
+			}
 			return
 		}
 		if fr.Seq == 0 {
 			if _, isAck := m.(*wire.Ack); !isAck {
-				t.handler(fr.From, m)
+				t.deliver(fr.From, m, buf)
+			} else if buf != nil {
+				buf.Release()
 			}
 			continue
 		}
@@ -672,10 +729,28 @@ func (t *TCP) readLoop(c net.Conn) {
 		t.writeAck(c, fr.From, fr.Seq)
 		if t.dedupAdmit(fr.From, fr.Epoch, fr.Seq) {
 			t.met.framesReceived.Inc()
-			t.handler(fr.From, m)
+			t.deliver(fr.From, m, buf)
 		} else {
 			t.met.framesDeduped.Inc()
+			if buf != nil {
+				buf.Release()
+			}
 		}
+	}
+}
+
+// deliver hands one admitted inbound message to the application layer. A
+// non-nil buf means the message was decoded in place over it: the BufHandler
+// takes the reference if configured, otherwise the transport releases as
+// soon as the synchronous handler returns.
+func (t *TCP) deliver(from object.SiteID, m wire.Msg, buf *wire.ReadBuf) {
+	if buf != nil && t.opts.BufHandler != nil {
+		t.opts.BufHandler(from, m, buf)
+		return
+	}
+	t.handler(from, m)
+	if buf != nil {
+		buf.Release()
 	}
 }
 
@@ -686,12 +761,12 @@ func (t *TCP) writeAck(c net.Conn, to object.SiteID, seq uint64) {
 	if drop, _, _ := t.judge(to); drop {
 		return
 	}
-	data := wire.AppendFrame(nil, wire.Frame{
-		From: t.self, Epoch: t.epoch, Seq: 0,
-		Payload: wire.Encode(&wire.Ack{Seq: seq}),
-	})
+	b := wire.GetBuf()
+	data := wire.AppendFrameMsg(*b, t.self, t.epoch, 0, &wire.Ack{Seq: seq})
 	_ = c.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
 	_, _ = c.Write(data) // an error surfaces as a read failure shortly after
+	*b = data[:0]
+	wire.PutBuf(b)
 }
 
 // dedupAdmit records one reliable frame and reports whether it is new. A

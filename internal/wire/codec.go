@@ -20,7 +20,15 @@ const maxSliceLen = 1 << 24
 // followed by the payload fields in order, integers as uvarints and
 // strings/byte-slices length-prefixed.
 func Encode(m Msg) []byte {
-	e := &encoder{buf: make([]byte, 0, 64)}
+	return EncodeTo(make([]byte, 0, 64), m)
+}
+
+// EncodeTo appends m's wire form to dst and returns the extended slice. It
+// is the allocation-free form of Encode: callers on the hot path encode
+// into a pooled buffer (GetBuf/PutBuf) or directly into a frame under
+// construction (AppendFrameMsg) instead of allocating per message.
+func EncodeTo(dst []byte, m Msg) []byte {
+	e := &encoder{buf: dst}
 	k := m.Kind()
 	// Deref frames always encode in the batched layout. KDeref stays on the
 	// wire only as a legacy single-id layout that Decode still accepts.
@@ -134,10 +142,46 @@ func Encode(m Msg) []byte {
 	return e.buf
 }
 
-// Decode parses a message from its wire form.
+// Decode parses a message from its wire form. Every string and byte field
+// of the result is an independent copy; the message never references data.
 func Decode(data []byte) (Msg, error) {
+	return decode(data, false)
+}
+
+// DecodeBorrowed parses a message whose string and byte fields alias data
+// directly (zero-copy). The caller owns the lifetime contract: the returned
+// message and everything extracted from it must not be used after data is
+// invalidated — in the transport, after the frame's ReadBuf is released.
+//
+// Message kinds that receivers retain wholesale (Submit parks in the
+// admission queue; StatsReq, Migrate, and MigrateData carry client addresses
+// stored for later replies) fall back to copying decode, as do FetchVal
+// lists on any kind (the originator accumulates them across the whole
+// query). Tokens, bodies, and reasons are borrowed: tokens are decoded by
+// the termination detectors at dispatch, and bodies are cloned at their two
+// retention points (context creation, plan-cache install).
+func DecodeBorrowed(data []byte) (Msg, error) {
+	return decode(data, true)
+}
+
+// borrowedWholesale reports whether kind may be decoded with borrowed
+// fields: kinds a receiver stores beyond the dispatch of one message must
+// be fully copied instead.
+func borrowedWholesale(k Kind) bool {
+	switch k {
+	case KSubmit, KStatsReq, KMigrate, KMigrateData:
+		return false
+	default:
+		// Every other kind is consumed within one dispatch; its strings and
+		// byte slices may alias the read buffer.
+		return true
+	}
+}
+
+func decode(data []byte, borrow bool) (Msg, error) {
 	d := &decoder{buf: data}
 	kind := Kind(d.u8())
+	d.borrow = borrow && borrowedWholesale(kind)
 	var m Msg
 	switch kind {
 	case KSubmit:
@@ -393,6 +437,9 @@ type decoder struct {
 	buf []byte
 	pos int
 	err error
+	// borrow makes str and bytes alias buf instead of copying (see
+	// DecodeBorrowed); fetches always copies regardless.
+	borrow bool
 }
 
 func (d *decoder) fail(msg string) {
@@ -448,7 +495,12 @@ func (d *decoder) str() string {
 		d.fail("truncated string")
 		return ""
 	}
-	s := string(d.buf[d.pos : d.pos+n])
+	var s string
+	if d.borrow {
+		s = borrowString(d.buf[d.pos : d.pos+n])
+	} else {
+		s = string(d.buf[d.pos : d.pos+n])
+	}
 	d.pos += n
 	return s
 }
@@ -462,8 +514,15 @@ func (d *decoder) bytes() []byte {
 		d.fail("truncated bytes")
 		return nil
 	}
-	b := make([]byte, n)
-	copy(b, d.buf[d.pos:d.pos+n])
+	var b []byte
+	if d.borrow {
+		// Full-slice expression caps the alias so an append can never
+		// clobber the bytes of the next field.
+		b = d.buf[d.pos : d.pos+n : d.pos+n]
+	} else {
+		b = make([]byte, n)
+		copy(b, d.buf[d.pos:d.pos+n])
+	}
 	d.pos += n
 	return b
 }
@@ -546,6 +605,12 @@ func (d *decoder) fetches() []FetchVal {
 	if d.err != nil || n == 0 {
 		return nil
 	}
+	// Fetched values are retained by the originator for the lifetime of the
+	// query, far past any read-buffer release: always copy, even under
+	// DecodeBorrowed.
+	wasBorrow := d.borrow
+	d.borrow = false
+	defer func() { d.borrow = wasBorrow }()
 	fs := make([]FetchVal, n)
 	for i := range fs {
 		fs[i].Var = d.str()

@@ -45,6 +45,56 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	return append(dst, f.Payload...)
 }
 
+// AppendFrameMsg appends a frame carrying m's encoding to dst, encoding the
+// payload directly into the frame buffer and backfilling the 4-byte length
+// field — the zero-intermediate form of AppendFrame(dst, Frame{Payload:
+// Encode(m)}), saving the payload temporary on every send.
+func AppendFrameMsg(dst []byte, from object.SiteID, epoch, seq uint64, m Msg) []byte {
+	dst = append(dst, FrameMagic[:]...)
+	lenAt := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 0)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(from))
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	payloadAt := len(dst)
+	dst = EncodeTo(dst, m)
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(len(dst)-payloadAt))
+	return dst
+}
+
+// ReadFrameBuf reads one frame like ReadFrame, but places the payload in a
+// pooled, ref-counted buffer instead of a fresh allocation. The returned
+// frame's Payload aliases the buffer; the caller (and anything it decodes
+// with DecodeBorrowed) must stop touching both before the last Release.
+// On error no buffer is retained.
+func ReadFrameBuf(r io.Reader, maxPayload uint32) (Frame, *ReadBuf, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, nil, err
+	}
+	if [4]byte(hdr[:4]) != FrameMagic {
+		return Frame{}, nil, fmt.Errorf("%w: bad magic %x", ErrFrame, hdr[:4])
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > maxPayload {
+		return Frame{}, nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrame, n, maxPayload)
+	}
+	f := Frame{
+		From:  object.SiteID(binary.BigEndian.Uint32(hdr[8:12])),
+		Epoch: binary.BigEndian.Uint64(hdr[12:20]),
+		Seq:   binary.BigEndian.Uint64(hdr[20:28]),
+	}
+	buf := newReadBuf(int(n))
+	if n > 0 {
+		if _, err := io.ReadFull(r, buf.Bytes()); err != nil {
+			buf.Release()
+			return Frame{}, nil, err
+		}
+		f.Payload = buf.Bytes()
+	}
+	return f, buf, nil
+}
+
 // ReadFrame reads one frame from r. maxPayload bounds the payload length a
 // corrupt or malicious header can demand. Errors wrapping ErrFrame mean the
 // stream is corrupt and the connection should be dropped; io errors pass

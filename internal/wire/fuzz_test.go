@@ -69,6 +69,11 @@ func FuzzDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {
+			// Borrowed decode must reject exactly what copying decode
+			// rejects.
+			if _, berr := DecodeBorrowed(data); berr == nil {
+				t.Fatalf("DecodeBorrowed accepted what Decode rejected: %v", err)
+			}
 			return
 		}
 		// Accepted messages must re-encode and decode to the same payload
@@ -80,6 +85,15 @@ func FuzzDecode(f *testing.F) {
 		}
 		if string(Encode(m2)) != string(re) {
 			t.Fatalf("canonical encoding unstable")
+		}
+		// Zero-copy equivalence: the borrowed decode of the same bytes must
+		// be byte-for-byte the same message once re-encoded.
+		mb, err := DecodeBorrowed(data)
+		if err != nil {
+			t.Fatalf("DecodeBorrowed rejected what Decode accepted: %v", err)
+		}
+		if string(EncodeTo(nil, mb)) != string(re) {
+			t.Fatalf("borrowed decode differs from copying decode")
 		}
 	})
 }
@@ -108,8 +122,36 @@ func FuzzFrame(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
+		rb := bytes.NewReader(data)
 		for {
 			fr, err := ReadFrame(r, maxPayload)
+			// The pooled reader must accept, reject, and parse the exact
+			// same stream.
+			frB, buf, errB := ReadFrameBuf(rb, maxPayload)
+			if (err == nil) != (errB == nil) {
+				t.Fatalf("ReadFrame err %v but ReadFrameBuf err %v", err, errB)
+			}
+			if err == nil {
+				if frB.From != fr.From || frB.Epoch != fr.Epoch || frB.Seq != fr.Seq || !bytes.Equal(frB.Payload, fr.Payload) {
+					t.Fatalf("ReadFrameBuf frame differs from ReadFrame")
+				}
+				// The zero-copy receive path end to end: a payload the
+				// copying decode accepts must decode borrowed from the
+				// pooled buffer to the identical message, and one it
+				// rejects must be rejected borrowed too.
+				if mc, derr := Decode(fr.Payload); derr == nil {
+					mb, berr := DecodeBorrowed(frB.Payload)
+					if berr != nil {
+						t.Fatalf("DecodeBorrowed rejected framed payload Decode accepted: %v", berr)
+					}
+					if !bytes.Equal(Encode(mb), Encode(mc)) {
+						t.Fatalf("borrowed decode of framed payload differs from copying decode")
+					}
+				} else if _, berr := DecodeBorrowed(frB.Payload); berr == nil {
+					t.Fatalf("DecodeBorrowed accepted framed payload Decode rejected: %v", derr)
+				}
+				buf.Release()
+			}
 			if err != nil {
 				if !errors.Is(err, ErrFrame) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 					t.Fatalf("unexpected error class: %v", err)

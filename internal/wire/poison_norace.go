@@ -1,0 +1,7 @@
+//go:build !race
+
+package wire
+
+// poisonOnRelease is off in production builds: the final Release recycles
+// the buffer without the O(n) scribble. Build with -race to arm it.
+const poisonOnRelease = false

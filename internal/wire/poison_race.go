@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// poisonOnRelease: race-detector builds overwrite a ReadBuf's bytes on
+// final release, turning a use-after-release of a borrowed decode into an
+// immediate, loud corruption instead of a silent read of recycled bytes.
+const poisonOnRelease = true
